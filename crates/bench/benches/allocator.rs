@@ -1,0 +1,74 @@
+//! Allocator ablation (the §VI-A analysis behind Fig. 4's crossover):
+//! the same XQueue runtime with malloc-per-task vs the LOMP-style
+//! multi-level allocator, on an allocation-bound storm (tiny tasks) and
+//! an execution-bound one (tasks with real work).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xgomp_core::{AllocKind, RuntimeConfig};
+
+const TASKS: usize = 4_000;
+
+fn bench_allocation_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_bound_storm");
+    g.throughput(Throughput::Elements(TASKS as u64));
+    for (label, kind) in [
+        ("malloc", AllocKind::Malloc),
+        ("multi_level", AllocKind::MultiLevel),
+    ] {
+        g.bench_function(label, |b| {
+            let rt = RuntimeConfig::xgomptb(4).allocator(kind).build();
+            b.iter(|| {
+                // Tiny bodies: allocation dominates (the Fib/NQueens
+                // regime where LOMP's allocator wins in the paper).
+                let out = rt.parallel(|ctx| {
+                    ctx.scope(|s| {
+                        for _ in 0..TASKS {
+                            s.spawn(|_| std::hint::black_box(()));
+                        }
+                    });
+                });
+                std::hint::black_box(out.wall);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_execution_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_bound_storm");
+    g.throughput(Throughput::Elements((TASKS / 8) as u64));
+    for (label, kind) in [
+        ("malloc", AllocKind::Malloc),
+        ("multi_level", AllocKind::MultiLevel),
+    ] {
+        g.bench_function(label, |b| {
+            let rt = RuntimeConfig::xgomptb(4).allocator(kind).build();
+            b.iter(|| {
+                // Heavier bodies: the allocator should stop mattering
+                // (the FFT/STRAS/Sort/Align regime).
+                let out = rt.parallel(|ctx| {
+                    ctx.scope(|s| {
+                        for i in 0..TASKS / 8 {
+                            s.spawn(move |_| {
+                                let mut acc = i as u64;
+                                for k in 0..2_000u64 {
+                                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                                }
+                                std::hint::black_box(acc);
+                            });
+                        }
+                    });
+                });
+                std::hint::black_box(out.wall);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_allocation_bound, bench_execution_bound
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Barrier ablation: the same XQueue scheduler under the three barrier
+//! designs (centralized lock, shared atomic counter, distributed tree),
+//! measured as whole-region cost for a fixed task storm. Isolates the
+//! §III-B contribution (XGOMP → XGOMPTB).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xgomp_core::{BarrierKind, RuntimeConfig};
+
+const TASKS: usize = 2_000;
+
+fn bench_barriers(c: &mut Criterion) {
+    let threads = 4;
+    let mut g = c.benchmark_group("barrier_region_cost");
+    g.throughput(Throughput::Elements(TASKS as u64));
+    for (label, kind) in [
+        ("centralized", BarrierKind::Centralized),
+        ("atomic_count", BarrierKind::AtomicCount),
+        ("tree", BarrierKind::Tree),
+    ] {
+        g.bench_function(label, |b| {
+            let rt = RuntimeConfig::xgomptb(threads).barrier(kind).build();
+            b.iter(|| {
+                let out = rt.parallel(|ctx| {
+                    ctx.scope(|s| {
+                        for _ in 0..TASKS {
+                            s.spawn(|_| std::hint::black_box(()));
+                        }
+                    });
+                });
+                std::hint::black_box(out.wall);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_empty_region(c: &mut Criterion) {
+    // Pure barrier open/close cost (no tasks at all).
+    let mut g = c.benchmark_group("empty_region");
+    for (label, kind) in [
+        ("centralized", BarrierKind::Centralized),
+        ("atomic_count", BarrierKind::AtomicCount),
+        ("tree", BarrierKind::Tree),
+    ] {
+        g.bench_function(label, |b| {
+            let rt = RuntimeConfig::xgomptb(4).barrier(kind).build();
+            b.iter(|| {
+                std::hint::black_box(rt.parallel(|_| ()).wall);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_barriers, bench_empty_region
+}
+criterion_main!(benches);

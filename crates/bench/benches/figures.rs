@@ -1,0 +1,37 @@
+//! `cargo bench` entry point that regenerates **every figure and table**
+//! of the paper at `Test` scale in one pass (the full-scale runs are the
+//! `src/bin/` binaries; see DESIGN.md §5). Not a Criterion bench — this
+//! is a smoke-level reproduction so the complete pipeline is exercised
+//! on every benchmark run.
+
+fn main() {
+    // `cargo bench -- --quick-skip` style filtering is not needed; this
+    // whole harness runs in well under a minute at Test scale.
+    let ctx = xgomp_bench::ExpCtx::smoke();
+    eprintln!("[figures] regenerating all figures/tables at Test scale");
+
+    let t = xgomp_bench::experiments::fig01(&ctx);
+    t.print();
+    print!("{}", xgomp_bench::experiments::fig03(&ctx));
+    let (fig4, fig5) = xgomp_bench::experiments::fig04_05(&ctx);
+    fig4.print();
+    fig5.print();
+    let t = xgomp_bench::experiments::fig06(&ctx);
+    t.print();
+    let study = xgomp_bench::experiments::dlb_study(&ctx);
+    study.table1.print();
+    study.fig7.print();
+    study.table2.print();
+    study.table3.print();
+    let t = xgomp_bench::experiments::fig08(&ctx);
+    t.print();
+    let t = xgomp_bench::experiments::surface(&ctx, xgomp_core::DlbStrategy::RedirectPush);
+    t.print();
+    let t = xgomp_bench::experiments::surface(&ctx, xgomp_core::DlbStrategy::WorkSteal);
+    t.print();
+    let t = xgomp_bench::experiments::table4();
+    t.print();
+    let t = xgomp_bench::experiments::fig11(&ctx);
+    t.print();
+    eprintln!("[figures] done");
+}

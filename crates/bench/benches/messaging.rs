@@ -1,0 +1,76 @@
+//! Micro-benchmark of the lock-less messaging protocol (§IV-B):
+//! request-deposit / validate / round-bump cycles, single-threaded and
+//! under thief contention.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xgomp_core::dlb::MsgCell;
+
+const OPS: u64 = 100_000;
+
+fn bench_protocol_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("messaging");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("send_validate_bump_cycle", |b| {
+        let cell = MsgCell::new();
+        b.iter(|| {
+            for _ in 0..OPS {
+                assert!(cell.try_send_request(3));
+                assert_eq!(cell.take_valid_request(), Some(3));
+                cell.bump_round();
+            }
+        });
+    });
+    g.bench_function("victim_poll_no_request", |b| {
+        let cell = MsgCell::new();
+        b.iter(|| {
+            for _ in 0..OPS {
+                std::hint::black_box(cell.take_valid_request());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("messaging_contended");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("victim_with_3_thieves", |b| {
+        let cell = Arc::new(MsgCell::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let thieves: Vec<_> = (0..3)
+            .map(|t| {
+                let cell = cell.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::hint::black_box(cell.try_send_request(t + 1));
+                    }
+                })
+            })
+            .collect();
+        b.iter(|| {
+            let mut handled = 0u64;
+            while handled < OPS {
+                if cell.take_valid_request().is_some() {
+                    cell.bump_round();
+                    handled += 1;
+                }
+            }
+        });
+        stop.store(true, Ordering::Relaxed);
+        for t in thieves {
+            t.join().unwrap();
+        }
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_protocol_cycle, bench_contended
+}
+criterion_main!(benches);

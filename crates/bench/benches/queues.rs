@@ -1,0 +1,80 @@
+//! Micro-benchmarks: the lock-less B-queue / XQueue lattice against a
+//! mutex-guarded queue baseline (the data-structure-level version of the
+//! paper's GOMP-vs-XQueue comparison).
+
+use std::collections::VecDeque;
+use std::ptr::NonNull;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parking_lot::Mutex;
+use xgomp_xqueue::{BQueue, PushCursor, XQueueLattice};
+
+const OPS: u64 = 10_000;
+
+fn leak(v: u64) -> NonNull<u64> {
+    NonNull::new(Box::into_raw(Box::new(v))).unwrap()
+}
+
+unsafe fn unleak(p: NonNull<u64>) {
+    drop(unsafe { Box::from_raw(p.as_ptr()) });
+}
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc_pingpong");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("bqueue", |b| {
+        let q = BQueue::<u64>::with_capacity(256);
+        b.iter(|| unsafe {
+            for i in 0..OPS {
+                q.enqueue(leak(i)).unwrap();
+                unleak(q.dequeue().unwrap());
+            }
+        });
+    });
+    g.bench_function("mutex_vecdeque", |b| {
+        let q: Mutex<VecDeque<NonNull<u64>>> = Mutex::new(VecDeque::with_capacity(256));
+        b.iter(|| unsafe {
+            for i in 0..OPS {
+                q.lock().push_back(leak(i));
+                let p = q.lock().pop_front().unwrap();
+                unleak(p);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xqueue_lattice");
+    g.throughput(Throughput::Elements(OPS));
+    for n in [2usize, 4, 8] {
+        g.bench_function(format!("push_pop_rr_n{n}"), |b| {
+            let l = XQueueLattice::<u64>::new(n, 256);
+            let mut cursor = PushCursor::new(n, 0);
+            b.iter(|| unsafe {
+                for i in 0..OPS {
+                    let target = cursor.next();
+                    match l.push(0, target, leak(i)) {
+                        Ok(()) => {}
+                        Err(p) => unleak(p),
+                    }
+                    // Consume from the pushed-to row like its owner would.
+                    if let Some(p) = l.pop(target) {
+                        unleak(p);
+                    }
+                }
+                for w in 0..n {
+                    l.drain_with(w, |p| unleak(p));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_spsc, bench_lattice
+}
+criterion_main!(benches);

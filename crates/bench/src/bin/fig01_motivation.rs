@@ -1,0 +1,7 @@
+//! Reproduces Fig. 1: GOMP vs LOMP vs XLOMP on the BOTS suite.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let t = xgomp_bench::experiments::fig01(&ctx);
+    t.print();
+    t.write_csv(&ctx.out_dir, "fig01").expect("csv");
+}

@@ -1,0 +1,6 @@
+//! Reproduces Fig. 3: per-thread timeline + task-count imbalance of
+//! Fib and Sort under XGOMP (profiling enabled).
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    print!("{}", xgomp_bench::experiments::fig03(&ctx));
+}

@@ -1,0 +1,7 @@
+//! Reproduces Fig. 4: absolute execution time, five runtimes × 9 apps.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let (fig4, _fig5) = xgomp_bench::experiments::fig04_05(&ctx);
+    fig4.print();
+    fig4.write_csv(&ctx.out_dir, "fig04").expect("csv");
+}

@@ -1,0 +1,8 @@
+//! Reproduces Fig. 5: XGOMP / XGOMPTB improvement over GOMP.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let (fig4, fig5) = xgomp_bench::experiments::fig04_05(&ctx);
+    fig4.print();
+    fig5.print();
+    fig5.write_csv(&ctx.out_dir, "fig05").expect("csv");
+}

@@ -1,0 +1,7 @@
+//! Reproduces Fig. 6: execution time vs thread count per app.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let t = xgomp_bench::experiments::fig06(&ctx);
+    t.print();
+    t.write_csv(&ctx.out_dir, "fig06").expect("csv");
+}

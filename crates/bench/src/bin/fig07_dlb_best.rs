@@ -1,0 +1,7 @@
+//! Reproduces Fig. 7: best NA-RP / NA-WS vs static balancing.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let study = xgomp_bench::experiments::dlb_study(&ctx);
+    study.fig7.print();
+    study.fig7.write_csv(&ctx.out_dir, "fig07").expect("csv");
+}

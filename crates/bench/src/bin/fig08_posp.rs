@@ -1,0 +1,7 @@
+//! Reproduces Fig. 8: PoSp throughput vs batch size, GOMP vs XGOMPTB.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let t = xgomp_bench::experiments::fig08(&ctx);
+    t.print();
+    t.write_csv(&ctx.out_dir, "fig08").expect("csv");
+}

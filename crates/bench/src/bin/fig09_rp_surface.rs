@@ -1,0 +1,7 @@
+//! Reproduces Fig. 9: NA-RP improvement surface (task × steal size).
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let t = xgomp_bench::experiments::surface(&ctx, xgomp_core::DlbStrategy::RedirectPush);
+    t.print();
+    t.write_csv(&ctx.out_dir, "fig09").expect("csv");
+}

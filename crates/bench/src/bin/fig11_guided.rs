@@ -1,0 +1,7 @@
+//! Reproduces Fig. 11: STATIC vs guided NA-RP vs guided NA-WS.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let t = xgomp_bench::experiments::fig11(&ctx);
+    t.print();
+    t.write_csv(&ctx.out_dir, "fig11").expect("csv");
+}

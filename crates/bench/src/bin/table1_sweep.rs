@@ -1,0 +1,7 @@
+//! Reproduces Table I: the DLB parameter sweep's winning settings.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let study = xgomp_bench::experiments::dlb_study(&ctx);
+    study.table1.print();
+    study.table1.write_csv(&ctx.out_dir, "table1").expect("csv");
+}

@@ -1,0 +1,7 @@
+//! Reproduces Table II: runtime statistics under NA-RP / NA-WS.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let study = xgomp_bench::experiments::dlb_study(&ctx);
+    study.table2.print();
+    study.table2.write_csv(&ctx.out_dir, "table2").expect("csv");
+}

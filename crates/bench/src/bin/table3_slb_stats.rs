@@ -1,0 +1,7 @@
+//! Reproduces Table III: runtime statistics under static balancing.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let study = xgomp_bench::experiments::dlb_study(&ctx);
+    study.table3.print();
+    study.table3.write_csv(&ctx.out_dir, "table3").expect("csv");
+}

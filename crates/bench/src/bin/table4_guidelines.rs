@@ -1,0 +1,7 @@
+//! Reproduces Table IV: the practitioner tuning guidelines.
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let t = xgomp_bench::experiments::table4();
+    t.print();
+    t.write_csv(&ctx.out_dir, "table4").expect("csv");
+}

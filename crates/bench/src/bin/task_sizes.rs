@@ -1,0 +1,8 @@
+//! §VI-A survey: measured per-app task-size distributions (the data
+//! behind the paper's task-size ordering and Table IV's classes).
+fn main() {
+    let ctx = xgomp_bench::parse_args();
+    let t = xgomp_bench::experiments::task_sizes(&ctx);
+    t.print();
+    t.write_csv(&ctx.out_dir, "task_sizes").expect("csv");
+}

@@ -1,0 +1,125 @@
+//! Synthetic task-grain workload for the Figs. 9/10 surfaces (§VIII).
+//!
+//! The paper sweeps *task size* (per-task `rdtscp` cycles) against
+//! *steal size* (Eq. 1) and plots DLB improvement over static balancing.
+//! This workload controls both axes precisely: leaf tasks spin for an
+//! exact cycle budget, and load imbalance comes from a deterministic
+//! heavy tail — most leaves cost `task_cycles`, a fixed 2% cost 32× that
+//! — so static round-robin spreads task *counts* evenly but not *work*.
+
+use xgomp_bots::rng::mix64;
+use xgomp_core::{clock, TaskCtx};
+
+/// Synthetic workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GrainParams {
+    /// Producer tasks spawned by the master (work sources).
+    pub n_groups: usize,
+    /// Leaf tasks per producer.
+    pub fan: usize,
+    /// Baseline leaf cost in timestamp cycles.
+    pub task_cycles: u64,
+}
+
+impl GrainParams {
+    /// Sizes the workload so the whole run costs roughly
+    /// `budget_cycles` of single-core compute at the given grain, with
+    /// bounded task counts. Task counts are kept low enough that the
+    /// heavy tail produces *per-worker* work variance (thousands of
+    /// tasks per worker would average it away — the paper's imbalance
+    /// comes from skewed task sizes, not skewed counts).
+    pub fn for_task_size(task_cycles: u64, budget_cycles: u64) -> Self {
+        // Average weight of the heavy tail: 0.96·1 + 0.04·64 ≈ 3.5.
+        let avg = (task_cycles as f64 * 3.5).max(1.0);
+        let n_tasks = ((budget_cycles as f64 / avg) as usize).clamp(256, 16_384);
+        let n_groups = 8;
+        GrainParams {
+            n_groups,
+            fan: n_tasks.div_ceil(n_groups),
+            task_cycles,
+        }
+    }
+
+    /// Total leaf tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.n_groups * self.fan
+    }
+}
+
+/// Spins for ~`cycles` timestamp cycles.
+#[inline]
+pub fn spin_cycles(cycles: u64) {
+    let t0 = clock::now();
+    while clock::now().wrapping_sub(t0) < cycles {
+        std::hint::spin_loop();
+    }
+}
+
+/// Leaf weight: deterministic heavy tail (4% of leaves cost 64×, so the
+/// heavies carry ~73% of the total work — the skew that makes static
+/// count-balanced distribution work-imbalanced).
+#[inline]
+fn weight(leaf_id: u64) -> u64 {
+    if mix64(leaf_id) % 25 == 0 {
+        64
+    } else {
+        1
+    }
+}
+
+/// Runs the workload on an open region; returns the number of leaf
+/// tasks executed (for sanity checks).
+pub fn run(ctx: &TaskCtx<'_>, p: &GrainParams) -> u64 {
+    let fan = p.fan;
+    let cycles = p.task_cycles;
+    ctx.scope(|s| {
+        for g in 0..p.n_groups {
+            s.spawn(move |ctx| {
+                ctx.scope(|s2| {
+                    for j in 0..fan {
+                        let leaf = (g * fan + j) as u64;
+                        s2.spawn(move |_| {
+                            spin_cycles(cycles * weight(leaf));
+                        });
+                    }
+                });
+            });
+        }
+    });
+    p.n_tasks() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn sizing_respects_budget_bounds() {
+        for s in [10u64, 100, 1_000, 10_000, 100_000] {
+            let p = GrainParams::for_task_size(s, 50_000_000);
+            assert!(p.n_tasks() >= 256);
+            assert!(p.n_tasks() <= 66_000);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_roughly_four_percent() {
+        let heavy = (0..100_000u64).filter(|&i| weight(i) == 64).count();
+        assert!((2_500..6_000).contains(&heavy), "heavy={heavy}");
+    }
+
+    #[test]
+    fn workload_runs_and_counts_tasks() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        let p = GrainParams {
+            n_groups: 4,
+            fan: 64,
+            task_cycles: 100,
+        };
+        let out = rt.parallel(|ctx| run(ctx, &p));
+        assert_eq!(out.result, 256);
+        // groups + leaves were all real tasks
+        assert_eq!(out.stats.total().tasks_created, 4 + 256);
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal aligned-table rendering + CSV emission for experiment output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A titled table: printed aligned to stdout and written as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Shown above the table (figure/table number + caption).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes `<dir>/<name>.csv` (creating the directory).
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_and_csvs() {
+        let mut t = Table::new("Demo", &["app", "time"]);
+        t.row(vec!["FIB".into(), "1.2s".into()]);
+        t.row(vec!["NQUEENS".into(), "10.0s".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("FIB"));
+        let dir = std::env::temp_dir().join("xgomp_table_test");
+        t.write_csv(&dir, "demo").unwrap();
+        let csv = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(csv.contains("app,time"));
+        assert!(csv.contains("NQUEENS,10.0s"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

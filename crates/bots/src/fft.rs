@@ -1,0 +1,186 @@
+//! FFT — recursive Cooley–Tukey fast Fourier transform (BOTS `fft`).
+//! Tasks of 10²–10⁶ cycles, mostly 10³–10⁴ (§VI-A): the first of the
+//! "execution-bound" applications where XGOMP/XGOMPTB overtake the
+//! LLVM-style runtimes.
+//!
+//! The parallel version spawns the even/odd half-transforms as tasks and
+//! combines with twiddle factors; the recursion tree (and therefore the
+//! floating-point evaluation order) is identical to the sequential
+//! version, so results match bit for bit.
+
+use xgomp_core::TaskCtx;
+
+use crate::rng::{Digest, Rng};
+
+/// A complex number (minimal, avoids external deps).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cx {
+    /// Constructs a complex value.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Cx { re, im }
+    }
+
+    #[inline]
+    fn add(self, o: Cx) -> Cx {
+        Cx::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Cx) -> Cx {
+        Cx::new(self.re - o.re, self.im - o.im)
+    }
+
+    #[inline]
+    fn mul(self, o: Cx) -> Cx {
+        Cx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// Generates a deterministic input signal of length `n` (power of two).
+pub fn gen_input(n: usize, seed: u64) -> Vec<Cx> {
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| Cx::new(rng.unit_f64() * 2.0 - 1.0, rng.unit_f64() * 2.0 - 1.0))
+        .collect()
+}
+
+fn twiddle(k: usize, n: usize, inverse: bool) -> Cx {
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let angle = sign * 2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+    Cx::new(angle.cos(), angle.sin())
+}
+
+/// Sequential recursive FFT (`inverse` = conjugate transform without the
+/// final 1/n scaling; see [`ifft_seq`]).
+pub fn fft_seq(input: &[Cx], inverse: bool) -> Vec<Cx> {
+    let n = input.len();
+    debug_assert!(n.is_power_of_two());
+    if n == 1 {
+        return vec![input[0]];
+    }
+    let even: Vec<Cx> = input.iter().step_by(2).copied().collect();
+    let odd: Vec<Cx> = input.iter().skip(1).step_by(2).copied().collect();
+    let fe = fft_seq(&even, inverse);
+    let fo = fft_seq(&odd, inverse);
+    combine(&fe, &fo, inverse)
+}
+
+fn combine(fe: &[Cx], fo: &[Cx], inverse: bool) -> Vec<Cx> {
+    let half = fe.len();
+    let n = half * 2;
+    let mut out = vec![Cx::default(); n];
+    for k in 0..half {
+        let t = twiddle(k, n, inverse).mul(fo[k]);
+        out[k] = fe[k].add(t);
+        out[k + half] = fe[k].sub(t);
+    }
+    out
+}
+
+/// Inverse FFT with 1/n normalization (round-trip testing).
+pub fn ifft_seq(input: &[Cx]) -> Vec<Cx> {
+    let n = input.len() as f64;
+    fft_seq(input, true)
+        .into_iter()
+        .map(|c| Cx::new(c.re / n, c.im / n))
+        .collect()
+}
+
+/// Task-parallel FFT: half-transforms below `cutoff` run sequentially
+/// (BOTS' recursion cutoff); above it, each half is a task.
+pub fn par(ctx: &TaskCtx<'_>, input: &[Cx], cutoff: usize) -> Vec<Cx> {
+    let n = input.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= cutoff.max(1) {
+        return fft_seq(input, false);
+    }
+    let even: Vec<Cx> = input.iter().step_by(2).copied().collect();
+    let odd: Vec<Cx> = input.iter().skip(1).step_by(2).copied().collect();
+    let mut fe = Vec::new();
+    let mut fo = Vec::new();
+    ctx.scope(|s| {
+        s.spawn(|ctx| fe = par(ctx, &even, cutoff));
+        s.spawn(|ctx| fo = par(ctx, &odd, cutoff));
+    });
+    combine(&fe, &fo, false)
+}
+
+/// Order-independent digest of a spectrum (quantized, see
+/// [`Digest::absorb_f64`]).
+pub fn digest(spectrum: &[Cx]) -> u64 {
+    let mut d = Digest::default();
+    for c in spectrum {
+        d.absorb_f64(c.re);
+        d.absorb_f64(c.im);
+    }
+    d.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    fn close(a: &[Cx], b: &[Cx], tol: f64) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol)
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let input = gen_input(64, 7);
+        let fast = fft_seq(&input, false);
+        // O(n²) reference.
+        let n = input.len();
+        let slow: Vec<Cx> = (0..n)
+            .map(|k| {
+                let mut acc = Cx::default();
+                for (j, x) in input.iter().enumerate() {
+                    acc = acc.add(twiddle(k * j % n, n, false).mul(*x));
+                }
+                acc
+            })
+            .collect();
+        assert!(close(&fast, &slow, 1e-9));
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let input = gen_input(256, 11);
+        let spectrum = fft_seq(&input, false);
+        let back = ifft_seq(&spectrum);
+        assert!(close(&input, &back, 1e-9));
+    }
+
+    #[test]
+    fn par_is_bitwise_equal_to_seq() {
+        let input = gen_input(1 << 12, 3);
+        let expect = fft_seq(&input, false);
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        let out = rt.parallel(|ctx| par(ctx, &input, 128));
+        assert_eq!(out.result, expect, "same recursion tree ⇒ same bits");
+        assert!(out.stats.total().tasks_created > 10);
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        let input = gen_input(128, 5);
+        let a = digest(&fft_seq(&input, false));
+        let b = digest(&fft_seq(&input, false));
+        assert_eq!(a, b);
+    }
+}

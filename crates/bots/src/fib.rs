@@ -1,0 +1,92 @@
+//! Fibonacci — the finest-grained BOTS benchmark (tasks of 10–80 cycles,
+//! §VI-B1). Binary recursion with a task per call and no cutoff, exactly
+//! like the BOTS kernel; its long critical path and tiny tasks make it
+//! the stress test for task-creation overhead and the one application
+//! where NA-RP *hurts* (redirecting tasks costs more than running them).
+
+use xgomp_core::TaskCtx;
+
+/// Sequential reference.
+pub fn seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        seq(n - 1) + seq(n - 2)
+    }
+}
+
+/// Task-parallel version: every recursive call is a task (BOTS `fib`).
+pub fn par(ctx: &TaskCtx<'_>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (mut a, mut b) = (0u64, 0u64);
+    ctx.scope(|s| {
+        s.spawn(|ctx| a = par(ctx, n - 1));
+        s.spawn(|ctx| b = par(ctx, n - 2));
+    });
+    a + b
+}
+
+/// Task-parallel with a sequential cutoff below `cutoff` (used by the
+/// grain-size studies; BOTS' `-x` manual cutoff).
+pub fn par_cutoff(ctx: &TaskCtx<'_>, n: u64, cutoff: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n <= cutoff {
+        return seq(n);
+    }
+    let (mut a, mut b) = (0u64, 0u64);
+    ctx.scope(|s| {
+        // No `move`: the closures must capture `a`/`b` by mutable
+        // reference (moving would copy the u64s and lose the writes).
+        s.spawn(|ctx| a = par_cutoff(ctx, n - 1, cutoff));
+        s.spawn(|ctx| b = par_cutoff(ctx, n - 2, cutoff));
+    });
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn seq_known_values() {
+        assert_eq!(seq(0), 0);
+        assert_eq!(seq(1), 1);
+        assert_eq!(seq(10), 55);
+        assert_eq!(seq(20), 6765);
+    }
+
+    #[test]
+    fn par_matches_seq_on_every_preset() {
+        for cfg in [
+            RuntimeConfig::gomp(2),
+            RuntimeConfig::lomp(2),
+            RuntimeConfig::xgomp(2),
+            RuntimeConfig::xgomptb(4),
+            RuntimeConfig::xlomp(2),
+        ] {
+            let rt = Runtime::new(cfg);
+            let out = rt.parallel(|ctx| par(ctx, 15));
+            assert_eq!(out.result, 610, "{}", rt.config().name());
+        }
+    }
+
+    #[test]
+    fn cutoff_version_matches() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(2));
+        let out = rt.parallel(|ctx| par_cutoff(ctx, 20, 10));
+        assert_eq!(out.result, 6765);
+        // Cutoff must reduce task count versus the full version.
+        let full = rt.parallel(|ctx| par(ctx, 15)).stats.total().tasks_created;
+        let cut = rt
+            .parallel(|ctx| par_cutoff(ctx, 15, 10))
+            .stats
+            .total()
+            .tasks_created;
+        assert!(cut < full, "cutoff {cut} !< full {full}");
+    }
+}

@@ -1,0 +1,248 @@
+//! FP — BOTS `floorplan`: branch-and-bound search for the minimum-area
+//! placement of cells, each with alternative shapes. Task sizes are
+//! wildly varied (10²–10⁶ cycles) because pruning truncates subtrees
+//! unpredictably — the paper's example of a "heavily imbalanced"
+//! application (2.6× from NA-RP, 2.8× from NA-WS).
+//!
+//! We reproduce the search structure with a rectangle-packing B&B:
+//! cells are placed in order at *corner candidates* of the already
+//! placed region (the BOTS grid-adjacency rule), the bound is the
+//! bounding-box area, and the incumbent best is a shared atomic
+//! minimum — pruning is racy but the optimum is deterministic, exactly
+//! as in BOTS (which shares its `MIN_AREA` under a critical section).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xgomp_core::TaskCtx;
+
+use crate::rng::Rng;
+
+/// One cell: alternative (width, height) shapes.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Alternative shapes (w, h), each ≥ 1.
+    pub alts: Vec<(u32, u32)>,
+}
+
+/// Generates a deterministic cell set: `n` cells with 1–2 alternative
+/// shapes of dimensions 1–3.
+pub fn gen_cells(n: usize, seed: u64) -> Vec<Cell> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            let n_alts = 1 + rng.below(2) as usize;
+            let alts = (0..n_alts)
+                .map(|_| (1 + rng.below(3) as u32, 1 + rng.below(3) as u32))
+                .collect();
+            Cell { alts }
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Placed {
+    x: u32,
+    y: u32,
+    w: u32,
+    h: u32,
+}
+
+impl Placed {
+    #[inline]
+    fn overlaps(&self, o: &Placed) -> bool {
+        self.x < o.x + o.w && o.x < self.x + self.w && self.y < o.y + o.h && o.y < self.y + self.h
+    }
+}
+
+/// Candidate positions: origin, plus the right/top corners of every
+/// placed cell (the classic packing candidate set).
+fn candidates(placed: &[Placed]) -> Vec<(u32, u32)> {
+    if placed.is_empty() {
+        return vec![(0, 0)];
+    }
+    let mut cands = Vec::with_capacity(placed.len() * 2);
+    for p in placed {
+        cands.push((p.x + p.w, p.y));
+        cands.push((p.x, p.y + p.h));
+    }
+    cands.sort_unstable();
+    cands.dedup();
+    cands
+}
+
+#[inline]
+fn bbox_area(placed: &[Placed], extra: Option<Placed>) -> u64 {
+    let mut w = 0u32;
+    let mut h = 0u32;
+    for p in placed.iter().chain(extra.iter()) {
+        w = w.max(p.x + p.w);
+        h = h.max(p.y + p.h);
+    }
+    w as u64 * h as u64
+}
+
+fn fits(placed: &[Placed], cand: &Placed) -> bool {
+    placed.iter().all(|p| !p.overlaps(cand))
+}
+
+/// Shared incumbent bound (atomic minimum).
+struct Best(AtomicU64);
+
+impl Best {
+    fn observe(&self, area: u64) {
+        self.0.fetch_min(area, Ordering::AcqRel);
+    }
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+fn search_seq(cells: &[Cell], next: usize, placed: &mut Vec<Placed>, best: &Best) {
+    if next == cells.len() {
+        best.observe(bbox_area(placed, None));
+        return;
+    }
+    for &(w, h) in &cells[next].alts {
+        for &(x, y) in &candidates(placed) {
+            let cand = Placed { x, y, w, h };
+            if !fits(placed, &cand) {
+                continue;
+            }
+            // Bound: the bounding box only grows with more cells.
+            if bbox_area(placed, Some(cand)) >= best.get() {
+                continue;
+            }
+            placed.push(cand);
+            search_seq(cells, next + 1, placed, best);
+            placed.pop();
+        }
+    }
+}
+
+fn search_par(
+    ctx: &TaskCtx<'_>,
+    cells: &[Cell],
+    next: usize,
+    placed: &[Placed],
+    best: &Best,
+    task_depth: usize,
+) {
+    if next == cells.len() {
+        best.observe(bbox_area(placed, None));
+        return;
+    }
+    if next >= task_depth {
+        let mut owned = placed.to_vec();
+        search_seq(cells, next, &mut owned, best);
+        return;
+    }
+    ctx.scope(|s| {
+        for &(w, h) in &cells[next].alts {
+            for &(x, y) in &candidates(placed) {
+                let cand = Placed { x, y, w, h };
+                if !fits(placed, &cand) {
+                    continue;
+                }
+                if bbox_area(placed, Some(cand)) >= best.get() {
+                    continue;
+                }
+                // A task per viable placement (BOTS `add_cell` tasks).
+                s.spawn(move |ctx| {
+                    let mut nplaced = placed.to_vec();
+                    nplaced.push(cand);
+                    search_par(ctx, cells, next + 1, &nplaced, best, task_depth);
+                });
+            }
+        }
+    });
+}
+
+/// Sequential optimum area for the cell set.
+pub fn seq(cells: &[Cell]) -> u64 {
+    let best = Best(AtomicU64::new(u64::MAX));
+    search_seq(cells, 0, &mut Vec::new(), &best);
+    best.get()
+}
+
+/// Task-parallel optimum (tasks down to `task_depth` placement levels);
+/// identical result by B&B monotonicity.
+pub fn par(ctx: &TaskCtx<'_>, cells: &[Cell], task_depth: usize) -> u64 {
+    let best = Best(AtomicU64::new(u64::MAX));
+    search_par(ctx, cells, 0, &[], &best, task_depth);
+    best.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn single_cell_uses_smallest_alt() {
+        let cells = vec![Cell {
+            alts: vec![(3, 2), (2, 2)],
+        }];
+        assert_eq!(seq(&cells), 4);
+    }
+
+    #[test]
+    fn two_unit_cells_pack_into_two() {
+        let cells = vec![Cell { alts: vec![(1, 1)] }, Cell { alts: vec![(1, 1)] }];
+        assert_eq!(seq(&cells), 2);
+    }
+
+    #[test]
+    fn rotation_alternatives_help() {
+        // A 1×4 bar and a 4×1 bar: with both orientations available the
+        // two can stack into a 4×2 = 8 area; forcing one orientation
+        // each gives (4+4)=... still 4×2. Make shapes asymmetric enough:
+        let cells = vec![
+            Cell {
+                alts: vec![(4, 1), (1, 4)],
+            },
+            Cell {
+                alts: vec![(4, 1), (1, 4)],
+            },
+        ];
+        assert_eq!(seq(&cells), 8);
+    }
+
+    #[test]
+    fn par_finds_the_same_optimum() {
+        let cells = gen_cells(5, 77);
+        let expect = seq(&cells);
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        for depth in [1usize, 2, 3] {
+            let out = rt.parallel(|ctx| par(ctx, &cells, depth));
+            assert_eq!(out.result, expect, "task_depth={depth}");
+        }
+    }
+
+    #[test]
+    fn pruning_never_loses_the_optimum() {
+        // Exhaustive (no-prune) check on a tiny instance.
+        let cells = gen_cells(4, 3);
+        let best_pruned = seq(&cells);
+        // Brute force: disable pruning by observing only complete
+        // placements through a fresh Best with MAX bound.
+        let best = Best(AtomicU64::new(u64::MAX));
+        fn brute(cells: &[Cell], next: usize, placed: &mut Vec<Placed>, best: &Best) {
+            if next == cells.len() {
+                best.observe(bbox_area(placed, None));
+                return;
+            }
+            for &(w, h) in &cells[next].alts {
+                for &(x, y) in &candidates(placed) {
+                    let cand = Placed { x, y, w, h };
+                    if fits(placed, &cand) {
+                        placed.push(cand);
+                        brute(cells, next + 1, placed, best);
+                        placed.pop();
+                    }
+                }
+            }
+        }
+        brute(&cells, 0, &mut Vec::new(), &best);
+        assert_eq!(best_pruned, best.get());
+    }
+}

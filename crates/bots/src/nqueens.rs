@@ -1,0 +1,120 @@
+//! NQueens — count all placements of `n` queens on an `n×n` board
+//! (BOTS `nqueens`). The paper's headline speedups (96.5× for XGOMP,
+//! 1522.8× for XGOMPTB over GOMP) come from this application: very fine
+//! tasks, one per candidate row placement, exponentially many of them.
+
+use xgomp_core::TaskCtx;
+
+/// Is placing a queen in `(row = path.len(), col)` safe given `path`?
+#[inline]
+fn safe(path: &[u8], col: u8) -> bool {
+    let row = path.len();
+    for (r, &c) in path.iter().enumerate() {
+        if c == col {
+            return false;
+        }
+        let dr = (row - r) as i16;
+        let dc = (col as i16) - (c as i16);
+        if dc == dr || dc == -dr {
+            return false;
+        }
+    }
+    true
+}
+
+/// Sequential reference: number of complete solutions.
+pub fn seq(n: u8) -> u64 {
+    fn go(n: u8, path: &mut Vec<u8>) -> u64 {
+        if path.len() == n as usize {
+            return 1;
+        }
+        let mut total = 0;
+        for col in 0..n {
+            if safe(path, col) {
+                path.push(col);
+                total += go(n, path);
+                path.pop();
+            }
+        }
+        total
+    }
+    go(n, &mut Vec::with_capacity(n as usize))
+}
+
+/// Task-parallel version: a task per safe placement, as in BOTS
+/// (`final` clause replaced by a depth cutoff, `task_depth`).
+pub fn par(ctx: &TaskCtx<'_>, n: u8, task_depth: usize) -> u64 {
+    fn go(ctx: &TaskCtx<'_>, n: u8, path: &[u8], task_depth: usize) -> u64 {
+        if path.len() == n as usize {
+            return 1;
+        }
+        if path.len() >= task_depth {
+            // Below the cutoff: sequential completion.
+            let mut owned = path.to_vec();
+            return seq_from(n, &mut owned);
+        }
+        let mut counts = vec![0u64; n as usize];
+        ctx.scope(|s| {
+            for (col, slot) in counts.iter_mut().enumerate() {
+                let col = col as u8;
+                if safe(path, col) {
+                    s.spawn(move |ctx| {
+                        let mut next = path.to_vec();
+                        next.push(col);
+                        *slot = go(ctx, n, &next, task_depth);
+                    });
+                }
+            }
+        });
+        counts.iter().sum()
+    }
+
+    fn seq_from(n: u8, path: &mut Vec<u8>) -> u64 {
+        if path.len() == n as usize {
+            return 1;
+        }
+        let mut total = 0;
+        for col in 0..n {
+            if safe(path, col) {
+                path.push(col);
+                total += seq_from(n, path);
+                path.pop();
+            }
+        }
+        total
+    }
+
+    go(ctx, n, &[], task_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn seq_known_counts() {
+        // OEIS A000170.
+        assert_eq!(seq(1), 1);
+        assert_eq!(seq(4), 2);
+        assert_eq!(seq(6), 4);
+        assert_eq!(seq(8), 92);
+    }
+
+    #[test]
+    fn par_matches_seq() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        for n in [4u8, 6, 8] {
+            let out = rt.parallel(|ctx| par(ctx, n, 3));
+            assert_eq!(out.result, seq(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn full_depth_tasking_matches() {
+        let rt = Runtime::new(RuntimeConfig::xgomp(2));
+        let out = rt.parallel(|ctx| par(ctx, 7, usize::MAX));
+        assert_eq!(out.result, seq(7));
+        assert!(out.stats.total().tasks_created > 100);
+    }
+}

@@ -1,0 +1,207 @@
+//! Sort — BOTS `sort` (cilksort): parallel mergesort whose merge step is
+//! itself divided-and-conquered. Large tasks (~10⁵ cycles, §VI-A); one
+//! of the applications where NA-RP's locality-driven redirection wins
+//! ~4× over static balancing.
+
+use xgomp_core::TaskCtx;
+
+use crate::rng::{Digest, Rng};
+
+/// Deterministic input array.
+pub fn gen_input(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.next_u64() as u32).collect()
+}
+
+/// Sequential reference: our own mergesort (so seq-vs-par timing
+/// comparisons measure the same algorithm), with an insertion-sort base.
+pub fn seq(data: &mut [u32]) {
+    let n = data.len();
+    if n <= 32 {
+        insertion(data);
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (lo, hi) = data.split_at_mut(mid);
+        seq(lo);
+        seq(hi);
+    }
+    let merged = {
+        let (lo, hi) = data.split_at(mid);
+        merge_seq(lo, hi)
+    };
+    data.copy_from_slice(&merged);
+}
+
+fn insertion(data: &mut [u32]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j - 1] > data[j] {
+            data.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+fn merge_seq(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn merge_seq_into(a: &[u32], b: &[u32], out: &mut [u32]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        *slot = if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+    }
+}
+
+/// Parallel divide-and-conquer merge (cilkmerge): split the larger input
+/// at its median, binary-search the split point in the smaller, merge the
+/// two halves as tasks.
+fn merge_par(ctx: &TaskCtx<'_>, a: &[u32], b: &[u32], out: &mut [u32], cutoff: usize) {
+    if a.len() + b.len() <= cutoff {
+        merge_seq_into(a, b, out);
+        return;
+    }
+    // Ensure `a` is the larger side.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return;
+    }
+    let ma = a.len() / 2;
+    let pivot = a[ma];
+    // First index in b with value > pivot (stability is not required for
+    // u32 payloads; any consistent split works).
+    let mb = b.partition_point(|&x| x <= pivot);
+    let (a_lo, a_hi) = a.split_at(ma + 1);
+    let (b_lo, b_hi) = b.split_at(mb);
+    let (out_lo, out_hi) = out.split_at_mut(a_lo.len() + b_lo.len());
+    ctx.scope(|s| {
+        s.spawn(move |ctx| merge_par(ctx, a_lo, b_lo, out_lo, cutoff));
+        s.spawn(move |ctx| merge_par(ctx, a_hi, b_hi, out_hi, cutoff));
+    });
+}
+
+/// Task-parallel cilksort: recursive half-sorts as tasks, then a parallel
+/// merge. `sort_cutoff` bounds the task grain; `merge_cutoff` bounds the
+/// merge recursion.
+pub fn par(ctx: &TaskCtx<'_>, data: &mut [u32], sort_cutoff: usize, merge_cutoff: usize) {
+    let n = data.len();
+    if n <= sort_cutoff.max(64) {
+        data.sort_unstable(); // BOTS' seqquick base case
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (lo, hi) = data.split_at_mut(mid);
+        ctx.scope(|s| {
+            s.spawn(move |ctx| par(ctx, lo, sort_cutoff, merge_cutoff));
+            s.spawn(move |ctx| par(ctx, hi, sort_cutoff, merge_cutoff));
+        });
+    }
+    let mut tmp = vec![0u32; n];
+    {
+        let (lo, hi) = data.split_at(mid);
+        merge_par(ctx, lo, hi, &mut tmp, merge_cutoff);
+    }
+    data.copy_from_slice(&tmp);
+}
+
+/// Digest: asserts sortedness and hashes content (permutation-sensitive:
+/// absorbs value + index so "sorted multiset" is captured exactly).
+pub fn digest(data: &[u32]) -> u64 {
+    let mut d = Digest::default();
+    let mut sorted = true;
+    for w in data.windows(2) {
+        sorted &= w[0] <= w[1];
+    }
+    d.absorb(sorted as u64);
+    for (i, &v) in data.iter().enumerate() {
+        d.absorb((i as u64) << 32 | v as u64);
+    }
+    d.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn seq_sorts_correctly() {
+        let mut data = gen_input(10_000, 1);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        seq(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn insertion_base_handles_edges() {
+        for n in [0usize, 1, 2, 31, 32] {
+            let mut data = gen_input(n, 9);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            seq(&mut data);
+            assert_eq!(data, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_sorts_like_std() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        for n in [100usize, 4_096, 50_000] {
+            let mut data = gen_input(n, 2);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let out = rt.parallel(|ctx| {
+                par(ctx, &mut data, 512, 1024);
+            });
+            drop(out);
+            assert_eq!(data, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_handles_skewed_inputs() {
+        let rt = Runtime::new(RuntimeConfig::xgomp(2));
+        // One side much larger than the other.
+        let mut a: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+        let b: Vec<u32> = vec![1, 3, 5];
+        a.sort_unstable();
+        let mut out = vec![0u32; a.len() + b.len()];
+        rt.parallel(|ctx| merge_par(ctx, &a, &b, &mut out, 256));
+        let mut expect = [a.clone(), b.clone()].concat();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn digest_detects_unsorted_and_content_changes() {
+        let sorted = vec![1u32, 2, 3];
+        let unsorted = vec![3u32, 2, 1];
+        assert_ne!(digest(&sorted), digest(&unsorted));
+        let other = vec![1u32, 2, 4];
+        assert_ne!(digest(&sorted), digest(&other));
+    }
+}

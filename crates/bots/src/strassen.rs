@@ -1,0 +1,260 @@
+//! STRAS — Strassen matrix multiplication (BOTS `strassen`). Tasks of
+//! 10³–10⁷ cycles, mostly ~10⁴ (§VI-A); allocates large per-task arrays,
+//! which is why locality-aware balancing helps it most (95% improvement
+//! under NA-WS, ~4× under NA-RP).
+
+use xgomp_core::TaskCtx;
+
+use crate::rng::{Digest, Rng};
+
+/// A dense square matrix (row-major `n × n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row-major data, `n * n` values.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zero(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Deterministic random matrix.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        Matrix {
+            n,
+            data: (0..n * n).map(|_| rng.unit_f64() * 2.0 - 1.0).collect(),
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Extracts the quadrant (`qr`, `qc`) of a matrix with even `n`.
+    fn quadrant(&self, qr: usize, qc: usize) -> Matrix {
+        let h = self.n / 2;
+        let mut out = Matrix::zero(h);
+        for r in 0..h {
+            for c in 0..h {
+                out.data[r * h + c] = self.at(qr * h + r, qc * h + c);
+            }
+        }
+        out
+    }
+
+    fn add(&self, o: &Matrix) -> Matrix {
+        debug_assert_eq!(self.n, o.n);
+        Matrix {
+            n: self.n,
+            data: self
+                .data
+                .iter()
+                .zip(&o.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    fn sub(&self, o: &Matrix) -> Matrix {
+        debug_assert_eq!(self.n, o.n);
+        Matrix {
+            n: self.n,
+            data: self
+                .data
+                .iter()
+                .zip(&o.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Assembles a matrix from four quadrants.
+    fn from_quadrants(c11: &Matrix, c12: &Matrix, c21: &Matrix, c22: &Matrix) -> Matrix {
+        let h = c11.n;
+        let n = h * 2;
+        let mut out = Matrix::zero(n);
+        for r in 0..h {
+            for c in 0..h {
+                out.data[r * n + c] = c11.data[r * h + c];
+                out.data[r * n + c + h] = c12.data[r * h + c];
+                out.data[(r + h) * n + c] = c21.data[r * h + c];
+                out.data[(r + h) * n + c + h] = c22.data[r * h + c];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute elementwise difference.
+    pub fn max_abs_diff(&self, o: &Matrix) -> f64 {
+        self.data
+            .iter()
+            .zip(&o.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// O(n³) reference multiply (ikj loop order).
+pub fn naive_mul(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.n;
+    debug_assert_eq!(n, b.n);
+    let mut c = Matrix::zero(n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a.at(i, k);
+            for j in 0..n {
+                c.data[i * n + j] += aik * b.at(k, j);
+            }
+        }
+    }
+    c
+}
+
+/// The seven Strassen products for one level of recursion.
+fn strassen_level<M>(a: &Matrix, b: &Matrix, mut mul: M) -> Matrix
+where
+    M: FnMut(usize, Matrix, Matrix) -> Matrix,
+{
+    let a11 = a.quadrant(0, 0);
+    let a12 = a.quadrant(0, 1);
+    let a21 = a.quadrant(1, 0);
+    let a22 = a.quadrant(1, 1);
+    let b11 = b.quadrant(0, 0);
+    let b12 = b.quadrant(0, 1);
+    let b21 = b.quadrant(1, 0);
+    let b22 = b.quadrant(1, 1);
+
+    let m1 = mul(0, a11.add(&a22), b11.add(&b22));
+    let m2 = mul(1, a21.add(&a22), b11.clone());
+    let m3 = mul(2, a11.clone(), b12.sub(&b22));
+    let m4 = mul(3, a22.clone(), b21.sub(&b11));
+    let m5 = mul(4, a11.add(&a12), b22.clone());
+    let m6 = mul(5, a21.sub(&a11), b11.add(&b12));
+    let m7 = mul(6, a12.sub(&a22), b21.add(&b22));
+
+    let c11 = m1.add(&m4).sub(&m5).add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let c22 = m1.sub(&m2).add(&m3).add(&m6);
+    Matrix::from_quadrants(&c11, &c12, &c21, &c22)
+}
+
+/// Sequential Strassen with a naive-multiply cutoff.
+pub fn seq(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    debug_assert!(a.n.is_power_of_two());
+    if a.n <= cutoff.max(2) {
+        return naive_mul(a, b);
+    }
+    strassen_level(a, b, |_, x, y| seq(&x, &y, cutoff))
+}
+
+/// Task-parallel Strassen: the seven products are tasks while
+/// `depth < task_depth` (BOTS spawns exactly this way); additions run in
+/// the parent. Evaluation order of floating-point ops matches `seq`, so
+/// results are bitwise identical.
+pub fn par(ctx: &TaskCtx<'_>, a: &Matrix, b: &Matrix, cutoff: usize, task_depth: usize) -> Matrix {
+    fn go(
+        ctx: &TaskCtx<'_>,
+        a: &Matrix,
+        b: &Matrix,
+        cutoff: usize,
+        depth: usize,
+        task_depth: usize,
+    ) -> Matrix {
+        if a.n <= cutoff.max(2) {
+            return naive_mul(a, b);
+        }
+        if depth >= task_depth {
+            return strassen_level(a, b, |_, x, y| {
+                go(ctx, &x, &y, cutoff, depth + 1, task_depth)
+            });
+        }
+        // Collect the seven operand pairs first, then run them as tasks.
+        let mut pairs: Vec<Option<(Matrix, Matrix)>> = Vec::with_capacity(7);
+        let shell = strassen_level(a, b, |_, x, y| {
+            pairs.push(Some((x, y)));
+            Matrix::zero(1) // placeholder; recombined below
+        });
+        drop(shell);
+        let mut results: Vec<Matrix> = (0..7).map(|_| Matrix::zero(1)).collect();
+        ctx.scope(|s| {
+            for (slot, pair) in results.iter_mut().zip(pairs.iter_mut()) {
+                let (x, y) = pair.take().expect("pair collected above");
+                s.spawn(move |ctx| {
+                    *slot = go(ctx, &x, &y, cutoff, depth + 1, task_depth);
+                });
+            }
+        });
+        let m = results;
+        let c11 = m[0].add(&m[3]).sub(&m[4]).add(&m[6]);
+        let c12 = m[2].add(&m[4]);
+        let c21 = m[1].add(&m[3]);
+        let c22 = m[0].sub(&m[1]).add(&m[2]).add(&m[5]);
+        Matrix::from_quadrants(&c11, &c12, &c21, &c22)
+    }
+    go(ctx, a, b, cutoff, 0, task_depth)
+}
+
+/// Digest of a product matrix (quantized).
+pub fn digest(m: &Matrix) -> u64 {
+    let mut d = Digest::default();
+    d.absorb(m.n as u64);
+    for &v in &m.data {
+        d.absorb_f64(v);
+    }
+    d.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn strassen_matches_naive() {
+        let a = Matrix::random(64, 1);
+        let b = Matrix::random(64, 2);
+        let fast = seq(&a, &b, 16);
+        let slow = naive_mul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-9, "diff too large");
+    }
+
+    #[test]
+    fn par_matches_seq_bitwise() {
+        let a = Matrix::random(64, 3);
+        let b = Matrix::random(64, 4);
+        let expect = seq(&a, &b, 16);
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        let out = rt.parallel(|ctx| par(ctx, &a, &b, 16, 2));
+        assert_eq!(out.result, expect);
+        assert!(out.stats.total().tasks_created >= 7);
+    }
+
+    #[test]
+    fn cutoff_equals_naive_for_small() {
+        let a = Matrix::random(8, 5);
+        let b = Matrix::random(8, 6);
+        assert_eq!(seq(&a, &b, 16), naive_mul(&a, &b));
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 16;
+        let mut eye = Matrix::zero(n);
+        for i in 0..n {
+            eye.data[i * n + i] = 1.0;
+        }
+        let a = Matrix::random(n, 8);
+        let prod = seq(&a, &eye, 4);
+        assert!(prod.max_abs_diff(&a) < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! UTS — Unbalanced Tree Search (BOTS `uts`): count the nodes of an
+//! implicitly defined, highly unbalanced tree. Each node's child count
+//! is derived from a hash of its identity, so the tree shape is
+//! deterministic but unpredictable — the canonical dynamic-load-balance
+//! stress test (the paper's NA-WS moves 48.9 M tasks here, §VI-B2).
+//!
+//! BOTS derives child identities with SHA-1; we substitute SplitMix64
+//! hashing (DESIGN.md §3.5) — the distributional properties that create
+//! the imbalance are preserved.
+
+use xgomp_core::TaskCtx;
+
+use crate::rng::mix64;
+
+/// Tree-shape parameters (binomial UTS variant).
+#[derive(Debug, Clone, Copy)]
+pub struct UtsParams {
+    /// Children of the root (the initial burst, `b0`).
+    pub root_children: u32,
+    /// Probability (in 1/1000) that a non-root node is interior.
+    pub q_permille: u32,
+    /// Children of an interior node (`m`).
+    pub m: u32,
+    /// Hard depth bound (keeps the tail finite).
+    pub max_depth: u32,
+    /// Root identity seed.
+    pub seed: u64,
+}
+
+impl UtsParams {
+    /// Expected subtree size per root child: `1 / (1 - q·m)` when
+    /// subcritical. Keep `q_permille · m < 1000`.
+    pub fn expected_nodes_hint(&self) -> f64 {
+        let qm = (self.q_permille as f64 / 1000.0) * self.m as f64;
+        if qm >= 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 + self.root_children as f64 / (1.0 - qm)
+        }
+    }
+}
+
+/// Identity of child `i` of `node` (the SHA-1 substitution).
+#[inline]
+fn child_id(node: u64, i: u32) -> u64 {
+    mix64(node ^ mix64(0x5DEE_CE66 + i as u64))
+}
+
+/// Number of children of `node` at `depth`.
+#[inline]
+fn num_children(p: &UtsParams, node: u64, depth: u32) -> u32 {
+    if depth == 0 {
+        return p.root_children;
+    }
+    if depth >= p.max_depth {
+        return 0;
+    }
+    if mix64(node) % 1000 < p.q_permille as u64 {
+        p.m
+    } else {
+        0
+    }
+}
+
+/// Sequential node count (explicit stack; the tree can be deep).
+pub fn seq(p: &UtsParams) -> u64 {
+    let mut count = 0u64;
+    let mut stack = vec![(p.seed, 0u32)];
+    while let Some((node, depth)) = stack.pop() {
+        count += 1;
+        let k = num_children(p, node, depth);
+        for i in 0..k {
+            stack.push((child_id(node, i), depth + 1));
+        }
+    }
+    count
+}
+
+/// Task-parallel count: a task per child subtree, exactly as BOTS spawns
+/// one task per tree node.
+pub fn par(ctx: &TaskCtx<'_>, p: &UtsParams) -> u64 {
+    fn subtree(ctx: &TaskCtx<'_>, p: &UtsParams, node: u64, depth: u32) -> u64 {
+        let k = num_children(p, node, depth);
+        if k == 0 {
+            return 1;
+        }
+        let mut counts = vec![0u64; k as usize];
+        ctx.scope(|s| {
+            for (i, slot) in counts.iter_mut().enumerate() {
+                let id = child_id(node, i as u32);
+                s.spawn(move |ctx| *slot = subtree(ctx, p, id, depth + 1));
+            }
+        });
+        1 + counts.iter().sum::<u64>()
+    }
+    subtree(ctx, p, p.seed, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    fn small() -> UtsParams {
+        UtsParams {
+            root_children: 32,
+            q_permille: 190,
+            m: 4,
+            max_depth: 100,
+            seed: 0xCAFE,
+        }
+    }
+
+    #[test]
+    fn deterministic_count() {
+        assert_eq!(seq(&small()), seq(&small()));
+    }
+
+    #[test]
+    fn tree_is_meaningfully_unbalanced() {
+        // Sizes of the root's child subtrees must vary widely.
+        let p = small();
+        let sizes: Vec<u64> = (0..p.root_children)
+            .map(|i| {
+                let sub = UtsParams {
+                    root_children: 0, // irrelevant; start below root
+                    ..p
+                };
+                // Count subtree rooted at child i via seq on a shifted
+                // parameter set: reuse internal traversal.
+                let mut count = 0u64;
+                let mut stack = vec![(child_id(p.seed, i), 1u32)];
+                while let Some((node, depth)) = stack.pop() {
+                    count += 1;
+                    let k = num_children(&sub, node, depth);
+                    for j in 0..k {
+                        stack.push((child_id(node, j), depth + 1));
+                    }
+                }
+                count
+            })
+            .collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max >= &(min * 3), "not unbalanced: min={min} max={max}");
+    }
+
+    #[test]
+    fn par_matches_seq() {
+        let p = small();
+        let expect = seq(&p);
+        for cfg in [RuntimeConfig::xgomptb(4), RuntimeConfig::gomp(2)] {
+            let rt = Runtime::new(cfg);
+            let out = rt.parallel(|ctx| par(ctx, &p));
+            assert_eq!(out.result, expect, "{}", rt.config().name());
+            // One task per non-root node's subtree plus the root burst.
+            assert!(out.stats.total().tasks_created >= p.root_children as u64);
+        }
+    }
+
+    #[test]
+    fn depth_bound_caps_the_tree() {
+        let mut p = small();
+        p.q_permille = 600; // supercritical without the bound
+        p.m = 3;
+        p.max_depth = 6;
+        let n = seq(&p);
+        // Worst case: 32 * 3^5 + … still finite and smallish.
+        assert!(n < 32 * 3u64.pow(6));
+    }
+}

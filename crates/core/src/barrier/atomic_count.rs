@@ -1,0 +1,122 @@
+//! The XGOMP barrier: the global task lock is gone, but termination is
+//! still detected through one globally shared atomic task counter updated
+//! with acquire-release RMW operations (§III-A: "We convert this variable
+//! to an atomic variable with an acquire-release memory order strategy").
+//!
+//! Every task creation and completion is a `lock xadd` on the same cache
+//! line from every core — the hardware synchronization cost the paper's
+//! tree barrier subsequently removes (§III-B).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+
+use super::TeamBarrier;
+
+/// Shared-atomic-counter barrier (the XGOMP model).
+pub struct AtomicCountBarrier {
+    n: usize,
+    /// Outstanding tasks (created − finished), acq-rel updates.
+    task_count: AtomicI64,
+    /// Workers that have reached the region-end barrier.
+    arrived: AtomicUsize,
+    released: AtomicBool,
+}
+
+impl AtomicCountBarrier {
+    /// Barrier for a team of `n`.
+    pub fn new(n: usize) -> Self {
+        AtomicCountBarrier {
+            n,
+            task_count: AtomicI64::new(0),
+            arrived: AtomicUsize::new(0),
+            released: AtomicBool::new(false),
+        }
+    }
+}
+
+impl TeamBarrier for AtomicCountBarrier {
+    #[inline]
+    fn task_created(&self, _worker: usize) {
+        self.task_count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    #[inline]
+    fn task_finished(&self, _worker: usize) {
+        let prev = self.task_count.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "task_count underflow");
+    }
+
+    fn arrive(&self, _worker: usize) {
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn try_release(&self, _worker: usize) -> bool {
+        if self.released.load(Ordering::Acquire) {
+            return true;
+        }
+        // Order matters: arrivals stop changing once == n (workers arrive
+        // exactly once), so checking arrivals first then the count gives
+        // a safe conjunction — when the count reads 0 with everyone
+        // arrived, no task is live and none can be created (spawns happen
+        // only inside task bodies or the master closure, and the master
+        // has arrived).
+        if self.arrived.load(Ordering::Acquire) == self.n
+            && self.task_count.load(Ordering::Acquire) == 0
+        {
+            self.released.store(true, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "atomic-count(XGOMP)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_requires_arrivals_and_zero_count() {
+        let b = AtomicCountBarrier::new(2);
+        b.arrive(0);
+        b.task_created(0);
+        assert!(!b.try_release(0));
+        b.arrive(1);
+        assert!(!b.try_release(0), "outstanding task must block release");
+        b.task_finished(1);
+        assert!(b.try_release(1));
+        assert!(b.try_release(0));
+    }
+
+    #[test]
+    fn counter_storm_no_false_release() {
+        use std::sync::Arc;
+        let b = Arc::new(AtomicCountBarrier::new(4));
+        let mut handles = Vec::new();
+        for w in 0..4usize {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50_000 {
+                    b.task_created(w);
+                    // Interleave a few early release probes: must never
+                    // fire while our task is outstanding.
+                    if i % 1000 == 0 {
+                        assert!(!b.try_release(w));
+                    }
+                    b.task_finished(w);
+                }
+                b.arrive(w);
+                while !b.try_release(w) {
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.task_count.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The GOMP-model centralized barrier.
+//!
+//! GNU OpenMP guards its team-barrier state (including the global task
+//! count) with the *global task lock*: every task creation, completion,
+//! and barrier poll acquires it (§II-A, §III-B). This implementation
+//! reproduces that serialization point with one mutex protecting the
+//! count and arrival state. Under many workers and fine-grained tasks
+//! the lock convoy this creates *is* the phenomenon Figs. 1/4/5 measure.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use super::TeamBarrier;
+
+#[derive(Debug, Default)]
+struct State {
+    /// Outstanding tasks (created − finished).
+    task_count: i64,
+    /// Workers that have reached the region-end barrier.
+    arrived: usize,
+}
+
+/// Mutex-guarded counting barrier (the GOMP baseline).
+pub struct CentralizedBarrier {
+    n: usize,
+    state: Mutex<State>,
+    released: AtomicBool,
+}
+
+impl CentralizedBarrier {
+    /// Barrier for a team of `n`.
+    pub fn new(n: usize) -> Self {
+        CentralizedBarrier {
+            n,
+            state: Mutex::new(State::default()),
+            released: AtomicBool::new(false),
+        }
+    }
+}
+
+impl TeamBarrier for CentralizedBarrier {
+    fn task_created(&self, _worker: usize) {
+        self.state.lock().task_count += 1;
+    }
+
+    fn task_finished(&self, _worker: usize) {
+        let mut s = self.state.lock();
+        s.task_count -= 1;
+        debug_assert!(s.task_count >= 0, "task_count went negative");
+    }
+
+    fn arrive(&self, _worker: usize) {
+        self.state.lock().arrived += 1;
+    }
+
+    fn try_release(&self, _worker: usize) -> bool {
+        // Fast path once released (the release flag itself is not part of
+        // the modeled contention: GOMP also spins on a released word).
+        if self.released.load(Ordering::Acquire) {
+            return true;
+        }
+        // The modeled global-lock acquisition per barrier poll.
+        let s = self.state.lock();
+        if s.arrived == self.n && s.task_count == 0 {
+            self.released.store(true, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "centralized(GOMP)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_only_when_arrived_and_quiet() {
+        let b = CentralizedBarrier::new(2);
+        assert!(!b.try_release(0));
+        b.arrive(0);
+        b.arrive(1);
+        assert!(b.try_release(0));
+        assert!(b.try_release(1), "release must be sticky");
+    }
+
+    #[test]
+    fn outstanding_tasks_block_release() {
+        let b = CentralizedBarrier::new(1);
+        b.arrive(0);
+        b.task_created(0);
+        assert!(!b.try_release(0));
+        b.task_finished(0);
+        assert!(b.try_release(0));
+    }
+
+    #[test]
+    fn multithreaded_storm_terminates() {
+        use std::sync::Arc;
+        let b = Arc::new(CentralizedBarrier::new(4));
+        let mut handles = Vec::new();
+        for w in 0..4usize {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    b.task_created(w);
+                    b.task_finished(w);
+                }
+                b.arrive(w);
+                while !b.try_release(w) {
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The user-facing tasking API: [`TaskCtx`] (the current task's view of
+//! the runtime) and [`Scope`] (structured, borrow-friendly spawning).
+//!
+//! The API mirrors how BOTS applications use OpenMP tasking:
+//!
+//! ```text
+//! #pragma omp task shared(x)        →  scope.spawn(|ctx| …borrow x…)
+//! #pragma omp taskwait              →  ctx.taskwait()  (implicit at scope end)
+//! ```
+//!
+//! `scope` guarantees — even on unwinding — that every task spawned
+//! within it completes before the scope returns, which is what makes
+//! borrowing from the enclosing frame sound (the same reasoning as
+//! `std::thread::scope`).
+
+use std::marker::PhantomData;
+use std::ptr::NonNull;
+use std::sync::atomic::Ordering;
+
+use xgomp_profiling::{clock, EventKind, WorkerStats};
+use xgomp_xqueue::Backoff;
+
+use crate::task::{Task, TaskBody};
+use crate::team::{execute, TeamShared};
+
+/// A task's handle to the runtime: passed to every task body and to the
+/// parallel-region closure.
+pub struct TaskCtx<'t> {
+    pub(crate) team: &'t TeamShared,
+    pub(crate) worker: usize,
+    pub(crate) task: NonNull<Task>,
+}
+
+impl<'t> TaskCtx<'t> {
+    /// Index of the worker executing this task (0 = master).
+    #[inline]
+    pub fn worker_id(&self) -> usize {
+        self.worker
+    }
+
+    /// Team size.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.team.n
+    }
+
+    /// Simulated NUMA zone of this worker (see `xgomp-topology`).
+    #[inline]
+    pub fn numa_zone(&self) -> usize {
+        self.team.placement.zone_of(self.worker)
+    }
+
+    /// The team's worker placement (topology queries).
+    #[inline]
+    pub fn placement(&self) -> &xgomp_topology::Placement {
+        &self.team.placement
+    }
+
+    /// Spawns a child task with default priority. The body must be
+    /// `'static`; to borrow from the current frame use
+    /// [`scope`](Self::scope).
+    #[inline]
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&TaskCtx<'_>) + Send + 'static,
+    {
+        self.spawn_impl(Box::new(f), 0);
+    }
+
+    /// Spawns a child task with a GOMP-style priority (only the GOMP
+    /// scheduler orders by it; the others ignore it, as XQueue is
+    /// relaxed-order by design).
+    #[inline]
+    pub fn spawn_with_priority<F>(&self, priority: i32, f: F)
+    where
+        F: FnOnce(&TaskCtx<'_>) + Send + 'static,
+    {
+        self.spawn_impl(Box::new(f), priority);
+    }
+
+    /// Structured spawning: tasks created through the [`Scope`] may
+    /// borrow from the enclosing frame; the scope taskwaits on exit
+    /// (normal or unwinding), so no borrow can outlive its referent.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        /// Taskwait-on-drop so panics cannot leak borrowed tasks.
+        struct WaitGuard<'a, 'b>(&'a TaskCtx<'b>);
+        impl Drop for WaitGuard<'_, '_> {
+            fn drop(&mut self) {
+                self.0.taskwait();
+            }
+        }
+        let guard = WaitGuard(self);
+        let scope = Scope {
+            ctx: self,
+            _env: PhantomData,
+        };
+        let r = f(&scope);
+        drop(guard); // the implicit taskwait
+        r
+    }
+
+    /// Blocks (helpfully — executing other tasks meanwhile, as GOMP's
+    /// taskwait scheduling point does) until every direct child of the
+    /// current task has completed.
+    pub fn taskwait(&self) {
+        let team = self.team;
+        let w = self.worker;
+        // SAFETY: the record outlives execution (refcount held by us).
+        let task = unsafe { self.task.as_ref() };
+        if task.unfinished_children() == 0 {
+            return;
+        }
+        let mut backoff = Backoff::new();
+        let mut wait_t0: Option<u64> = None;
+        while task.unfinished_children() != 0 {
+            if team.poisoned.load(Ordering::Relaxed) {
+                return; // a sibling task panicked; bail out
+            }
+            if let Some(t) = team.sched.next_task(w) {
+                if let Some(t0) = wait_t0.take() {
+                    team.log_span(w, EventKind::TaskWait, t0);
+                }
+                team.sched.pre_execute(w);
+                execute(team, w, t);
+                backoff.reset();
+                continue;
+            }
+            team.sched.on_idle(w);
+            if team.profiling && wait_t0.is_none() {
+                wait_t0 = Some(clock::now());
+            }
+            backoff.snooze();
+        }
+        if let Some(t0) = wait_t0 {
+            team.log_span(w, EventKind::TaskWait, t0);
+        }
+    }
+
+    /// Core spawn path (§III-A): count for the barrier *before*
+    /// publication, link the dependency atomically, allocate, then push —
+    /// falling back to immediate execution when the target queue is full.
+    pub(crate) fn spawn_impl(&self, body: TaskBody, priority: i32) {
+        let team = self.team;
+        let w = self.worker;
+        let t0 = if team.profiling { clock::now() } else { 0 };
+        team.barrier.task_created(w);
+        // SAFETY: parent record is alive (we are executing it).
+        let parent = unsafe { self.task.as_ref() };
+        parent.retain();
+        parent.add_child();
+        // SAFETY: this thread owns worker slot `w`.
+        let ptr = unsafe { team.alloc.alloc(w, Some(body), Some(self.task), priority) };
+        WorkerStats::inc(&team.stats[w].tasks_created);
+        match team.sched.spawn(w, ptr) {
+            Ok(()) => {
+                if team.profiling {
+                    team.log_span(w, EventKind::TaskCreate, t0);
+                }
+            }
+            Err(p) => {
+                // Overflow rule: execute the task immediately (§II-B).
+                WorkerStats::inc(&team.stats[w].ntasks_imm_exec);
+                if team.profiling {
+                    team.log_span(w, EventKind::TaskCreate, t0);
+                }
+                execute(team, w, p);
+            }
+        }
+    }
+}
+
+/// Structured-spawn handle; see [`TaskCtx::scope`].
+pub struct Scope<'ctx, 'env> {
+    ctx: &'ctx TaskCtx<'ctx>,
+    /// Invariant in `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'ctx, 'env> Scope<'ctx, 'env> {
+    /// Spawns a task that may borrow anything outliving the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&TaskCtx<'_>) + Send + 'env,
+    {
+        let boxed: Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'env> = Box::new(f);
+        // SAFETY: the scope's taskwait (WaitGuard, run even on unwind)
+        // ensures this body finishes before any `'env` borrow ends, so
+        // erasing the lifetime cannot let the body observe freed data.
+        let boxed: TaskBody = unsafe { std::mem::transmute(boxed) };
+        self.ctx.spawn_impl(boxed, 0);
+    }
+
+    /// Spawns a borrowing task with a GOMP priority.
+    pub fn spawn_with_priority<F>(&self, priority: i32, f: F)
+    where
+        F: FnOnce(&TaskCtx<'_>) + Send + 'env,
+    {
+        let boxed: Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'env> = Box::new(f);
+        // SAFETY: as in `spawn`.
+        let boxed: TaskBody = unsafe { std::mem::transmute(boxed) };
+        self.ctx.spawn_impl(boxed, priority);
+    }
+
+    /// The underlying context (worker id, topology queries).
+    pub fn ctx(&self) -> &TaskCtx<'ctx> {
+        self.ctx
+    }
+}

@@ -1,0 +1,510 @@
+//! The DLB engine: thief/victim state machines for NA-RP and NA-WS
+//! (§IV-C, §IV-D, Algs. 1–4), wired into the XQueue scheduler's
+//! scheduling points.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use xgomp_profiling::WorkerStats;
+use xgomp_topology::Placement;
+use xgomp_xqueue::XQueueLattice;
+
+use super::message::MsgCell;
+use super::{DlbConfig, DlbStrategy};
+use crate::task::Task;
+use crate::util::{CachePadded, PerWorker};
+
+/// Thief-side per-worker state: the idle timeout counter of §IV-B.
+#[derive(Debug, Default)]
+struct ThiefState {
+    /// Idle scheduling points since the last request burst.
+    idle_iters: u64,
+}
+
+/// Victim-side per-worker redirect state (NA-RP, Alg. 3).
+#[derive(Debug)]
+struct RedirectState {
+    /// Current thief (`ctid_thief`); `-1` = no redirect armed.
+    thief: i64,
+    /// Remaining redirect quota for this request.
+    remaining: u64,
+    /// Tasks pushed for the current request (statistics).
+    pushed: u64,
+}
+
+impl Default for RedirectState {
+    fn default() -> Self {
+        RedirectState {
+            thief: -1,
+            remaining: 0,
+            pushed: 0,
+        }
+    }
+}
+
+/// Engine owned by the XQueue scheduler when DLB is enabled.
+pub(crate) struct DlbEngine {
+    cfg: DlbConfig,
+    cells: Box<[CachePadded<MsgCell>]>,
+    placement: Arc<Placement>,
+    stats: Arc<Vec<WorkerStats>>,
+    thief: PerWorker<ThiefState>,
+    redirect: PerWorker<RedirectState>,
+    rng: PerWorker<SmallRng>,
+}
+
+impl DlbEngine {
+    pub fn new(
+        n: usize,
+        cfg: DlbConfig,
+        placement: Arc<Placement>,
+        stats: Arc<Vec<WorkerStats>>,
+    ) -> Self {
+        DlbEngine {
+            cfg,
+            cells: (0..n)
+                .map(|_| CachePadded(MsgCell::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            placement,
+            stats,
+            thief: PerWorker::new(n, |_| ThiefState::default()),
+            redirect: PerWorker::new(n, |_| RedirectState::default()),
+            // Deterministic per-worker seeds keep experiments repeatable.
+            rng: PerWorker::new(n, |w| SmallRng::seed_from_u64(0xD1B0_5EED ^ (w as u64) << 17)),
+        }
+    }
+
+    pub fn config(&self) -> &DlbConfig {
+        &self.cfg
+    }
+
+    /// Picks a victim for thief `w`: NUMA-local with probability
+    /// `p_local`, remote otherwise; falls back to the other pool when a
+    /// pool is empty (single-zone or zone-filling placements).
+    ///
+    /// # Safety
+    ///
+    /// Caller thread must own worker slot `w`.
+    unsafe fn pick_victim(&self, w: usize) -> Option<usize> {
+        let locals = self.placement.local_peers(w);
+        let remotes = self.placement.remote_peers(w);
+        // SAFETY: worker-ownership contract forwarded; leaf access.
+        unsafe {
+            self.rng.with(w, |rng| {
+                let use_local = rng.gen::<f64>() < self.cfg.p_local;
+                let pool = match (use_local, locals.is_empty(), remotes.is_empty()) {
+                    (true, false, _) => locals,
+                    (true, true, false) => remotes,
+                    (false, _, false) => remotes,
+                    (false, false, true) => locals,
+                    _ => return None, // team of one
+                };
+                Some(pool[rng.gen_range(0..pool.len())])
+            })
+        }
+    }
+
+    /// Thief hook: called at every idle scheduling point (Alg. 1 plus the
+    /// §IV-B timeout counter). Sends a burst of `n_victim` requests when
+    /// the counter is at zero, then waits `t_interval` idle iterations
+    /// before retrying.
+    ///
+    /// # Safety
+    ///
+    /// Caller thread must own worker slot `w`.
+    pub unsafe fn on_idle(&self, w: usize) {
+        // SAFETY: worker-ownership contract; leaf access.
+        let send_now = unsafe {
+            self.thief.with(w, |ts| {
+                let send = ts.idle_iters == 0;
+                ts.idle_iters += 1;
+                if ts.idle_iters >= self.cfg.t_interval {
+                    ts.idle_iters = 0; // timeout reached: retry next point
+                }
+                send
+            })
+        };
+        if !send_now {
+            return;
+        }
+        for _ in 0..self.cfg.n_victim {
+            // SAFETY: forwarded contract.
+            if let Some(victim) = unsafe { self.pick_victim(w) } {
+                if self.cells[victim].0.try_send_request(w) {
+                    WorkerStats::inc(&self.stats[w].nreq_sent);
+                }
+            }
+        }
+    }
+
+    /// Resets the thief timeout when the worker found work ("the counter
+    /// is reset … if the worker is no longer idle").
+    ///
+    /// # Safety
+    ///
+    /// Caller thread must own worker slot `w`.
+    pub unsafe fn on_active(&self, w: usize) {
+        // SAFETY: worker-ownership contract; leaf access.
+        unsafe {
+            self.thief.with(w, |ts| ts.idle_iters = 0);
+        }
+    }
+
+    /// Victim hook: called when worker `w` has found a task to execute
+    /// ("when a worker finds a task to execute, it becomes a victim and
+    /// tries to handle a request", §IV-B).
+    ///
+    /// # Safety
+    ///
+    /// Caller thread must own worker slot `w` (producer *and* consumer
+    /// roles of row/column `w` of the lattice).
+    pub unsafe fn on_found_task(&self, w: usize, lattice: &XQueueLattice<Task>) {
+        match self.cfg.strategy {
+            DlbStrategy::WorkSteal => {
+                if let Some(thief) = self.cells[w].0.take_valid_request() {
+                    WorkerStats::inc(&self.stats[w].nreq_handled);
+                    // SAFETY: forwarded role contract.
+                    unsafe { self.work_steal(w, thief, lattice) };
+                    self.cells[w].0.bump_round();
+                }
+            }
+            DlbStrategy::RedirectPush => {
+                // SAFETY: worker-ownership contract; leaf access.
+                let armed = unsafe { self.redirect.with(w, |rd| rd.thief >= 0) };
+                if armed {
+                    return; // finish the current redirect first (§IV-C)
+                }
+                if let Some(thief) = self.cells[w].0.take_valid_request() {
+                    WorkerStats::inc(&self.stats[w].nreq_handled);
+                    if thief == w {
+                        // Degenerate self-request; drop it.
+                        self.cells[w].0.bump_round();
+                        return;
+                    }
+                    // Arm: the next `n_steal` spawns are redirected. The
+                    // round is bumped when the quota completes.
+                    // SAFETY: leaf access.
+                    unsafe {
+                        self.redirect.with(w, |rd| {
+                            rd.thief = thief as i64;
+                            rd.remaining = self.cfg.n_steal as u64;
+                            rd.pushed = 0;
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// NA-WS migration (Alg. 4): move up to `n_steal` queued tasks from
+    /// victim `w`'s row into the thief's queue.
+    ///
+    /// # Safety
+    ///
+    /// Caller thread must own worker slot `w`.
+    unsafe fn work_steal(&self, w: usize, thief: usize, lattice: &XQueueLattice<Task>) {
+        if thief == w || thief >= self.cells.len() {
+            return;
+        }
+        let stats = &self.stats[w];
+        let mut moved = 0u64;
+        while (moved as usize) < self.cfg.n_steal {
+            // Producer-side fullness check first: `is_full_hint` is exact
+            // for the (thief ← w) queue because w is its only producer.
+            // SAFETY: w owns producer role w.
+            if unsafe { lattice.is_full_hint(w, thief) } {
+                if moved == 0 {
+                    WorkerStats::inc(&stats.nreq_target_full);
+                }
+                break;
+            }
+            // SAFETY: w owns consumer role w.
+            match unsafe { lattice.pop(w) } {
+                None => {
+                    if moved == 0 {
+                        WorkerStats::inc(&stats.nreq_src_empty);
+                    }
+                    break;
+                }
+                Some(task) => {
+                    // SAFETY: w owns producer role w; fullness was checked
+                    // and only the thief (consumer) can change occupancy,
+                    // monotonically downwards.
+                    unsafe { lattice.push(w, thief, task) }
+                        .ok()
+                        .expect("push after negative fullness hint cannot fail");
+                    moved += 1;
+                }
+            }
+        }
+        if moved > 0 {
+            WorkerStats::inc(&stats.nreq_has_steal);
+            WorkerStats::add(&stats.ntasks_stolen, moved);
+            if self.placement.is_numa_local(w, thief) {
+                WorkerStats::add(&stats.nsteal_local, moved);
+            } else {
+                WorkerStats::add(&stats.nsteal_remote, moved);
+            }
+        }
+    }
+
+    /// NA-RP spawn hook (Alg. 3, `doRedirectPush`): if a redirect is
+    /// armed, returns the thief to push the new task to and consumes one
+    /// quota unit. Disarms (and bumps the round) when the quota is
+    /// exhausted or the thief's queue is full.
+    ///
+    /// # Safety
+    ///
+    /// Caller thread must own worker slot `w`.
+    pub unsafe fn redirect_target(&self, w: usize, lattice: &XQueueLattice<Task>) -> Option<usize> {
+        if self.cfg.strategy != DlbStrategy::RedirectPush {
+            return None;
+        }
+        let stats = &self.stats[w];
+        // SAFETY: worker-ownership contract; the lattice probe inside is
+        // a leaf producer-role call for w.
+        unsafe {
+            self.redirect.with(w, |rd| {
+                if rd.thief < 0 {
+                    return None;
+                }
+                let thief = rd.thief as usize;
+                let full = lattice.is_full_hint(w, thief);
+                if rd.remaining == 0 || full {
+                    // `ctid_thief ← -1` (no thief); request completed.
+                    if full && rd.pushed == 0 {
+                        WorkerStats::inc(&stats.nreq_target_full);
+                    }
+                    Self::finish_redirect(rd, stats, &self.placement, w, thief);
+                    self.cells[w].0.bump_round();
+                    return None;
+                }
+                rd.remaining -= 1;
+                rd.pushed += 1;
+                if rd.remaining == 0 {
+                    Self::finish_redirect(rd, stats, &self.placement, w, thief);
+                    self.cells[w].0.bump_round();
+                }
+                Some(thief)
+            })
+        }
+    }
+
+    fn finish_redirect(
+        rd: &mut RedirectState,
+        stats: &WorkerStats,
+        placement: &Placement,
+        w: usize,
+        thief: usize,
+    ) {
+        if rd.pushed > 0 {
+            WorkerStats::inc(&stats.nreq_has_steal);
+            WorkerStats::add(&stats.ntasks_stolen, rd.pushed);
+            if placement.is_numa_local(w, thief) {
+                WorkerStats::add(&stats.nsteal_local, rd.pushed);
+            } else {
+                WorkerStats::add(&stats.nsteal_remote, rd.pushed);
+            }
+        }
+        rd.thief = -1;
+        rd.remaining = 0;
+        rd.pushed = 0;
+    }
+
+    /// Diagnostic access to a worker's message cell.
+    #[cfg(test)]
+    pub fn cell(&self, w: usize) -> &MsgCell {
+        &self.cells[w].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ptr::NonNull;
+    use xgomp_topology::{Affinity, MachineTopology};
+
+    fn make_engine(n: usize, cfg: DlbConfig) -> (DlbEngine, XQueueLattice<Task>) {
+        let placement = Arc::new(Placement::new(
+            MachineTopology::new(2, 2, 1),
+            n,
+            Affinity::Close,
+        ));
+        let stats = Arc::new((0..n).map(|_| WorkerStats::default()).collect::<Vec<_>>());
+        (
+            DlbEngine::new(n, cfg, placement, stats),
+            XQueueLattice::new(n, 16),
+        )
+    }
+
+    fn mk_task(creator: u32) -> NonNull<Task> {
+        NonNull::new(Box::into_raw(Box::new(Task::new(None, None, creator, 0)))).unwrap()
+    }
+
+    unsafe fn free_task(p: NonNull<Task>) {
+        drop(unsafe { Box::from_raw(p.as_ptr()) });
+    }
+
+    #[test]
+    fn thief_bursts_then_waits_t_interval() {
+        let cfg = DlbConfig::new(DlbStrategy::WorkSteal)
+            .n_victim(2)
+            .t_interval(5)
+            .p_local(1.0);
+        let (eng, _lat) = make_engine(4, cfg);
+        unsafe {
+            eng.on_idle(0); // burst at counter 0
+            let sent_after_first = eng.stats[0].snapshot().nreq_sent;
+            assert!(sent_after_first >= 1, "first idle point must send");
+            for _ in 0..3 {
+                eng.on_idle(0); // counter 1..3: silent
+            }
+            assert_eq!(eng.stats[0].snapshot().nreq_sent, sent_after_first);
+            // The victim handles the pending request so the retry burst
+            // has somewhere to land (p_local = 1 ⇒ worker 1 is the only
+            // candidate for worker 0 on the 2×2 topology).
+            assert_eq!(eng.cell(1).take_valid_request(), Some(0));
+            eng.cell(1).bump_round();
+            eng.on_idle(0); // counter hits t_interval: resets
+            eng.on_idle(0); // counter 0 again: burst
+            assert!(eng.stats[0].snapshot().nreq_sent > sent_after_first);
+        }
+    }
+
+    #[test]
+    fn work_steal_migrates_tasks_to_thief() {
+        let cfg = DlbConfig::new(DlbStrategy::WorkSteal).n_steal(3).p_local(1.0);
+        let (eng, lat) = make_engine(2, cfg);
+        unsafe {
+            // Victim 0 has 5 queued tasks in its master queue.
+            let mut ptrs = Vec::new();
+            for _ in 0..5 {
+                let t = mk_task(0);
+                ptrs.push(t);
+                lat.push(0, 0, t).unwrap();
+            }
+            // Thief 1 requests; victim handles at its next found-task point.
+            assert!(eng.cell(0).try_send_request(1));
+            eng.on_found_task(0, &lat);
+            let s = eng.stats[0].snapshot();
+            assert_eq!(s.nreq_handled, 1);
+            assert_eq!(s.ntasks_stolen, 3, "moves exactly n_steal tasks");
+            assert_eq!(s.nreq_has_steal, 1);
+            // Topology 2×2×1 close: workers 0 and 1 share zone 0.
+            assert_eq!(s.nsteal_local, 3);
+            // Thief's row now holds 3 tasks.
+            let mut got = 0;
+            while lat.pop(1).is_some() {
+                got += 1;
+            }
+            assert_eq!(got, 3);
+            // Victim keeps the rest.
+            let mut kept = 0;
+            while lat.pop(0).is_some() {
+                kept += 1;
+            }
+            assert_eq!(kept, 2);
+            for p in ptrs {
+                free_task(p);
+            }
+        }
+    }
+
+    #[test]
+    fn work_steal_empty_source_counts() {
+        let cfg = DlbConfig::new(DlbStrategy::WorkSteal);
+        let (eng, lat) = make_engine(2, cfg);
+        unsafe {
+            assert!(eng.cell(0).try_send_request(1));
+            eng.on_found_task(0, &lat);
+            let s = eng.stats[0].snapshot();
+            assert_eq!(s.nreq_handled, 1);
+            assert_eq!(s.nreq_src_empty, 1);
+            assert_eq!(s.ntasks_stolen, 0);
+            // Round bumped: a new request can arrive.
+            assert!(eng.cell(0).try_send_request(1));
+        }
+    }
+
+    #[test]
+    fn redirect_push_arms_and_consumes_quota() {
+        let cfg = DlbConfig::new(DlbStrategy::RedirectPush).n_steal(2);
+        let (eng, lat) = make_engine(2, cfg);
+        unsafe {
+            assert!(eng.cell(0).try_send_request(1));
+            eng.on_found_task(0, &lat); // arms the redirect
+            assert_eq!(eng.stats[0].snapshot().nreq_handled, 1);
+            // While armed, further requests are not even examined.
+            let round_before = eng.cell(0).current_round();
+            eng.on_found_task(0, &lat);
+            assert_eq!(eng.cell(0).current_round(), round_before);
+            // Two spawns get redirected to the thief, then disarm.
+            assert_eq!(eng.redirect_target(0, &lat), Some(1));
+            assert_eq!(eng.redirect_target(0, &lat), Some(1));
+            assert_eq!(eng.redirect_target(0, &lat), None, "quota exhausted");
+            let s = eng.stats[0].snapshot();
+            assert_eq!(s.ntasks_stolen, 2);
+            assert_eq!(s.nreq_has_steal, 1);
+            // Round bumped on completion (§IV-C).
+            assert_eq!(eng.cell(0).current_round(), round_before + 1);
+        }
+    }
+
+    #[test]
+    fn redirect_push_disarms_on_full_target() {
+        let cfg = DlbConfig::new(DlbStrategy::RedirectPush).n_steal(100);
+        let placement = Arc::new(Placement::new(
+            MachineTopology::new(2, 2, 1),
+            2,
+            Affinity::Close,
+        ));
+        let stats = Arc::new((0..2).map(|_| WorkerStats::default()).collect::<Vec<_>>());
+        let eng = DlbEngine::new(2, cfg, placement, stats);
+        let lat: XQueueLattice<Task> = XQueueLattice::new(2, 2); // tiny queues
+        unsafe {
+            assert!(eng.cell(0).try_send_request(1));
+            eng.on_found_task(0, &lat);
+            // Fill the (thief=1 ← victim=0) queue via redirects.
+            let mut pushed = Vec::new();
+            while let Some(target) = eng.redirect_target(0, &lat) {
+                let t = mk_task(0);
+                pushed.push(t);
+                lat.push(0, target, t).unwrap();
+            }
+            // Queue capacity is 2: exactly 2 redirects then disarm.
+            assert_eq!(pushed.len(), 2);
+            assert_eq!(eng.stats[0].snapshot().ntasks_stolen, 2);
+            lat.drain_with(1, |p| free_task(p));
+        }
+    }
+
+    #[test]
+    fn p_local_zero_prefers_remote_victims() {
+        let cfg = DlbConfig::new(DlbStrategy::WorkSteal).p_local(0.0);
+        let (eng, _lat) = make_engine(4, cfg);
+        // Workers 0,1 in zone 0; 2,3 in zone 1 (2 sockets × 2 cores).
+        unsafe {
+            for _ in 0..64 {
+                if let Some(v) = eng.pick_victim(0) {
+                    assert!(v >= 2, "p_local=0 must pick remote zone, got {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_local_one_prefers_local_victims() {
+        let cfg = DlbConfig::new(DlbStrategy::WorkSteal).p_local(1.0);
+        let (eng, _lat) = make_engine(4, cfg);
+        unsafe {
+            for _ in 0..64 {
+                if let Some(v) = eng.pick_victim(0) {
+                    assert_eq!(v, 1, "p_local=1 must pick the zone peer");
+                }
+            }
+        }
+    }
+}

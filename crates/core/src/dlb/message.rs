@@ -1,0 +1,204 @@
+//! The lock-less messaging protocol (§IV-B, Algs. 1–2).
+//!
+//! Each worker owns two 64-bit cells:
+//!
+//! * **round** — written only by the worker itself (as a victim),
+//!   monotonically increasing from 1; a bump means "the previous request
+//!   has been handled, new requests welcome".
+//! * **request** — written by thieves: the victim's current round number
+//!   (low 40 bits) packed with the thief's worker id (high 24 bits).
+//!
+//! A thief sends a request only when the round embedded in the current
+//! request cell is *older* than the victim's round cell (Alg. 1), i.e.
+//! no unhandled request is pending. A victim treats a request as valid
+//! only when its embedded round equals the victim's current round
+//! (Alg. 2). Requests may be overwritten by racing thieves — that is
+//! benign and acknowledged by the paper (the loser retries after its
+//! timeout).
+//!
+//! All accesses are single `load`/`store` atomics (no RMW): the round
+//! cell has one writer (the victim); the request cell is multi-writer
+//! but a plain last-writer-wins store is exactly the intended semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits reserved for the round number in a request word (low bits).
+pub const ROUND_BITS: u32 = 40;
+/// Mask extracting the round number from a request word.
+pub const ROUND_MASK: u64 = (1 << ROUND_BITS) - 1;
+
+/// Packs a request word: thief id in the high 24 bits, round in the low
+/// 40 (the paper's `(tid << 40) | round`).
+#[inline]
+pub fn pack_request(thief: usize, round: u64) -> u64 {
+    debug_assert!(thief < (1 << 24), "worker id exceeds 24 bits");
+    ((thief as u64) << ROUND_BITS) | (round & ROUND_MASK)
+}
+
+/// Round number embedded in a request word.
+#[inline]
+pub fn request_round(req: u64) -> u64 {
+    req & ROUND_MASK
+}
+
+/// Thief id embedded in a request word.
+#[inline]
+pub fn request_thief(req: u64) -> usize {
+    (req >> ROUND_BITS) as usize
+}
+
+/// One worker's message cells.
+#[derive(Debug)]
+pub struct MsgCell {
+    /// Victim-owned round counter, starts at 1.
+    round: AtomicU64,
+    /// Thief-written request word.
+    request: AtomicU64,
+}
+
+impl Default for MsgCell {
+    fn default() -> Self {
+        MsgCell {
+            round: AtomicU64::new(1),
+            request: AtomicU64::new(0),
+        }
+    }
+}
+
+impl MsgCell {
+    /// Fresh cell (round = 1, no request).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- thief side (any thread) ----
+
+    /// Alg. 1: attempts to deposit a request from `thief`. Returns `true`
+    /// if the request was written (no unhandled request was pending).
+    #[inline]
+    pub fn try_send_request(&self, thief: usize) -> bool {
+        let round = self.round.load(Ordering::Acquire);
+        let req = self.request.load(Ordering::Acquire);
+        if request_round(req) < round {
+            // No pending request for this round: claim it. A concurrent
+            // thief may overwrite us — benign (see module docs).
+            self.request
+                .store(pack_request(thief, round), Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- victim side (owner thread only) ----
+
+    /// Alg. 2 check: returns the requesting thief if a request for the
+    /// current round is pending. Does *not* bump the round — the caller
+    /// does that when the request has been fully handled (NA-WS bumps
+    /// right after migrating; NA-RP bumps when the redirect quota is
+    /// exhausted, §IV-C).
+    #[inline]
+    pub fn take_valid_request(&self) -> Option<usize> {
+        let req = self.request.load(Ordering::Acquire);
+        if request_round(req) == self.round.load(Ordering::Relaxed) {
+            Some(request_thief(req))
+        } else {
+            None
+        }
+    }
+
+    /// Marks the pending request handled; the victim is willing to accept
+    /// new requests (single-writer store).
+    #[inline]
+    pub fn bump_round(&self) {
+        let r = self.round.load(Ordering::Relaxed);
+        self.round.store(r + 1, Ordering::Release);
+    }
+
+    /// Victim's current round (diagnostics).
+    #[inline]
+    pub fn current_round(&self) -> u64 {
+        self.round.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrips() {
+        for thief in [0usize, 1, 23, (1 << 24) - 1] {
+            for round in [0u64, 1, 999, ROUND_MASK] {
+                let req = pack_request(thief, round);
+                assert_eq!(request_thief(req), thief);
+                assert_eq!(request_round(req), round);
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_happy_path() {
+        let cell = MsgCell::new();
+        assert_eq!(cell.take_valid_request(), None);
+        assert!(cell.try_send_request(5));
+        // Second thief is blocked while the request is unhandled.
+        assert!(!cell.try_send_request(6));
+        assert_eq!(cell.take_valid_request(), Some(5));
+        // Still pending until the victim bumps.
+        assert_eq!(cell.take_valid_request(), Some(5));
+        cell.bump_round();
+        assert_eq!(cell.take_valid_request(), None);
+        // Now a new request can land.
+        assert!(cell.try_send_request(6));
+        assert_eq!(cell.take_valid_request(), Some(6));
+    }
+
+    #[test]
+    fn stale_requests_are_ignored() {
+        let cell = MsgCell::new();
+        assert!(cell.try_send_request(2));
+        cell.bump_round(); // victim handled it
+        cell.bump_round(); // and another round for good measure
+        assert_eq!(
+            cell.take_valid_request(),
+            None,
+            "old request must not validate against a newer round"
+        );
+    }
+
+    #[test]
+    fn concurrent_thieves_never_corrupt_round() {
+        use std::sync::Arc;
+        let cell = Arc::new(MsgCell::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut thieves = Vec::new();
+        for t in 0..3usize {
+            let cell = cell.clone();
+            let stop = stop.clone();
+            thieves.push(std::thread::spawn(move || {
+                let mut sent = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if cell.try_send_request(t + 1) {
+                        sent += 1;
+                    }
+                }
+                sent
+            }));
+        }
+        // Victim handles requests as fast as it sees them.
+        let mut handled = 0u64;
+        for _ in 0..200_000 {
+            if cell.take_valid_request().is_some() {
+                handled += 1;
+                cell.bump_round();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let sent: u64 = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+        // Every handled request corresponds to at least one send; rounds
+        // advanced exactly `handled` times.
+        assert!(handled <= sent);
+        assert_eq!(cell.current_round(), 1 + handled);
+    }
+}

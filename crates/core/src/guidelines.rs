@@ -1,0 +1,149 @@
+//! Practitioner tuning guidelines (§VIII, Table IV).
+//!
+//! The paper distills its parameter sweeps into rules keyed on per-task
+//! cycle counts (`S_task`, measured with `rdtscp`): which DLB strategy to
+//! run, how local to steal, and how large the effective *steal size*
+//! (Eq. 1: `S_steal = N_steal · N_victim / log10(T_interval)`) should be.
+//! [`recommend_dlb`] turns a task-size estimate into a concrete
+//! [`DlbConfig`]; [`guidelines`] exposes the table itself for the
+//! Table IV reproduction binary.
+
+use crate::dlb::{DlbConfig, DlbStrategy};
+
+/// One row of Table IV.
+#[derive(Debug, Clone)]
+pub struct Guideline {
+    /// Task-size class, in `rdtscp` cycles: `[min, max)`.
+    pub task_cycles: (u64, u64),
+    /// Class label as printed in the paper.
+    pub label: &'static str,
+    /// Best strategy for the class.
+    pub strategy: DlbStrategy,
+    /// Best NUMA-local probability.
+    pub p_local: f64,
+    /// Best steal-size band (Eq. 1).
+    pub steal_size: (f64, f64),
+    /// A concrete configuration realizing the row.
+    pub config: DlbConfig,
+}
+
+/// The Table IV guidelines.
+pub fn guidelines() -> Vec<Guideline> {
+    vec![
+        Guideline {
+            task_cycles: (0, 100),
+            label: "10^1-10^2",
+            strategy: DlbStrategy::WorkSteal,
+            p_local: 1.0,
+            steal_size: (1.0, 10.0),
+            config: DlbConfig::new(DlbStrategy::WorkSteal)
+                .n_victim(1)
+                .n_steal(8)
+                .t_interval(10_000)
+                .p_local(1.0),
+        },
+        Guideline {
+            task_cycles: (100, 1_000),
+            label: "10^2",
+            strategy: DlbStrategy::WorkSteal,
+            p_local: 1.0,
+            steal_size: (10.0, 100.0),
+            config: DlbConfig::new(DlbStrategy::WorkSteal)
+                .n_victim(4)
+                .n_steal(16)
+                .t_interval(10_000)
+                .p_local(1.0),
+        },
+        Guideline {
+            task_cycles: (1_000, 3_163),
+            label: "10^3",
+            strategy: DlbStrategy::WorkSteal,
+            p_local: 1.0,
+            steal_size: (100.0, 316.0),
+            config: DlbConfig::new(DlbStrategy::WorkSteal)
+                .n_victim(16)
+                .n_steal(32)
+                .t_interval(10_000)
+                .p_local(1.0),
+        },
+        Guideline {
+            task_cycles: (3_163, 10_000),
+            label: "10^3-10^4",
+            strategy: DlbStrategy::WorkSteal,
+            p_local: 0.25,
+            steal_size: (316.0, 1_000.0),
+            config: DlbConfig::new(DlbStrategy::WorkSteal)
+                .n_victim(24)
+                .n_steal(64)
+                .t_interval(1_000)
+                .p_local(0.25),
+        },
+        Guideline {
+            task_cycles: (10_000, u64::MAX),
+            label: ">10^4",
+            strategy: DlbStrategy::RedirectPush,
+            p_local: 0.06,
+            steal_size: (1_000.0, f64::INFINITY),
+            config: DlbConfig::new(DlbStrategy::RedirectPush)
+                .n_victim(24)
+                .n_steal(128)
+                .t_interval(1_000)
+                .p_local(0.06),
+        },
+    ]
+}
+
+/// Recommends a DLB configuration for tasks of roughly
+/// `task_cycles` `rdtscp` cycles each (Table IV applied).
+pub fn recommend_dlb(task_cycles: u64) -> DlbConfig {
+    for g in guidelines() {
+        if task_cycles >= g.task_cycles.0 && task_cycles < g.task_cycles.1 {
+            return g.config;
+        }
+    }
+    // Unreachable: the last row is open-ended.
+    DlbConfig::new(DlbStrategy::WorkSteal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_tile_the_positive_axis() {
+        let g = guidelines();
+        assert_eq!(g[0].task_cycles.0, 0);
+        for pair in g.windows(2) {
+            assert_eq!(
+                pair[0].task_cycles.1, pair[1].task_cycles.0,
+                "guideline classes must be contiguous"
+            );
+        }
+        assert_eq!(g.last().unwrap().task_cycles.1, u64::MAX);
+    }
+
+    #[test]
+    fn configs_realize_their_steal_band() {
+        for g in guidelines() {
+            let s = g.config.steal_size();
+            assert!(
+                s >= g.steal_size.0 * 0.5 && (g.steal_size.1.is_infinite() || s <= g.steal_size.1 * 2.0),
+                "{}: steal size {s} outside band {:?}",
+                g.label,
+                g.steal_size
+            );
+            assert_eq!(g.config.strategy, g.strategy);
+            assert!((g.config.p_local - g.p_local).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recommendation_matches_paper_rules() {
+        assert_eq!(recommend_dlb(50).strategy, DlbStrategy::WorkSteal);
+        assert_eq!(recommend_dlb(50).p_local, 1.0);
+        assert_eq!(recommend_dlb(5_000).strategy, DlbStrategy::WorkSteal);
+        assert!(recommend_dlb(5_000).p_local < 1.0);
+        assert_eq!(recommend_dlb(100_000).strategy, DlbStrategy::RedirectPush);
+        assert!(recommend_dlb(100_000).steal_size() > 1_000.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Scheduler backends: who holds the task queues and how workers find
+//! work.
+//!
+//! | Kind | Structure | Models |
+//! |------|-----------|--------|
+//! | [`GompScheduler`] | one global mutex-guarded priority queue | GNU OpenMP's global task lock + priority queue (§II-A) |
+//! | [`LompScheduler`] | per-worker lock-free deques + random stealing | LLVM OpenMP's tasking path |
+//! | [`XQueueScheduler`] | the XQueue lattice, static round-robin push, optional lock-less DLB | XGOMP/XGOMPTB (§III-A, §IV) |
+
+mod gomp;
+mod lomp;
+mod xq;
+
+pub use gomp::GompScheduler;
+pub use lomp::LompScheduler;
+pub use xq::XQueueScheduler;
+
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use xgomp_profiling::WorkerStats;
+use xgomp_topology::Placement;
+
+use crate::dlb::DlbConfig;
+use crate::task::Task;
+
+/// Scheduler implementation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Global locked priority queue (GOMP model).
+    Gomp,
+    /// Per-worker lock-free work-stealing deques (LOMP model).
+    Lomp,
+    /// XQueue lattice with static round-robin balancing; pass a
+    /// [`DlbConfig`] through [`SchedulerKind::build`] to enable NA-RP or
+    /// NA-WS on top.
+    XQueue,
+}
+
+impl SchedulerKind {
+    /// Instantiates the scheduler for a team of `n` workers.
+    pub(crate) fn build(
+        self,
+        n: usize,
+        queue_capacity: usize,
+        stats: Arc<Vec<WorkerStats>>,
+        placement: Arc<Placement>,
+        dlb: Option<DlbConfig>,
+    ) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Gomp => Box::new(GompScheduler::new(stats)),
+            SchedulerKind::Lomp => Box::new(LompScheduler::new(n, stats)),
+            SchedulerKind::XQueue => Box::new(XQueueScheduler::new(
+                n,
+                queue_capacity,
+                stats,
+                placement,
+                dlb,
+            )),
+        }
+    }
+}
+
+/// The scheduling-point interface the worker loop drives.
+///
+/// All methods take the worker index; methods touching per-worker state
+/// carry the worker-ownership contract (the calling thread must be the
+/// one running worker `w`), which the team enforces structurally.
+pub(crate) trait Scheduler: Send + Sync {
+    /// Publishes a freshly spawned task. `Err(task)` hands the task back
+    /// for immediate execution (the XQueue overflow rule); unbounded
+    /// schedulers never return `Err`.
+    fn spawn(&self, w: usize, task: NonNull<Task>) -> Result<(), NonNull<Task>>;
+
+    /// Fetches the next task for worker `w`, if any.
+    fn next_task(&self, w: usize) -> Option<NonNull<Task>>;
+
+    /// Scheduling-point hook fired after `next_task` succeeded, before
+    /// execution (the DLB *victim* hook).
+    fn pre_execute(&self, _w: usize) {}
+
+    /// Hook fired when `next_task` returned `None` (the DLB *thief*
+    /// hook).
+    fn on_idle(&self, _w: usize) {}
+
+    /// Removes every remaining task (teardown path; the region barrier
+    /// guarantees emptiness, so anything drained here is a bug surfaced
+    /// by the caller). Called single-threaded after all workers joined.
+    fn drain_all(&self, f: &mut dyn FnMut(NonNull<Task>));
+
+    /// Implementation name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A `Send` wrapper for task pointers stored inside scheduler containers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TaskPtr(pub NonNull<Task>);
+// SAFETY: `Task` is `Send`; the pointer is an owning handle moved between
+// threads through the queues.
+unsafe impl Send for TaskPtr {}

@@ -1,0 +1,221 @@
+//! The XQueue scheduler (§III-A): static round-robin pushes into the
+//! lock-less lattice, master-queue-first pops, execute-immediately on
+//! overflow — plus the optional DLB engine (§IV) hooked into its
+//! scheduling points.
+
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use xgomp_profiling::WorkerStats;
+use xgomp_topology::Placement;
+use xgomp_xqueue::{PushCursor, XQueueLattice};
+
+use super::Scheduler;
+use crate::dlb::{DlbConfig, DlbEngine};
+use crate::task::Task;
+use crate::util::PerWorker;
+
+/// XQueue lattice scheduler with optional NA-RP/NA-WS load balancing.
+pub struct XQueueScheduler {
+    lattice: XQueueLattice<Task>,
+    cursors: PerWorker<PushCursor>,
+    stats: Arc<Vec<WorkerStats>>,
+    dlb: Option<DlbEngine>,
+    n: usize,
+}
+
+impl XQueueScheduler {
+    pub(crate) fn new(
+        n: usize,
+        queue_capacity: usize,
+        stats: Arc<Vec<WorkerStats>>,
+        placement: Arc<Placement>,
+        dlb: Option<DlbConfig>,
+    ) -> Self {
+        XQueueScheduler {
+            lattice: XQueueLattice::new(n, queue_capacity),
+            cursors: PerWorker::new(n, |w| PushCursor::new(n, w)),
+            dlb: dlb.map(|cfg| DlbEngine::new(n, cfg, placement, stats.clone())),
+            stats,
+            n,
+        }
+    }
+
+    /// The configured DLB strategy name, if any (reports).
+    #[allow(dead_code)]
+    pub fn dlb_name(&self) -> Option<&'static str> {
+        self.dlb.as_ref().map(|d| d.config().strategy.name())
+    }
+}
+
+impl Scheduler for XQueueScheduler {
+    fn spawn(&self, w: usize, task: NonNull<Task>) -> Result<(), NonNull<Task>> {
+        // NA-RP override: while a redirect is armed, new tasks flow to
+        // the thief instead of the round-robin target (Alg. 3).
+        if let Some(dlb) = &self.dlb {
+            // SAFETY: worker-ownership contract from the team loop.
+            if let Some(thief) = unsafe { dlb.redirect_target(w, &self.lattice) } {
+                // SAFETY: w owns producer role w; `redirect_target` only
+                // returns a thief whose queue had room (exact producer-
+                // side hint), and only this worker produces into it.
+                unsafe { self.lattice.push(w, thief, task) }
+                    .ok()
+                    .expect("redirect push after negative fullness hint");
+                return Ok(());
+            }
+        }
+        // Static round-robin across consumers, master queue first.
+        // SAFETY: leaf access to the worker-owned cursor.
+        let target = unsafe { self.cursors.with(w, |c| c.next()) };
+        // SAFETY: w owns producer role w.
+        match unsafe { self.lattice.push(w, target, task) } {
+            Ok(()) => {
+                WorkerStats::inc(&self.stats[w].ntasks_static_push);
+                Ok(())
+            }
+            // Full: hand back for immediate execution (§II-B).
+            Err(t) => Err(t),
+        }
+    }
+
+    fn next_task(&self, w: usize) -> Option<NonNull<Task>> {
+        // SAFETY: w owns consumer role w.
+        unsafe { self.lattice.pop(w) }
+    }
+
+    fn pre_execute(&self, w: usize) {
+        if let Some(dlb) = &self.dlb {
+            // SAFETY: worker-ownership contract from the team loop.
+            unsafe {
+                dlb.on_active(w);
+                dlb.on_found_task(w, &self.lattice);
+            }
+        }
+    }
+
+    fn on_idle(&self, w: usize) {
+        if let Some(dlb) = &self.dlb {
+            // SAFETY: worker-ownership contract from the team loop.
+            unsafe { dlb.on_idle(w) };
+        }
+    }
+
+    fn drain_all(&self, f: &mut dyn FnMut(NonNull<Task>)) {
+        // Single-threaded teardown: all roles are free to claim.
+        for c in 0..self.n {
+            // SAFETY: no other thread is alive; roles trivially unique.
+            unsafe { self.lattice.drain_with(c, |p| f(p)) };
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.dlb.as_ref().map(|d| d.config().strategy) {
+            None => "xqueue(static)",
+            Some(crate::dlb::DlbStrategy::RedirectPush) => "xqueue(NA-RP)",
+            Some(crate::dlb::DlbStrategy::WorkSteal) => "xqueue(NA-WS)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dlb::DlbStrategy;
+    use xgomp_topology::{Affinity, MachineTopology};
+
+    fn mk(creator: u32) -> NonNull<Task> {
+        NonNull::new(Box::into_raw(Box::new(Task::new(None, None, creator, 0)))).unwrap()
+    }
+
+    unsafe fn free(p: NonNull<Task>) {
+        drop(unsafe { Box::from_raw(p.as_ptr()) });
+    }
+
+    fn build(n: usize, cap: usize, dlb: Option<DlbConfig>) -> XQueueScheduler {
+        let stats = Arc::new((0..n).map(|_| WorkerStats::default()).collect::<Vec<_>>());
+        let placement = Arc::new(Placement::new(
+            MachineTopology::fit_workers(n),
+            n,
+            Affinity::Close,
+        ));
+        XQueueScheduler::new(n, cap, stats, placement, dlb)
+    }
+
+    #[test]
+    fn round_robin_spreads_tasks() {
+        let s = build(3, 16, None);
+        let ptrs: Vec<_> = (0..3).map(|_| mk(0)).collect();
+        for &p in &ptrs {
+            s.spawn(0, p).unwrap();
+        }
+        // First push went to worker 0's master queue; the other two to
+        // workers 1 and 2.
+        assert!(s.next_task(0).is_some());
+        assert!(s.next_task(1).is_some());
+        assert!(s.next_task(2).is_some());
+        for p in ptrs {
+            unsafe { free(p) };
+        }
+    }
+
+    #[test]
+    fn overflow_hands_back_for_immediate_execution() {
+        let s = build(1, 2, None);
+        let a = mk(0);
+        let b = mk(0);
+        let c = mk(0);
+        assert!(s.spawn(0, a).is_ok());
+        assert!(s.spawn(0, b).is_ok());
+        match s.spawn(0, c) {
+            Err(p) => assert_eq!(p, c),
+            Ok(()) => panic!("capacity-2 queue accepted a third task"),
+        }
+        let snap = s.stats[0].snapshot();
+        assert_eq!(snap.ntasks_static_push, 2);
+        let mut n = 0;
+        s.drain_all(&mut |p| {
+            n += 1;
+            unsafe { free(p) };
+        });
+        assert_eq!(n, 2);
+        unsafe { free(c) };
+    }
+
+    #[test]
+    fn dlb_hooks_are_wired() {
+        let cfg = DlbConfig::new(DlbStrategy::WorkSteal)
+            .n_victim(4)
+            .t_interval(2);
+        let s = build(4, 16, Some(cfg));
+        assert_eq!(s.name(), "xqueue(NA-WS)");
+        assert_eq!(s.dlb_name(), Some("NA-WS"));
+        // Idle hook sends requests.
+        s.on_idle(1);
+        assert!(s.stats[1].snapshot().nreq_sent >= 1);
+    }
+
+    #[test]
+    fn redirect_push_reroutes_spawns() {
+        let cfg = DlbConfig::new(DlbStrategy::RedirectPush)
+            .n_steal(2)
+            .p_local(1.0);
+        let s = build(2, 16, Some(cfg));
+        // Thief 1 deposits a request directly.
+        let dlb = s.dlb.as_ref().unwrap();
+        assert!(dlb.cell(0).try_send_request(1));
+        // Victim 0 reaches a scheduling point (found-task hook).
+        s.pre_execute(0);
+        // The next two spawns from 0 land in 1's queue.
+        let a = mk(0);
+        let b = mk(0);
+        s.spawn(0, a).unwrap();
+        s.spawn(0, b).unwrap();
+        assert_eq!(s.next_task(1), Some(a));
+        assert_eq!(s.next_task(1), Some(b));
+        assert_eq!(s.stats[0].snapshot().ntasks_stolen, 2);
+        unsafe {
+            free(a);
+            free(b);
+        }
+    }
+}

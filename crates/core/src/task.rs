@@ -1,0 +1,235 @@
+//! Task representation and lifecycle.
+//!
+//! A [`Task`] is a heap-allocated record carrying a boxed body, a pointer
+//! to its parent task, an unfinished-children counter (the `taskwait`
+//! condition), and an intrusive reference count that keeps the record
+//! alive while children may still decrement the parent's counter.
+//!
+//! ## Reference-counting protocol
+//!
+//! * A task is born with `refs = 1` (the *handle* reference owned by
+//!   whoever will eventually execute it: a queue slot, or the spawning
+//!   worker on the immediate-execution path).
+//! * Spawning a child *retains* the parent once; the child *releases*
+//!   that reference after it completes (right after decrementing the
+//!   parent's `unfinished_children`).
+//! * When `refs` reaches zero the record is returned to the allocator.
+//!
+//! The dependency updates are atomic RMW operations — exactly as in the
+//! paper's XGOMP, which keeps "atomically update the parent task's
+//! dependency" while removing the global task lock (§III-A). The
+//! *lock-less* claims apply to the queues, the DLB messaging, and the
+//! barrier release path, not to dependency counting.
+
+use std::cell::UnsafeCell;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::ctx::TaskCtx;
+
+/// A task body: consumed exactly once when the task executes.
+pub(crate) type TaskBody = Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>;
+
+/// One schedulable task.
+///
+/// Created by [`crate::ctx::TaskCtx::spawn`] and friends; users never see
+/// this type directly — it is `pub` only for the benchmark harness's
+/// allocator ablations.
+pub struct Task {
+    /// The body; `None` for implicit (root) tasks and after execution.
+    body: UnsafeCell<Option<TaskBody>>,
+    /// Parent task; retained while this task is alive.
+    parent: Option<NonNull<Task>>,
+    /// Direct children that have not completed yet (taskwait condition).
+    unfinished_children: AtomicU64,
+    /// Intrusive reference count (see module docs).
+    refs: AtomicU32,
+    /// Worker that created this task (locality accounting).
+    creator: u32,
+    /// GOMP-style priority (higher runs first in the GOMP scheduler).
+    priority: i32,
+}
+
+// SAFETY: bodies are `Send`; all shared mutable state is atomic or
+// guarded by the single-executor discipline (`body` is taken exactly once
+// by the executing worker).
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Creates a task record. `parent`, when present, must already have
+    /// been retained on behalf of this child.
+    pub(crate) fn new(
+        body: Option<TaskBody>,
+        parent: Option<NonNull<Task>>,
+        creator: u32,
+        priority: i32,
+    ) -> Self {
+        Task {
+            body: UnsafeCell::new(body),
+            parent,
+            unfinished_children: AtomicU64::new(0),
+            refs: AtomicU32::new(1),
+            creator,
+            priority,
+        }
+    }
+
+    /// Re-initializes a recycled record in place (multi-level allocator
+    /// fast path). The record must be dead (`refs == 0`, body `None`).
+    ///
+    /// # Safety
+    ///
+    /// `this` must point to a record previously released to the allocator
+    /// by [`release_ref`](Self::release_ref) returning `true`.
+    pub(crate) unsafe fn reinit(
+        this: NonNull<Task>,
+        body: Option<TaskBody>,
+        parent: Option<NonNull<Task>>,
+        creator: u32,
+        priority: i32,
+    ) {
+        // SAFETY: caller guarantees exclusive access to a dead record.
+        let t = unsafe { &mut *this.as_ptr() };
+        debug_assert_eq!(*t.refs.get_mut(), 0, "reinit of a live task");
+        *t.body.get_mut() = body;
+        t.parent = parent;
+        *t.unfinished_children.get_mut() = 0;
+        *t.refs.get_mut() = 1;
+        t.creator = creator;
+        t.priority = priority;
+    }
+
+    /// The worker that created this task.
+    #[inline]
+    pub(crate) fn creator(&self) -> usize {
+        self.creator as usize
+    }
+
+    /// GOMP priority.
+    #[inline]
+    pub(crate) fn priority(&self) -> i32 {
+        self.priority
+    }
+
+    /// Parent pointer (root/implicit tasks have none).
+    #[inline]
+    pub(crate) fn parent(&self) -> Option<NonNull<Task>> {
+        self.parent
+    }
+
+    /// Number of direct children that have not completed.
+    #[inline]
+    pub(crate) fn unfinished_children(&self) -> u64 {
+        self.unfinished_children.load(Ordering::Acquire)
+    }
+
+    /// Registers a new child (called by the spawning worker, which *is*
+    /// the executor of this task, before making the child visible).
+    #[inline]
+    pub(crate) fn add_child(&self) {
+        self.unfinished_children.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one child complete. `Release` so the parent's `taskwait`
+    /// acquire-load observes everything the child did.
+    #[inline]
+    pub(crate) fn child_completed(&self) {
+        let prev = self.unfinished_children.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "child_completed underflow");
+    }
+
+    /// Takes the body for execution. Returns `None` for implicit tasks.
+    ///
+    /// # Safety
+    ///
+    /// Only the executing worker may call this, exactly once per
+    /// task activation (single-executor discipline).
+    #[inline]
+    pub(crate) unsafe fn take_body(this: NonNull<Task>) -> Option<TaskBody> {
+        // SAFETY: single-executor discipline gives exclusive body access.
+        unsafe { (*this.as_ptr()).body.get().as_mut().unwrap().take() }
+    }
+
+    /// Increments the reference count.
+    #[inline]
+    pub(crate) fn retain(&self) {
+        let prev = self.refs.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "retain of a dead task");
+    }
+
+    /// Decrements the reference count; returns `true` when this was the
+    /// last reference and the record may be recycled.
+    #[inline]
+    pub(crate) fn release_ref(&self) -> bool {
+        let prev = self.refs.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "release_ref underflow");
+        if prev == 1 {
+            // Synchronize with all prior releases before the record is
+            // reused (standard Arc-style protocol).
+            std::sync::atomic::fence(Ordering::Acquire);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("creator", &self.creator)
+            .field("priority", &self.priority)
+            .field(
+                "unfinished_children",
+                &self.unfinished_children.load(Ordering::Relaxed),
+            )
+            .field("refs", &self.refs.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refcount_protocol() {
+        let t = Task::new(None, None, 0, 0);
+        t.retain();
+        assert!(!t.release_ref());
+        assert!(t.release_ref());
+    }
+
+    #[test]
+    fn child_accounting() {
+        let t = Task::new(None, None, 3, 0);
+        assert_eq!(t.unfinished_children(), 0);
+        t.add_child();
+        t.add_child();
+        assert_eq!(t.unfinished_children(), 2);
+        t.child_completed();
+        assert_eq!(t.unfinished_children(), 1);
+        t.child_completed();
+        assert_eq!(t.unfinished_children(), 0);
+        assert_eq!(t.creator(), 3);
+        assert!(t.release_ref());
+    }
+
+    #[test]
+    fn reinit_resets_everything() {
+        let boxed = Box::new(Task::new(None, None, 1, 5));
+        let ptr = NonNull::new(Box::into_raw(boxed)).unwrap();
+        // Kill it, then reinit as a different task.
+        unsafe {
+            assert!((*ptr.as_ptr()).release_ref());
+            Task::reinit(ptr, None, None, 7, -2);
+            let t = ptr.as_ref();
+            assert_eq!(t.creator(), 7);
+            assert_eq!(t.priority(), -2);
+            assert_eq!(t.unfinished_children(), 0);
+            assert!(t.release_ref());
+            drop(Box::from_raw(ptr.as_ptr()));
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Team construction and the worker scheduling loop: the runtime's
+//! equivalent of `gomp_team_start` / `gomp_thread_start` (§III-A).
+//!
+//! [`Runtime::parallel`] opens a parallel region: it builds the team
+//! (scheduler, barrier, allocator, message cells, profiler), runs the
+//! region closure on the master as the *implicit task* (the BOTS
+//! `parallel` + `single` idiom), and lets every worker run the
+//! scheduling loop until the team barrier detects quiescence.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xgomp_profiling::{clock, EventKind, PerfLog, TeamStats, WorkerStats};
+use xgomp_topology::{CostModel, Placement};
+use xgomp_xqueue::Backoff;
+
+use crate::alloc::TaskAllocator;
+use crate::barrier::TeamBarrier;
+use crate::config::RuntimeConfig;
+use crate::ctx::TaskCtx;
+use crate::sched::Scheduler;
+use crate::task::Task;
+use crate::util::PerWorker;
+
+/// Everything a team of workers shares for one parallel region.
+pub(crate) struct TeamShared {
+    pub n: usize,
+    pub sched: Box<dyn Scheduler>,
+    pub barrier: Box<dyn TeamBarrier>,
+    pub alloc: TaskAllocator,
+    pub stats: Arc<Vec<WorkerStats>>,
+    pub placement: Arc<Placement>,
+    pub cost: CostModel,
+    pub logs: PerWorker<PerfLog>,
+    pub profiling: bool,
+    /// Set when any task body panicked; workers drain out instead of
+    /// spinning on a barrier that can no longer release.
+    pub poisoned: AtomicBool,
+}
+
+impl TeamShared {
+    /// Records a profiling span ending now (no-op when profiling is off).
+    #[inline]
+    pub(crate) fn log_span(&self, w: usize, kind: EventKind, t0: u64) {
+        if self.profiling {
+            // SAFETY: worker-ownership contract; leaf access.
+            unsafe { self.logs.with(w, |l| l.push_span(kind, t0, clock::now())) };
+        }
+    }
+}
+
+/// Executes one task on worker `w`: locality accounting, NUMA cost
+/// model, the body itself, then completion (dependency updates, barrier
+/// notification, record release) — which a drop guard performs even if
+/// the body unwinds.
+pub(crate) fn execute(team: &TeamShared, w: usize, task: NonNull<Task>) {
+    // SAFETY: we hold the task's handle reference; the record is alive.
+    let creator = unsafe { task.as_ref() }.creator();
+    let locality = team.placement.locality(creator, w);
+    team.stats[w].record_execution(locality);
+    team.cost.apply(locality);
+
+    let t0 = if team.profiling { clock::now() } else { 0 };
+
+    struct CompletionGuard<'a> {
+        team: &'a TeamShared,
+        w: usize,
+        task: NonNull<Task>,
+    }
+    impl Drop for CompletionGuard<'_> {
+        fn drop(&mut self) {
+            let team = self.team;
+            let w = self.w;
+            if std::thread::panicking() {
+                team.poisoned.store(true, Ordering::Release);
+            }
+            // SAFETY: record alive until our release below.
+            let t = unsafe { self.task.as_ref() };
+            if let Some(parent) = t.parent() {
+                // SAFETY: the child holds a reference to the parent, so
+                // the parent record is alive here.
+                let p = unsafe { parent.as_ref() };
+                p.child_completed();
+                if p.release_ref() {
+                    // SAFETY: last reference gone; worker slot owned.
+                    unsafe { team.alloc.free(w, parent) };
+                }
+            }
+            team.barrier.task_finished(w);
+            if t.release_ref() {
+                // SAFETY: as above.
+                unsafe { team.alloc.free(w, self.task) };
+            }
+        }
+    }
+
+    let guard = CompletionGuard { team, w, task };
+    // SAFETY: single-executor discipline — the handle reference we hold
+    // is the only execution claim on this task.
+    if let Some(body) = unsafe { Task::take_body(task) } {
+        let ctx = TaskCtx {
+            team,
+            worker: w,
+            task,
+        };
+        body(&ctx);
+    }
+    drop(guard);
+    team.log_span(w, EventKind::Task, t0);
+}
+
+/// The scheduling loop every worker runs inside the region-end barrier:
+/// execute whatever the scheduler yields; when idle, fire the DLB thief
+/// hook and poll the barrier.
+pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
+    let mut backoff = Backoff::new();
+    // One merged span per idle period: closed as STALL when work shows
+    // up, as BARRIER when the region ends (keeps logs bounded).
+    let mut idle_t0: Option<u64> = None;
+    loop {
+        if team.poisoned.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(t) = team.sched.next_task(w) {
+            if let Some(t0) = idle_t0.take() {
+                team.log_span(w, EventKind::Stall, t0);
+            }
+            team.sched.pre_execute(w);
+            execute(team, w, t);
+            backoff.reset();
+            continue;
+        }
+        team.sched.on_idle(w);
+        if team.profiling && idle_t0.is_none() {
+            idle_t0 = Some(clock::now());
+        }
+        if team.barrier.try_release(w) {
+            if let Some(t0) = idle_t0.take() {
+                team.log_span(w, EventKind::Barrier, t0);
+            }
+            break;
+        }
+        backoff.snooze();
+    }
+}
+
+/// Master path: run the region closure as the implicit task, then join
+/// the barrier loop like any other worker.
+fn master_main<R>(team: &TeamShared, f: impl FnOnce(&TaskCtx<'_>) -> R) -> R {
+    // The implicit (root) task anchoring the region's task tree.
+    // SAFETY: master owns worker slot 0.
+    let root = unsafe { team.alloc.alloc(0, None, None, 0) };
+
+    struct PoisonOnUnwind<'a>(&'a TeamShared);
+    impl Drop for PoisonOnUnwind<'_> {
+        fn drop(&mut self) {
+            self.0.poisoned.store(true, Ordering::Release);
+        }
+    }
+
+    let result = {
+        let ctx = TaskCtx {
+            team,
+            worker: 0,
+            task: root,
+        };
+        let bomb = PoisonOnUnwind(team);
+        let r = f(&ctx);
+        std::mem::forget(bomb);
+        r
+    };
+
+    team.barrier.arrive(0);
+    worker_loop(team, 0);
+
+    // SAFETY: region quiesced; all children released their references.
+    let root_ref = unsafe { root.as_ref() };
+    if root_ref.release_ref() {
+        // SAFETY: last reference; worker slot 0 owned.
+        unsafe { team.alloc.free(0, root) };
+    }
+    result
+}
+
+/// A configured runtime; cheap to construct, owns no threads. Each
+/// [`parallel`](Runtime::parallel) call creates a fresh team (matching
+/// the paper's per-region measurement methodology).
+pub struct Runtime {
+    cfg: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Builds a runtime from `cfg` (validated).
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.threads >= 1, "a team needs at least one worker");
+        assert!(
+            cfg.threads <= (1 << 24),
+            "worker ids must fit the 24-bit message-cell field"
+        );
+        Runtime { cfg }
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Opens a parallel region: `f` runs on the master as the implicit
+    /// single task; the region returns when every transitively spawned
+    /// task has completed (detected by the configured barrier).
+    pub fn parallel<R>(&self, f: impl FnOnce(&TaskCtx<'_>) -> R) -> RegionOutput<R> {
+        let cfg = &self.cfg;
+        let n = cfg.threads;
+        let placement = Arc::new(Placement::new(cfg.topology.clone(), n, cfg.affinity));
+        let stats: Arc<Vec<WorkerStats>> =
+            Arc::new((0..n).map(|_| WorkerStats::default()).collect());
+        let team = TeamShared {
+            n,
+            sched: cfg.scheduler.build(
+                n,
+                cfg.queue_capacity,
+                stats.clone(),
+                placement.clone(),
+                cfg.dlb,
+            ),
+            barrier: cfg.barrier.build(n),
+            alloc: TaskAllocator::new(cfg.allocator, n),
+            stats,
+            placement,
+            cost: cfg.cost_model,
+            logs: PerWorker::new(n, |w| PerfLog::new(w, cfg.profiling)),
+            profiling: cfg.profiling,
+            poisoned: AtomicBool::new(false),
+        };
+
+        let started = Instant::now();
+        let mut result: Option<R> = None;
+        std::thread::scope(|s| {
+            for w in 1..n {
+                let team = &team;
+                s.spawn(move || {
+                    team.barrier.arrive(w);
+                    worker_loop(team, w);
+                });
+            }
+            result = Some(master_main(&team, f));
+        });
+        let wall = started.elapsed();
+
+        // Teardown sanity: a correct barrier leaves nothing queued.
+        let mut leaked = 0usize;
+        team.sched.drain_all(&mut |ptr| {
+            leaked += 1;
+            discard_task(&team, ptr);
+        });
+        assert_eq!(
+            leaked,
+            0,
+            "scheduler `{}` retained {leaked} task(s) after `{}` released",
+            team.sched.name(),
+            team.barrier.name()
+        );
+        debug_assert_eq!(
+            team.alloc.outstanding(),
+            0,
+            "task records leaked by the region"
+        );
+
+        let TeamShared { stats, logs, .. } = team;
+        RegionOutput {
+            result: result.expect("master ran"),
+            stats: TeamStats::collect(&stats),
+            logs: logs.into_values(),
+            wall,
+        }
+    }
+}
+
+/// Drops an unexecuted task cleanly (teardown of aborted regions).
+fn discard_task(team: &TeamShared, task: NonNull<Task>) {
+    // SAFETY: drain handed us the only handle.
+    let t = unsafe { task.as_ref() };
+    if let Some(parent) = t.parent() {
+        // SAFETY: child holds a parent reference.
+        let p = unsafe { parent.as_ref() };
+        p.child_completed();
+        if p.release_ref() {
+            // SAFETY: last reference; single-threaded teardown.
+            unsafe { team.alloc.free(0, parent) };
+        }
+    }
+    if t.release_ref() {
+        // SAFETY: as above.
+        unsafe { team.alloc.free(0, task) };
+    }
+}
+
+/// What a parallel region returns: the closure's result plus the region's
+/// telemetry.
+#[derive(Debug)]
+pub struct RegionOutput<R> {
+    /// Value returned by the region closure.
+    pub result: R,
+    /// Per-worker counter snapshots (§V statistics).
+    pub stats: TeamStats,
+    /// Per-worker event logs (empty unless profiling was enabled).
+    pub logs: Vec<PerfLog>,
+    /// Wall-clock duration of the region (team start to last join).
+    pub wall: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+
+    fn smoke(cfg: RuntimeConfig) {
+        let rt = Runtime::new(cfg);
+        let out = rt.parallel(|ctx| {
+            let mut acc = vec![0u64; 64];
+            ctx.scope(|s| {
+                for (i, slot) in acc.iter_mut().enumerate() {
+                    s.spawn(move |_| {
+                        *slot = (i as u64) * 2;
+                    });
+                }
+            });
+            acc.iter().sum::<u64>()
+        });
+        assert_eq!(out.result, (0..64u64).map(|i| i * 2).sum::<u64>());
+        let total = out.stats.total();
+        assert_eq!(total.tasks_created, 64);
+        assert_eq!(total.tasks_executed, 64);
+        out.stats.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_presets_run_a_region() {
+        for threads in [1usize, 2, 4] {
+            smoke(RuntimeConfig::gomp(threads));
+            smoke(RuntimeConfig::lomp(threads));
+            smoke(RuntimeConfig::xgomp(threads));
+            smoke(RuntimeConfig::xgomptb(threads));
+            smoke(RuntimeConfig::xlomp(threads));
+        }
+    }
+
+    #[test]
+    fn nested_scopes_and_taskwait() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        let out = rt.parallel(|ctx| {
+            let mut outer = [0u64; 8];
+            ctx.scope(|s| {
+                for (i, o) in outer.iter_mut().enumerate() {
+                    s.spawn(move |ctx| {
+                        let mut inner = [0u64; 4];
+                        ctx.scope(|s2| {
+                            for (j, v) in inner.iter_mut().enumerate() {
+                                s2.spawn(move |_| *v = (i * 10 + j) as u64);
+                            }
+                        });
+                        *o = inner.iter().sum();
+                    });
+                }
+            });
+            outer.iter().sum::<u64>()
+        });
+        let expect: u64 = (0..8u64)
+            .map(|i| (0..4u64).map(|j| i * 10 + j).sum::<u64>())
+            .sum();
+        assert_eq!(out.result, expect);
+    }
+
+    #[test]
+    fn empty_region_terminates_immediately() {
+        for cfg in [
+            RuntimeConfig::gomp(3),
+            RuntimeConfig::xgomp(3),
+            RuntimeConfig::xgomptb(3),
+        ] {
+            let rt = Runtime::new(cfg);
+            let out = rt.parallel(|_| 42);
+            assert_eq!(out.result, 42);
+            assert_eq!(out.stats.total().tasks_created, 0);
+        }
+    }
+
+    #[test]
+    fn detached_static_spawns_complete_before_region_ends() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        let out = rt.parallel(move |ctx| {
+            for _ in 0..100 {
+                let c = c2.clone();
+                ctx.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        drop(out);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn deep_recursion_via_immediate_execution() {
+        // Tiny queues force the overflow → execute-immediately path.
+        let cfg = RuntimeConfig::xgomptb(2).queue_capacity(2);
+        let rt = Runtime::new(cfg);
+        let out = rt.parallel(|ctx| {
+            fn fib(ctx: &TaskCtx<'_>, n: u64) -> u64 {
+                if n < 2 {
+                    return n;
+                }
+                let (mut a, mut b) = (0, 0);
+                ctx.scope(|s| {
+                    s.spawn(|ctx| a = fib(ctx, n - 1));
+                    s.spawn(|ctx| b = fib(ctx, n - 2));
+                });
+                a + b
+            }
+            fib(ctx, 16)
+        });
+        assert_eq!(out.result, 987);
+        assert!(out.stats.total().ntasks_imm_exec > 0);
+    }
+
+    #[test]
+    fn profiling_collects_events() {
+        let cfg = RuntimeConfig::xgomptb(2).profiling(true);
+        let rt = Runtime::new(cfg);
+        let out = rt.parallel(|ctx| {
+            ctx.scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|_| std::hint::spin_loop());
+                }
+            });
+        });
+        assert_eq!(out.logs.len(), 2);
+        let events: usize = out.logs.iter().map(|l| l.events().len()).sum();
+        assert!(events > 0, "profiling produced no events");
+    }
+
+    #[test]
+    fn dlb_configs_run_clean() {
+        use crate::dlb::{DlbConfig, DlbStrategy};
+        for strat in [DlbStrategy::WorkSteal, DlbStrategy::RedirectPush] {
+            let cfg = RuntimeConfig::xgomptb(4)
+                .dlb(DlbConfig::new(strat).n_steal(4).t_interval(16));
+            let rt = Runtime::new(cfg);
+            let out = rt.parallel(|ctx| {
+                let mut acc = vec![0u64; 256];
+                ctx.scope(|s| {
+                    for (i, slot) in acc.iter_mut().enumerate() {
+                        s.spawn(move |_| {
+                            // Unbalanced grains provoke stealing.
+                            let spins = (i % 7) * 100;
+                            for _ in 0..spins {
+                                std::hint::spin_loop();
+                            }
+                            *slot = 1;
+                        });
+                    }
+                });
+                acc.iter().sum::<u64>()
+            });
+            assert_eq!(out.result, 256);
+            out.stats.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task body panicked")]
+    fn task_panic_propagates_without_hanging() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(2));
+        rt.parallel(|ctx| {
+            ctx.spawn(|_| panic!("task body panicked"));
+            // Give the panicking task a chance to run on either worker.
+            ctx.taskwait();
+        });
+    }
+}

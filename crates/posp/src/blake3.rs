@@ -1,0 +1,407 @@
+//! Portable BLAKE3 (scalar reference implementation, from the public
+//! BLAKE3 specification).
+//!
+//! The paper's Proof-of-Space application hashes every cryptographic
+//! puzzle with BLAKE3 (chosen over SHA-256 "due to its excellent
+//! performance on a wide range of hardware", §VII). To keep this
+//! reproduction dependency-free we implement the full hash from the
+//! spec: the 7-round compression function, chunk chaining, the binary
+//! Merkle tree over chunk chaining values, and extendable output.
+//! Validated against the official test vectors (see `tests/`).
+
+/// Output size of the default hash (bytes).
+pub const OUT_LEN: usize = 32;
+/// Block size (bytes).
+pub const BLOCK_LEN: usize = 64;
+/// Chunk size (bytes).
+pub const CHUNK_LEN: usize = 1024;
+
+const IV: [u32; 8] = [
+    0x6A09_E667,
+    0xBB67_AE85,
+    0x3C6E_F372,
+    0xA54F_F53A,
+    0x510E_527F,
+    0x9B05_688C,
+    0x1F83_D9AB,
+    0x5BE0_CD19,
+];
+
+const MSG_PERMUTATION: [usize; 16] = [2, 6, 3, 10, 7, 0, 4, 13, 1, 11, 12, 5, 9, 14, 15, 8];
+
+const CHUNK_START: u32 = 1 << 0;
+const CHUNK_END: u32 = 1 << 1;
+const PARENT: u32 = 1 << 2;
+const ROOT: u32 = 1 << 3;
+
+/// The quarter-round.
+#[inline(always)]
+fn g(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize, mx: u32, my: u32) {
+    state[a] = state[a].wrapping_add(state[b]).wrapping_add(mx);
+    state[d] = (state[d] ^ state[a]).rotate_right(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_right(12);
+    state[a] = state[a].wrapping_add(state[b]).wrapping_add(my);
+    state[d] = (state[d] ^ state[a]).rotate_right(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_right(7);
+}
+
+#[inline(always)]
+fn round(state: &mut [u32; 16], m: &[u32; 16]) {
+    // Columns.
+    g(state, 0, 4, 8, 12, m[0], m[1]);
+    g(state, 1, 5, 9, 13, m[2], m[3]);
+    g(state, 2, 6, 10, 14, m[4], m[5]);
+    g(state, 3, 7, 11, 15, m[6], m[7]);
+    // Diagonals.
+    g(state, 0, 5, 10, 15, m[8], m[9]);
+    g(state, 1, 6, 11, 12, m[10], m[11]);
+    g(state, 2, 7, 8, 13, m[12], m[13]);
+    g(state, 3, 4, 9, 14, m[14], m[15]);
+}
+
+#[inline(always)]
+fn permute(m: &mut [u32; 16]) {
+    let mut out = [0u32; 16];
+    for i in 0..16 {
+        out[i] = m[MSG_PERMUTATION[i]];
+    }
+    *m = out;
+}
+
+/// The compression function; returns the full 16-word state (the first
+/// 8 words are the new chaining value; all 16 feed extendable output).
+fn compress(
+    chaining_value: &[u32; 8],
+    block_words: &[u32; 16],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+) -> [u32; 16] {
+    let mut state = [
+        chaining_value[0],
+        chaining_value[1],
+        chaining_value[2],
+        chaining_value[3],
+        chaining_value[4],
+        chaining_value[5],
+        chaining_value[6],
+        chaining_value[7],
+        IV[0],
+        IV[1],
+        IV[2],
+        IV[3],
+        counter as u32,
+        (counter >> 32) as u32,
+        block_len,
+        flags,
+    ];
+    let mut m = *block_words;
+    round(&mut state, &m); // round 1
+    for _ in 0..6 {
+        permute(&mut m);
+        round(&mut state, &m); // rounds 2–7
+    }
+    for i in 0..8 {
+        state[i] ^= state[i + 8];
+        state[i + 8] ^= chaining_value[i];
+    }
+    state
+}
+
+#[inline]
+fn words_from_block(block: &[u8]) -> [u32; 16] {
+    debug_assert!(block.len() <= BLOCK_LEN);
+    let mut words = [0u32; 16];
+    for (i, chunk) in block.chunks(4).enumerate() {
+        let mut b = [0u8; 4];
+        b[..chunk.len()].copy_from_slice(chunk);
+        words[i] = u32::from_le_bytes(b);
+    }
+    words
+}
+
+#[inline]
+fn first_8(words: [u32; 16]) -> [u32; 8] {
+    [
+        words[0], words[1], words[2], words[3], words[4], words[5], words[6], words[7],
+    ]
+}
+
+/// A deferred output: the final compression's inputs, so ROOT can be
+/// applied (and extended output generated) at finalization time.
+struct Output {
+    input_cv: [u32; 8],
+    block_words: [u32; 16],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+}
+
+impl Output {
+    fn chaining_value(&self) -> [u32; 8] {
+        first_8(compress(
+            &self.input_cv,
+            &self.block_words,
+            self.counter,
+            self.block_len,
+            self.flags,
+        ))
+    }
+
+    /// Root output bytes (XOF): output block `i` uses counter `i`.
+    fn root_bytes(&self, out: &mut [u8]) {
+        for (i, out_block) in out.chunks_mut(2 * OUT_LEN).enumerate() {
+            let words = compress(
+                &self.input_cv,
+                &self.block_words,
+                i as u64,
+                self.block_len,
+                self.flags | ROOT,
+            );
+            for (word, dst) in words.iter().zip(out_block.chunks_mut(4)) {
+                dst.copy_from_slice(&word.to_le_bytes()[..dst.len()]);
+            }
+        }
+    }
+}
+
+/// Streaming state for one 1024-byte chunk.
+struct ChunkState {
+    cv: [u32; 8],
+    chunk_counter: u64,
+    block: [u8; BLOCK_LEN],
+    block_len: u8,
+    blocks_compressed: u8,
+}
+
+impl ChunkState {
+    fn new(key: [u32; 8], chunk_counter: u64) -> Self {
+        ChunkState {
+            cv: key,
+            chunk_counter,
+            block: [0; BLOCK_LEN],
+            block_len: 0,
+            blocks_compressed: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        BLOCK_LEN * self.blocks_compressed as usize + self.block_len as usize
+    }
+
+    fn start_flag(&self) -> u32 {
+        if self.blocks_compressed == 0 {
+            CHUNK_START
+        } else {
+            0
+        }
+    }
+
+    fn update(&mut self, mut input: &[u8]) {
+        while !input.is_empty() {
+            // If the block buffer is full, compress it (it cannot be the
+            // chunk's final block — more input is coming).
+            if self.block_len as usize == BLOCK_LEN {
+                let words = words_from_block(&self.block);
+                self.cv = first_8(compress(
+                    &self.cv,
+                    &words,
+                    self.chunk_counter,
+                    BLOCK_LEN as u32,
+                    self.start_flag(),
+                ));
+                self.blocks_compressed += 1;
+                self.block = [0; BLOCK_LEN];
+                self.block_len = 0;
+            }
+            let want = BLOCK_LEN - self.block_len as usize;
+            let take = want.min(input.len());
+            self.block[self.block_len as usize..self.block_len as usize + take]
+                .copy_from_slice(&input[..take]);
+            self.block_len += take as u8;
+            input = &input[take..];
+        }
+    }
+
+    fn output(&self) -> Output {
+        Output {
+            input_cv: self.cv,
+            block_words: words_from_block(&self.block[..self.block_len as usize]),
+            counter: self.chunk_counter,
+            block_len: self.block_len as u32,
+            flags: self.start_flag() | CHUNK_END,
+        }
+    }
+}
+
+fn parent_output(left: [u32; 8], right: [u32; 8], key: [u32; 8]) -> Output {
+    let mut block_words = [0u32; 16];
+    block_words[..8].copy_from_slice(&left);
+    block_words[8..].copy_from_slice(&right);
+    Output {
+        input_cv: key,
+        block_words,
+        counter: 0,
+        block_len: BLOCK_LEN as u32,
+        flags: PARENT,
+    }
+}
+
+/// Incremental BLAKE3 hasher (default mode, no key).
+pub struct Hasher {
+    chunk: ChunkState,
+    key: [u32; 8],
+    /// Chaining values of completed subtrees, leftmost at the bottom.
+    cv_stack: Vec<[u32; 8]>,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Hasher {
+            chunk: ChunkState::new(IV, 0),
+            key: IV,
+            cv_stack: Vec::new(),
+        }
+    }
+
+    fn add_chunk_cv(&mut self, mut cv: [u32; 8], mut total_chunks: u64) {
+        // Merge completed subtrees: one per trailing-zero bit of the
+        // completed-chunk count.
+        while total_chunks & 1 == 0 {
+            let left = self.cv_stack.pop().expect("stack underflow");
+            cv = parent_output(left, cv, self.key).chaining_value();
+            total_chunks >>= 1;
+        }
+        self.cv_stack.push(cv);
+    }
+
+    /// Absorbs input bytes.
+    pub fn update(&mut self, mut input: &[u8]) -> &mut Self {
+        while !input.is_empty() {
+            // A full chunk with more input coming is finalized as a
+            // non-root chunk and pushed onto the CV stack.
+            if self.chunk.len() == CHUNK_LEN {
+                let cv = self.chunk.output().chaining_value();
+                let total_chunks = self.chunk.chunk_counter + 1;
+                self.add_chunk_cv(cv, total_chunks);
+                self.chunk = ChunkState::new(self.key, total_chunks);
+            }
+            let want = CHUNK_LEN - self.chunk.len();
+            let take = want.min(input.len());
+            self.chunk.update(&input[..take]);
+            input = &input[take..];
+        }
+        self
+    }
+
+    /// Produces `out.len()` bytes of extendable output.
+    pub fn finalize_xof(&self, out: &mut [u8]) {
+        // Fold the CV stack from the top down into the final output.
+        let mut output = self.chunk.output();
+        for &left in self.cv_stack.iter().rev() {
+            output = parent_output(left, output.chaining_value(), self.key);
+        }
+        output.root_bytes(out);
+    }
+
+    /// Produces the default 32-byte hash.
+    pub fn finalize(&self) -> [u8; OUT_LEN] {
+        let mut out = [0u8; OUT_LEN];
+        self.finalize_xof(&mut out);
+        out
+    }
+}
+
+/// One-shot convenience hash.
+pub fn hash(input: &[u8]) -> [u8; OUT_LEN] {
+    let mut h = Hasher::new();
+    h.update(input);
+    h.finalize()
+}
+
+/// Hex rendering for test vectors and display.
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Official BLAKE3 test-vector input: bytes 0,1,…,249 repeating.
+    fn tv_input(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn empty_input_matches_official_vector() {
+        // First vector of the official BLAKE3 test-vector file.
+        assert_eq!(
+            to_hex(&hash(b"")),
+            "af1349b9f5f9a1a6a0404dea36dcc9499bcb25c9adc112b7cc9a93cae41f3262"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot_across_chunkings() {
+        let input = tv_input(5000);
+        let expect = hash(&input);
+        for split in [1usize, 7, 63, 64, 65, 1023, 1024, 1025, 2048] {
+            let mut h = Hasher::new();
+            for part in input.chunks(split) {
+                h.update(part);
+            }
+            assert_eq!(h.finalize(), expect, "split={split}");
+        }
+    }
+
+    #[test]
+    fn chunk_boundary_lengths_are_all_distinct() {
+        let lengths = [0usize, 1, 63, 64, 65, 1023, 1024, 1025, 2047, 2048, 2049, 4096];
+        let hashes: Vec<String> = lengths
+            .iter()
+            .map(|&n| to_hex(&hash(&tv_input(n))))
+            .collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "lengths {i} vs {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn xof_prefix_property() {
+        let input = tv_input(100);
+        let mut h = Hasher::new();
+        h.update(&input);
+        let mut out64 = [0u8; 64];
+        h.finalize_xof(&mut out64);
+        let mut out32 = [0u8; 32];
+        h.finalize_xof(&mut out32);
+        assert_eq!(&out64[..32], &out32[..], "XOF must be prefix-stable");
+        assert_ne!(&out64[..32], &out64[32..], "extended blocks must differ");
+    }
+
+    #[test]
+    fn avalanche_on_single_bit() {
+        let a = hash(b"proof of space puzzle 0");
+        let b = hash(b"proof of space puzzle 1");
+        let differing: u32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        // Expect ~128 differing bits of 256; anything above 80 is a
+        // comfortable avalanche check.
+        assert!(differing > 80, "only {differing} bits differ");
+    }
+}

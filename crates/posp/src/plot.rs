@@ -1,0 +1,244 @@
+//! The Proof-of-Space plotting workload (§VII).
+//!
+//! PoSp turns consensus into a storage problem: 2^k cryptographic
+//! puzzles — each a 28-byte BLAKE3 hash plus its 4-byte nonce — are
+//! generated and organized into buckets for later efficient retrieval
+//! (Chia-style plotting). Generation is embarrassingly parallel but
+//! *irregular at the runtime level*: the batch size decides the task
+//! grain, and Fig. 8 sweeps it from 1 (7.8 M tasks/s stress test) to
+//! 16384 (load-imbalance regime).
+
+use serde::{Deserialize, Serialize};
+use xgomp_core::TaskCtx;
+
+use crate::blake3;
+
+/// One cryptographic puzzle: 28-byte BLAKE3 hash + 4-byte nonce (§VII's
+/// exact layout: 32 bytes per puzzle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Puzzle {
+    /// First 28 bytes of `BLAKE3(challenge ‖ nonce)`.
+    pub hash: [u8; 28],
+    /// The nonce that produced it.
+    pub nonce: u32,
+}
+
+/// Plot parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PlotParams {
+    /// log2 of the number of puzzles (the paper's K; production Chia
+    /// uses K = 32, the evaluation uses small K for sweep time).
+    pub k: u32,
+    /// Puzzles generated per task (Fig. 8's swept batch size).
+    pub batch: usize,
+    /// Challenge the nonces are hashed against.
+    pub challenge: u64,
+    /// Number of buckets the plot is organized into (power of two).
+    pub n_buckets: usize,
+}
+
+impl PlotParams {
+    /// Total puzzles (`2^k`).
+    pub fn n_puzzles(&self) -> usize {
+        1usize << self.k
+    }
+}
+
+/// Computes one puzzle.
+#[inline]
+pub fn make_puzzle(challenge: u64, nonce: u32) -> Puzzle {
+    let mut input = [0u8; 12];
+    input[..8].copy_from_slice(&challenge.to_le_bytes());
+    input[8..].copy_from_slice(&nonce.to_le_bytes());
+    let h = blake3::hash(&input);
+    let mut hash = [0u8; 28];
+    hash.copy_from_slice(&h[..28]);
+    Puzzle { hash, nonce }
+}
+
+/// A finished plot: puzzles bucketed by hash prefix.
+#[derive(Debug)]
+pub struct Plot {
+    /// `n_buckets` buckets; bucket index = first hash byte folded onto
+    /// the bucket count.
+    pub buckets: Vec<Vec<Puzzle>>,
+}
+
+impl Plot {
+    fn bucket_of(p: &Puzzle, n_buckets: usize) -> usize {
+        (u16::from_le_bytes([p.hash[0], p.hash[1]]) as usize) % n_buckets
+    }
+
+    fn from_puzzles(puzzles: Vec<Puzzle>, n_buckets: usize) -> Plot {
+        let mut buckets = vec![Vec::new(); n_buckets];
+        for p in puzzles {
+            buckets[Self::bucket_of(&p, n_buckets)].push(p);
+        }
+        // Deterministic layout: order within a bucket by nonce.
+        for b in &mut buckets {
+            b.sort_unstable_by_key(|p| p.nonce);
+        }
+        Plot { buckets }
+    }
+
+    /// Total puzzles stored.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True when no puzzles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Order-insensitive digest for verification.
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            for p in b {
+                let mut x = u64::from_le_bytes(p.hash[..8].try_into().unwrap());
+                x ^= (i as u64) << 56 ^ p.nonce as u64;
+                // Commutative mix so bucket fill order is irrelevant
+                // (it is deterministic here, but cheap insurance).
+                acc = acc.wrapping_add(x.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        }
+        acc
+    }
+
+    /// Looks up the puzzles whose hash starts with `prefix` (the
+    /// retrieval path a PoSp prover runs; exercises bucket locality).
+    pub fn lookup(&self, prefix: &[u8]) -> Vec<&Puzzle> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter(|p| p.hash.starts_with(prefix))
+            .collect()
+    }
+}
+
+/// Sequential plot generation (reference).
+pub fn generate_seq(p: &PlotParams) -> Plot {
+    let puzzles: Vec<Puzzle> = (0..p.n_puzzles() as u32)
+        .map(|nonce| make_puzzle(p.challenge, nonce))
+        .collect();
+    Plot::from_puzzles(puzzles, p.n_buckets)
+}
+
+/// Task-parallel plot generation: one task per `batch` nonces, exactly
+/// the §VII structure ("the batch size determines the number of
+/// cryptographic puzzles to be generated in a single task").
+pub fn generate_par(ctx: &TaskCtx<'_>, p: &PlotParams) -> Plot {
+    let n = p.n_puzzles();
+    let mut puzzles = vec![
+        Puzzle {
+            hash: [0; 28],
+            nonce: 0
+        };
+        n
+    ];
+    let challenge = p.challenge;
+    let batch = p.batch.max(1);
+    ctx.scope(|s| {
+        for (chunk_idx, chunk) in puzzles.chunks_mut(batch).enumerate() {
+            let base = (chunk_idx * batch) as u32;
+            s.spawn(move |_| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = make_puzzle(challenge, base + i as u32);
+                }
+            });
+        }
+    });
+    Plot::from_puzzles(puzzles, p.n_buckets)
+}
+
+/// Hashes performed per generated plot (for MH/s reporting).
+pub fn hashes_per_plot(p: &PlotParams) -> u64 {
+    p.n_puzzles() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::{Runtime, RuntimeConfig};
+
+    fn params(k: u32, batch: usize) -> PlotParams {
+        PlotParams {
+            k,
+            batch,
+            challenge: 0xC4A1_1E46E,
+            n_buckets: 64,
+        }
+    }
+
+    #[test]
+    fn puzzles_are_deterministic_and_distinct() {
+        let a = make_puzzle(1, 0);
+        let b = make_puzzle(1, 0);
+        assert_eq!(a, b);
+        let c = make_puzzle(1, 1);
+        assert_ne!(a.hash, c.hash);
+        let d = make_puzzle(2, 0);
+        assert_ne!(a.hash, d.hash);
+    }
+
+    #[test]
+    fn plot_holds_every_nonce_exactly_once() {
+        let plot = generate_seq(&params(10, 1));
+        assert_eq!(plot.len(), 1024);
+        let mut nonces: Vec<u32> = plot
+            .buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|p| p.nonce))
+            .collect();
+        nonces.sort_unstable();
+        assert_eq!(nonces, (0..1024).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn buckets_are_reasonably_balanced() {
+        let plot = generate_seq(&params(12, 1));
+        let max = plot.buckets.iter().map(Vec::len).max().unwrap();
+        let min = plot.buckets.iter().map(Vec::len).min().unwrap();
+        // 4096 puzzles over 64 buckets: expect ~64 ± noise per bucket.
+        assert!(max < 64 * 3 && min > 0, "min={min} max={max}");
+    }
+
+    #[test]
+    fn par_matches_seq_for_every_batch_size() {
+        let expect = generate_seq(&params(10, 1)).digest();
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        for batch in [1usize, 4, 33, 256, 4096] {
+            let p = params(10, batch);
+            let out = rt.parallel(|ctx| generate_par(ctx, &p).digest());
+            assert_eq!(out.result, expect, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn batch_size_controls_task_count() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(2));
+        let p1 = params(10, 1);
+        let p64 = params(10, 64);
+        let t1 = rt
+            .parallel(|ctx| drop(generate_par(ctx, &p1)))
+            .stats
+            .total()
+            .tasks_created;
+        let t64 = rt
+            .parallel(|ctx| drop(generate_par(ctx, &p64)))
+            .stats
+            .total()
+            .tasks_created;
+        assert_eq!(t1, 1024);
+        assert_eq!(t64, 16);
+    }
+
+    #[test]
+    fn lookup_finds_prefix_matches() {
+        let plot = generate_seq(&params(10, 1));
+        let target = plot.buckets.iter().find(|b| !b.is_empty()).unwrap()[0];
+        let found = plot.lookup(&target.hash[..4]);
+        assert!(found.iter().any(|p| p.nonce == target.nonce));
+    }
+}

@@ -1,0 +1,94 @@
+//! Timestamp source: the processor timestamp counter where available.
+//!
+//! The paper stamps profiling events with `rdtscp` because it is a
+//! light-weight, monotonically increasing per-clock counter. We use
+//! `rdtsc` on x86-64 and a monotonic nanosecond clock elsewhere; the unit
+//! of every timestamp in this crate is therefore "TSC cycles on x86,
+//! nanoseconds elsewhere". [`cycles_per_ns`] reports the measured ratio
+//! so figures can convert to seconds.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process epoch for the non-TSC fallback.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Reads the current timestamp (TSC cycles on x86-64, monotonic ns
+/// elsewhere). Monotone per thread; cross-thread skew is possible on
+/// exotic hardware but modern x86 has invariant, socket-synchronized TSC.
+#[inline]
+pub fn now() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `rdtsc` has no preconditions.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        epoch().elapsed().as_nanos() as u64
+    }
+}
+
+/// Measured timestamp ticks per nanosecond (≈ CPU GHz on x86-64, exactly
+/// 1.0 on the fallback clock). Calibrated once per process.
+pub fn cycles_per_ns() -> f64 {
+    static RATIO: OnceLock<f64> = OnceLock::new();
+    *RATIO.get_or_init(|| {
+        let _ = epoch();
+        let c0 = now();
+        let t0 = Instant::now();
+        // Busy-wait ~2 ms for a stable ratio.
+        while t0.elapsed().as_micros() < 2_000 {
+            std::hint::spin_loop();
+        }
+        let cycles = now().wrapping_sub(c0) as f64;
+        let ns = t0.elapsed().as_nanos().max(1) as f64;
+        (cycles / ns).max(1e-6)
+    })
+}
+
+/// Converts a tick delta from [`now`] to seconds.
+#[inline]
+pub fn ticks_to_secs(ticks: u64) -> f64 {
+    ticks as f64 / cycles_per_ns() / 1e9
+}
+
+/// Converts nanoseconds to ticks (for constructing spin budgets in tick
+/// units, e.g. the synthetic task-grain workloads).
+#[inline]
+pub fn ns_to_ticks(ns: u64) -> u64 {
+    (ns as f64 * cycles_per_ns()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotone_on_one_thread() {
+        let mut prev = now();
+        for _ in 0..1000 {
+            let t = now();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ratio_is_positive_and_sane() {
+        let r = cycles_per_ns();
+        assert!(r > 0.0);
+        // Anything between 1 MHz and 10 GHz equivalent.
+        assert!(r < 10.0 + 1.0, "ratio {r} looks wrong");
+    }
+
+    #[test]
+    fn roundtrip_ns_ticks() {
+        let ticks = ns_to_ticks(1_000_000); // 1 ms
+        let secs = ticks_to_secs(ticks);
+        assert!((secs - 1e-3).abs() < 2e-4, "1 ms roundtripped to {secs}s");
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-thread statistical counters (§V).
+//!
+//! Each worker owns one [`WorkerStats`] block. Counters are `AtomicU64`
+//! written with `Relaxed` ordering by their single writer — the cost of a
+//! plain store, but safely readable by the harness from any thread. The
+//! full §V counter list is reproduced, including the DLB-specific
+//! request/steal accounting that Tables II and III report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+use xgomp_topology::Locality;
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Live counter block owned by one worker (single-writer,
+        /// any-reader).
+        #[derive(Debug, Default)]
+        pub struct WorkerStats {
+            $($(#[$doc])* pub $name: AtomicU64,)+
+        }
+
+        /// Plain-value snapshot of a [`WorkerStats`] block.
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl WorkerStats {
+            /// Copies every counter with `Relaxed` loads.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Element-wise sum (team aggregation).
+            pub fn add(&mut self, other: &StatsSnapshot) {
+                $(self.$name += other.$name;)+
+            }
+        }
+    };
+}
+
+counters! {
+    /// Tasks created by this worker (`GOMP_TASK` occurrences).
+    tasks_created,
+    /// Tasks executed by this worker.
+    tasks_executed,
+    /// Executed tasks that were created by this same worker
+    /// (`NTASKS_SELF`).
+    ntasks_self,
+    /// Executed tasks created by another worker in the same NUMA zone
+    /// (`NTASKS_LOCAL`).
+    ntasks_local,
+    /// Executed tasks created in another NUMA zone (`NTASKS_REMOTE`).
+    ntasks_remote,
+    /// Tasks pushed by the static round-robin balancer
+    /// (`NTASKS_STATIC_PUSH`).
+    ntasks_static_push,
+    /// Tasks executed immediately because the target queue was full
+    /// (`NTASKS_IMM_EXEC`).
+    ntasks_imm_exec,
+    /// Steal requests sent while this worker was a thief (`NREQ_SENT`).
+    nreq_sent,
+    /// Requests this worker handled as a victim (`NREQ_HANDLED`).
+    nreq_handled,
+    /// Handled requests that moved at least one task
+    /// (`NREQ_HAS_STEAL`).
+    nreq_has_steal,
+    /// Handled requests that failed because the victim's queues were
+    /// empty (`NREQ_SRC_EMPTY`).
+    nreq_src_empty,
+    /// Handled requests that failed because the thief's queue was full
+    /// (`NREQ_TARGET_FULL`).
+    nreq_target_full,
+    /// Tasks migrated away from this worker by DLB (`NTASKS_STOLEN`).
+    ntasks_stolen,
+    /// Of the stolen tasks, how many went to a NUMA-local thief.
+    nsteal_local,
+    /// Of the stolen tasks, how many went to a NUMA-remote thief.
+    nsteal_remote,
+}
+
+impl WorkerStats {
+    /// Relaxed single-writer increment.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    /// Relaxed single-writer add.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.store(counter.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+    }
+
+    /// Records the locality of an executed task (updates the
+    /// self/local/remote triple and `tasks_executed`).
+    #[inline]
+    pub fn record_execution(&self, locality: Locality) {
+        Self::inc(&self.tasks_executed);
+        match locality {
+            Locality::SelfCore => Self::inc(&self.ntasks_self),
+            Locality::Local => Self::inc(&self.ntasks_local),
+            Locality::Remote => Self::inc(&self.ntasks_remote),
+        }
+    }
+}
+
+/// Team-level aggregation of per-worker snapshots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TeamStats {
+    /// One snapshot per worker, in worker order.
+    pub workers: Vec<StatsSnapshot>,
+}
+
+impl TeamStats {
+    /// Collects snapshots from live counter blocks.
+    pub fn collect(stats: &[WorkerStats]) -> Self {
+        TeamStats {
+            workers: stats.iter().map(WorkerStats::snapshot).collect(),
+        }
+    }
+
+    /// Element-wise total across the team (the numbers Tables II/III
+    /// report).
+    pub fn total(&self) -> StatsSnapshot {
+        let mut acc = StatsSnapshot::default();
+        for w in &self.workers {
+            acc.add(w);
+        }
+        acc
+    }
+
+    /// Consistency invariants that must hold after any quiescent run.
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let t = self.total();
+        if t.tasks_executed != t.ntasks_self + t.ntasks_local + t.ntasks_remote {
+            return Err(format!(
+                "executed {} != self {} + local {} + remote {}",
+                t.tasks_executed, t.ntasks_self, t.ntasks_local, t.ntasks_remote
+            ));
+        }
+        if t.nreq_handled > t.nreq_sent {
+            return Err(format!(
+                "handled {} > sent {}",
+                t.nreq_handled, t.nreq_sent
+            ));
+        }
+        if t.nreq_has_steal > t.nreq_handled {
+            return Err(format!(
+                "has_steal {} > handled {}",
+                t.nreq_has_steal, t.nreq_handled
+            ));
+        }
+        if t.nsteal_local + t.nsteal_remote != t.ntasks_stolen {
+            return Err(format!(
+                "steal locality {}+{} != stolen {}",
+                t.nsteal_local, t.nsteal_remote, t.ntasks_stolen
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let s = WorkerStats::default();
+        WorkerStats::inc(&s.tasks_created);
+        WorkerStats::add(&s.ntasks_stolen, 5);
+        WorkerStats::add(&s.nsteal_local, 5);
+        s.record_execution(Locality::SelfCore);
+        s.record_execution(Locality::Remote);
+        let snap = s.snapshot();
+        assert_eq!(snap.tasks_created, 1);
+        assert_eq!(snap.tasks_executed, 2);
+        assert_eq!(snap.ntasks_self, 1);
+        assert_eq!(snap.ntasks_remote, 1);
+        assert_eq!(snap.ntasks_stolen, 5);
+    }
+
+    #[test]
+    fn team_total_and_invariants() {
+        let blocks: Vec<WorkerStats> = (0..4).map(|_| WorkerStats::default()).collect();
+        for b in &blocks {
+            b.record_execution(Locality::Local);
+            WorkerStats::inc(&b.nreq_sent);
+        }
+        WorkerStats::inc(&blocks[0].nreq_handled);
+        let team = TeamStats::collect(&blocks);
+        let total = team.total();
+        assert_eq!(total.tasks_executed, 4);
+        assert_eq!(total.ntasks_local, 4);
+        assert_eq!(total.nreq_sent, 4);
+        team.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariant_violations_are_reported() {
+        let b = WorkerStats::default();
+        WorkerStats::inc(&b.tasks_executed); // executed without locality
+        let team = TeamStats::collect(&[b]);
+        assert!(team.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-thread event logs (the paper's `perf_record` markers).
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock;
+use crate::counters::StatsSnapshot;
+
+/// The event classes of §V. Values are stable (used in dumps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Cycles spent executing a task body (`TASK`).
+    Task = 0,
+    /// Cycles spent creating a task — allocation, dependency setup,
+    /// enqueue (`GOMP_TASK`). "Crucial because fine-grained tasks can
+    /// spend a large portion of their lifecycle on task creation."
+    TaskCreate = 1,
+    /// Cycles inside a `taskwait` scheduling point (`TASKWAIT`).
+    TaskWait = 2,
+    /// Cycles inside the team barrier (`BARRIER`).
+    Barrier = 3,
+    /// Unoccupied cycles: polling queues with nothing scheduled (`STALL`).
+    Stall = 4,
+}
+
+impl EventKind {
+    /// All kinds, in rendering order (matches Fig. 3's legend order).
+    pub const ALL: [EventKind; 5] = [
+        EventKind::Task,
+        EventKind::TaskCreate,
+        EventKind::TaskWait,
+        EventKind::Barrier,
+        EventKind::Stall,
+    ];
+
+    /// Short label used in summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Task => "TASK",
+            EventKind::TaskCreate => "GOMP_TASK",
+            EventKind::TaskWait => "TASKWAIT",
+            EventKind::Barrier => "BARRIER",
+            EventKind::Stall => "STALL",
+        }
+    }
+
+    /// One-character glyph for the ASCII Gantt renderer.
+    pub fn glyph(self) -> char {
+        match self {
+            EventKind::Task => 'T',
+            EventKind::TaskCreate => 'C',
+            EventKind::TaskWait => 'w',
+            EventKind::Barrier => 'B',
+            EventKind::Stall => '.',
+        }
+    }
+}
+
+/// One recorded event: a `[start, end)` interval in clock ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Event class.
+    pub kind: EventKind,
+    /// Start timestamp ([`clock::now`] ticks).
+    pub start: u64,
+    /// End timestamp.
+    pub end: u64,
+}
+
+impl EventRecord {
+    /// Interval length in ticks (saturating — cross-thread TSC skew can
+    /// produce tiny negative intervals on pathological hardware).
+    #[inline]
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A per-worker event log. Owned by its worker thread while profiling
+/// (no synchronization on the record path), collected by the team
+/// afterwards.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PerfLog {
+    worker: usize,
+    enabled: bool,
+    events: Vec<EventRecord>,
+}
+
+impl PerfLog {
+    /// Creates a log for `worker`; when `enabled` is false every call is
+    /// a no-op (the runtime's default, matching the paper's observation
+    /// that logging has measurable overhead on fine-grained tasks).
+    pub fn new(worker: usize, enabled: bool) -> Self {
+        PerfLog {
+            worker,
+            enabled,
+            events: if enabled {
+                Vec::with_capacity(4096)
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// The worker this log belongs to.
+    #[inline]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Marks the start of an event; returns the timestamp to hand back to
+    /// [`push`](Self::push). Zero-cost when disabled.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        if self.enabled {
+            clock::now()
+        } else {
+            0
+        }
+    }
+
+    /// Records an event of `kind` that began at `start` and ends now.
+    #[inline]
+    pub fn push(&mut self, kind: EventKind, start: u64) {
+        if self.enabled {
+            let end = clock::now();
+            self.events.push(EventRecord { kind, start, end });
+        }
+    }
+
+    /// Records a fully specified interval (used by tests and replay).
+    #[inline]
+    pub fn push_span(&mut self, kind: EventKind, start: u64, end: u64) {
+        if self.enabled {
+            self.events.push(EventRecord { kind, start, end });
+        }
+    }
+
+    /// The recorded events.
+    #[inline]
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// Total recorded ticks per event kind.
+    pub fn totals(&self) -> [u64; 5] {
+        let mut t = [0u64; 5];
+        for e in &self.events {
+            t[e.kind as usize] += e.duration();
+        }
+        t
+    }
+
+    /// Drops all recorded events, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// Everything `xomp_perflog_dump` writes: per-worker logs, per-worker
+/// counter snapshots, and the clock calibration needed to convert ticks
+/// to seconds offline.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ProfileDump {
+    /// Per-worker event logs.
+    pub logs: Vec<PerfLog>,
+    /// Per-worker counter snapshots.
+    pub stats: Vec<StatsSnapshot>,
+    /// Host timestamp ticks per nanosecond at dump time.
+    pub cycles_per_ns: f64,
+}
+
+impl ProfileDump {
+    /// Bundles logs and counters with the clock calibration.
+    pub fn new(logs: Vec<PerfLog>, stats: Vec<StatsSnapshot>) -> Self {
+        ProfileDump {
+            logs,
+            stats,
+            cycles_per_ns: clock::cycles_per_ns(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ProfileDump serializes")
+    }
+
+    /// Writes JSON to `path` (the `xomp_perflog_dump` API).
+    pub fn dump_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes to the path named by `XOMP_PERFLOG_PATH`, if set. Returns
+    /// whether a dump was written.
+    pub fn dump_from_env(&self) -> std::io::Result<bool> {
+        match std::env::var_os("XOMP_PERFLOG_PATH") {
+            Some(p) => {
+                self.dump_to(std::path::Path::new(&p))?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Parses a dump back (for offline analysis tools and tests).
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = PerfLog::new(0, false);
+        let t = log.start();
+        assert_eq!(t, 0);
+        log.push(EventKind::Task, t);
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_ordered_intervals() {
+        let mut log = PerfLog::new(3, true);
+        let t = log.start();
+        std::hint::spin_loop();
+        log.push(EventKind::TaskCreate, t);
+        let t2 = log.start();
+        log.push(EventKind::Task, t2);
+        assert_eq!(log.events().len(), 2);
+        assert!(log.events()[0].end <= log.events()[1].start + 1_000_000);
+        assert_eq!(log.worker(), 3);
+        assert!(log.totals()[EventKind::TaskCreate as usize] > 0 || cfg!(not(target_arch = "x86_64")));
+    }
+
+    #[test]
+    fn dump_roundtrips_through_json() {
+        let mut log = PerfLog::new(0, true);
+        log.push_span(EventKind::Barrier, 100, 250);
+        let dump = ProfileDump::new(vec![log], vec![StatsSnapshot::default()]);
+        let parsed = ProfileDump::from_json(&dump.to_json()).unwrap();
+        assert_eq!(parsed.logs.len(), 1);
+        assert_eq!(parsed.logs[0].events()[0].duration(), 150);
+        assert_eq!(parsed.stats.len(), 1);
+    }
+
+    #[test]
+    fn dump_to_env_path() {
+        let dir = std::env::temp_dir().join("xgomp_perflog_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.json");
+        let dump = ProfileDump::new(vec![], vec![]);
+        dump.dump_to(&path).unwrap();
+        let loaded = ProfileDump::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(loaded.logs.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,206 @@
+//! Log-scale task-size histograms (§VI-A: "We use our profiling tools
+//! to measure task size (in rdtscp cycles) and order applications based
+//! on their task size").
+//!
+//! The paper characterizes each BOTS application by the distribution of
+//! per-task cycles (Fib 10–80, FFT mostly 10³–10⁴, Align ~10⁶, …) and
+//! keys the Table IV guidelines on it. [`TaskSizeHistogram`] builds
+//! that distribution from recorded `TASK` events.
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::{EventKind, PerfLog};
+
+/// Decade-bucketed histogram of task durations (ticks ≈ cycles on
+/// x86-64). Bucket `i` holds durations in `[10^i, 10^(i+1))`; bucket 0
+/// also absorbs sub-10-cycle tasks.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSizeHistogram {
+    /// Counts per decade, index 0 = <10^1 … index 8 = ≥10^8.
+    pub buckets: [u64; 9],
+    /// Total tasks observed.
+    pub count: u64,
+    /// Sum of durations (for the mean).
+    pub total_ticks: u64,
+    /// Smallest observed task.
+    pub min_ticks: u64,
+    /// Largest observed task.
+    pub max_ticks: u64,
+}
+
+impl TaskSizeHistogram {
+    /// Builds the histogram from every `TASK` event in the team's logs.
+    pub fn from_logs(logs: &[PerfLog]) -> Self {
+        let mut h = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
+        for log in logs {
+            for e in log.events() {
+                if e.kind == EventKind::Task {
+                    h.record(e.duration());
+                }
+            }
+        }
+        if h.count == 0 {
+            h.min_ticks = 0;
+        }
+        h
+    }
+
+    /// Records one task of `ticks` duration.
+    #[inline]
+    pub fn record(&mut self, ticks: u64) {
+        let decade = if ticks < 10 {
+            0
+        } else {
+            (ticks.ilog10() as usize).min(8)
+        };
+        self.buckets[decade] += 1;
+        self.count += 1;
+        self.total_ticks += ticks;
+        self.min_ticks = self.min_ticks.min(ticks);
+        self.max_ticks = self.max_ticks.max(ticks);
+    }
+
+    /// Mean task size in ticks (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ticks / self.count
+        }
+    }
+
+    /// The decade holding the most tasks — the paper's "highest
+    /// proportion around 10^k cycles". Returns the lower bound of the
+    /// decade (e.g. 1000 for 10³–10⁴).
+    pub fn modal_decade(&self) -> u64 {
+        let (i, _) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .unwrap();
+        10u64.pow(i as u32)
+    }
+
+    /// Renders an ASCII distribution, one row per decade.
+    pub fn render(&self) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "tasks={} mean={} min={} max={} ticks\n",
+            self.count,
+            self.mean(),
+            self.min_ticks,
+            self.max_ticks
+        ));
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = (c as u128 * 40 / max as u128) as usize;
+            out.push_str(&format!(
+                "10^{i}..10^{}: {:<40} {}\n",
+                i + 1,
+                "#".repeat(bar.max(1)),
+                c
+            ));
+        }
+        out
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &TaskSizeHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ticks += other.total_ticks;
+        if other.count > 0 {
+            self.min_ticks = self.min_ticks.min(other.min_ticks);
+            self.max_ticks = self.max_ticks.max(other.max_ticks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_decade() {
+        let mut h = TaskSizeHistogram::default();
+        h.min_ticks = u64::MAX;
+        for t in [3u64, 12, 99, 100, 5_000, 123_456] {
+            h.record(t);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.buckets[0], 1); // 3
+        assert_eq!(h.buckets[1], 2); // 12, 99
+        assert_eq!(h.buckets[2], 1); // 100
+        assert_eq!(h.buckets[3], 1); // 5000
+        assert_eq!(h.buckets[5], 1); // 123456
+        assert_eq!(h.min_ticks, 3);
+        assert_eq!(h.max_ticks, 123_456);
+    }
+
+    #[test]
+    fn modal_decade_and_mean() {
+        let mut h = TaskSizeHistogram::default();
+        h.min_ticks = u64::MAX;
+        for _ in 0..10 {
+            h.record(2_000); // decade 10^3
+        }
+        h.record(50);
+        assert_eq!(h.modal_decade(), 1_000);
+        assert_eq!(h.mean(), (10 * 2_000 + 50) / 11);
+    }
+
+    #[test]
+    fn from_logs_selects_only_task_events() {
+        let mut log = PerfLog::new(0, true);
+        log.push_span(EventKind::Task, 0, 150);
+        log.push_span(EventKind::TaskCreate, 0, 9_999); // ignored
+        log.push_span(EventKind::Task, 1_000, 1_020);
+        let h = TaskSizeHistogram::from_logs(&[log]);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.buckets[2], 1); // 150
+        assert_eq!(h.buckets[1], 1); // 20
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TaskSizeHistogram::default();
+        a.min_ticks = u64::MAX;
+        a.record(10);
+        let mut b = TaskSizeHistogram::default();
+        b.min_ticks = u64::MAX;
+        b.record(100_000);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.min_ticks, 10);
+        assert_eq!(a.max_ticks, 100_000);
+    }
+
+    #[test]
+    fn render_is_humane() {
+        let mut h = TaskSizeHistogram::default();
+        h.min_ticks = u64::MAX;
+        for _ in 0..5 {
+            h.record(500);
+        }
+        let s = h.render();
+        assert!(s.contains("tasks=5"));
+        assert!(s.contains("10^2..10^3"));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = TaskSizeHistogram::from_logs(&[]);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min_ticks, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The machine model: sockets × cores × SMT with one NUMA zone per socket
+//! and a SLIT-style distance matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a NUMA zone (== socket in this model, as on the paper's
+/// Skylake machine: 8 sockets, 8 zones).
+pub type ZoneId = usize;
+
+/// Normalized SLIT distance to the local node (ACPI convention).
+pub const LOCAL_DISTANCE: u32 = 10;
+/// Normalized SLIT distance to a remote node (typical two-hop value).
+pub const REMOTE_DISTANCE: u32 = 21;
+
+/// A simulated multi-socket machine.
+///
+/// Hardware threads are numbered the way Linux numbers them under
+/// `OMP_PROC_BIND=close` enumeration: hardware thread `h` lives on core
+/// `h / smt`, and core `c` lives on socket `c / cores_per_socket`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineTopology {
+    sockets: usize,
+    cores_per_socket: usize,
+    smt: usize,
+}
+
+impl MachineTopology {
+    /// Builds a topology; every argument must be ≥ 1.
+    pub fn new(sockets: usize, cores_per_socket: usize, smt: usize) -> Self {
+        assert!(sockets >= 1 && cores_per_socket >= 1 && smt >= 1);
+        MachineTopology {
+            sockets,
+            cores_per_socket,
+            smt,
+        }
+    }
+
+    /// The paper's evaluation machine: Intel Skylake, 192 cores / 384
+    /// hardware threads, eight NUMA zones (8 sockets × 24 cores × SMT-2).
+    pub fn skylake192() -> Self {
+        MachineTopology::new(8, 24, 2)
+    }
+
+    /// A small dual-socket machine useful for tests (2 × 4 × 1).
+    pub fn dual_socket8() -> Self {
+        MachineTopology::new(2, 4, 1)
+    }
+
+    /// Picks a topology that exercises NUMA logic for `n_workers` workers:
+    /// at least two zones whenever there are two or more workers, with
+    /// zone sizes balanced. Used by the bench harness when running on
+    /// machines much smaller than the paper's.
+    pub fn fit_workers(n_workers: usize) -> Self {
+        if n_workers <= 1 {
+            return MachineTopology::new(1, 1, 1);
+        }
+        // Prefer the paper's 8 zones when enough workers exist for ≥2
+        // workers per zone; otherwise 2 zones.
+        let sockets = if n_workers >= 16 { 8 } else { 2 };
+        let cores = n_workers.div_ceil(sockets).max(1);
+        MachineTopology::new(sockets, cores, 1)
+    }
+
+    /// Number of sockets (== NUMA zones).
+    #[inline]
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Number of NUMA zones (one per socket in this model).
+    #[inline]
+    pub fn zones(&self) -> usize {
+        self.sockets
+    }
+
+    /// Physical cores per socket.
+    #[inline]
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Hardware threads per core.
+    #[inline]
+    pub fn smt(&self) -> usize {
+        self.smt
+    }
+
+    /// Total physical cores.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total hardware threads (placement slots).
+    #[inline]
+    pub fn total_hw_threads(&self) -> usize {
+        self.total_cores() * self.smt
+    }
+
+    /// Core that hardware thread `hw` lives on.
+    #[inline]
+    pub fn core_of_hw(&self, hw: usize) -> usize {
+        debug_assert!(hw < self.total_hw_threads());
+        hw / self.smt
+    }
+
+    /// Zone that core `core` lives on.
+    #[inline]
+    pub fn zone_of_core(&self, core: usize) -> ZoneId {
+        debug_assert!(core < self.total_cores());
+        core / self.cores_per_socket
+    }
+
+    /// SLIT-style distance between two zones.
+    #[inline]
+    pub fn distance(&self, a: ZoneId, b: ZoneId) -> u32 {
+        if a == b {
+            LOCAL_DISTANCE
+        } else {
+            REMOTE_DISTANCE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_matches_paper_machine() {
+        let m = MachineTopology::skylake192();
+        assert_eq!(m.total_cores(), 192);
+        assert_eq!(m.total_hw_threads(), 384);
+        assert_eq!(m.zones(), 8);
+    }
+
+    #[test]
+    fn hw_thread_to_zone_mapping() {
+        let m = MachineTopology::skylake192();
+        // First hw thread of socket 1 is hw 48 (24 cores * 2 smt).
+        assert_eq!(m.zone_of_core(m.core_of_hw(0)), 0);
+        assert_eq!(m.zone_of_core(m.core_of_hw(47)), 0);
+        assert_eq!(m.zone_of_core(m.core_of_hw(48)), 1);
+        assert_eq!(m.zone_of_core(m.core_of_hw(383)), 7);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_reflexive() {
+        let m = MachineTopology::skylake192();
+        for a in 0..m.zones() {
+            assert_eq!(m.distance(a, a), LOCAL_DISTANCE);
+            for b in 0..m.zones() {
+                assert_eq!(m.distance(a, b), m.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn fit_workers_always_multizone_for_teams() {
+        for n in 2..64 {
+            let m = MachineTopology::fit_workers(n);
+            assert!(m.zones() >= 2, "{n} workers got {} zones", m.zones());
+            assert!(m.total_hw_threads() >= n);
+        }
+        assert_eq!(MachineTopology::fit_workers(1).zones(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Worker → hardware-thread placement and locality classification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::{MachineTopology, ZoneId};
+
+/// Thread-affinity policy, mirroring `OMP_PROC_BIND`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Affinity {
+    /// Consecutive workers on consecutive hardware threads (fills a socket
+    /// before spilling to the next). The paper binds threads this way.
+    Close,
+    /// Workers round-robined across sockets.
+    Spread,
+}
+
+/// Locality of a task execution relative to its creation site (the
+/// classification behind the paper's `NTASKS_SELF` / `NTASKS_LOCAL` /
+/// `NTASKS_REMOTE` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Executed by the worker that created it (first-level cache hits).
+    SelfCore,
+    /// Executed by a different worker in the creating NUMA zone (shared
+    /// cache, local memory).
+    Local,
+    /// Executed in a different NUMA zone (remote memory access).
+    Remote,
+}
+
+/// A fixed assignment of `n_workers` workers to hardware threads of a
+/// [`MachineTopology`], with precomputed zone membership lists used by the
+/// DLB victim-selection fast path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Placement {
+    topo: MachineTopology,
+    affinity: Affinity,
+    /// worker → hardware thread
+    hw_of_worker: Vec<usize>,
+    /// worker → zone (cached)
+    zone_of_worker: Vec<ZoneId>,
+    /// zone → workers in it (ascending)
+    workers_in_zone: Vec<Vec<usize>>,
+    /// worker → other workers in its zone (excludes self)
+    local_peers: Vec<Vec<usize>>,
+    /// worker → workers outside its zone
+    remote_peers: Vec<Vec<usize>>,
+}
+
+impl Placement {
+    /// Places `n_workers` workers on `topo` under `affinity`.
+    ///
+    /// More workers than hardware threads is allowed (oversubscription —
+    /// the normal case in this reproduction); extra workers wrap around
+    /// the hardware-thread list, which preserves the zone structure.
+    pub fn new(topo: MachineTopology, n_workers: usize, affinity: Affinity) -> Self {
+        assert!(n_workers >= 1);
+        let hw_total = topo.total_hw_threads();
+        let hw_of_worker: Vec<usize> = (0..n_workers)
+            .map(|w| match affinity {
+                Affinity::Close => w % hw_total,
+                Affinity::Spread => {
+                    // Round-robin sockets, then cores within a socket.
+                    let slot = w % hw_total;
+                    let socket = slot % topo.sockets();
+                    let within = slot / topo.sockets();
+                    let hw_per_socket = topo.cores_per_socket() * topo.smt();
+                    socket * hw_per_socket + (within % hw_per_socket)
+                }
+            })
+            .collect();
+        let zone_of_worker: Vec<ZoneId> = hw_of_worker
+            .iter()
+            .map(|&hw| topo.zone_of_core(topo.core_of_hw(hw)))
+            .collect();
+        let mut workers_in_zone = vec![Vec::new(); topo.zones()];
+        for (w, &z) in zone_of_worker.iter().enumerate() {
+            workers_in_zone[z].push(w);
+        }
+        let local_peers: Vec<Vec<usize>> = (0..n_workers)
+            .map(|w| {
+                workers_in_zone[zone_of_worker[w]]
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != w)
+                    .collect()
+            })
+            .collect();
+        let remote_peers: Vec<Vec<usize>> = (0..n_workers)
+            .map(|w| {
+                (0..n_workers)
+                    .filter(|&p| p != w && zone_of_worker[p] != zone_of_worker[w])
+                    .collect()
+            })
+            .collect();
+        Placement {
+            topo,
+            affinity,
+            hw_of_worker,
+            zone_of_worker,
+            workers_in_zone,
+            local_peers,
+            remote_peers,
+        }
+    }
+
+    /// Convenience: close-affinity placement on a topology fitted to the
+    /// worker count (the runtime's default).
+    pub fn default_for(n_workers: usize) -> Self {
+        Placement::new(MachineTopology::fit_workers(n_workers), n_workers, Affinity::Close)
+    }
+
+    /// Number of placed workers.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.hw_of_worker.len()
+    }
+
+    /// The underlying machine model.
+    #[inline]
+    pub fn topology(&self) -> &MachineTopology {
+        &self.topo
+    }
+
+    /// The affinity policy used.
+    #[inline]
+    pub fn affinity(&self) -> Affinity {
+        self.affinity
+    }
+
+    /// Hardware thread worker `w` is (virtually) bound to.
+    #[inline]
+    pub fn hw_thread_of(&self, w: usize) -> usize {
+        self.hw_of_worker[w]
+    }
+
+    /// NUMA zone of worker `w`.
+    #[inline]
+    pub fn zone_of(&self, w: usize) -> ZoneId {
+        self.zone_of_worker[w]
+    }
+
+    /// Workers bound to zone `z` (ascending worker ids).
+    #[inline]
+    pub fn workers_in_zone(&self, z: ZoneId) -> &[usize] {
+        &self.workers_in_zone[z]
+    }
+
+    /// Other workers in `w`'s zone (victim candidates under `p_local`).
+    #[inline]
+    pub fn local_peers(&self, w: usize) -> &[usize] {
+        &self.local_peers[w]
+    }
+
+    /// Workers outside `w`'s zone (victim candidates with prob.
+    /// `1 - p_local`).
+    #[inline]
+    pub fn remote_peers(&self, w: usize) -> &[usize] {
+        &self.remote_peers[w]
+    }
+
+    /// Classifies where `executor` ran a task created by `creator`.
+    #[inline]
+    pub fn locality(&self, creator: usize, executor: usize) -> Locality {
+        if creator == executor {
+            Locality::SelfCore
+        } else if self.zone_of_worker[creator] == self.zone_of_worker[executor] {
+            Locality::Local
+        } else {
+            Locality::Remote
+        }
+    }
+
+    /// Whether two workers share a NUMA zone.
+    #[inline]
+    pub fn is_numa_local(&self, a: usize, b: usize) -> bool {
+        self.zone_of_worker[a] == self.zone_of_worker[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_affinity_fills_sockets_in_order() {
+        let topo = MachineTopology::new(2, 2, 1); // 4 hw threads
+        let p = Placement::new(topo, 4, Affinity::Close);
+        assert_eq!(
+            (0..4).map(|w| p.zone_of(w)).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1]
+        );
+    }
+
+    #[test]
+    fn spread_affinity_alternates_sockets() {
+        let topo = MachineTopology::new(2, 2, 1);
+        let p = Placement::new(topo, 4, Affinity::Spread);
+        assert_eq!(
+            (0..4).map(|w| p.zone_of(w)).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn oversubscription_wraps_preserving_zones() {
+        let topo = MachineTopology::new(2, 1, 1); // 2 hw threads
+        let p = Placement::new(topo, 6, Affinity::Close);
+        assert_eq!(
+            (0..6).map(|w| p.zone_of(w)).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn peers_partition_the_team() {
+        let p = Placement::new(MachineTopology::skylake192(), 192, Affinity::Close);
+        for w in 0..192 {
+            let locals = p.local_peers(w);
+            let remotes = p.remote_peers(w);
+            assert_eq!(locals.len() + remotes.len() + 1, 192);
+            assert!(!locals.contains(&w));
+            assert!(!remotes.contains(&w));
+            for &l in locals {
+                assert!(p.is_numa_local(w, l));
+            }
+            for &r in remotes {
+                assert!(!p.is_numa_local(w, r));
+            }
+        }
+        // Paper setup: 24 cores per socket -> close affinity puts workers
+        // 0..48 on zone 0 (SMT-2) ... with 192 workers over 384 hw threads
+        // zone 0 holds the first 48 worker slots.
+        assert_eq!(p.zone_of(0), 0);
+        assert_eq!(p.zone_of(47), 0);
+        assert_eq!(p.zone_of(48), 1);
+    }
+
+    #[test]
+    fn locality_classification() {
+        let p = Placement::new(MachineTopology::new(2, 2, 1), 4, Affinity::Close);
+        assert_eq!(p.locality(1, 1), Locality::SelfCore);
+        assert_eq!(p.locality(0, 1), Locality::Local);
+        assert_eq!(p.locality(0, 2), Locality::Remote);
+    }
+}

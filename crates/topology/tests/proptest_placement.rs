@@ -1,0 +1,105 @@
+//! Property tests: placement invariants over arbitrary machine shapes,
+//! team sizes, and affinity policies.
+
+use proptest::prelude::*;
+use xgomp_topology::{Affinity, Locality, MachineTopology, Placement};
+
+fn arb_affinity() -> impl Strategy<Value = Affinity> {
+    prop_oneof![Just(Affinity::Close), Just(Affinity::Spread)]
+}
+
+proptest! {
+    #[test]
+    fn zone_lists_partition_the_team(
+        sockets in 1usize..9,
+        cores in 1usize..9,
+        smt in 1usize..3,
+        workers in 1usize..65,
+        affinity in arb_affinity(),
+    ) {
+        let topo = MachineTopology::new(sockets, cores, smt);
+        let p = Placement::new(topo, workers, affinity);
+        // Every worker appears in exactly one zone list.
+        let mut seen = vec![0u32; workers];
+        for z in 0..p.topology().zones() {
+            for &w in p.workers_in_zone(z) {
+                prop_assert_eq!(p.zone_of(w), z);
+                seen[w] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "zone lists not a partition");
+    }
+
+    #[test]
+    fn peers_are_consistent_with_zones(
+        sockets in 1usize..6,
+        cores in 1usize..6,
+        workers in 1usize..33,
+        affinity in arb_affinity(),
+    ) {
+        let topo = MachineTopology::new(sockets, cores, 1);
+        let p = Placement::new(topo, workers, affinity);
+        for w in 0..workers {
+            prop_assert_eq!(
+                p.local_peers(w).len() + p.remote_peers(w).len() + 1,
+                workers
+            );
+            for &l in p.local_peers(w) {
+                prop_assert!(p.is_numa_local(w, l));
+                prop_assert_ne!(l, w);
+            }
+            for &r in p.remote_peers(w) {
+                prop_assert!(!p.is_numa_local(w, r));
+            }
+        }
+    }
+
+    #[test]
+    fn locality_is_symmetric_for_non_self(
+        workers in 2usize..33,
+        a in 0usize..32,
+        b in 0usize..32,
+    ) {
+        let p = Placement::default_for(workers);
+        let (a, b) = (a % workers, b % workers);
+        match (p.locality(a, b), p.locality(b, a)) {
+            (Locality::SelfCore, Locality::SelfCore) => prop_assert_eq!(a, b),
+            (Locality::Local, Locality::Local) | (Locality::Remote, Locality::Remote) => {}
+            (x, y) => prop_assert!(false, "asymmetric locality {x:?}/{y:?}"),
+        }
+    }
+
+    #[test]
+    fn close_affinity_is_contiguous_per_zone(
+        sockets in 1usize..5,
+        cores in 1usize..7,
+        smt in 1usize..3,
+    ) {
+        let topo = MachineTopology::new(sockets, cores, smt);
+        let workers = topo.total_hw_threads(); // exactly fill the machine
+        let p = Placement::new(topo, workers, Affinity::Close);
+        // Under close affinity, each zone's workers are one contiguous
+        // id range.
+        for z in 0..p.topology().zones() {
+            let ws = p.workers_in_zone(z);
+            if ws.is_empty() {
+                continue;
+            }
+            let lo = *ws.first().unwrap();
+            let hi = *ws.last().unwrap();
+            prop_assert_eq!(hi - lo + 1, ws.len(), "zone {} not contiguous", z);
+        }
+    }
+
+    #[test]
+    fn distances_form_a_valid_slit(sockets in 1usize..9) {
+        let topo = MachineTopology::new(sockets, 2, 1);
+        for a in 0..topo.zones() {
+            for b in 0..topo.zones() {
+                let d = topo.distance(a, b);
+                prop_assert_eq!(d == 10, a == b, "local distance iff same zone");
+                prop_assert_eq!(topo.distance(a, b), topo.distance(b, a));
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # xgomp-xqueue
+//!
+//! The lock-less queuing substrate of the XGOMP runtime, reproducing the
+//! data structures of *"Optimizing Fine-Grained Parallelism Through Dynamic
+//! Load Balancing on Multi-Socket Many-Core Systems"* (IPPS 2025) and its
+//! prior work (XQueue, MASCOTS 2021; B-queue, Fang et al.).
+//!
+//! Two layers are provided:
+//!
+//! * [`BQueue`] — a bounded single-producer/single-consumer ring buffer that
+//!   synchronizes exclusively through the *contents* of its slots (a null
+//!   pointer means "empty slot"). Producer and consumer each keep private
+//!   cursors and only probe a shared slot once per *batch*, which is what
+//!   makes core-to-core hand-off cost ~tens of cycles instead of a cache
+//!   ping-pong per element.
+//! * [`XQueueLattice`] — the XQueue structure: for a team of `n` workers,
+//!   an `n × n` matrix of B-queues. Worker `w`'s *master* queue is
+//!   `(producer = w, consumer = w)`; the remaining `n - 1` queues in
+//!   column `w` are its *auxiliary* queues, each written by exactly one
+//!   other worker. Every queue therefore stays strictly SPSC while the
+//!   aggregate behaves as a relaxed-order MPMC queue.
+//!
+//! ## Lock-less, in the paper's sense
+//!
+//! The paper distinguishes *lock-free* code (atomic read-modify-write
+//! primitives such as compare-and-swap) from *lock-less* code (plain loads
+//! and stores only, made safe by single-writer disciplines). Everything in
+//! this crate is lock-less: the only atomic operations are `load(Acquire)`
+//! and `store(Release)`, which compile to ordinary `MOV`s on x86-64. There
+//! is **no atomic RMW instruction anywhere in this crate** — a property
+//! checked by `tests/no_rmw.rs` via the public API's construction.
+//!
+//! ## Safety model
+//!
+//! Rust forbids the C trick of racing on `volatile` cells, so the slot
+//! array is `AtomicPtr` and the SPSC contract is expressed as `unsafe`
+//! role methods: [`BQueue::enqueue`]/[`BQueue::dequeue`] require that at
+//! most one thread acts as producer and one as consumer at any time. The
+//! safe [`spsc::channel`] wrapper enforces the discipline with owned
+//! handles; the runtime's scheduler enforces it structurally (worker `p`
+//! only ever produces into row `p` of the lattice).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod backoff;
+mod bqueue;
+mod lattice;
+pub mod spsc;
+
+pub use backoff::Backoff;
+pub use bqueue::{BQueue, DEFAULT_CAPACITY};
+pub use lattice::{LatticeStats, PushCursor, XQueueLattice};

@@ -1,0 +1,154 @@
+//! Property tests: the B-queue and the XQueue lattice against reference
+//! models, plus conservation under randomized multi-threaded schedules.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use xgomp_xqueue::spsc;
+use xgomp_xqueue::{PushCursor, XQueueLattice};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Send(u32),
+    Recv,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..10_000).prop_map(Op::Send),
+        Just(Op::Recv),
+    ]
+}
+
+proptest! {
+    /// Single-threaded model equivalence: a B-queue behaves exactly like a
+    /// bounded FIFO for any operation sequence (the same thread may hold
+    /// both SPSC roles).
+    #[test]
+    fn bqueue_matches_bounded_fifo(
+        cap in 1usize..64,
+        ops in vec(op_strategy(), 0..400),
+    ) {
+        let (tx, rx) = spsc::channel::<u32>(cap);
+        let real_cap = cap.max(2).next_power_of_two();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Send(v) => {
+                    let got = tx.send(v);
+                    if model.len() < real_cap {
+                        prop_assert_eq!(got, Ok(()), "queue rejected below capacity");
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(got, Err(v), "queue accepted beyond capacity");
+                    }
+                }
+                Op::Recv => {
+                    prop_assert_eq!(rx.recv(), model.pop_front());
+                }
+            }
+        }
+        // Full drain matches.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(rx.recv(), Some(expect));
+        }
+        prop_assert_eq!(rx.recv(), None);
+    }
+
+    /// Lattice conservation: pushing any pattern of items through any
+    /// push-target sequence and popping from all rows loses nothing and
+    /// duplicates nothing (single-threaded, roles exercised in order).
+    #[test]
+    fn lattice_conserves_items(
+        n in 1usize..6,
+        cap in 1usize..16,
+        pushes in vec((any::<u8>(), any::<u16>()), 0..300),
+    ) {
+        let lattice = XQueueLattice::<u16>::new(n, cap);
+        let mut cursors: Vec<PushCursor> = (0..n).map(|w| PushCursor::new(n, w)).collect();
+        let mut pushed: Vec<u16> = Vec::new();
+        let mut overflowed: Vec<u16> = Vec::new();
+        for (who, value) in pushes {
+            let producer = who as usize % n;
+            let target = cursors[producer].next();
+            let boxed = Box::into_raw(Box::new(value));
+            let ptr = std::ptr::NonNull::new(boxed).unwrap();
+            // SAFETY: single-threaded test; roles trivially unique.
+            match unsafe { lattice.push(producer, target, ptr) } {
+                Ok(()) => pushed.push(value),
+                Err(p) => {
+                    overflowed.push(*unsafe { Box::from_raw(p.as_ptr()) });
+                }
+            }
+        }
+        let mut popped: Vec<u16> = Vec::new();
+        for c in 0..n {
+            // SAFETY: single-threaded test.
+            while let Some(p) = unsafe { lattice.pop(c) } {
+                popped.push(*unsafe { Box::from_raw(p.as_ptr()) });
+            }
+        }
+        let mut a = pushed;
+        a.sort_unstable();
+        popped.sort_unstable();
+        prop_assert_eq!(a, popped, "lattice lost or duplicated items");
+        // Overflowed values were returned intact.
+        prop_assert!(overflowed.len() <= 300);
+    }
+
+    /// Push cursor always starts with the owner's master queue and visits
+    /// every consumer once per cycle.
+    #[test]
+    fn push_cursor_is_a_permutation(n in 1usize..32, owner_seed in any::<u16>()) {
+        let owner = owner_seed as usize % n;
+        let mut cursor = PushCursor::new(n, owner);
+        let first = cursor.next();
+        prop_assert_eq!(first, owner, "first target must be the master queue");
+        let mut seen = vec![false; n];
+        seen[first] = true;
+        for _ in 1..n {
+            let t = cursor.next();
+            prop_assert!(!seen[t], "cursor revisited {} before finishing a cycle", t);
+            seen[t] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
+
+/// Randomized two-thread schedule: a producer with proptest-chosen burst
+/// lengths and a consumer; every value arrives exactly once and in order.
+#[test]
+fn two_thread_ordered_delivery() {
+    use rand::{Rng, SeedableRng};
+    let mut seeds = rand::rngs::StdRng::seed_from_u64(0xB0E5);
+    for _round in 0..8 {
+        let cap = 1usize << seeds.gen_range(1..8);
+        let total = seeds.gen_range(1_000..20_000u64);
+        let (tx, rx) = spsc::channel::<u64>(cap);
+        let producer = std::thread::spawn(move || {
+            for i in 0..total {
+                let mut v = i;
+                loop {
+                    match tx.send(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < total {
+            if let Some(v) = rx.recv() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,49 @@
+//! The §V profiling tools: run BOTS Sort with per-thread event logging
+//! enabled, render the Fig. 3-style timeline and task-count summaries,
+//! and dump the raw log as JSON (the `xomp_perflog_dump` equivalent —
+//! set `XOMP_PERFLOG_PATH=/tmp/perflog.json` to write it).
+//!
+//! ```text
+//! cargo run --release --example profile_timeline
+//! ```
+
+use xgomp::bots::{BotsApp, Scale};
+use xgomp::{render_task_counts, render_timeline, state_summary, ProfileDump, Runtime, RuntimeConfig};
+
+fn main() {
+    let threads = 8;
+    let app = BotsApp::Sort;
+    let rt = Runtime::new(RuntimeConfig::xgomp(threads).profiling(true));
+    let out = rt.parallel(|ctx| app.run_par(ctx, Scale::Quick));
+
+    println!("=== {} under XGOMP, {} workers ===\n", app.name(), threads);
+    print!("{}", render_timeline(&out.logs, 100));
+    print!("{}", render_task_counts(&out.stats.workers));
+
+    println!("\nper-thread state totals (ticks):");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14}  util%",
+        "thread", "TASK", "GOMP_TASK", "TASKWAIT", "BARRIER", "STALL"
+    );
+    for row in state_summary(&out.logs) {
+        let total = row.total().max(1);
+        println!(
+            "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14}  {:>4.1}",
+            row.worker,
+            row.ticks[0],
+            row.ticks[1],
+            row.ticks[2],
+            row.ticks[3],
+            row.ticks[4],
+            100.0 * row.utilized() as f64 / total as f64
+        );
+    }
+
+    // The xomp_perflog_dump path: JSON to $XOMP_PERFLOG_PATH if set.
+    let dump = ProfileDump::new(out.logs, out.stats.workers);
+    match dump.dump_from_env() {
+        Ok(true) => println!("\nperflog written to $XOMP_PERFLOG_PATH"),
+        Ok(false) => println!("\n(set XOMP_PERFLOG_PATH to dump the raw JSON log)"),
+        Err(e) => eprintln!("perflog dump failed: {e}"),
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: open a parallel region on the paper's best runtime
+//! (XGOMPTB = XQueue + distributed tree barrier), spawn fine-grained
+//! tasks that borrow from the stack, and read the §V statistics back.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use xgomp::{DlbConfig, DlbStrategy, Runtime, RuntimeConfig};
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get() * 2)
+        .unwrap_or(4);
+
+    // 1. A plain XGOMPTB runtime (static round-robin balancing).
+    let rt = Runtime::new(RuntimeConfig::xgomptb(threads));
+    let out = rt.parallel(|ctx| {
+        // `scope` = spawn + implicit taskwait; closures may borrow.
+        let mut squares = vec![0u64; 1024];
+        ctx.scope(|s| {
+            for (i, sq) in squares.iter_mut().enumerate() {
+                s.spawn(move |_| *sq = (i as u64).pow(2));
+            }
+        });
+        squares.iter().sum::<u64>()
+    });
+    println!("sum of squares 0..1024  = {}", out.result);
+    println!("tasks executed          = {}", out.stats.total().tasks_executed);
+    println!("region wall time        = {:?}", out.wall);
+
+    // 2. Same region with NUMA-aware work stealing (NA-WS) enabled.
+    let rt = Runtime::new(
+        RuntimeConfig::xgomptb(threads).dlb(DlbConfig::new(DlbStrategy::WorkSteal)),
+    );
+    let out = rt.parallel(|ctx| {
+        // Recursive tasking: BOTS-style Fibonacci, a task per call.
+        xgomp::bots::fib::par(ctx, 24)
+    });
+    let total = out.stats.total();
+    println!("\nfib(24)                 = {}", out.result);
+    println!("tasks created           = {}", total.tasks_created);
+    println!(
+        "locality self/local/rem = {}/{}/{}",
+        total.ntasks_self, total.ntasks_local, total.ntasks_remote
+    );
+    println!(
+        "steal requests sent     = {} (handled {}, moved {} tasks)",
+        total.nreq_sent, total.nreq_handled, total.ntasks_stolen
+    );
+}

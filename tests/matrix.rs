@@ -1,0 +1,127 @@
+//! Cross-crate correctness matrix: every BOTS application must produce
+//! the sequential result under every runtime preset, every barrier, and
+//! both DLB strategies. This is the reproduction's master correctness
+//! gate (schedulers × barriers × allocators × balancers).
+
+use xgomp::bots::{BotsApp, Scale};
+use xgomp::{
+    AllocKind, BarrierKind, DlbConfig, DlbStrategy, Runtime, RuntimeConfig,
+};
+
+fn check(cfg: RuntimeConfig, app: BotsApp) {
+    let expect = app.run_seq(Scale::Test);
+    let name = cfg.name();
+    let rt = Runtime::new(cfg);
+    let out = rt.parallel(|ctx| app.run_par(ctx, Scale::Test));
+    assert_eq!(out.result, expect, "{} wrong under {}", app.name(), name);
+    out.stats
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("{} invariants under {}: {}", app.name(), name, e));
+    // Conservation: created == executed after quiescence.
+    let t = out.stats.total();
+    assert_eq!(
+        t.tasks_created, t.tasks_executed,
+        "{} leaked tasks under {}",
+        app.name(),
+        name
+    );
+}
+
+#[test]
+fn all_apps_on_all_five_presets() {
+    for app in BotsApp::ALL {
+        for cfg in [
+            RuntimeConfig::gomp(4),
+            RuntimeConfig::lomp(4),
+            RuntimeConfig::xgomp(4),
+            RuntimeConfig::xgomptb(4),
+            RuntimeConfig::xlomp(4),
+        ] {
+            check(cfg, app);
+        }
+    }
+}
+
+#[test]
+fn all_apps_with_na_ws() {
+    for app in BotsApp::ALL {
+        let cfg = RuntimeConfig::xgomptb(4).dlb(
+            DlbConfig::new(DlbStrategy::WorkSteal)
+                .n_victim(2)
+                .n_steal(8)
+                .t_interval(64),
+        );
+        check(cfg, app);
+    }
+}
+
+#[test]
+fn all_apps_with_na_rp() {
+    for app in BotsApp::ALL {
+        let cfg = RuntimeConfig::xgomptb(4).dlb(
+            DlbConfig::new(DlbStrategy::RedirectPush)
+                .n_victim(2)
+                .n_steal(8)
+                .t_interval(64),
+        );
+        check(cfg, app);
+    }
+}
+
+#[test]
+fn barrier_ablations_are_all_correct() {
+    // XQueue scheduler under each barrier (isolates §III-B).
+    for barrier in [
+        BarrierKind::Centralized,
+        BarrierKind::AtomicCount,
+        BarrierKind::Tree,
+    ] {
+        for app in [BotsApp::Fib, BotsApp::Uts, BotsApp::Sort] {
+            check(RuntimeConfig::xgomptb(4).barrier(barrier), app);
+        }
+    }
+}
+
+#[test]
+fn allocator_ablations_are_all_correct() {
+    for alloc in [AllocKind::Malloc, AllocKind::MultiLevel] {
+        for app in [BotsApp::Fib, BotsApp::Health, BotsApp::Strassen] {
+            check(RuntimeConfig::xgomptb(4).allocator(alloc), app);
+        }
+    }
+}
+
+#[test]
+fn single_worker_teams_degenerate_correctly() {
+    for app in BotsApp::ALL {
+        check(RuntimeConfig::xgomptb(1), app);
+    }
+}
+
+#[test]
+fn oversubscribed_team_still_correct() {
+    // Far more workers than physical cores (this container has few):
+    // liveness depends on the backoff yielding, which this exercises.
+    for app in [BotsApp::Fib, BotsApp::Fft, BotsApp::Uts] {
+        check(RuntimeConfig::xgomptb(16), app);
+        check(RuntimeConfig::gomp(16), app);
+    }
+}
+
+#[test]
+fn tiny_queues_force_immediate_execution_everywhere() {
+    // Fib/NQueens/UTS create far more tasks than 4 workers × capacity-2
+    // queues can hold, so the overflow path must fire.
+    for app in [BotsApp::Fib, BotsApp::NQueens, BotsApp::Uts] {
+        let cfg = RuntimeConfig::xgomptb(4).queue_capacity(2);
+        let expect = app.run_seq(Scale::Test);
+        let rt = Runtime::new(cfg);
+        let out = rt.parallel(|ctx| app.run_par(ctx, Scale::Test));
+        assert_eq!(out.result, expect, "{}", app.name());
+        assert!(
+            out.stats.total().ntasks_imm_exec > 0,
+            "{}: capacity-2 queues must overflow",
+            app.name()
+        );
+    }
+}

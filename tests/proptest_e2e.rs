@@ -1,0 +1,130 @@
+//! Property-based end-to-end tests: randomized task DAGs, inputs, and
+//! configurations must always preserve the runtime's core invariants
+//! (exactly-once execution, quiescent termination, digest equality with
+//! the sequential reference).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xgomp::{BarrierKind, DlbConfig, DlbStrategy, Runtime, RuntimeConfig};
+
+/// A randomly shaped spawn tree: every node increments a shared counter
+/// exactly once; the total must equal the node count.
+fn spawn_tree(ctx: &xgomp::TaskCtx<'_>, shape: &[u8], depth: usize, hits: &Arc<AtomicU64>) {
+    hits.fetch_add(1, Ordering::Relaxed);
+    if depth >= shape.len() {
+        return;
+    }
+    let fanout = (shape[depth] % 4) as usize; // 0..=3 children per level
+    ctx.scope(|s| {
+        for _ in 0..fanout {
+            let hits = hits.clone();
+            let shape = shape.to_vec();
+            s.spawn(move |ctx| spawn_tree(ctx, &shape, depth + 1, &hits));
+        }
+    });
+}
+
+fn tree_size(shape: &[u8], depth: usize) -> u64 {
+    if depth >= shape.len() {
+        return 1;
+    }
+    let fanout = (shape[depth] % 4) as u64;
+    1 + fanout * tree_size(shape, depth + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs a real thread team
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_spawn_trees_execute_exactly_once(
+        shape in proptest::collection::vec(any::<u8>(), 1..7),
+        threads in 1usize..6,
+        barrier_pick in 0u8..3,
+    ) {
+        let barrier = match barrier_pick {
+            0 => BarrierKind::Centralized,
+            1 => BarrierKind::AtomicCount,
+            _ => BarrierKind::Tree,
+        };
+        let cfg = RuntimeConfig::xgomptb(threads).barrier(barrier);
+        let rt = Runtime::new(cfg);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        let shape2 = shape.clone();
+        let out = rt.parallel(move |ctx| spawn_tree(ctx, &shape2, 0, &h2));
+        let expected = tree_size(&shape, 0);
+        prop_assert_eq!(hits.load(Ordering::Relaxed), expected);
+        // Region accounting: every spawned task ran; none leaked.
+        let t = out.stats.total();
+        prop_assert_eq!(t.tasks_created, t.tasks_executed);
+        prop_assert_eq!(t.tasks_executed, expected - 1); // root body is implicit
+    }
+
+    #[test]
+    fn random_sorts_are_correct_under_dlb(
+        n in 1usize..5_000,
+        seed in any::<u64>(),
+        strategy_pick in 0u8..2,
+    ) {
+        let strategy = if strategy_pick == 0 {
+            DlbStrategy::WorkSteal
+        } else {
+            DlbStrategy::RedirectPush
+        };
+        let cfg = RuntimeConfig::xgomptb(4)
+            .dlb(DlbConfig::new(strategy).n_steal(4).t_interval(32));
+        let rt = Runtime::new(cfg);
+        let mut data = xgomp::bots::sort::gen_input(n, seed);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        rt.parallel(|ctx| xgomp::bots::sort::par(ctx, &mut data, 256, 512));
+        prop_assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn random_fib_cutoffs_agree(n in 2u64..18, cutoff in 0u64..18) {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(3));
+        let out = rt.parallel(|ctx| xgomp::bots::fib::par_cutoff(ctx, n, cutoff));
+        prop_assert_eq!(out.result, xgomp::bots::fib::seq(n));
+    }
+
+    #[test]
+    fn random_queue_capacities_never_lose_tasks(
+        cap in 2usize..64,
+        tasks in 1usize..400,
+    ) {
+        let cfg = RuntimeConfig::xgomptb(3).queue_capacity(cap);
+        let rt = Runtime::new(cfg);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        rt.parallel(move |ctx| {
+            ctx.scope(|s| {
+                for _ in 0..tasks {
+                    let h = h2.clone();
+                    s.spawn(move |_| {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        prop_assert_eq!(hits.load(Ordering::Relaxed) as usize, tasks);
+    }
+
+    #[test]
+    fn blake3_xof_is_prefix_stable(len in 0usize..2_000, out_a in 1usize..120, out_b in 1usize..120) {
+        let input: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut h = xgomp::posp::Hasher::new();
+        h.update(&input);
+        let (short, long) = if out_a <= out_b { (out_a, out_b) } else { (out_b, out_a) };
+        let mut a = vec![0u8; short];
+        let mut b = vec![0u8; long];
+        h.finalize_xof(&mut a);
+        h.finalize_xof(&mut b);
+        prop_assert_eq!(&a[..], &b[..short]);
+    }
+}
