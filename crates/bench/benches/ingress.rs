@@ -1,0 +1,134 @@
+//! Ingress-tier benchmark: submission throughput and handle-completion
+//! latency of the persistent task server, sharded vs single-queue
+//! ingress, as the number of submitter threads grows.
+//!
+//! Two sections:
+//!
+//! * Criterion-style throughput groups (`jobs/s` per configuration): one
+//!   iteration = a full burst of `JOBS` trivial jobs pushed by N
+//!   submitter threads and joined.
+//! * A latency table (p50/p99 of submit → job-body-completion), printed
+//!   once per configuration after the groups.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xgomp_core::{DlbConfig, DlbStrategy, MachineTopology, RuntimeConfig};
+use xgomp_service::{ServerConfig, TaskServer};
+
+const JOBS: u64 = 4_000;
+const THREADS: usize = 8;
+
+/// Sharded = two-socket topology (one ingress shard per zone);
+/// single-queue = everything on one zone, collapsing to one shard.
+fn server(sharded: bool) -> TaskServer {
+    let topology = if sharded {
+        MachineTopology::new(2, THREADS / 2, 1)
+    } else {
+        MachineTopology::new(1, THREADS, 1)
+    };
+    let runtime = RuntimeConfig::xgomptb(THREADS)
+        .topology(topology)
+        .dlb(DlbConfig::new(DlbStrategy::WorkSteal).t_interval(256));
+    TaskServer::start(
+        ServerConfig::new(THREADS)
+            .runtime(runtime)
+            .max_in_flight(4_096)
+            .adapt_every(0), // fixed config: measure ingress, not tuning
+    )
+}
+
+/// Pushes `JOBS` trivial jobs from `submitters` threads and joins them.
+fn burst(server: &TaskServer, submitters: u64) {
+    std::thread::scope(|s| {
+        for t in 0..submitters {
+            let server = &server;
+            s.spawn(move || {
+                let per = JOBS / submitters;
+                let handles: Vec<_> = (0..per)
+                    .map(|i| server.submit(move |_| t * per + i).expect("open"))
+                    .collect();
+                for h in handles {
+                    h.join().expect("job ok");
+                }
+            });
+        }
+    });
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    for sharded in [false, true] {
+        let label = if sharded { "sharded" } else { "single_queue" };
+        let mut g = c.benchmark_group(format!("ingress_throughput_{label}"));
+        g.throughput(Throughput::Elements(JOBS));
+        for submitters in [1u64, 2, 4, 8] {
+            let srv = server(sharded);
+            g.bench_function(format!("{submitters}_submitters"), |b| {
+                b.iter(|| burst(&srv, submitters));
+            });
+            srv.shutdown();
+        }
+        g.finish();
+    }
+}
+
+/// Latency of submit → job-body completion, measured inside the job.
+fn latency_table(_c: &mut Criterion) {
+    println!("\n== ingress_latency (submit -> completion) ==");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "ingress", "submitters", "p50", "p99", "max"
+    );
+    for sharded in [false, true] {
+        for submitters in [1usize, 4, 8] {
+            let srv = server(sharded);
+            // Warm the team up before measuring.
+            burst(&srv, submitters as u64);
+
+            let lats: Vec<Duration> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..submitters)
+                    .map(|_| {
+                        let srv = &srv;
+                        s.spawn(move || {
+                            let per = JOBS as usize / submitters;
+                            let mut local = Vec::with_capacity(per);
+                            for _ in 0..per {
+                                let t0 = Instant::now();
+                                let h = srv.submit(move |_| t0.elapsed()).expect("open");
+                                local.push(h);
+                            }
+                            local
+                                .into_iter()
+                                .map(|h| h.join().expect("job ok"))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("submitter"))
+                    .collect()
+            });
+            srv.shutdown();
+
+            let mut lats = lats;
+            lats.sort_unstable();
+            let pick = |q: f64| lats[((lats.len() - 1) as f64 * q) as usize];
+            println!(
+                "{:<14} {:>10} {:>12?} {:>12?} {:>12?}",
+                if sharded { "sharded" } else { "single_queue" },
+                submitters,
+                pick(0.50),
+                pick(0.99),
+                lats.last().copied().unwrap_or_default(),
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_throughput, latency_table
+}
+criterion_main!(benches);

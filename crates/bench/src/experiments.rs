@@ -154,12 +154,7 @@ pub fn fig06(ctx: &ExpCtx) -> Table {
 fn dlb_grid(scale: Scale) -> Vec<DlbConfig> {
     let (vic, steal, tint, ploc): (&[usize], &[usize], &[u64], &[f64]) = match scale {
         Scale::Test => (&[1, 4], &[4, 32], &[100, 10_000], &[0.5, 1.0]),
-        Scale::Quick => (
-            &[1, 8, 24],
-            &[1, 32],
-            &[1_000, 100_000],
-            &[0.03, 1.0],
-        ),
+        Scale::Quick => (&[1, 8, 24], &[1, 32], &[1_000, 100_000], &[0.03, 1.0]),
         Scale::Paper => (
             &[1, 8, 16, 24],
             &[1, 8, 16, 32],
@@ -217,8 +212,19 @@ fn stats_row(app: BotsApp, label: &str, secs: f64, s: &StatsSnapshot) -> Vec<Str
 }
 
 const STATS_HEADERS: [&str; 13] = [
-    "app", "strategy", "time", "self", "local", "remote", "static-push", "imm-exec", "req-sent",
-    "req-handled", "req-w/steal", "total-steal", "local-steal",
+    "app",
+    "strategy",
+    "time",
+    "self",
+    "local",
+    "remote",
+    "static-push",
+    "imm-exec",
+    "req-sent",
+    "req-handled",
+    "req-w/steal",
+    "total-steal",
+    "local-steal",
 ];
 
 /// Runs the full §VI-B study: parameter sweep per app per strategy,
@@ -226,13 +232,31 @@ const STATS_HEADERS: [&str; 13] = [
 pub fn dlb_study(ctx: &ExpCtx) -> DlbStudy {
     let mut table1 = Table::new(
         "Table I: optimal DLB settings (sweep winners)",
-        &["app", "strategy", "n_victim", "n_steal", "t_interval", "p_local", "time"],
+        &[
+            "app",
+            "strategy",
+            "n_victim",
+            "n_steal",
+            "t_interval",
+            "p_local",
+            "time",
+        ],
     );
     let mut fig7 = Table::new(
         "Fig. 7: best DLB vs static load balancing (lower is better)",
-        &["app", "STATIC", "BEST(NA-RP)", "BEST(NA-WS)", "RP gain", "WS gain"],
+        &[
+            "app",
+            "STATIC",
+            "BEST(NA-RP)",
+            "BEST(NA-WS)",
+            "RP gain",
+            "WS gain",
+        ],
     );
-    let mut table2 = Table::new("Table II: runtime statistics with NA-RP / NA-WS", &STATS_HEADERS);
+    let mut table2 = Table::new(
+        "Table II: runtime statistics with NA-RP / NA-WS",
+        &STATS_HEADERS,
+    );
     let mut table3 = Table::new("Table III: runtime statistics with SLB", &STATS_HEADERS);
 
     for app in BotsApp::ALL {
@@ -432,7 +456,13 @@ pub fn task_sizes(ctx: &ExpCtx) -> Table {
 pub fn table4() -> Table {
     let mut t = Table::new(
         "Table IV: optimal DLB settings per task size (guidelines)",
-        &["task size (cycles)", "best DLB", "best P_local", "steal size", "realized config"],
+        &[
+            "task size (cycles)",
+            "best DLB",
+            "best P_local",
+            "steal size",
+            "realized config",
+        ],
     );
     for g in xgomp_core::guidelines::guidelines() {
         t.row(vec![

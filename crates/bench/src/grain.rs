@@ -60,7 +60,7 @@ pub fn spin_cycles(cycles: u64) {
 /// count-balanced distribution work-imbalanced).
 #[inline]
 fn weight(leaf_id: u64) -> u64 {
-    if mix64(leaf_id) % 25 == 0 {
+    if mix64(leaf_id).is_multiple_of(25) {
         64
     } else {
         1

@@ -94,9 +94,7 @@ pub fn parse_args() -> ExpCtx {
                 i += 2;
             }
             "--help" | "-h" => {
-                println!(
-                    "flags: --scale test|quick|paper  --threads N  --reps N  --out DIR"
-                );
+                println!("flags: --scale test|quick|paper  --threads N  --reps N  --out DIR");
                 std::process::exit(0);
             }
             other => {

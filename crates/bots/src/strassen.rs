@@ -55,12 +55,7 @@ impl Matrix {
         debug_assert_eq!(self.n, o.n);
         Matrix {
             n: self.n,
-            data: self
-                .data
-                .iter()
-                .zip(&o.data)
-                .map(|(a, b)| a + b)
-                .collect(),
+            data: self.data.iter().zip(&o.data).map(|(a, b)| a + b).collect(),
         }
     }
 
@@ -68,12 +63,7 @@ impl Matrix {
         debug_assert_eq!(self.n, o.n);
         Matrix {
             n: self.n,
-            data: self
-                .data
-                .iter()
-                .zip(&o.data)
-                .map(|(a, b)| a - b)
-                .collect(),
+            data: self.data.iter().zip(&o.data).map(|(a, b)| a - b).collect(),
         }
     }
 

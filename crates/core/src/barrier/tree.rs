@@ -232,7 +232,7 @@ mod tests {
         while !b.try_release(w) {
             std::hint::spin_loop();
             spins += 1;
-            if spins % 1000 == 0 {
+            if spins.is_multiple_of(1000) {
                 std::thread::yield_now();
             }
             assert!(spins < 2_000_000_000, "barrier did not release");
@@ -269,7 +269,10 @@ mod tests {
                 break;
             }
         }
-        assert!(done.iter().all(|&d| d), "release did not reach all: {done:?}");
+        assert!(
+            done.iter().all(|&d| d),
+            "release did not reach all: {done:?}"
+        );
     }
 
     #[test]
@@ -329,15 +332,14 @@ mod tests {
                         // would: completion on this worker regardless of
                         // creator models migration (counters are global
                         // sums; the barrier must tolerate any split).
-                        if rng() % 3 != 0 {
-                            if inflight
+                        if rng() % 3 != 0
+                            && inflight
                                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
                                     v.checked_sub(1)
                                 })
                                 .is_ok()
-                            {
-                                b.task_finished(w);
-                            }
+                        {
+                            b.task_finished(w);
                         }
                         // Poll mid-storm: must not release while our own
                         // token can still be in flight.

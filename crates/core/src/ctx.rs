@@ -78,6 +78,72 @@ impl<'t> TaskCtx<'t> {
         self.spawn_impl(Box::new(f), priority);
     }
 
+    /// Spawns an already-boxed body without re-boxing — the hot
+    /// submission path of `xgomp-service`, whose ingress queues carry
+    /// boxed job bodies end to end.
+    #[inline]
+    pub fn spawn_boxed(&self, body: Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>) {
+        self.spawn_impl(body, 0);
+    }
+
+    /// Like [`run_pending`](Self::run_pending), but when the scheduler
+    /// is empty it also polls the team's ingress source (if any) and
+    /// runs whatever that injected. This is the helping step a job must
+    /// use while waiting on *another job* (`JobHandle::join_within` in
+    /// `xgomp-service`): with every worker busy waiting, the awaited
+    /// jobs may still be sitting in the ingress, reachable by no one
+    /// else.
+    pub fn help_pending(&self, max: usize) -> usize {
+        let ran = self.run_pending(max);
+        if ran > 0 {
+            return ran;
+        }
+        let team = self.team;
+        if let Some(src) = &team.source {
+            if let Some(root) = NonNull::new(team.root.load(Ordering::Acquire)) {
+                let root_ctx = TaskCtx {
+                    team,
+                    worker: self.worker,
+                    task: root,
+                };
+                if src.poll(&root_ctx) > 0 {
+                    return self.run_pending(max);
+                }
+            }
+        }
+        0
+    }
+
+    /// Whether the team has been poisoned by an un-isolated panic (the
+    /// region is ending abnormally; cooperative loops should bail out).
+    pub fn is_poisoned(&self) -> bool {
+        self.team.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Executes up to `max` already-queued tasks on the calling worker,
+    /// returning how many ran. Unlike [`taskwait`](Self::taskwait) this
+    /// never blocks: it is the cooperative scheduling point a server's
+    /// master loop interleaves with ingress polling and controller work.
+    pub fn run_pending(&self, max: usize) -> usize {
+        let team = self.team;
+        let w = self.worker;
+        let mut ran = 0;
+        while ran < max {
+            if team.poisoned.load(Ordering::Relaxed) {
+                break;
+            }
+            match team.sched.next_task(w) {
+                Some(t) => {
+                    team.sched.pre_execute(w);
+                    execute(team, w, t);
+                    ran += 1;
+                }
+                None => break,
+            }
+        }
+        ran
+    }
+
     /// Structured spawning: tasks created through the [`Scope`] may
     /// borrow from the enclosing frame; the scope taskwaits on exit
     /// (normal or unwinding), so no borrow can outlive its referent.
@@ -111,6 +177,7 @@ impl<'t> TaskCtx<'t> {
         // SAFETY: the record outlives execution (refcount held by us).
         let task = unsafe { self.task.as_ref() };
         if task.unfinished_children() == 0 {
+            self.reraise_child_panic(task);
             return;
         }
         let mut backoff = Backoff::new();
@@ -136,6 +203,20 @@ impl<'t> TaskCtx<'t> {
         }
         if let Some(t0) = wait_t0 {
             team.log_span(w, EventKind::TaskWait, t0);
+        }
+        self.reraise_child_panic(task);
+    }
+
+    /// Panic-isolating teams: a child that panicked left its payload on
+    /// this task; quiescence reached, re-raise it here so the failure
+    /// surfaces at the job boundary instead of poisoning the team. Never
+    /// double-panics (scope's taskwait-on-drop runs during unwinds).
+    fn reraise_child_panic(&self, task: &Task) {
+        if !self.team.isolate_panics || std::thread::panicking() {
+            return;
+        }
+        if let Some(payload) = task.take_child_panic() {
+            std::panic::resume_unwind(payload);
         }
     }
 

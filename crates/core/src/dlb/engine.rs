@@ -12,7 +12,7 @@ use xgomp_topology::Placement;
 use xgomp_xqueue::XQueueLattice;
 
 use super::message::MsgCell;
-use super::{DlbConfig, DlbStrategy};
+use super::{DlbConfig, DlbStrategy, DlbTuning};
 use crate::task::Task;
 use crate::util::{CachePadded, PerWorker};
 
@@ -45,8 +45,13 @@ impl Default for RedirectState {
 }
 
 /// Engine owned by the XQueue scheduler when DLB is enabled.
+///
+/// All four knobs are read through a [`DlbTuning`] cell at every
+/// scheduling point, so an external controller holding a clone of the
+/// `Arc` can hot-swap the configuration (including the strategy) while
+/// the team keeps running.
 pub(crate) struct DlbEngine {
-    cfg: DlbConfig,
+    tuning: Arc<DlbTuning>,
     cells: Box<[CachePadded<MsgCell>]>,
     placement: Arc<Placement>,
     stats: Arc<Vec<WorkerStats>>,
@@ -58,12 +63,12 @@ pub(crate) struct DlbEngine {
 impl DlbEngine {
     pub fn new(
         n: usize,
-        cfg: DlbConfig,
+        tuning: Arc<DlbTuning>,
         placement: Arc<Placement>,
         stats: Arc<Vec<WorkerStats>>,
     ) -> Self {
         DlbEngine {
-            cfg,
+            tuning,
             cells: (0..n)
                 .map(|_| CachePadded(MsgCell::new()))
                 .collect::<Vec<_>>()
@@ -73,12 +78,15 @@ impl DlbEngine {
             thief: PerWorker::new(n, |_| ThiefState::default()),
             redirect: PerWorker::new(n, |_| RedirectState::default()),
             // Deterministic per-worker seeds keep experiments repeatable.
-            rng: PerWorker::new(n, |w| SmallRng::seed_from_u64(0xD1B0_5EED ^ (w as u64) << 17)),
+            rng: PerWorker::new(n, |w| {
+                SmallRng::seed_from_u64(0xD1B0_5EED ^ (w as u64) << 17)
+            }),
         }
     }
 
-    pub fn config(&self) -> &DlbConfig {
-        &self.cfg
+    /// Snapshot of the currently active configuration.
+    pub fn config(&self) -> DlbConfig {
+        self.tuning.load()
     }
 
     /// Picks a victim for thief `w`: NUMA-local with probability
@@ -88,13 +96,13 @@ impl DlbEngine {
     /// # Safety
     ///
     /// Caller thread must own worker slot `w`.
-    unsafe fn pick_victim(&self, w: usize) -> Option<usize> {
+    unsafe fn pick_victim(&self, w: usize, p_local: f64) -> Option<usize> {
         let locals = self.placement.local_peers(w);
         let remotes = self.placement.remote_peers(w);
         // SAFETY: worker-ownership contract forwarded; leaf access.
         unsafe {
             self.rng.with(w, |rng| {
-                let use_local = rng.gen::<f64>() < self.cfg.p_local;
+                let use_local = rng.gen::<f64>() < p_local;
                 let pool = match (use_local, locals.is_empty(), remotes.is_empty()) {
                     (true, false, _) => locals,
                     (true, true, false) => remotes,
@@ -116,12 +124,13 @@ impl DlbEngine {
     ///
     /// Caller thread must own worker slot `w`.
     pub unsafe fn on_idle(&self, w: usize) {
+        let cfg = self.tuning.load();
         // SAFETY: worker-ownership contract; leaf access.
         let send_now = unsafe {
             self.thief.with(w, |ts| {
                 let send = ts.idle_iters == 0;
                 ts.idle_iters += 1;
-                if ts.idle_iters >= self.cfg.t_interval {
+                if ts.idle_iters >= cfg.t_interval {
                     ts.idle_iters = 0; // timeout reached: retry next point
                 }
                 send
@@ -130,9 +139,9 @@ impl DlbEngine {
         if !send_now {
             return;
         }
-        for _ in 0..self.cfg.n_victim {
+        for _ in 0..cfg.n_victim {
             // SAFETY: forwarded contract.
-            if let Some(victim) = unsafe { self.pick_victim(w) } {
+            if let Some(victim) = unsafe { self.pick_victim(w, cfg.p_local) } {
                 if self.cells[victim].0.try_send_request(w) {
                     WorkerStats::inc(&self.stats[w].nreq_sent);
                 }
@@ -162,12 +171,26 @@ impl DlbEngine {
     /// Caller thread must own worker slot `w` (producer *and* consumer
     /// roles of row/column `w` of the lattice).
     pub unsafe fn on_found_task(&self, w: usize, lattice: &XQueueLattice<Task>) {
-        match self.cfg.strategy {
+        let cfg = self.tuning.load();
+        match cfg.strategy {
             DlbStrategy::WorkSteal => {
+                // A hot swap from NA-RP can leave a redirect armed with
+                // its round un-bumped; retire it so the cell accepts new
+                // requests under the new strategy.
+                // SAFETY: worker-ownership contract; leaf access.
+                unsafe {
+                    self.redirect.with(w, |rd| {
+                        if rd.thief >= 0 {
+                            let thief = rd.thief as usize;
+                            Self::finish_redirect(rd, &self.stats[w], &self.placement, w, thief);
+                            self.cells[w].0.bump_round();
+                        }
+                    });
+                }
                 if let Some(thief) = self.cells[w].0.take_valid_request() {
                     WorkerStats::inc(&self.stats[w].nreq_handled);
                     // SAFETY: forwarded role contract.
-                    unsafe { self.work_steal(w, thief, lattice) };
+                    unsafe { self.work_steal(w, thief, cfg.n_steal, lattice) };
                     self.cells[w].0.bump_round();
                 }
             }
@@ -190,7 +213,7 @@ impl DlbEngine {
                     unsafe {
                         self.redirect.with(w, |rd| {
                             rd.thief = thief as i64;
-                            rd.remaining = self.cfg.n_steal as u64;
+                            rd.remaining = cfg.n_steal as u64;
                             rd.pushed = 0;
                         });
                     }
@@ -205,13 +228,19 @@ impl DlbEngine {
     /// # Safety
     ///
     /// Caller thread must own worker slot `w`.
-    unsafe fn work_steal(&self, w: usize, thief: usize, lattice: &XQueueLattice<Task>) {
+    unsafe fn work_steal(
+        &self,
+        w: usize,
+        thief: usize,
+        n_steal: usize,
+        lattice: &XQueueLattice<Task>,
+    ) {
         if thief == w || thief >= self.cells.len() {
             return;
         }
         let stats = &self.stats[w];
         let mut moved = 0u64;
-        while (moved as usize) < self.cfg.n_steal {
+        while (moved as usize) < n_steal {
             // Producer-side fullness check first: `is_full_hint` is exact
             // for the (thief ← w) queue because w is its only producer.
             // SAFETY: w owns producer role w.
@@ -234,7 +263,6 @@ impl DlbEngine {
                     // and only the thief (consumer) can change occupancy,
                     // monotonically downwards.
                     unsafe { lattice.push(w, thief, task) }
-                        .ok()
                         .expect("push after negative fullness hint cannot fail");
                     moved += 1;
                 }
@@ -260,7 +288,9 @@ impl DlbEngine {
     ///
     /// Caller thread must own worker slot `w`.
     pub unsafe fn redirect_target(&self, w: usize, lattice: &XQueueLattice<Task>) -> Option<usize> {
-        if self.cfg.strategy != DlbStrategy::RedirectPush {
+        if self.tuning.load().strategy != DlbStrategy::RedirectPush {
+            // A hot swap away from NA-RP retires any armed redirect at
+            // the victim's next found-task point (see `on_found_task`).
             return None;
         }
         let stats = &self.stats[w];
@@ -335,7 +365,7 @@ mod tests {
         ));
         let stats = Arc::new((0..n).map(|_| WorkerStats::default()).collect::<Vec<_>>());
         (
-            DlbEngine::new(n, cfg, placement, stats),
+            DlbEngine::new(n, Arc::new(DlbTuning::new(cfg)), placement, stats),
             XQueueLattice::new(n, 16),
         )
     }
@@ -376,7 +406,9 @@ mod tests {
 
     #[test]
     fn work_steal_migrates_tasks_to_thief() {
-        let cfg = DlbConfig::new(DlbStrategy::WorkSteal).n_steal(3).p_local(1.0);
+        let cfg = DlbConfig::new(DlbStrategy::WorkSteal)
+            .n_steal(3)
+            .p_local(1.0);
         let (eng, lat) = make_engine(2, cfg);
         unsafe {
             // Victim 0 has 5 queued tasks in its master queue.
@@ -462,7 +494,7 @@ mod tests {
             Affinity::Close,
         ));
         let stats = Arc::new((0..2).map(|_| WorkerStats::default()).collect::<Vec<_>>());
-        let eng = DlbEngine::new(2, cfg, placement, stats);
+        let eng = DlbEngine::new(2, Arc::new(DlbTuning::new(cfg)), placement, stats);
         let lat: XQueueLattice<Task> = XQueueLattice::new(2, 2); // tiny queues
         unsafe {
             assert!(eng.cell(0).try_send_request(1));
@@ -488,7 +520,7 @@ mod tests {
         // Workers 0,1 in zone 0; 2,3 in zone 1 (2 sockets × 2 cores).
         unsafe {
             for _ in 0..64 {
-                if let Some(v) = eng.pick_victim(0) {
+                if let Some(v) = eng.pick_victim(0, eng.config().p_local) {
                     assert!(v >= 2, "p_local=0 must pick remote zone, got {v}");
                 }
             }
@@ -501,7 +533,7 @@ mod tests {
         let (eng, _lat) = make_engine(4, cfg);
         unsafe {
             for _ in 0..64 {
-                if let Some(v) = eng.pick_victim(0) {
+                if let Some(v) = eng.pick_victim(0, eng.config().p_local) {
                     assert_eq!(v, 1, "p_local=1 must pick the zone peer");
                 }
             }

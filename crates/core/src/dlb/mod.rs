@@ -102,9 +102,113 @@ impl DlbConfig {
     }
 }
 
+/// A [`DlbConfig`] whose knobs can be re-tuned **while workers are
+/// running** — the mechanism behind the online Table-IV adaptation in
+/// `xgomp-service`.
+///
+/// Every field is an independent relaxed atomic: workers re-read the
+/// configuration at each scheduling point, so a store becomes visible
+/// within one scheduling-point latency without stopping the team. A
+/// reader may transiently observe a mix of old and new fields during a
+/// swap; every mix is itself a valid configuration, so this is benign
+/// (the same argument the paper makes for its last-writer-wins request
+/// cells).
+#[derive(Debug)]
+pub struct DlbTuning {
+    /// 0 = NA-RP, 1 = NA-WS.
+    strategy: std::sync::atomic::AtomicU8,
+    n_victim: std::sync::atomic::AtomicUsize,
+    n_steal: std::sync::atomic::AtomicUsize,
+    t_interval: std::sync::atomic::AtomicU64,
+    /// `f64::to_bits` of `p_local`.
+    p_local_bits: std::sync::atomic::AtomicU64,
+    /// Completed [`store`](Self::store) calls that changed the config.
+    retunes: std::sync::atomic::AtomicU64,
+}
+
+impl DlbTuning {
+    fn strategy_code(s: DlbStrategy) -> u8 {
+        match s {
+            DlbStrategy::RedirectPush => 0,
+            DlbStrategy::WorkSteal => 1,
+        }
+    }
+
+    /// A tuning cell seeded with `cfg`.
+    pub fn new(cfg: DlbConfig) -> Self {
+        use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize};
+        DlbTuning {
+            strategy: AtomicU8::new(Self::strategy_code(cfg.strategy)),
+            n_victim: AtomicUsize::new(cfg.n_victim.max(1)),
+            n_steal: AtomicUsize::new(cfg.n_steal.max(1)),
+            t_interval: AtomicU64::new(cfg.t_interval.max(1)),
+            p_local_bits: AtomicU64::new(cfg.p_local.clamp(0.0, 1.0).to_bits()),
+            retunes: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the active configuration.
+    pub fn load(&self) -> DlbConfig {
+        use std::sync::atomic::Ordering::Relaxed;
+        DlbConfig {
+            strategy: if self.strategy.load(Relaxed) == 0 {
+                DlbStrategy::RedirectPush
+            } else {
+                DlbStrategy::WorkSteal
+            },
+            n_victim: self.n_victim.load(Relaxed),
+            n_steal: self.n_steal.load(Relaxed),
+            t_interval: self.t_interval.load(Relaxed),
+            p_local: f64::from_bits(self.p_local_bits.load(Relaxed)),
+        }
+    }
+
+    /// Publishes `cfg` as the active configuration (hot swap). Counts a
+    /// retune when anything actually changed.
+    pub fn store(&self, cfg: DlbConfig) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let changed = self.load() != cfg;
+        self.strategy
+            .store(Self::strategy_code(cfg.strategy), Relaxed);
+        self.n_victim.store(cfg.n_victim.max(1), Relaxed);
+        self.n_steal.store(cfg.n_steal.max(1), Relaxed);
+        self.t_interval.store(cfg.t_interval.max(1), Relaxed);
+        self.p_local_bits
+            .store(cfg.p_local.clamp(0.0, 1.0).to_bits(), Relaxed);
+        if changed {
+            self.retunes.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// How many effective re-tunes have been published.
+    pub fn retunes(&self) -> u64 {
+        self.retunes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tuning_roundtrips_and_counts_retunes() {
+        let a = DlbConfig::new(DlbStrategy::WorkSteal)
+            .n_steal(4)
+            .p_local(0.5);
+        let t = DlbTuning::new(a);
+        assert_eq!(t.load(), a);
+        assert_eq!(t.retunes(), 0);
+        t.store(a); // no change: not a retune
+        assert_eq!(t.retunes(), 0);
+        let b = DlbConfig::new(DlbStrategy::RedirectPush)
+            .n_victim(24)
+            .n_steal(128)
+            .t_interval(1_000)
+            .p_local(0.06);
+        t.store(b);
+        assert_eq!(t.load(), b);
+        assert_eq!(t.retunes(), 1);
+    }
 
     #[test]
     fn steal_size_matches_eq1() {

@@ -127,7 +127,8 @@ mod tests {
         for g in guidelines() {
             let s = g.config.steal_size();
             assert!(
-                s >= g.steal_size.0 * 0.5 && (g.steal_size.1.is_infinite() || s <= g.steal_size.1 * 2.0),
+                s >= g.steal_size.0 * 0.5
+                    && (g.steal_size.1.is_infinite() || s <= g.steal_size.1 * 2.0),
                 "{}: steal size {s} outside band {:?}",
                 g.label,
                 g.steal_size

@@ -62,14 +62,14 @@ pub use alloc::AllocKind;
 pub use barrier::BarrierKind;
 pub use config::RuntimeConfig;
 pub use ctx::{Scope, TaskCtx};
-pub use dlb::{DlbConfig, DlbStrategy};
+pub use dlb::{DlbConfig, DlbStrategy, DlbTuning};
 pub use sched::SchedulerKind;
-pub use team::{RegionOutput, Runtime};
+pub use team::{IngressSource, PersistentTeam, RegionOutput, Runtime};
 
 // Re-exports so downstream crates need only depend on xgomp-core.
 pub use xgomp_profiling::{
-    clock, render_task_counts, render_timeline, state_summary, EventKind, PerfLog, ProfileDump,
-    StatsSnapshot, TaskSizeHistogram, TeamStats,
+    clock, render_task_counts, render_timeline, state_summary, EventKind, LiveTaskSampler, PerfLog,
+    ProfileDump, StatsSnapshot, TaskSizeHistogram, TeamStats,
 };
 pub use xgomp_topology::{Affinity, CostModel, Locality, MachineTopology, Placement};
 

@@ -38,7 +38,9 @@ impl LompScheduler {
         LompScheduler {
             deques: PerWorker::new(n, |_| it.next().expect("one deque per worker")),
             stealers,
-            rng: PerWorker::new(n, |w| SmallRng::seed_from_u64(0x103F_5EED ^ ((w as u64) << 13))),
+            rng: PerWorker::new(n, |w| {
+                SmallRng::seed_from_u64(0x103F_5EED ^ ((w as u64) << 13))
+            }),
             stats,
             n,
         }

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use xgomp_profiling::WorkerStats;
 use xgomp_topology::Placement;
 
-use crate::dlb::DlbConfig;
+use crate::dlb::{DlbConfig, DlbTuning};
 use crate::task::Task;
 
 /// Scheduler implementation selector.
@@ -40,6 +40,10 @@ pub enum SchedulerKind {
 
 impl SchedulerKind {
     /// Instantiates the scheduler for a team of `n` workers.
+    ///
+    /// `tuning`, when given, overrides `dlb` as the DLB configuration
+    /// source and stays shared with the caller, enabling hot re-tuning
+    /// while the team runs (XQueue scheduler only).
     pub(crate) fn build(
         self,
         n: usize,
@@ -47,6 +51,7 @@ impl SchedulerKind {
         stats: Arc<Vec<WorkerStats>>,
         placement: Arc<Placement>,
         dlb: Option<DlbConfig>,
+        tuning: Option<Arc<DlbTuning>>,
     ) -> Box<dyn Scheduler> {
         match self {
             SchedulerKind::Gomp => Box::new(GompScheduler::new(stats)),
@@ -56,7 +61,7 @@ impl SchedulerKind {
                 queue_capacity,
                 stats,
                 placement,
-                dlb,
+                tuning.or_else(|| dlb.map(|cfg| Arc::new(DlbTuning::new(cfg)))),
             )),
         }
     }

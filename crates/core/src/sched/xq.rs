@@ -11,7 +11,7 @@ use xgomp_topology::Placement;
 use xgomp_xqueue::{PushCursor, XQueueLattice};
 
 use super::Scheduler;
-use crate::dlb::{DlbConfig, DlbEngine};
+use crate::dlb::{DlbEngine, DlbTuning};
 use crate::task::Task;
 use crate::util::PerWorker;
 
@@ -30,12 +30,12 @@ impl XQueueScheduler {
         queue_capacity: usize,
         stats: Arc<Vec<WorkerStats>>,
         placement: Arc<Placement>,
-        dlb: Option<DlbConfig>,
+        tuning: Option<Arc<DlbTuning>>,
     ) -> Self {
         XQueueScheduler {
             lattice: XQueueLattice::new(n, queue_capacity),
             cursors: PerWorker::new(n, |w| PushCursor::new(n, w)),
-            dlb: dlb.map(|cfg| DlbEngine::new(n, cfg, placement, stats.clone())),
+            dlb: tuning.map(|t| DlbEngine::new(n, t, placement, stats.clone())),
             stats,
             n,
         }
@@ -59,7 +59,6 @@ impl Scheduler for XQueueScheduler {
                 // returns a thief whose queue had room (exact producer-
                 // side hint), and only this worker produces into it.
                 unsafe { self.lattice.push(w, thief, task) }
-                    .ok()
                     .expect("redirect push after negative fullness hint");
                 return Ok(());
             }
@@ -104,7 +103,7 @@ impl Scheduler for XQueueScheduler {
         // Single-threaded teardown: all roles are free to claim.
         for c in 0..self.n {
             // SAFETY: no other thread is alive; roles trivially unique.
-            unsafe { self.lattice.drain_with(c, |p| f(p)) };
+            unsafe { self.lattice.drain_with(c, &mut *f) };
         }
     }
 
@@ -120,7 +119,7 @@ impl Scheduler for XQueueScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dlb::DlbStrategy;
+    use crate::dlb::{DlbConfig, DlbStrategy};
     use xgomp_topology::{Affinity, MachineTopology};
 
     fn mk(creator: u32) -> NonNull<Task> {
@@ -138,7 +137,8 @@ mod tests {
             n,
             Affinity::Close,
         ));
-        XQueueScheduler::new(n, cap, stats, placement, dlb)
+        let tuning = dlb.map(|cfg| Arc::new(DlbTuning::new(cfg)));
+        XQueueScheduler::new(n, cap, stats, placement, tuning)
     }
 
     #[test]

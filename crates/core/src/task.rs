@@ -23,12 +23,16 @@
 
 use std::cell::UnsafeCell;
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use crate::ctx::TaskCtx;
 
 /// A task body: consumed exactly once when the task executes.
 pub(crate) type TaskBody = Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>;
+
+/// A caught panic payload, carried from a panicking child to its
+/// parent's next `taskwait` (panic-isolating teams only).
+pub(crate) type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
 /// One schedulable task.
 ///
@@ -48,6 +52,11 @@ pub struct Task {
     creator: u32,
     /// GOMP-style priority (higher runs first in the GOMP scheduler).
     priority: i32,
+    /// Claim word for `child_panic` (first panicking child wins).
+    child_panic_claimed: AtomicBool,
+    /// Payload of the first child that panicked (panic-isolating teams;
+    /// written under the claim, read by the executor after quiescence).
+    child_panic: UnsafeCell<Option<PanicPayload>>,
 }
 
 // SAFETY: bodies are `Send`; all shared mutable state is atomic or
@@ -72,6 +81,8 @@ impl Task {
             refs: AtomicU32::new(1),
             creator,
             priority,
+            child_panic_claimed: AtomicBool::new(false),
+            child_panic: UnsafeCell::new(None),
         }
     }
 
@@ -98,6 +109,8 @@ impl Task {
         *t.refs.get_mut() = 1;
         t.creator = creator;
         t.priority = priority;
+        *t.child_panic_claimed.get_mut() = false;
+        *t.child_panic.get_mut() = None;
     }
 
     /// The worker that created this task.
@@ -149,6 +162,39 @@ impl Task {
     pub(crate) unsafe fn take_body(this: NonNull<Task>) -> Option<TaskBody> {
         // SAFETY: single-executor discipline gives exclusive body access.
         unsafe { (*this.as_ptr()).body.get().as_mut().unwrap().take() }
+    }
+
+    /// Deposits the panic payload of a failed child; the first child to
+    /// panic wins, later payloads are dropped. Called by the child's
+    /// executor *before* `child_completed`, so the parent's quiescence
+    /// check (`unfinished_children == 0`, acquire) also orders this
+    /// write before any `take_child_panic`.
+    pub(crate) fn record_child_panic(&self, payload: PanicPayload) {
+        if self
+            .child_panic_claimed
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: the claim grants exclusive write access; no reader
+            // runs until this child has also counted as completed.
+            unsafe { *self.child_panic.get() = Some(payload) };
+        }
+    }
+
+    /// Takes the recorded child panic, if any, re-arming the slot so a
+    /// later child panic (after the caller handled this one) is not
+    /// silently swallowed. Only the task's executor may call this, and
+    /// only while no child is in flight.
+    pub(crate) fn take_child_panic(&self) -> Option<PanicPayload> {
+        if self.child_panic_claimed.load(Ordering::Acquire) {
+            // SAFETY: single-executor discipline + quiescence (no child
+            // can be writing concurrently).
+            let payload = unsafe { (*self.child_panic.get()).take() };
+            self.child_panic_claimed.store(false, Ordering::Release);
+            payload
+        } else {
+            None
+        }
     }
 
     /// Increments the reference count.

@@ -1,18 +1,30 @@
 //! Team construction and the worker scheduling loop: the runtime's
 //! equivalent of `gomp_team_start` / `gomp_thread_start` (§III-A).
 //!
-//! [`Runtime::parallel`] opens a parallel region: it builds the team
-//! (scheduler, barrier, allocator, message cells, profiler), runs the
-//! region closure on the master as the *implicit task* (the BOTS
-//! `parallel` + `single` idiom), and lets every worker run the
-//! scheduling loop until the team barrier detects quiescence.
+//! Two execution engines share the same region machinery:
+//!
+//! * [`Runtime::parallel`] opens a *one-shot* parallel region with
+//!   scoped threads (the paper's per-region measurement methodology): it
+//!   builds the team (scheduler, barrier, allocator, message cells,
+//!   profiler), runs the region closure on the master as the *implicit
+//!   task* (the BOTS `parallel` + `single` idiom), and lets every worker
+//!   run the scheduling loop until the team barrier detects quiescence.
+//! * [`PersistentTeam`] keeps its worker threads alive across regions:
+//!   workers park on a generation-stamped [start gate](StartGate) between
+//!   regions instead of being respawned, which is what a long-lived task
+//!   server needs. Each `run` call opens one *generation* — a region with
+//!   fresh barrier/scheduler state — and optionally wires in an
+//!   [`IngressSource`] that idle workers poll for externally submitted
+//!   work, plus a [`LiveTaskSampler`](xgomp_profiling::LiveTaskSampler) /
+//!   [`DlbTuning`] pair for online Table-IV adaptation (`xgomp-service`
+//!   builds on exactly this hook set).
 
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use xgomp_profiling::{clock, EventKind, PerfLog, TeamStats, WorkerStats};
+use xgomp_profiling::{clock, EventKind, LiveTaskSampler, PerfLog, TeamStats, WorkerStats};
 use xgomp_topology::{CostModel, Placement};
 use xgomp_xqueue::Backoff;
 
@@ -20,9 +32,45 @@ use crate::alloc::TaskAllocator;
 use crate::barrier::TeamBarrier;
 use crate::config::RuntimeConfig;
 use crate::ctx::TaskCtx;
+use crate::dlb::DlbTuning;
 use crate::sched::Scheduler;
 use crate::task::Task;
 use crate::util::PerWorker;
+
+/// Stack size for worker threads. The scheduling loops *help*: an
+/// executing task that waits (taskwait, overflow → execute-immediately)
+/// picks up further tasks in a nested `execute` frame, so recursion
+/// depth scales with the task backlog, not with user recursion. 32 MiB
+/// of (virtual, lazily-committed) stack keeps deep fine-grained
+/// workloads like BOTS fib off the guard page.
+const WORKER_STACK_BYTES: usize = 32 * 1024 * 1024;
+
+/// External work feed polled by idle workers (the persistent executor's
+/// job-injection hook).
+///
+/// `poll` runs on an idle worker with a context rooted at the region's
+/// implicit task; it may spawn any number of tasks through `ctx` and
+/// returns how many it spawned. Implementations must stop yielding work
+/// once their shutdown drain has completed — after the region master has
+/// arrived at the barrier *and* the team has quiesced, nothing may be
+/// injected anymore (the runtime guarantees this is unreachable as long
+/// as every accepted job is spawned before it is counted as drained).
+pub trait IngressSource: Send + Sync {
+    /// Polls for external work; returns the number of tasks spawned.
+    fn poll(&self, ctx: &TaskCtx<'_>) -> usize;
+}
+
+/// Optional per-region extensions (persistent-executor hook set).
+#[derive(Default)]
+pub(crate) struct TeamExtras {
+    pub source: Option<Arc<dyn IngressSource>>,
+    pub sampler: Option<Arc<LiveTaskSampler>>,
+    pub tuning: Option<Arc<DlbTuning>>,
+    /// Catch task-body panics instead of poisoning the team: the payload
+    /// is carried to the parent's next `taskwait`, which re-raises it
+    /// (per-job isolation in `xgomp-service`).
+    pub isolate_panics: bool,
+}
 
 /// Everything a team of workers shares for one parallel region.
 pub(crate) struct TeamShared {
@@ -38,6 +86,76 @@ pub(crate) struct TeamShared {
     /// Set when any task body panicked; workers drain out instead of
     /// spinning on a barrier that can no longer release.
     pub poisoned: AtomicBool,
+    /// External work feed polled by idle workers (persistent executor).
+    pub source: Option<Arc<dyn IngressSource>>,
+    /// Online task-size sampling (always-on when present).
+    pub sampler: Option<Arc<LiveTaskSampler>>,
+    /// The region's implicit task, published by the master so idle
+    /// workers can parent injected tasks to it; null outside a region.
+    pub root: AtomicPtr<Task>,
+    /// See [`TeamExtras::isolate_panics`].
+    pub isolate_panics: bool,
+}
+
+/// Builds the shared state for one region of `cfg` with the given
+/// extension hooks (used by both execution engines).
+fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
+    let n = cfg.threads;
+    let placement = Arc::new(Placement::new(cfg.topology.clone(), n, cfg.affinity));
+    let stats: Arc<Vec<WorkerStats>> = Arc::new((0..n).map(|_| WorkerStats::default()).collect());
+    TeamShared {
+        n,
+        sched: cfg.scheduler.build(
+            n,
+            cfg.queue_capacity,
+            stats.clone(),
+            placement.clone(),
+            cfg.dlb,
+            extras.tuning,
+        ),
+        barrier: cfg.barrier.build(n),
+        alloc: TaskAllocator::new(cfg.allocator, n),
+        stats,
+        placement,
+        cost: cfg.cost_model,
+        logs: PerWorker::new(n, |w| PerfLog::new(w, cfg.profiling)),
+        profiling: cfg.profiling,
+        poisoned: AtomicBool::new(false),
+        source: extras.source,
+        sampler: extras.sampler,
+        root: AtomicPtr::new(std::ptr::null_mut()),
+        isolate_panics: extras.isolate_panics,
+    }
+}
+
+/// Teardown checks + telemetry collection for a quiesced region.
+fn finish_region<R>(team: TeamShared, result: R, wall: Duration) -> RegionOutput<R> {
+    // Teardown sanity: a correct barrier leaves nothing queued.
+    let mut leaked = 0usize;
+    team.sched.drain_all(&mut |ptr| {
+        leaked += 1;
+        discard_task(&team, ptr);
+    });
+    assert_eq!(
+        leaked,
+        0,
+        "scheduler `{}` retained {leaked} task(s) after `{}` released",
+        team.sched.name(),
+        team.barrier.name()
+    );
+    debug_assert_eq!(
+        team.alloc.outstanding(),
+        0,
+        "task records leaked by the region"
+    );
+
+    let TeamShared { stats, logs, .. } = team;
+    RegionOutput {
+        result,
+        stats: TeamStats::collect(&stats),
+        logs: logs.into_values(),
+        wall,
+    }
 }
 
 impl TeamShared {
@@ -62,7 +180,8 @@ pub(crate) fn execute(team: &TeamShared, w: usize, task: NonNull<Task>) {
     team.stats[w].record_execution(locality);
     team.cost.apply(locality);
 
-    let t0 = if team.profiling { clock::now() } else { 0 };
+    let timed = team.profiling || team.sampler.is_some();
+    let t0 = if timed { clock::now() } else { 0 };
 
     struct CompletionGuard<'a> {
         team: &'a TeamShared,
@@ -105,10 +224,43 @@ pub(crate) fn execute(team: &TeamShared, w: usize, task: NonNull<Task>) {
             worker: w,
             task,
         };
-        body(&ctx);
+        if team.isolate_panics {
+            run_body_isolated(&ctx, task, body);
+        } else {
+            body(&ctx);
+        }
     }
     drop(guard);
-    team.log_span(w, EventKind::Task, t0);
+    if timed {
+        let t1 = clock::now();
+        if let Some(sampler) = &team.sampler {
+            sampler.record(w, t1.saturating_sub(t0));
+        }
+        if team.profiling {
+            // SAFETY: worker-ownership contract; leaf access.
+            unsafe { team.logs.with(w, |l| l.push_span(EventKind::Task, t0, t1)) };
+        }
+    }
+}
+
+/// Panic-isolating teams (the task server): a panicking body fails only
+/// its own job. The payload travels to the parent, whose next `taskwait`
+/// re-raises it; the completion guard then runs on the normal
+/// (non-unwinding) path, so the team is not poisoned.
+///
+/// Kept out of [`execute`] (`inline(never)`) so the `catch_unwind`
+/// landing-pad state doesn't enlarge the classic path's stack frame —
+/// `execute` frames nest deeply under the immediate-execution overflow
+/// rule, where every byte per frame counts.
+#[inline(never)]
+fn run_body_isolated(ctx: &TaskCtx<'_>, task: NonNull<Task>, body: crate::task::TaskBody) {
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx))) {
+        // SAFETY: we hold a reference; the record is alive.
+        if let Some(parent) = unsafe { task.as_ref() }.parent() {
+            // SAFETY: the child retains its parent.
+            unsafe { parent.as_ref() }.record_child_panic(payload);
+        }
+    }
 }
 
 /// The scheduling loop every worker runs inside the region-end barrier:
@@ -133,6 +285,25 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
             continue;
         }
         team.sched.on_idle(w);
+        // Persistent-executor hook: before concluding the region might be
+        // over, pull externally submitted work into the scheduler. The
+        // injected tasks become children of the region's implicit task.
+        if let Some(src) = &team.source {
+            if let Some(root) = NonNull::new(team.root.load(Ordering::Acquire)) {
+                let ctx = TaskCtx {
+                    team,
+                    worker: w,
+                    task: root,
+                };
+                if src.poll(&ctx) > 0 {
+                    if let Some(t0) = idle_t0.take() {
+                        team.log_span(w, EventKind::Stall, t0);
+                    }
+                    backoff.reset();
+                    continue;
+                }
+            }
+        }
         if team.profiling && idle_t0.is_none() {
             idle_t0 = Some(clock::now());
         }
@@ -149,9 +320,11 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
 /// Master path: run the region closure as the implicit task, then join
 /// the barrier loop like any other worker.
 fn master_main<R>(team: &TeamShared, f: impl FnOnce(&TaskCtx<'_>) -> R) -> R {
-    // The implicit (root) task anchoring the region's task tree.
+    // The implicit (root) task anchoring the region's task tree,
+    // published so idle workers can parent injected tasks to it.
     // SAFETY: master owns worker slot 0.
     let root = unsafe { team.alloc.alloc(0, None, None, 0) };
+    team.root.store(root.as_ptr(), Ordering::Release);
 
     struct PoisonOnUnwind<'a>(&'a TeamShared);
     impl Drop for PoisonOnUnwind<'_> {
@@ -175,6 +348,9 @@ fn master_main<R>(team: &TeamShared, f: impl FnOnce(&TaskCtx<'_>) -> R) -> R {
     team.barrier.arrive(0);
     worker_loop(team, 0);
 
+    // Region quiesced: retire the implicit task. The published pointer is
+    // cleared first; released workers have already left their loops.
+    team.root.store(std::ptr::null_mut(), Ordering::Release);
     // SAFETY: region quiesced; all children released their references.
     let root_ref = unsafe { root.as_ref() };
     if root_ref.release_ref() {
@@ -211,69 +387,270 @@ impl Runtime {
     /// single task; the region returns when every transitively spawned
     /// task has completed (detected by the configured barrier).
     pub fn parallel<R>(&self, f: impl FnOnce(&TaskCtx<'_>) -> R) -> RegionOutput<R> {
-        let cfg = &self.cfg;
-        let n = cfg.threads;
-        let placement = Arc::new(Placement::new(cfg.topology.clone(), n, cfg.affinity));
-        let stats: Arc<Vec<WorkerStats>> =
-            Arc::new((0..n).map(|_| WorkerStats::default()).collect());
-        let team = TeamShared {
-            n,
-            sched: cfg.scheduler.build(
-                n,
-                cfg.queue_capacity,
-                stats.clone(),
-                placement.clone(),
-                cfg.dlb,
-            ),
-            barrier: cfg.barrier.build(n),
-            alloc: TaskAllocator::new(cfg.allocator, n),
-            stats,
-            placement,
-            cost: cfg.cost_model,
-            logs: PerWorker::new(n, |w| PerfLog::new(w, cfg.profiling)),
-            profiling: cfg.profiling,
-            poisoned: AtomicBool::new(false),
-        };
+        let team = build_team(&self.cfg, TeamExtras::default());
+        let n = team.n;
 
         let started = Instant::now();
         let mut result: Option<R> = None;
         std::thread::scope(|s| {
             for w in 1..n {
                 let team = &team;
-                s.spawn(move || {
-                    team.barrier.arrive(w);
-                    worker_loop(team, w);
-                });
+                std::thread::Builder::new()
+                    .name(format!("xgomp-region-{w}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(s, move || {
+                        team.barrier.arrive(w);
+                        worker_loop(team, w);
+                    })
+                    .expect("spawn region worker");
             }
             result = Some(master_main(&team, f));
         });
         let wall = started.elapsed();
 
-        // Teardown sanity: a correct barrier leaves nothing queued.
-        let mut leaked = 0usize;
-        team.sched.drain_all(&mut |ptr| {
-            leaked += 1;
-            discard_task(&team, ptr);
-        });
-        assert_eq!(
-            leaked,
-            0,
-            "scheduler `{}` retained {leaked} task(s) after `{}` released",
-            team.sched.name(),
-            team.barrier.name()
-        );
-        debug_assert_eq!(
-            team.alloc.outstanding(),
-            0,
-            "task records leaked by the region"
-        );
+        finish_region(team, result.expect("master ran"), wall)
+    }
+}
 
-        let TeamShared { stats, logs, .. } = team;
-        RegionOutput {
-            result: result.expect("master ran"),
-            stats: TeamStats::collect(&stats),
-            logs: logs.into_values(),
-            wall,
+/// The generation-stamped gate persistent workers park on between
+/// regions.
+struct StartGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    /// Bumped once per opened region; workers run exactly the generations
+    /// they observe.
+    generation: u64,
+    /// The open generation's team (present iff a region is running).
+    team: Option<Arc<TeamShared>>,
+    /// Workers that have finished the current generation.
+    retired: usize,
+    /// Set once, on drop: workers exit their park loop.
+    shutdown: bool,
+}
+
+impl StartGate {
+    fn new() -> Self {
+        StartGate {
+            state: Mutex::new(GateState {
+                generation: 0,
+                team: None,
+                retired: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The park loop persistent workers run for their whole life: wait for a
+/// generation to open, run its region, retire, repeat.
+fn parked_worker(gate: Arc<StartGate>, w: usize) {
+    let mut last_gen = 0u64;
+    loop {
+        let team = {
+            let mut st = gate.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > last_gen {
+                    break;
+                }
+                st = gate
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            last_gen = st.generation;
+            Arc::clone(st.team.as_ref().expect("open generation has a team"))
+        };
+        // A panicking task body must not kill the persistent worker: the
+        // completion guard has already poisoned the team (ending the
+        // region for everyone); catching here keeps the thread parkable
+        // for the next generation.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            team.barrier.arrive(w);
+            worker_loop(&team, w);
+        }))
+        .is_err();
+        if unwound {
+            team.poisoned.store(true, Ordering::Release);
+        }
+        drop(team);
+        let mut st = gate.lock();
+        st.retired += 1;
+        gate.cv.notify_all();
+    }
+}
+
+/// A team of workers that stays alive across parallel regions.
+///
+/// Construction spawns `threads - 1` OS threads which immediately park on
+/// a [start gate](StartGate). Each [`run`](Self::run) call stamps a new
+/// *generation*: fresh barrier/scheduler/allocator state is published
+/// through the gate, the parked workers pick it up, run the region's
+/// scheduling loop to quiescence, and park again — no thread is ever
+/// respawned. The calling thread acts as worker 0 (the region master),
+/// exactly as in [`Runtime::parallel`].
+///
+/// This is the execution engine behind `xgomp-service`'s persistent task
+/// server; [`run_with`](Self::run_with) additionally wires in the
+/// ingress/sampling/tuning hook set.
+pub struct PersistentTeam {
+    cfg: RuntimeConfig,
+    gate: Arc<StartGate>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PersistentTeam {
+    /// Builds the team and parks `cfg.threads - 1` workers on the gate.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.threads >= 1, "a team needs at least one worker");
+        assert!(
+            cfg.threads <= (1 << 24),
+            "worker ids must fit the 24-bit message-cell field"
+        );
+        let gate = Arc::new(StartGate::new());
+        let workers = (1..cfg.threads)
+            .map(|w| {
+                let gate = gate.clone();
+                std::thread::Builder::new()
+                    .name(format!("xgomp-worker-{w}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn(move || parked_worker(gate, w))
+                    .expect("spawn persistent worker")
+            })
+            .collect();
+        PersistentTeam { cfg, gate, workers }
+    }
+
+    /// The configuration this team was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Runs one region on the persistent workers (see
+    /// [`Runtime::parallel`] for region semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a task body panicked inside the region (mirroring the
+    /// join-propagation of the scoped engine); the team itself survives
+    /// and can run further generations.
+    pub fn run<R>(&mut self, f: impl FnOnce(&TaskCtx<'_>) -> R) -> RegionOutput<R> {
+        self.run_with(TeamExtras::default(), f)
+    }
+
+    /// Runs one region with an ingress source polled by idle workers and
+    /// optional live sampling / DLB tuning hooks. Task-body panics are
+    /// isolated (see [`TeamExtras::isolate_panics`]): they re-raise at
+    /// the parent's next `taskwait` instead of poisoning the team.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sampler` has fewer lanes than the team has workers —
+    /// aliased lanes would break its single-writer counters.
+    pub fn run_serving<R>(
+        &mut self,
+        source: Arc<dyn IngressSource>,
+        sampler: Option<Arc<LiveTaskSampler>>,
+        tuning: Option<Arc<DlbTuning>>,
+        f: impl FnOnce(&TaskCtx<'_>) -> R,
+    ) -> RegionOutput<R> {
+        if let Some(s) = &sampler {
+            assert!(
+                s.n_lanes() >= self.cfg.threads,
+                "LiveTaskSampler has {} lanes for a team of {} workers \
+                 (lanes would alias, racing their single-writer counters)",
+                s.n_lanes(),
+                self.cfg.threads
+            );
+        }
+        self.run_with(
+            TeamExtras {
+                source: Some(source),
+                sampler,
+                tuning,
+                isolate_panics: true,
+            },
+            f,
+        )
+    }
+
+    fn run_with<R>(
+        &mut self,
+        extras: TeamExtras,
+        f: impl FnOnce(&TaskCtx<'_>) -> R,
+    ) -> RegionOutput<R> {
+        let n_aux = self.workers.len();
+        {
+            // A master that unwound out of a previous `run` may have left
+            // that generation's workers mid-drain; wait for them to
+            // retire before opening a new generation.
+            let mut st = self.gate.lock();
+            while st.generation > 0 && st.retired < n_aux {
+                st = self
+                    .gate
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        let team = Arc::new(build_team(&self.cfg, extras));
+        {
+            let mut st = self.gate.lock();
+            st.team = Some(team.clone());
+            st.retired = 0;
+            st.generation += 1;
+            self.gate.cv.notify_all();
+        }
+
+        let started = Instant::now();
+        let result = master_main(&team, f);
+
+        // Join phase: wait for every worker to retire this generation.
+        {
+            let mut st = self.gate.lock();
+            while st.retired < n_aux {
+                st = self
+                    .gate
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            st.team = None;
+        }
+        let wall = started.elapsed();
+
+        let team = Arc::into_inner(team).expect("workers retired their team handles");
+        if team.poisoned.load(Ordering::Acquire) {
+            panic!("a task body panicked inside the persistent region");
+        }
+        finish_region(team, result, wall)
+    }
+}
+
+impl Drop for PersistentTeam {
+    fn drop(&mut self) {
+        {
+            let mut st = self.gate.lock();
+            st.shutdown = true;
+            self.gate.cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            // A worker that unwound due to a bug would surface here; the
+            // park loop itself never panics.
+            let _ = h.join();
         }
     }
 }
@@ -448,8 +825,8 @@ mod tests {
     fn dlb_configs_run_clean() {
         use crate::dlb::{DlbConfig, DlbStrategy};
         for strat in [DlbStrategy::WorkSteal, DlbStrategy::RedirectPush] {
-            let cfg = RuntimeConfig::xgomptb(4)
-                .dlb(DlbConfig::new(strat).n_steal(4).t_interval(16));
+            let cfg =
+                RuntimeConfig::xgomptb(4).dlb(DlbConfig::new(strat).n_steal(4).t_interval(16));
             let rt = Runtime::new(cfg);
             let out = rt.parallel(|ctx| {
                 let mut acc = vec![0u64; 256];
@@ -481,5 +858,107 @@ mod tests {
             // Give the panicking task a chance to run on either worker.
             ctx.taskwait();
         });
+    }
+
+    #[test]
+    fn persistent_team_reuses_workers_across_generations() {
+        use std::sync::atomic::AtomicUsize;
+
+        let mut team = PersistentTeam::new(RuntimeConfig::xgomptb(4));
+        for round in 0..16u64 {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h2 = hits.clone();
+            let out = team.run(move |ctx| {
+                ctx.scope(|s| {
+                    for _ in 0..64 {
+                        let h = h2.clone();
+                        s.spawn(move |_| {
+                            h.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                round * 2
+            });
+            assert_eq!(out.result, round * 2);
+            assert_eq!(hits.load(Ordering::Relaxed), 64);
+            assert_eq!(out.stats.total().tasks_executed, 64);
+            out.stats.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn persistent_team_survives_a_panicked_generation() {
+        let mut team = PersistentTeam::new(RuntimeConfig::xgomptb(2));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            team.run(|ctx| {
+                ctx.spawn(|_| panic!("poisoned generation"));
+                ctx.taskwait();
+            })
+        }))
+        .is_err();
+        assert!(unwound, "task panic must propagate out of run()");
+        // The workers parked again; the next generation runs normally.
+        let out = team.run(|ctx| {
+            let mut acc = vec![0u64; 32];
+            ctx.scope(|s| {
+                for (i, slot) in acc.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u64);
+                }
+            });
+            acc.iter().sum::<u64>()
+        });
+        assert_eq!(out.result, (0..32u64).sum());
+    }
+
+    #[test]
+    fn idle_workers_drain_an_ingress_source() {
+        use std::sync::atomic::AtomicUsize;
+
+        const JOBS: usize = 500;
+
+        struct CountSource {
+            remaining: AtomicUsize,
+            hits: Arc<AtomicUsize>,
+        }
+        impl IngressSource for CountSource {
+            fn poll(&self, ctx: &TaskCtx<'_>) -> usize {
+                let mut injected = 0;
+                // Claim up to 8 pending jobs per poll.
+                while injected < 8 {
+                    let claimed = self
+                        .remaining
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                        .is_ok();
+                    if !claimed {
+                        break;
+                    }
+                    let hits = self.hits.clone();
+                    ctx.spawn_boxed(Box::new(move |_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }));
+                    injected += 1;
+                }
+                injected
+            }
+        }
+
+        let hits = Arc::new(AtomicUsize::new(0));
+        let source = Arc::new(CountSource {
+            remaining: AtomicUsize::new(JOBS),
+            hits: hits.clone(),
+        });
+        let sampler = Arc::new(xgomp_profiling::LiveTaskSampler::new(4));
+        let mut team = PersistentTeam::new(RuntimeConfig::xgomptb(4));
+        let h2 = hits.clone();
+        let out = team.run_serving(source, Some(sampler.clone()), None, move |ctx| {
+            // The master helps until every injected job has executed.
+            while h2.load(Ordering::Relaxed) < JOBS {
+                ctx.run_pending(32);
+                std::hint::spin_loop();
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), JOBS);
+        assert_eq!(out.stats.total().tasks_executed as usize, JOBS);
+        assert_eq!(sampler.tasks_observed() as usize, JOBS);
     }
 }

@@ -366,7 +366,9 @@ mod tests {
 
     #[test]
     fn chunk_boundary_lengths_are_all_distinct() {
-        let lengths = [0usize, 1, 63, 64, 65, 1023, 1024, 1025, 2047, 2048, 2049, 4096];
+        let lengths = [
+            0usize, 1, 63, 64, 65, 1023, 1024, 1025, 2047, 2048, 2049, 4096,
+        ];
         let hashes: Vec<String> = lengths
             .iter()
             .map(|&n| to_hex(&hash(&tv_input(n))))
@@ -395,11 +397,7 @@ mod tests {
     fn avalanche_on_single_bit() {
         let a = hash(b"proof of space puzzle 0");
         let b = hash(b"proof of space puzzle 1");
-        let differing: u32 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x ^ y).count_ones())
-            .sum();
+        let differing: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
         // Expect ~128 differing bits of 256; anything above 80 is a
         // comfortable avalanche check.
         assert!(differing > 80, "only {differing} bits differ");

@@ -146,10 +146,7 @@ impl TeamStats {
             ));
         }
         if t.nreq_handled > t.nreq_sent {
-            return Err(format!(
-                "handled {} > sent {}",
-                t.nreq_handled, t.nreq_sent
-            ));
+            return Err(format!("handled {} > sent {}", t.nreq_handled, t.nreq_sent));
         }
         if t.nreq_has_steal > t.nreq_handled {
             return Err(format!(

@@ -238,7 +238,9 @@ mod tests {
         assert_eq!(log.events().len(), 2);
         assert!(log.events()[0].end <= log.events()[1].start + 1_000_000);
         assert_eq!(log.worker(), 3);
-        assert!(log.totals()[EventKind::TaskCreate as usize] > 0 || cfg!(not(target_arch = "x86_64")));
+        assert!(
+            log.totals()[EventKind::TaskCreate as usize] > 0 || cfg!(not(target_arch = "x86_64"))
+        );
     }
 
     #[test]

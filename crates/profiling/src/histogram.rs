@@ -28,6 +28,18 @@ pub struct TaskSizeHistogram {
     pub max_ticks: u64,
 }
 
+/// Decade bucket index for a duration in ticks: 0 for `<10`, otherwise
+/// `⌊log10⌋` capped at 8 (shared by [`TaskSizeHistogram`] and the live
+/// sampler).
+#[inline]
+pub fn decade_index(ticks: u64) -> usize {
+    if ticks < 10 {
+        0
+    } else {
+        (ticks.ilog10() as usize).min(8)
+    }
+}
+
 impl TaskSizeHistogram {
     /// Builds the histogram from every `TASK` event in the team's logs.
     pub fn from_logs(logs: &[PerfLog]) -> Self {
@@ -51,12 +63,7 @@ impl TaskSizeHistogram {
     /// Records one task of `ticks` duration.
     #[inline]
     pub fn record(&mut self, ticks: u64) {
-        let decade = if ticks < 10 {
-            0
-        } else {
-            (ticks.ilog10() as usize).min(8)
-        };
-        self.buckets[decade] += 1;
+        self.buckets[decade_index(ticks)] += 1;
         self.count += 1;
         self.total_ticks += ticks;
         self.min_ticks = self.min_ticks.min(ticks);
@@ -65,11 +72,7 @@ impl TaskSizeHistogram {
 
     /// Mean task size in ticks (0 when empty).
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ticks / self.count
-        }
+        self.total_ticks.checked_div(self.count).unwrap_or(0)
     }
 
     /// The decade holding the most tasks — the paper's "highest
@@ -131,8 +134,10 @@ mod tests {
 
     #[test]
     fn buckets_by_decade() {
-        let mut h = TaskSizeHistogram::default();
-        h.min_ticks = u64::MAX;
+        let mut h = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
         for t in [3u64, 12, 99, 100, 5_000, 123_456] {
             h.record(t);
         }
@@ -148,8 +153,10 @@ mod tests {
 
     #[test]
     fn modal_decade_and_mean() {
-        let mut h = TaskSizeHistogram::default();
-        h.min_ticks = u64::MAX;
+        let mut h = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
         for _ in 0..10 {
             h.record(2_000); // decade 10^3
         }
@@ -172,11 +179,15 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = TaskSizeHistogram::default();
-        a.min_ticks = u64::MAX;
+        let mut a = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
         a.record(10);
-        let mut b = TaskSizeHistogram::default();
-        b.min_ticks = u64::MAX;
+        let mut b = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
         b.record(100_000);
         a.merge(&b);
         assert_eq!(a.count, 2);
@@ -186,8 +197,10 @@ mod tests {
 
     #[test]
     fn render_is_humane() {
-        let mut h = TaskSizeHistogram::default();
-        h.min_ticks = u64::MAX;
+        let mut h = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
         for _ in 0..5 {
             h.record(500);
         }

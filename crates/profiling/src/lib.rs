@@ -27,9 +27,11 @@ pub mod clock;
 mod counters;
 mod events;
 mod histogram;
+mod live;
 mod timeline;
 
 pub use counters::{StatsSnapshot, TeamStats, WorkerStats};
 pub use events::{EventKind, EventRecord, PerfLog, ProfileDump};
-pub use histogram::TaskSizeHistogram;
+pub use histogram::{decade_index, TaskSizeHistogram};
+pub use live::LiveTaskSampler;
 pub use timeline::{render_task_counts, render_timeline, state_summary, StateSummaryRow};

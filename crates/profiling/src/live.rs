@@ -1,0 +1,169 @@
+//! Live (always-on, cross-thread-readable) task-size sampling.
+//!
+//! The §V [`PerfLog`](crate::PerfLog) timelines are collected only when a
+//! region *ends*, which is useless for a persistent executor that never
+//! tears its team down. [`LiveTaskSampler`] is the online counterpart: a
+//! per-worker-sharded decade histogram of task durations that workers
+//! update with relaxed single-writer stores while any thread (the
+//! adaptive controller) reads a merged [`TaskSizeHistogram`] snapshot at
+//! any time. This is the measurement feeding the online Table-IV
+//! retuning in `xgomp-service`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::histogram::{decade_index, TaskSizeHistogram};
+
+/// Pads each worker's lane to its own pair of cache lines so recording
+/// never false-shares across workers.
+#[repr(align(128))]
+#[derive(Debug)]
+struct Lane {
+    buckets: [AtomicU64; 9],
+    count: AtomicU64,
+    total_ticks: AtomicU64,
+    min_ticks: AtomicU64,
+    max_ticks: AtomicU64,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ticks: AtomicU64::new(0),
+            min_ticks: AtomicU64::new(u64::MAX),
+            max_ticks: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared online task-size histogram: one write lane per worker, merged
+/// on read.
+///
+/// Writers use `Relaxed` ordering throughout — the reader only needs a
+/// statistically faithful snapshot, not a linearizable one, exactly like
+/// the paper's §V counters.
+#[derive(Debug)]
+pub struct LiveTaskSampler {
+    lanes: Box<[Lane]>,
+}
+
+impl LiveTaskSampler {
+    /// A sampler with one lane per worker.
+    pub fn new(n_workers: usize) -> Self {
+        LiveTaskSampler {
+            lanes: (0..n_workers.max(1)).map(|_| Lane::new()).collect(),
+        }
+    }
+
+    /// Number of write lanes (the team size it was built for).
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Records one task of `ticks` duration executed by `worker`.
+    #[inline]
+    pub fn record(&self, worker: usize, ticks: u64) {
+        let lane = &self.lanes[worker % self.lanes.len()];
+        // Single-writer per lane: load+store beats RMW on the hot path.
+        let b = &lane.buckets[decade_index(ticks)];
+        b.store(b.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        lane.count
+            .store(lane.count.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        lane.total_ticks.store(
+            lane.total_ticks.load(Ordering::Relaxed) + ticks,
+            Ordering::Relaxed,
+        );
+        if ticks < lane.min_ticks.load(Ordering::Relaxed) {
+            lane.min_ticks.store(ticks, Ordering::Relaxed);
+        }
+        if ticks > lane.max_ticks.load(Ordering::Relaxed) {
+            lane.max_ticks.store(ticks, Ordering::Relaxed);
+        }
+    }
+
+    /// Tasks observed so far (merged over lanes; monotonic).
+    pub fn tasks_observed(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Merged snapshot as a plain [`TaskSizeHistogram`]. Cumulative since
+    /// construction; windowed views are obtained by differencing two
+    /// snapshots' monotonic `buckets`/`count`/`total_ticks`.
+    pub fn snapshot(&self) -> TaskSizeHistogram {
+        let mut h = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
+        for lane in self.lanes.iter() {
+            for (dst, src) in h.buckets.iter_mut().zip(&lane.buckets) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+            h.count += lane.count.load(Ordering::Relaxed);
+            h.total_ticks += lane.total_ticks.load(Ordering::Relaxed);
+            h.min_ticks = h.min_ticks.min(lane.min_ticks.load(Ordering::Relaxed));
+            h.max_ticks = h.max_ticks.max(lane.max_ticks.load(Ordering::Relaxed));
+        }
+        if h.count == 0 {
+            h.min_ticks = 0;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_merge_across_lanes() {
+        let s = LiveTaskSampler::new(3);
+        s.record(0, 5);
+        s.record(1, 500);
+        s.record(2, 50_000);
+        s.record(2, 50_000);
+        let h = s.snapshot();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[4], 2);
+        assert_eq!(h.min_ticks, 5);
+        assert_eq!(h.max_ticks, 50_000);
+        assert_eq!(h.total_ticks, 5 + 500 + 100_000);
+        assert_eq!(s.tasks_observed(), 4);
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let s = LiveTaskSampler::new(2);
+        let h = s.snapshot();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min_ticks, 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_conserved() {
+        use std::sync::Arc;
+        let s = Arc::new(LiveTaskSampler::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        s.record(w, i % 1_000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Per-lane single-writer discipline ⇒ no lost updates.
+        assert_eq!(s.tasks_observed(), 40_000);
+        assert_eq!(s.snapshot().count, 40_000);
+    }
+}

@@ -188,12 +188,16 @@ mod tests {
 
     #[test]
     fn task_count_bars_scale() {
-        let mut a = StatsSnapshot::default();
-        a.tasks_created = 100;
-        a.tasks_executed = 50;
-        let mut b = StatsSnapshot::default();
-        b.tasks_created = 10;
-        b.tasks_executed = 160;
+        let a = StatsSnapshot {
+            tasks_created: 100,
+            tasks_executed: 50,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            tasks_created: 10,
+            tasks_executed: 160,
+            ..Default::default()
+        };
         let s = render_task_counts(&[a, b]);
         assert!(s.contains("tasks=110"));
         assert!(s.contains("max/min = 100/10"));

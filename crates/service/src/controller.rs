@@ -1,0 +1,190 @@
+//! Online Table-IV adaptation: turn live task-size measurements into
+//! hot DLB re-tunes.
+//!
+//! The paper's §VIII guidelines pick a `DlbConfig` from the measured
+//! per-task cycle count — but offline, once per run. LB4OMP's lesson is
+//! that the right parameters are a property of the *current* workload,
+//! so the controller re-evaluates the guidelines over a sliding window
+//! of completed tasks and hot-swaps the team's [`DlbTuning`] cell
+//! whenever the recommendation changes. Workers observe the new knobs at
+//! their next scheduling point; nothing stops or restarts.
+
+use std::sync::Arc;
+
+use xgomp_core::guidelines::recommend_dlb;
+use xgomp_core::{DlbConfig, DlbTuning, LiveTaskSampler, TaskSizeHistogram};
+
+/// Windowed Table-IV controller (driven from the server's master loop).
+pub struct AdaptiveController {
+    tuning: Arc<DlbTuning>,
+    sampler: Arc<LiveTaskSampler>,
+    /// Completed tasks per adaptation window; 0 disables the controller.
+    window: u64,
+    /// Emit a line to stderr on every effective retune.
+    log: bool,
+    /// Cumulative snapshot at the last window boundary.
+    last: TaskSizeHistogram,
+}
+
+/// Mean task size of the window between two cumulative snapshots.
+/// Returns `None` for an empty window.
+pub(crate) fn window_mean(last: &TaskSizeHistogram, now: &TaskSizeHistogram) -> Option<u64> {
+    let count = now.count.checked_sub(last.count)?;
+    if count == 0 {
+        return None;
+    }
+    let ticks = now.total_ticks.saturating_sub(last.total_ticks);
+    Some(ticks / count)
+}
+
+impl AdaptiveController {
+    /// A controller re-tuning `tuning` from `sampler` every `window`
+    /// completed tasks.
+    pub fn new(
+        tuning: Arc<DlbTuning>,
+        sampler: Arc<LiveTaskSampler>,
+        window: u64,
+        log: bool,
+    ) -> Self {
+        AdaptiveController {
+            tuning,
+            sampler,
+            window,
+            log,
+            last: TaskSizeHistogram::default(),
+        }
+    }
+
+    /// Called from the master loop at every scheduling opportunity; when
+    /// a full window of tasks has completed since the last check,
+    /// re-applies Table IV to the window's mean task size. Returns the
+    /// newly published config if this tick caused an effective retune.
+    pub fn tick(&mut self) -> Option<DlbConfig> {
+        if self.window == 0 {
+            return None;
+        }
+        // Cheap gate before the full snapshot merge.
+        if self.sampler.tasks_observed() < self.last.count + self.window {
+            return None;
+        }
+        let now = self.sampler.snapshot();
+        let mean = window_mean(&self.last, &now)?;
+        self.last = now;
+
+        let recommended = recommend_dlb(mean);
+        let active = self.tuning.load();
+        if recommended == active {
+            return None;
+        }
+        self.tuning.store(recommended);
+        if self.log {
+            eprintln!(
+                "[xgomp-service] DLB retune #{}: window mean {} cycles/task -> {} \
+                 (n_victim={}, n_steal={}, t_interval={}, p_local={}, steal size {:.0})",
+                self.tuning.retunes(),
+                mean,
+                recommended.strategy.name(),
+                recommended.n_victim,
+                recommended.n_steal,
+                recommended.t_interval,
+                recommended.p_local,
+                recommended.steal_size(),
+            );
+        }
+        Some(recommended)
+    }
+
+    /// How many effective retunes the tuning cell has seen.
+    pub fn retunes(&self) -> u64 {
+        self.tuning.retunes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgomp_core::DlbStrategy;
+
+    fn controller(window: u64, workers: usize) -> (AdaptiveController, Arc<LiveTaskSampler>) {
+        let tuning = Arc::new(DlbTuning::new(DlbConfig::new(DlbStrategy::WorkSteal)));
+        let sampler = Arc::new(LiveTaskSampler::new(workers));
+        (
+            AdaptiveController::new(tuning, sampler.clone(), window, false),
+            sampler,
+        )
+    }
+
+    #[test]
+    fn no_retune_before_a_full_window() {
+        let (mut c, sampler) = controller(100, 1);
+        for _ in 0..99 {
+            sampler.record(0, 50);
+        }
+        assert!(c.tick().is_none());
+        sampler.record(0, 50);
+        // Fine-grained tasks: Table IV row 1 — still NA-WS but with the
+        // row's exact knobs, so the first full window retunes.
+        let cfg = c.tick().expect("first window must publish a tune");
+        assert_eq!(cfg.strategy, DlbStrategy::WorkSteal);
+        assert_eq!(cfg, recommend_dlb(50));
+    }
+
+    #[test]
+    fn distribution_shift_switches_strategy() {
+        let (mut c, sampler) = controller(64, 2);
+        for _ in 0..64 {
+            sampler.record(0, 200);
+        }
+        let first = c.tick().expect("tune for fine tasks");
+        assert_eq!(first.strategy, DlbStrategy::WorkSteal);
+        // The workload shifts to coarse tasks (> 10^4 cycles).
+        for _ in 0..64 {
+            sampler.record(1, 200_000);
+        }
+        let second = c.tick().expect("coarse window must retune");
+        assert_eq!(second.strategy, DlbStrategy::RedirectPush);
+        assert_eq!(c.retunes(), 2);
+    }
+
+    #[test]
+    fn stable_distribution_does_not_flap() {
+        let (mut c, sampler) = controller(32, 1);
+        for round in 0..8 {
+            for _ in 0..32 {
+                sampler.record(0, 5_000);
+            }
+            let tick = c.tick();
+            if round == 0 {
+                assert!(tick.is_some(), "first window tunes");
+            } else {
+                assert!(tick.is_none(), "same distribution must not retune");
+            }
+        }
+        assert_eq!(c.retunes(), 1);
+    }
+
+    #[test]
+    fn window_mean_diffs_snapshots() {
+        let a = TaskSizeHistogram {
+            count: 10,
+            total_ticks: 1_000,
+            ..Default::default()
+        };
+        let b = TaskSizeHistogram {
+            count: 30,
+            total_ticks: 5_000,
+            ..Default::default()
+        };
+        assert_eq!(window_mean(&a, &b), Some(200));
+        assert_eq!(window_mean(&b, &b), None);
+    }
+
+    #[test]
+    fn disabled_controller_never_ticks() {
+        let (mut c, sampler) = controller(0, 1);
+        for _ in 0..1_000 {
+            sampler.record(0, 10);
+        }
+        assert!(c.tick().is_none());
+    }
+}

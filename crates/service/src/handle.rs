@@ -1,0 +1,237 @@
+//! Futures-style job handles: completion state shared between the
+//! submitting thread and the worker that eventually runs the job.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Error returned by [`JobHandle::join`] when the job's body panicked.
+///
+/// Exactly one job is affected: the server catches the unwind at the job
+/// boundary, so the team — and every other in-flight job — keeps running.
+#[derive(Debug, Clone)]
+pub struct JobPanic {
+    /// Best-effort rendering of the panic payload.
+    pub message: String,
+}
+
+impl JobPanic {
+    pub(crate) fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "job panicked with a non-string payload".to_string()
+        };
+        JobPanic { message }
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+pub(crate) struct JobState<R> {
+    done: AtomicBool,
+    slot: Mutex<Option<Result<R, JobPanic>>>,
+    cv: Condvar,
+}
+
+impl<R> JobState<R> {
+    pub(crate) fn new() -> Self {
+        JobState {
+            done: AtomicBool::new(false),
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the job's outcome and wakes joiners. Called exactly once.
+    pub(crate) fn complete(&self, result: Result<R, JobPanic>) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        debug_assert!(slot.is_none(), "job completed twice");
+        *slot = Some(result);
+        self.done.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+/// A handle to one submitted job's eventual result.
+///
+/// Cheap to move across threads; [`join`](Self::join) blocks until the
+/// job has executed, [`try_join`](Self::try_join) polls, and
+/// [`is_done`](Self::is_done) is a lock-free readiness probe — the same
+/// completion-observation triple a future offers, without an async
+/// runtime in the loop.
+pub struct JobHandle<R> {
+    pub(crate) state: Arc<JobState<R>>,
+}
+
+impl<R> JobHandle<R> {
+    pub(crate) fn new() -> (Self, Arc<JobState<R>>) {
+        let state = Arc::new(JobState::new());
+        (
+            JobHandle {
+                state: state.clone(),
+            },
+            state,
+        )
+    }
+
+    /// Whether the job has completed (lock-free probe).
+    pub fn is_done(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+
+    /// Takes the result if the job has completed; `None` while pending.
+    pub fn try_join(self) -> Result<Result<R, JobPanic>, Self> {
+        if !self.is_done() {
+            return Err(self);
+        }
+        Ok(self.take())
+    }
+
+    /// Cooperative join **for use inside a job**: helps execute pending
+    /// tasks on the calling worker while waiting.
+    ///
+    /// A plain [`join`](Self::join) from within a job can deadlock the
+    /// team: the blocked worker is the only thread allowed to pop (or
+    /// migrate) the tasks queued in its own lattice row, so a dependency
+    /// that landed there can never run. `join_within` keeps the worker
+    /// at a scheduling point instead of parking it, so those tasks —
+    /// including the joined job itself — keep flowing.
+    pub fn join_within(self, ctx: &xgomp_core::TaskCtx<'_>) -> Result<R, JobPanic> {
+        let mut spins = 0u32;
+        while !self.is_done() {
+            // `help_pending`, not `run_pending`: when every worker is
+            // inside a `join_within`, the awaited jobs can still be
+            // sitting in the ingress with no idle worker left to drain
+            // them — helping must reach the ingress too.
+            if ctx.help_pending(16) == 0 {
+                if spins < 64 {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            } else {
+                spins = 0;
+            }
+        }
+        self.take()
+    }
+
+    /// Blocks until the job completes and returns its result (or the
+    /// panic that ended it).
+    ///
+    /// Call this from threads **outside** the team only. From inside a
+    /// job, use [`join_within`](Self::join_within) — parking a worker on
+    /// another job's completion can deadlock the scheduler (see there).
+    pub fn join(self) -> Result<R, JobPanic> {
+        {
+            let mut slot = self
+                .state
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while slot.is_none() {
+                slot = self
+                    .state
+                    .cv
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        self.take()
+    }
+
+    /// Waits up to `timeout` for completion; `Err(self)` on timeout so
+    /// the caller can keep waiting.
+    pub fn join_timeout(self, timeout: Duration) -> Result<Result<R, JobPanic>, Self> {
+        {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut slot = self
+                .state
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while slot.is_none() {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    drop(slot);
+                    return Err(self);
+                }
+                let (guard, _) = self
+                    .state
+                    .cv
+                    .wait_timeout(slot, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                slot = guard;
+            }
+        }
+        Ok(self.take())
+    }
+
+    fn take(self) -> Result<R, JobPanic> {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("completed job has a result")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_blocks_until_complete() {
+        let (handle, state) = JobHandle::<u32>::new();
+        assert!(!handle.is_done());
+        let t = std::thread::spawn(move || handle.join());
+        std::thread::sleep(Duration::from_millis(10));
+        state.complete(Ok(7));
+        assert_eq!(t.join().unwrap().unwrap(), 7);
+    }
+
+    #[test]
+    fn try_join_polls() {
+        let (handle, state) = JobHandle::<u32>::new();
+        let handle = match handle.try_join() {
+            Err(h) => h,
+            Ok(_) => panic!("job cannot be done yet"),
+        };
+        state.complete(Err(JobPanic {
+            message: "boom".into(),
+        }));
+        match handle.try_join() {
+            Ok(Err(p)) => assert_eq!(p.message, "boom"),
+            other => panic!("expected completed panic, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn join_timeout_returns_handle() {
+        let (handle, state) = JobHandle::<u32>::new();
+        let handle = match handle.join_timeout(Duration::from_millis(5)) {
+            Err(h) => h,
+            Ok(_) => panic!("cannot complete"),
+        };
+        state.complete(Ok(1));
+        assert_eq!(
+            handle
+                .join_timeout(Duration::from_secs(5))
+                .ok()
+                .unwrap()
+                .unwrap(),
+            1
+        );
+    }
+}

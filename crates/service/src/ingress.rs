@@ -1,0 +1,360 @@
+//! NUMA-sharded MPSC ingress built on the lock-less B-queue.
+//!
+//! External submitter threads are strangers to the runtime: they own no
+//! worker slot, so they cannot touch the XQueue lattice (whose SPSC
+//! roles are worker-bound). Ingress therefore runs on its own tier:
+//!
+//! * one [`IngressShard`] per NUMA zone of the team's placement, so a
+//!   submitter consistently feeds the shard whose workers will spawn its
+//!   jobs (creator-locality for everything the job spawns afterwards);
+//! * each shard is a set of *lanes* — bounded SPSC
+//!   [`BQueue`](xgomp_xqueue::BQueue)s — multiplexed into an MPSC by two
+//!   single-word atomic claims: a producer claim per lane and one drain
+//!   claim per shard. The claims are the only read-modify-write atomics
+//!   on the submission path; every queue operation stays the paper's
+//!   plain load/store B-queue protocol, and the worker-to-worker
+//!   scheduling fabric behind it remains fully lock-less.
+//!
+//! Jobs are boxed `FnOnce(&TaskCtx)` bodies; a drained body is handed to
+//! `TaskCtx::spawn_boxed` by whichever idle worker claimed the drain.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use xgomp_core::TaskCtx;
+use xgomp_xqueue::BQueue;
+
+/// A submitted job body, exactly as the scheduler will consume it.
+pub(crate) type JobBody = Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>;
+
+struct Lane {
+    q: BQueue<JobBody>,
+    /// Producer-side claim: holder is the lane's unique producer.
+    producing: AtomicBool,
+}
+
+/// One NUMA zone's ingress: lanes of SPSC rings + a drain claim making
+/// the ensemble MPSC.
+pub struct IngressShard {
+    lanes: Box<[Lane]>,
+    /// Consumer-side claim: holder is the unique consumer of all lanes.
+    draining: AtomicBool,
+    /// Rotates the first lane probed by producers, spreading contention.
+    next_lane: AtomicUsize,
+}
+
+impl IngressShard {
+    fn new(lanes: usize, lane_capacity: usize) -> Self {
+        IngressShard {
+            lanes: (0..lanes.max(1))
+                .map(|_| Lane {
+                    q: BQueue::with_capacity(lane_capacity),
+                    producing: AtomicBool::new(false),
+                })
+                .collect(),
+            draining: AtomicBool::new(false),
+            next_lane: AtomicUsize::new(0),
+        }
+    }
+
+    /// Slots across all lanes (actual ring capacities).
+    pub fn capacity(&self) -> usize {
+        self.lanes.iter().map(|l| l.q.capacity()).sum()
+    }
+
+    /// Attempts to enqueue `job` into any lane of this shard. Fails when
+    /// every lane is full or producer-claimed by someone else.
+    #[cfg(test)]
+    pub(crate) fn try_push(&self, job: JobBody) -> Result<(), JobBody> {
+        let ptr = NonNull::from(Box::leak(Box::new(job)));
+        self.try_push_ptr(ptr).map_err(|back| {
+            // SAFETY: the rejected pointer is the box we leaked above.
+            *unsafe { Box::from_raw(back.as_ptr()) }
+        })
+    }
+
+    /// Pointer-level [`try_push`](Self::try_push): ownership of the
+    /// boxed body transfers on `Ok`, returns to the caller on `Err`.
+    /// Lets retry loops probe many lanes/shards without re-boxing the
+    /// job per attempt.
+    pub(crate) fn try_push_ptr(&self, ptr: NonNull<JobBody>) -> Result<(), NonNull<JobBody>> {
+        let start = self.next_lane.fetch_add(1, Ordering::Relaxed);
+        for i in 0..self.lanes.len() {
+            let lane = &self.lanes[(start + i) % self.lanes.len()];
+            if lane
+                .producing
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: the `producing` claim makes this thread the lane's
+            // unique producer for the duration of the call.
+            let pushed = unsafe { lane.q.enqueue(ptr) };
+            lane.producing.store(false, Ordering::Release);
+            if pushed.is_ok() {
+                return Ok(());
+            }
+        }
+        Err(ptr)
+    }
+
+    /// Drains up to `max` jobs if the drain claim is free; returns the
+    /// drained bodies' count after feeding each to `f`. Jobs are handed
+    /// out *after* the claim is released so `f` (which may execute a job
+    /// inline on queue overflow) never blocks other drainers.
+    pub(crate) fn try_drain(&self, max: usize, f: &mut dyn FnMut(JobBody)) -> usize {
+        if self
+            .draining
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return 0;
+        }
+        let mut batch: Vec<JobBody> = Vec::new();
+        'lanes: for lane in self.lanes.iter() {
+            while batch.len() < max {
+                // SAFETY: the `draining` claim makes this thread the
+                // unique consumer of every lane in the shard.
+                match unsafe { lane.q.dequeue() } {
+                    // SAFETY: every queued pointer came from `Box::leak`
+                    // in `try_push`.
+                    Some(p) => batch.push(*unsafe { Box::from_raw(p.as_ptr()) }),
+                    None => continue 'lanes,
+                }
+            }
+            break;
+        }
+        self.draining.store(false, Ordering::Release);
+        let n = batch.len();
+        for job in batch {
+            f(job);
+        }
+        n
+    }
+
+    /// Whether every lane currently looks empty (racy hint).
+    pub fn looks_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.q.occupancy_scan() == 0)
+    }
+}
+
+impl Drop for IngressShard {
+    fn drop(&mut self) {
+        // Free any bodies that were never drained (only reachable when a
+        // server is torn down without its shutdown drain, e.g. on panic).
+        for lane in self.lanes.iter() {
+            // SAFETY: `&mut self` — no concurrent producers or consumers.
+            while let Some(p) = unsafe { lane.q.dequeue() } {
+                // SAFETY: pointer from `Box::leak` in `try_push`.
+                drop(unsafe { Box::from_raw(p.as_ptr()) });
+            }
+        }
+    }
+}
+
+/// The full ingress tier: one shard per NUMA zone of the placement.
+pub struct ShardedIngress {
+    shards: Box<[IngressShard]>,
+}
+
+impl ShardedIngress {
+    /// Builds `n_shards` shards of `lanes × lane_capacity` slots each.
+    pub fn new(n_shards: usize, lanes: usize, lane_capacity: usize) -> Self {
+        ShardedIngress {
+            shards: (0..n_shards.max(1))
+                .map(|_| IngressShard::new(lanes, lane_capacity))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total slots across every shard.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Pushes preferring shard `hint`, falling over to the others.
+    #[cfg(test)]
+    pub(crate) fn push_from(&self, hint: usize, job: JobBody) -> Result<(), JobBody> {
+        let ptr = NonNull::from(Box::leak(Box::new(job)));
+        self.push_ptr_from(hint, ptr).map_err(|back| {
+            // SAFETY: the rejected pointer is the box we leaked above.
+            *unsafe { Box::from_raw(back.as_ptr()) }
+        })
+    }
+
+    /// Pointer-level [`push_from`](Self::push_from); see
+    /// [`IngressShard::try_push_ptr`] for the ownership contract.
+    pub(crate) fn push_ptr_from(
+        &self,
+        hint: usize,
+        mut ptr: NonNull<JobBody>,
+    ) -> Result<(), NonNull<JobBody>> {
+        for i in 0..self.shards.len() {
+            match self.shards[(hint + i) % self.shards.len()].try_push_ptr(ptr) {
+                Ok(()) => return Ok(()),
+                Err(back) => ptr = back,
+            }
+        }
+        Err(ptr)
+    }
+
+    /// Drains up to `max` jobs, preferring shard `hint` (the caller's
+    /// zone) and helping the other shards only when it is empty — work
+    /// conservation without giving up locality.
+    pub(crate) fn drain_into(&self, hint: usize, max: usize, f: &mut dyn FnMut(JobBody)) -> usize {
+        let own = self.shards[hint % self.shards.len()].try_drain(max, f);
+        if own > 0 {
+            return own;
+        }
+        let mut got = 0;
+        for i in 1..self.shards.len() {
+            got += self.shards[(hint + i) % self.shards.len()].try_drain(max - got, f);
+            if got >= max {
+                break;
+            }
+        }
+        got
+    }
+
+    /// Racy emptiness hint across all shards.
+    pub fn looks_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.looks_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn counter_job(hits: Arc<AtomicU64>) -> JobBody {
+        Box::new(move |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    #[test]
+    fn push_drain_roundtrip() {
+        let shard = IngressShard::new(2, 8);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..5 {
+            shard.try_push(counter_job(hits.clone())).ok().unwrap();
+        }
+        assert!(!shard.looks_empty());
+        let mut drained: Vec<JobBody> = Vec::new();
+        let n = shard.try_drain(16, &mut |j| drained.push(j));
+        assert_eq!(n, 5);
+        assert!(shard.looks_empty());
+        drop(drained); // dropping undrained bodies must not leak or run them
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn full_shard_hands_the_job_back() {
+        let shard = IngressShard::new(1, 2); // one lane, two slots
+        let hits = Arc::new(AtomicU64::new(0));
+        shard.try_push(counter_job(hits.clone())).ok().unwrap();
+        shard.try_push(counter_job(hits.clone())).ok().unwrap();
+        assert!(shard.try_push(counter_job(hits.clone())).is_err());
+    }
+
+    #[test]
+    fn drain_claim_is_exclusive() {
+        let shard = IngressShard::new(1, 8);
+        shard.draining.store(true, Ordering::Release);
+        assert_eq!(shard.try_drain(8, &mut |_| {}), 0);
+        shard.draining.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn fallover_spreads_to_other_shards() {
+        let ingress = ShardedIngress::new(2, 1, 2);
+        let hits = Arc::new(AtomicU64::new(0));
+        // Shard 0 takes 2, then pushes must fall over to shard 1.
+        for _ in 0..4 {
+            ingress
+                .push_from(0, counter_job(hits.clone()))
+                .ok()
+                .unwrap();
+        }
+        assert!(!ingress.shards[1].looks_empty());
+        // A drainer hinted at shard 1 still collects everything.
+        let mut n = 0;
+        while ingress.drain_into(1, 64, &mut |_j| n += 1) > 0 {}
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn concurrent_submitters_conserve_jobs() {
+        let ingress = Arc::new(ShardedIngress::new(3, 4, 64));
+        const PER_THREAD: u64 = 2_000;
+        const THREADS: u64 = 6;
+        let drained = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // One drainer per shard hint, mimicking idle workers.
+        let drainers: Vec<_> = (0..3usize)
+            .map(|hint| {
+                let ingress = ingress.clone();
+                let drained = drained.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || loop {
+                    let got = ingress.drain_into(hint, 32, &mut |_job| {});
+                    drained.fetch_add(got as u64, Ordering::Relaxed);
+                    if got == 0 {
+                        if stop.load(Ordering::Acquire) && ingress.looks_empty() {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        let submitters: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let ingress = ingress.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let mut job: JobBody = Box::new(move |_| {
+                            std::hint::black_box(i);
+                        });
+                        loop {
+                            match ingress.push_from(t as usize, job) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    job = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for s in submitters {
+            s.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        for d in drainers {
+            d.join().unwrap();
+        }
+        // Post-join sweep for anything left between the emptiness check
+        // and the last push.
+        let mut rest = 0;
+        while ingress.drain_into(0, 1024, &mut |_job| rest += 1) > 0 {}
+        assert_eq!(
+            drained.load(Ordering::Relaxed) + rest,
+            PER_THREAD * THREADS,
+            "ingress lost or duplicated jobs"
+        );
+    }
+}

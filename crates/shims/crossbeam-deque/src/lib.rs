@@ -1,0 +1,107 @@
+//! Minimal in-tree stand-in for `crossbeam-deque` (offline build).
+//!
+//! Same API shape (`Worker`/`Stealer`/`Steal`), same semantics (owner
+//! pops LIFO, thieves steal FIFO), but backed by a mutexed `VecDeque`
+//! rather than a lock-free Chase–Lev deque. That inverts the *"LOMP is
+//! lock-free"* property the paper's baseline claims — acceptable here
+//! because LOMP is only a comparison baseline, and an honest locked
+//! implementation keeps its scheduling behavior (depth-first own work,
+//! FIFO stealing) intact.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Owner handle: LIFO push/pop on the back.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Thief handle: FIFO steal from the front.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// Got an element.
+    Success(T),
+    /// Deque observed empty.
+    Empty,
+    /// Transient conflict; try again. (Never produced by this shim —
+    /// kept so caller `match`es compile unchanged.)
+    Retry,
+}
+
+impl<T> Worker<T> {
+    /// Creates a deque whose owner operates in LIFO order.
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes onto the owner end.
+    pub fn push(&self, value: T) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(value);
+    }
+
+    /// Pops from the owner end (most recent first).
+    pub fn pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+    }
+
+    /// Creates a thief handle to this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals from the opposite end (oldest first).
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_lifo_thief_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+}

@@ -107,7 +107,11 @@ impl Placement {
     /// Convenience: close-affinity placement on a topology fitted to the
     /// worker count (the runtime's default).
     pub fn default_for(n_workers: usize) -> Self {
-        Placement::new(MachineTopology::fit_workers(n_workers), n_workers, Affinity::Close)
+        Placement::new(
+            MachineTopology::fit_workers(n_workers),
+            n_workers,
+            Affinity::Close,
+        )
     }
 
     /// Number of placed workers.

@@ -182,10 +182,10 @@ impl<T> XQueueLattice<T> {
         let mut per_consumer = vec![0usize; self.n];
         let mut master = 0;
         let mut aux = 0;
-        for c in 0..self.n {
+        for (c, row_total) in per_consumer.iter_mut().enumerate() {
             for p in 0..self.n {
                 let occ = self.q(c, p).occupancy_scan();
-                per_consumer[c] += occ;
+                *row_total += occ;
                 if c == p {
                     master += occ;
                 } else {
@@ -240,7 +240,11 @@ impl PushCursor {
     }
 
     /// Next target consumer: `owner, owner+1, …, owner-1, owner, …`.
+    ///
+    /// (Deliberately named after the paper's cursor operation; the cursor
+    /// is an infinite generator, not an `Iterator`.)
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> usize {
         let t = (self.owner + self.step) % self.n;
         self.step = (self.step + 1) % self.n;

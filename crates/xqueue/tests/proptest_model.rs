@@ -15,10 +15,7 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..10_000).prop_map(Op::Send),
-        Just(Op::Recv),
-    ]
+    prop_oneof![(0u32..10_000).prop_map(Op::Send), Just(Op::Recv),]
 }
 
 proptest! {

@@ -47,17 +47,26 @@ fn main() {
         ("STATIC (round-robin)", base.clone()),
         (
             "NA-RP (redirect push)",
-            base.clone()
-                .dlb(DlbConfig::new(DlbStrategy::RedirectPush).n_steal(32).t_interval(1000)),
+            base.clone().dlb(
+                DlbConfig::new(DlbStrategy::RedirectPush)
+                    .n_steal(32)
+                    .t_interval(1000),
+            ),
         ),
         (
             "NA-WS (work stealing)",
-            base.clone()
-                .dlb(DlbConfig::new(DlbStrategy::WorkSteal).n_steal(32).t_interval(1000)),
+            base.clone().dlb(
+                DlbConfig::new(DlbStrategy::WorkSteal)
+                    .n_steal(32)
+                    .t_interval(1000),
+            ),
         ),
     ];
 
-    println!("imbalanced workload on {} workers, 8 simulated NUMA zones\n", threads);
+    println!(
+        "imbalanced workload on {} workers, 8 simulated NUMA zones\n",
+        threads
+    );
     for (label, cfg) in variants {
         let rt = Runtime::new(cfg);
         let out = rt.parallel(imbalanced_workload);
@@ -73,8 +82,20 @@ fn main() {
             t.nreq_sent, t.nreq_handled, t.ntasks_stolen, t.nsteal_local
         );
         // Per-worker execution spread: max/min tasks executed.
-        let max = out.stats.workers.iter().map(|w| w.tasks_executed).max().unwrap();
-        let min = out.stats.workers.iter().map(|w| w.tasks_executed).min().unwrap();
+        let max = out
+            .stats
+            .workers
+            .iter()
+            .map(|w| w.tasks_executed)
+            .max()
+            .unwrap();
+        let min = out
+            .stats
+            .workers
+            .iter()
+            .map(|w| w.tasks_executed)
+            .min()
+            .unwrap();
         println!("  tasks/worker   : max={max} min={min}\n");
     }
 }

@@ -17,7 +17,10 @@ fn main() {
     let k = 14; // 16 384 puzzles — a toy plot (Chia production uses k=32)
 
     println!("plotting 2^{k} BLAKE3 puzzles on {threads} workers\n");
-    println!("{:>8}  {:>14}  {:>14}", "batch", "GOMP MH/s", "XGOMPTB MH/s");
+    println!(
+        "{:>8}  {:>14}  {:>14}",
+        "batch", "GOMP MH/s", "XGOMPTB MH/s"
+    );
     for batch in [1usize, 16, 256, 1024] {
         let params = PlotParams {
             k,
@@ -26,7 +29,10 @@ fn main() {
             n_buckets: 256,
         };
         let mut rates = Vec::new();
-        for cfg in [RuntimeConfig::gomp(threads), RuntimeConfig::xgomptb(threads)] {
+        for cfg in [
+            RuntimeConfig::gomp(threads),
+            RuntimeConfig::xgomptb(threads),
+        ] {
             let rt = Runtime::new(cfg);
             let out = rt.parallel(|ctx| generate_par(ctx, &params));
             assert_eq!(out.result.len(), params.n_puzzles());

@@ -8,7 +8,9 @@
 //! ```
 
 use xgomp::bots::{BotsApp, Scale};
-use xgomp::{render_task_counts, render_timeline, state_summary, ProfileDump, Runtime, RuntimeConfig};
+use xgomp::{
+    render_task_counts, render_timeline, state_summary, ProfileDump, Runtime, RuntimeConfig,
+};
 
 fn main() {
     let threads = 8;

@@ -26,13 +26,15 @@ fn main() {
         squares.iter().sum::<u64>()
     });
     println!("sum of squares 0..1024  = {}", out.result);
-    println!("tasks executed          = {}", out.stats.total().tasks_executed);
+    println!(
+        "tasks executed          = {}",
+        out.stats.total().tasks_executed
+    );
     println!("region wall time        = {:?}", out.wall);
 
     // 2. Same region with NUMA-aware work stealing (NA-WS) enabled.
-    let rt = Runtime::new(
-        RuntimeConfig::xgomptb(threads).dlb(DlbConfig::new(DlbStrategy::WorkSteal)),
-    );
+    let rt =
+        Runtime::new(RuntimeConfig::xgomptb(threads).dlb(DlbConfig::new(DlbStrategy::WorkSteal)));
     let out = rt.parallel(|ctx| {
         // Recursive tasking: BOTS-style Fibonacci, a task per call.
         xgomp::bots::fib::par(ctx, 24)

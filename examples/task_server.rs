@@ -1,0 +1,122 @@
+//! `task_server`: the persistent executor under concurrent load.
+//!
+//! Eight submitter threads push 1 000 jobs each into a [`TaskServer`]
+//! running on a two-socket virtual machine (two ingress shards). Halfway
+//! through, every submitter switches from fine-grained jobs (hundreds of
+//! cycles) to coarse ones (hundreds of thousands of cycles) — the
+//! adaptive controller observes the shift in the live task-size
+//! histogram and hot-swaps the DLB configuration per Table IV, logging
+//! each retune to stderr.
+//!
+//! ```text
+//! cargo run --release --example task_server
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use xgomp::service::{ServerConfig, TaskServer};
+use xgomp::{DlbConfig, DlbStrategy, MachineTopology, RuntimeConfig};
+
+const SUBMITTERS: u64 = 8;
+const JOBS_PER_SUBMITTER: u64 = 1_000;
+
+fn submit_and_verify(server: &TaskServer, t: u64, checksum: &AtomicU64) {
+    let mut handles = Vec::with_capacity(JOBS_PER_SUBMITTER as usize);
+    for i in 0..JOBS_PER_SUBMITTER {
+        // First half: fine-grained jobs (a handful of arithmetic ops).
+        // Second half: coarse jobs spinning for ~10^5 cycles — the
+        // distribution shift the controller must catch.
+        let coarse = i >= JOBS_PER_SUBMITTER / 2;
+        let h = server
+            .submit(move |_ctx| {
+                if coarse {
+                    let mut acc = 0u64;
+                    for k in 0..20_000u64 {
+                        acc = acc.wrapping_add(std::hint::black_box(k ^ i));
+                    }
+                    std::hint::black_box(acc);
+                }
+                t * 1_000_000 + i
+            })
+            .expect("server open");
+        handles.push((i, h));
+    }
+    for (i, h) in handles {
+        let got = h.join().expect("job completed");
+        assert_eq!(got, t * 1_000_000 + i, "wrong result for job ({t},{i})");
+        checksum.fetch_add(got, Ordering::Relaxed);
+    }
+}
+
+fn main() {
+    // Two sockets × four cores: workers 0..4 on zone 0, 4..8 on zone 1,
+    // so the ingress runs with two NUMA shards.
+    let runtime = RuntimeConfig::xgomptb(8)
+        .topology(MachineTopology::new(2, 4, 1))
+        .dlb(DlbConfig::new(DlbStrategy::WorkSteal));
+    let server = TaskServer::start(
+        ServerConfig::new(8)
+            .runtime(runtime)
+            .max_in_flight(2_048)
+            .adapt_every(512)
+            .log_retunes(true),
+    );
+    eprintln!(
+        "[task_server] serving with {} ingress shard(s), initial DLB {}",
+        server.stats().shards,
+        server.active_dlb().strategy.name(),
+    );
+
+    let checksum = Arc::new(AtomicU64::new(0));
+    let started = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..SUBMITTERS {
+            let server = &server;
+            let checksum = checksum.clone();
+            s.spawn(move || submit_and_verify(server, t, &checksum));
+        }
+    });
+    let wall = started.elapsed();
+
+    let expected: u64 = (0..SUBMITTERS)
+        .map(|t| {
+            (0..JOBS_PER_SUBMITTER)
+                .map(|i| t * 1_000_000 + i)
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(
+        checksum.load(Ordering::Relaxed),
+        expected,
+        "checksum over all job results"
+    );
+
+    let hist = server.task_histogram();
+    let report = server.shutdown();
+    let total = SUBMITTERS * JOBS_PER_SUBMITTER;
+    assert_eq!(report.stats.completed, total, "every job completed");
+    assert!(
+        report.stats.retunes >= 1,
+        "the distribution shift must trigger at least one live retune \
+         (got {}; histogram:\n{})",
+        report.stats.retunes,
+        hist.render()
+    );
+
+    eprintln!("[task_server] task-size distribution across the run:");
+    eprint!("{}", hist.render());
+    eprintln!(
+        "[task_server] OK: {total} jobs from {SUBMITTERS} submitters in {wall:.2?} \
+         ({:.0} jobs/s), {} live DLB retune(s), {} rejected submissions",
+        total as f64 / wall.as_secs_f64(),
+        report.stats.retunes,
+        report.stats.rejected,
+    );
+    let region = report.region.expect("server exited cleanly");
+    eprintln!(
+        "[task_server] serve region: {} tasks executed, {} migrated by DLB",
+        region.stats.total().tasks_executed,
+        region.stats.total().ntasks_stolen,
+    );
+}

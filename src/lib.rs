@@ -32,10 +32,12 @@
 
 pub use xgomp_core::{
     clock, guidelines, render_task_counts, render_timeline, state_summary, Affinity, AllocKind,
-    BarrierKind, CostModel, DlbConfig, DlbStrategy, EventKind, Locality, MachineTopology, PerfLog,
-    Placement, ProfileDump, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope,
-    StatsSnapshot, TaskCtx, TaskSizeHistogram, TeamStats,
+    BarrierKind, CostModel, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource,
+    LiveTaskSampler, Locality, MachineTopology, PerfLog, PersistentTeam, Placement, ProfileDump,
+    RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope, StatsSnapshot, TaskCtx,
+    TaskSizeHistogram, TeamStats,
 };
+pub use xgomp_service::{JobHandle, JobPanic, ServerConfig, TaskServer};
 
 /// The BOTS benchmark suite (`xgomp-bots`).
 pub mod bots {
@@ -60,4 +62,9 @@ pub mod topology {
 /// The §V profiling tools (`xgomp-profiling`).
 pub mod profiling {
     pub use xgomp_profiling::*;
+}
+
+/// The persistent task-server runtime (`xgomp-service`).
+pub mod service {
+    pub use xgomp_service::*;
 }

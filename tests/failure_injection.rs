@@ -130,7 +130,7 @@ fn many_sequential_regions_do_not_leak() {
     let rt = Runtime::new(RuntimeConfig::xgomptb(4));
     for i in 0..50 {
         let out = rt.parallel(|ctx| {
-            let mut v = vec![0u8; 16];
+            let mut v = [0u8; 16];
             ctx.scope(|s| {
                 for (j, b) in v.iter_mut().enumerate() {
                     s.spawn(move |_| *b = (i + j) as u8);

@@ -4,9 +4,7 @@
 //! gate (schedulers × barriers × allocators × balancers).
 
 use xgomp::bots::{BotsApp, Scale};
-use xgomp::{
-    AllocKind, BarrierKind, DlbConfig, DlbStrategy, Runtime, RuntimeConfig,
-};
+use xgomp::{AllocKind, BarrierKind, DlbConfig, DlbStrategy, Runtime, RuntimeConfig};
 
 fn check(cfg: RuntimeConfig, app: BotsApp) {
     let expect = app.run_seq(Scale::Test);
@@ -20,7 +18,8 @@ fn check(cfg: RuntimeConfig, app: BotsApp) {
     // Conservation: created == executed after quiescence.
     let t = out.stats.total();
     assert_eq!(
-        t.tasks_created, t.tasks_executed,
+        t.tasks_created,
+        t.tasks_executed,
         "{} leaked tasks under {}",
         app.name(),
         name

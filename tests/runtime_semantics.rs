@@ -6,9 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use xgomp::topology::MachineTopology;
-use xgomp::{
-    Affinity, CostModel, DlbConfig, DlbStrategy, EventKind, Runtime, RuntimeConfig,
-};
+use xgomp::{Affinity, CostModel, DlbConfig, DlbStrategy, EventKind, Runtime, RuntimeConfig};
 
 #[test]
 fn scope_borrows_stack_data_mutably() {
@@ -51,11 +49,11 @@ fn taskwait_orders_child_effects() {
 fn nested_scopes_preserve_sequencing() {
     let rt = Runtime::new(RuntimeConfig::xgomptb(4));
     let out = rt.parallel(|ctx| {
-        let mut layers = vec![0u64; 4];
+        let mut layers = [0u64; 4];
         ctx.scope(|s| {
             for (depth, slot) in layers.iter_mut().enumerate() {
                 s.spawn(move |ctx| {
-                    let mut inner = vec![0u64; 8];
+                    let mut inner = [0u64; 8];
                     ctx.scope(|s2| {
                         for (j, v) in inner.iter_mut().enumerate() {
                             s2.spawn(move |_| *v = (depth * 8 + j) as u64 + 1);

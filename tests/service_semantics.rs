@@ -1,0 +1,314 @@
+//! Persistent-runtime semantics of `xgomp-service`: one team serves many
+//! jobs, handles complete independently of submission order, a panicking
+//! job poisons only itself, and shutdown drains everything in flight.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use xgomp::service::{JobHandle, ServerConfig, TaskServer};
+use xgomp::{DlbConfig, DlbStrategy, RuntimeConfig};
+
+fn server(threads: usize) -> TaskServer {
+    TaskServer::start(ServerConfig::new(threads))
+}
+
+#[test]
+fn one_team_serves_many_jobs() {
+    let server = server(4);
+    // Many waves of jobs against the same team; the serving region's
+    // telemetry proves a single team executed all of them.
+    let mut expected_tasks = 0u64;
+    for wave in 0..20u64 {
+        let handles: Vec<_> = (0..50u64)
+            .map(|i| server.submit(move |_| wave * 1_000 + i).unwrap())
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), wave * 1_000 + i as u64);
+        }
+        expected_tasks += 50;
+    }
+    let report = server.shutdown();
+    assert_eq!(report.stats.submitted, expected_tasks);
+    assert_eq!(report.stats.completed, expected_tasks);
+    // One region served everything: its counters cover every job task.
+    let region = report.region.expect("clean serve");
+    assert_eq!(region.stats.total().tasks_executed, expected_tasks);
+    region.stats.check_invariants().unwrap();
+}
+
+#[test]
+fn results_are_correct_in_any_join_order() {
+    let server = server(4);
+    let handles: Vec<JobHandle<u64>> = (0..300u64)
+        .map(|i| {
+            server
+                .submit(move |_| {
+                    // Uneven grains so completion order scrambles.
+                    for _ in 0..(i % 13) * 50 {
+                        std::hint::spin_loop();
+                    }
+                    i * i
+                })
+                .unwrap()
+        })
+        .collect();
+    // Join in reverse submission order, then verify by index.
+    for (i, h) in handles.into_iter().enumerate().rev() {
+        assert_eq!(h.join().unwrap(), (i as u64) * (i as u64));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn job_panic_poisons_only_that_job() {
+    let server = server(4);
+    let before = server.submit(|_| 1u32).unwrap();
+    let bomb = server
+        .submit(|_| -> u32 { panic!("job 1 exploded") })
+        .unwrap();
+    let after: Vec<_> = (0..100u32)
+        .map(|i| server.submit(move |_| i + 10).unwrap())
+        .collect();
+
+    assert_eq!(before.join().unwrap(), 1);
+    let err = bomb.join().unwrap_err();
+    assert!(
+        err.message.contains("job 1 exploded"),
+        "panic payload lost: {}",
+        err.message
+    );
+    // The runtime survived: every later job still completes correctly.
+    for (i, h) in after.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), i as u32 + 10);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.stats.completed, 102);
+}
+
+#[test]
+fn jobs_spawning_subtasks_share_the_team() {
+    let server = TaskServer::start(
+        ServerConfig::new(4).runtime(
+            RuntimeConfig::xgomptb(4).dlb(
+                DlbConfig::new(DlbStrategy::WorkSteal)
+                    .n_steal(8)
+                    .t_interval(64),
+            ),
+        ),
+    );
+    let handles: Vec<_> = (0..20u64)
+        .map(|_| {
+            server
+                .submit(|ctx| {
+                    let mut leaves = vec![0u64; 32];
+                    ctx.scope(|s| {
+                        for (i, leaf) in leaves.iter_mut().enumerate() {
+                            s.spawn(move |_| *leaf = i as u64 + 1);
+                        }
+                    });
+                    leaves.iter().sum::<u64>()
+                })
+                .unwrap()
+        })
+        .collect();
+    let per_job: u64 = (1..=32u64).sum();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), per_job);
+    }
+    let report = server.shutdown();
+    // 20 job tasks + 20 × 32 subtasks, all through one team.
+    assert_eq!(
+        report
+            .region
+            .expect("clean serve")
+            .stats
+            .total()
+            .tasks_executed,
+        20 + 20 * 32
+    );
+}
+
+#[test]
+fn shutdown_drains_in_flight_work() {
+    let server = server(4);
+    let done = Arc::new(AtomicU64::new(0));
+    // Slow jobs that are certainly still queued/running at shutdown.
+    let handles: Vec<_> = (0..64u64)
+        .map(|i| {
+            let done = done.clone();
+            server
+                .submit(move |_| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    done.fetch_add(1, Ordering::SeqCst);
+                    i
+                })
+                .unwrap()
+        })
+        .collect();
+    // Shut down immediately: every admitted job must still complete.
+    let report = server.shutdown();
+    assert_eq!(done.load(Ordering::SeqCst), 64);
+    assert_eq!(report.stats.completed, 64);
+    assert_eq!(report.stats.in_flight, 0);
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), i as u64);
+    }
+}
+
+#[test]
+fn submissions_after_close_are_rejected() {
+    let server = server(2);
+    let ok = server.submit(|_| ()).unwrap();
+    let report_thread = std::thread::spawn(move || server.shutdown());
+    let report = report_thread.join().unwrap();
+    ok.join().unwrap();
+    assert_eq!(report.stats.completed, 1);
+}
+
+#[test]
+fn reentrant_submission_with_cooperative_join() {
+    // A job that submits more jobs and waits for them must use the
+    // cooperative join — a parked worker cannot drain its own lattice
+    // row (see `JobHandle::join_within` docs).
+    let server = Arc::new(server(4));
+    let s2 = server.clone();
+    let outer = server
+        .submit(move |ctx| {
+            let inner: Vec<_> = (0..50u64)
+                .filter_map(|i| s2.try_submit(move |_| i * 2).ok())
+                .collect();
+            inner
+                .into_iter()
+                .map(|h| h.join_within(ctx).unwrap())
+                .sum::<u64>()
+        })
+        .unwrap();
+    let got = outer.join().unwrap();
+    assert_eq!(got, (0..50u64).map(|i| i * 2).sum());
+    let server = Arc::into_inner(server).expect("all submitters done");
+    server.shutdown();
+}
+
+#[test]
+fn subtask_panic_fails_only_its_job() {
+    // A panic in a *subtask* of a job must surface as that job's
+    // JobPanic — not poison the team (which would strand every other
+    // in-flight job and wedge shutdown).
+    let server = server(4);
+    let backlog: Vec<_> = (0..200u64)
+        .map(|i| server.submit(move |_| i).unwrap())
+        .collect();
+    let bomb = server
+        .submit(|ctx| {
+            ctx.scope(|s| {
+                s.spawn(|_| panic!("subtask exploded"));
+                for _ in 0..8 {
+                    s.spawn(|_| std::hint::spin_loop());
+                }
+            });
+            0u64
+        })
+        .unwrap();
+    let err = bomb.join().unwrap_err();
+    assert!(
+        err.message.contains("subtask exploded"),
+        "payload lost: {}",
+        err.message
+    );
+    for (i, h) in backlog.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), i as u64);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.stats.completed, 201);
+    assert!(report.region.is_some(), "serve must end cleanly");
+}
+
+#[test]
+fn second_subtask_panic_is_not_swallowed() {
+    // A job that survives a first isolated subtask panic (catching it
+    // itself) must still see a *second* subtask panic — the panic slot
+    // re-arms after each take.
+    let server = server(2);
+    let h = server
+        .submit(|ctx| {
+            let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ctx.scope(|s| s.spawn(|_| panic!("first boom")));
+            }));
+            assert!(first.is_err(), "first subtask panic must re-raise");
+            // Second wave of subtasks; this panic must also surface.
+            ctx.scope(|s| s.spawn(|_| panic!("second boom")));
+            0u8
+        })
+        .unwrap();
+    let err = h.join().unwrap_err();
+    assert!(
+        err.message.contains("second boom"),
+        "second panic swallowed: {}",
+        err.message
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturated_cooperative_joins_make_progress() {
+    // Every execution context waits inside join_within at once: the
+    // awaited jobs sit in the ingress, and the waiters themselves must
+    // drain it (help_pending) or the team deadlocks.
+    let server = Arc::new(server(2));
+    let outers: Vec<_> = (0..2)
+        .map(|o| {
+            let s2 = server.clone();
+            server
+                .submit(move |ctx| {
+                    let inner: Vec<_> = (0..25u64)
+                        .filter_map(|i| s2.try_submit(move |_| o * 100 + i).ok())
+                        .collect();
+                    let mut joined = 0u64;
+                    for h in inner {
+                        h.join_within(ctx).unwrap();
+                        joined += 1;
+                    }
+                    joined
+                })
+                .unwrap()
+        })
+        .collect();
+    for h in outers {
+        assert_eq!(h.join().unwrap(), 25);
+    }
+    let server = Arc::into_inner(server).expect("all submitters done");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_submitters_from_many_threads() {
+    const SUBMITTERS: u64 = 8;
+    const JOBS_PER: u64 = 250;
+    let server = Arc::new(server(4));
+    let sum = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let server = server.clone();
+            let sum = sum.clone();
+            std::thread::spawn(move || {
+                let handles: Vec<_> = (0..JOBS_PER)
+                    .map(|i| server.submit(move |_| t * 10_000 + i).unwrap())
+                    .collect();
+                for h in handles {
+                    sum.fetch_add(h.join().unwrap(), Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let expected: u64 = (0..SUBMITTERS)
+        .map(|t| (0..JOBS_PER).map(|i| t * 10_000 + i).sum::<u64>())
+        .sum();
+    assert_eq!(sum.load(Ordering::Relaxed), expected);
+    let server = Arc::into_inner(server).expect("all submitters done");
+    let report = server.shutdown();
+    assert_eq!(report.stats.completed, SUBMITTERS * JOBS_PER);
+}
