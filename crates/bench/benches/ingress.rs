@@ -1,14 +1,23 @@
 //! Ingress-tier benchmark: submission throughput and handle-completion
-//! latency of the persistent task server, sharded vs single-queue
-//! ingress, as the number of submitter threads grows.
+//! latency of the persistent task server, as the number of submitter
+//! threads grows — across the idle-policy and placement axes this PR
+//! tree exposes:
 //!
-//! Two sections:
+//! * sharded (one ingress shard per NUMA zone) vs single-queue;
+//! * event-driven idling (`park_idle`, the doorbell path) vs the pure
+//!   spinning baseline (`park_idle(false)`);
+//! * anonymous claim-path submitters vs registered (pinned-lane) ones.
+//!
+//! Three sections:
 //!
 //! * Criterion-style throughput groups (`jobs/s` per configuration): one
 //!   iteration = a full burst of `JOBS` trivial jobs pushed by N
 //!   submitter threads and joined.
-//! * A latency table (p50/p99 of submit → job-body-completion), printed
-//!   once per configuration after the groups.
+//! * A latency table (p50/p99 of submit → job-body-completion under
+//!   continuous load), printed once per configuration.
+//! * A parked-wake table: the server is allowed to park *everyone*, then
+//!   a single job is timed — the doorbell's wake-from-idle latency that
+//!   the spinning baseline buys with a permanently burned core.
 
 use std::time::{Duration, Instant};
 
@@ -21,7 +30,8 @@ const THREADS: usize = 8;
 
 /// Sharded = two-socket topology (one ingress shard per zone);
 /// single-queue = everything on one zone, collapsing to one shard.
-fn server(sharded: bool) -> TaskServer {
+/// `park` selects the event-driven idle path vs the spinning baseline.
+fn server(sharded: bool, park: bool) -> TaskServer {
     let topology = if sharded {
         MachineTopology::new(2, THREADS / 2, 1)
     } else {
@@ -29,24 +39,32 @@ fn server(sharded: bool) -> TaskServer {
     };
     let runtime = RuntimeConfig::xgomptb(THREADS)
         .topology(topology)
+        .park_idle(park)
         .dlb(DlbConfig::new(DlbStrategy::WorkSteal).t_interval(256));
     TaskServer::start(
         ServerConfig::new(THREADS)
             .runtime(runtime)
             .max_in_flight(4_096)
+            .lanes_per_shard(THREADS + 1) // room to pin every submitter
             .adapt_every(0), // fixed config: measure ingress, not tuning
     )
 }
 
 /// Pushes `JOBS` trivial jobs from `submitters` threads and joins them.
-fn burst(server: &TaskServer, submitters: u64) {
+/// `registered` pins each submitter to a reserved lane.
+fn burst(server: &TaskServer, submitters: u64, registered: bool) {
     std::thread::scope(|s| {
         for t in 0..submitters {
             let server = &server;
             s.spawn(move || {
                 let per = JOBS / submitters;
+                let mut sub = registered
+                    .then(|| server.register_submitter(t as usize % server.stats().shards));
                 let handles: Vec<_> = (0..per)
-                    .map(|i| server.submit(move |_| t * per + i).expect("open"))
+                    .map(|i| match &mut sub {
+                        Some(sub) => sub.submit(move |_| t * per + i).expect("open"),
+                        None => server.submit(move |_| t * per + i).expect("open"),
+                    })
                     .collect();
                 for h in handles {
                     h.join().expect("job ok");
@@ -57,14 +75,51 @@ fn burst(server: &TaskServer, submitters: u64) {
 }
 
 fn bench_throughput(c: &mut Criterion) {
+    // The headline axis: sharded vs single-queue (event-driven idling
+    // on, anonymous submitters — comparable with the pre-doorbell
+    // numbers tracked in CHANGES.md).
     for sharded in [false, true] {
         let label = if sharded { "sharded" } else { "single_queue" };
         let mut g = c.benchmark_group(format!("ingress_throughput_{label}"));
         g.throughput(Throughput::Elements(JOBS));
         for submitters in [1u64, 2, 4, 8] {
-            let srv = server(sharded);
+            let srv = server(sharded, true);
             g.bench_function(format!("{submitters}_submitters"), |b| {
-                b.iter(|| burst(&srv, submitters));
+                b.iter(|| burst(&srv, submitters, false));
+            });
+            srv.shutdown();
+        }
+        g.finish();
+    }
+    // Idle-policy axis at the contended point: parking must not tax a
+    // busy server (it never reaches the parking path under load).
+    {
+        let mut g = c.benchmark_group("ingress_throughput_idle_policy");
+        g.throughput(Throughput::Elements(JOBS));
+        for park in [false, true] {
+            let srv = server(true, park);
+            let label = if park { "park_doorbell" } else { "spin" };
+            g.bench_function(format!("{label}_8_submitters"), |b| {
+                b.iter(|| burst(&srv, 8, false));
+            });
+            srv.shutdown();
+        }
+        g.finish();
+    }
+    // Submission-path axis: registered (pinned SPSC lane, no claims) vs
+    // anonymous (claim rotation).
+    {
+        let mut g = c.benchmark_group("ingress_throughput_submitter_kind");
+        g.throughput(Throughput::Elements(JOBS));
+        for registered in [false, true] {
+            let srv = server(true, true);
+            let label = if registered {
+                "registered"
+            } else {
+                "anonymous"
+            };
+            g.bench_function(format!("{label}_8_submitters"), |b| {
+                b.iter(|| burst(&srv, 8, registered));
             });
             srv.shutdown();
         }
@@ -72,63 +127,111 @@ fn bench_throughput(c: &mut Criterion) {
     }
 }
 
-/// Latency of submit → job-body completion, measured inside the job.
+fn quantiles(mut lats: Vec<Duration>) -> (Duration, Duration, Duration) {
+    lats.sort_unstable();
+    let pick = |q: f64| lats[((lats.len() - 1) as f64 * q) as usize];
+    (
+        pick(0.50),
+        pick(0.99),
+        lats.last().copied().unwrap_or_default(),
+    )
+}
+
+/// Latency of submit → job-body completion under continuous load.
 fn latency_table(_c: &mut Criterion) {
-    println!("\n== ingress_latency (submit -> completion) ==");
+    println!("\n== ingress_latency (submit -> completion, loaded) ==");
     println!(
-        "{:<14} {:>10} {:>12} {:>12} {:>12}",
-        "ingress", "submitters", "p50", "p99", "max"
+        "{:<6} {:<14} {:>10} {:>12} {:>12} {:>12}",
+        "idle", "ingress", "submitters", "p50", "p99", "max"
     );
-    for sharded in [false, true] {
-        for submitters in [1usize, 4, 8] {
-            let srv = server(sharded);
-            // Warm the team up before measuring.
-            burst(&srv, submitters as u64);
+    for park in [false, true] {
+        for sharded in [false, true] {
+            for submitters in [1usize, 4, 8] {
+                let srv = server(sharded, park);
+                // Warm the team up before measuring.
+                burst(&srv, submitters as u64, false);
 
-            let lats: Vec<Duration> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..submitters)
-                    .map(|_| {
-                        let srv = &srv;
-                        s.spawn(move || {
-                            let per = JOBS as usize / submitters;
-                            let mut local = Vec::with_capacity(per);
-                            for _ in 0..per {
-                                let t0 = Instant::now();
-                                let h = srv.submit(move |_| t0.elapsed()).expect("open");
-                                local.push(h);
-                            }
-                            local
-                                .into_iter()
-                                .map(|h| h.join().expect("job ok"))
-                                .collect::<Vec<_>>()
+                let lats: Vec<Duration> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..submitters)
+                        .map(|_| {
+                            let srv = &srv;
+                            s.spawn(move || {
+                                let per = JOBS as usize / submitters;
+                                let mut local = Vec::with_capacity(per);
+                                for _ in 0..per {
+                                    let t0 = Instant::now();
+                                    let h = srv.submit(move |_| t0.elapsed()).expect("open");
+                                    local.push(h);
+                                }
+                                local
+                                    .into_iter()
+                                    .map(|h| h.join().expect("job ok"))
+                                    .collect::<Vec<_>>()
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("submitter"))
-                    .collect()
-            });
-            srv.shutdown();
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("submitter"))
+                        .collect()
+                });
+                srv.shutdown();
 
-            let mut lats = lats;
-            lats.sort_unstable();
-            let pick = |q: f64| lats[((lats.len() - 1) as f64 * q) as usize];
-            println!(
-                "{:<14} {:>10} {:>12?} {:>12?} {:>12?}",
-                if sharded { "sharded" } else { "single_queue" },
-                submitters,
-                pick(0.50),
-                pick(0.99),
-                lats.last().copied().unwrap_or_default(),
-            );
+                let (p50, p99, max) = quantiles(lats);
+                println!(
+                    "{:<6} {:<14} {:>10} {:>12?} {:>12?} {:>12?}",
+                    if park { "park" } else { "spin" },
+                    if sharded { "sharded" } else { "single_queue" },
+                    submitters,
+                    p50,
+                    p99,
+                    max,
+                );
+            }
         }
+    }
+}
+
+/// Wake-from-fully-idle latency: everyone parked, one job submitted.
+fn parked_wake_table(_c: &mut Criterion) {
+    const PROBES: usize = 200;
+    println!("\n== ingress_wake_latency (fully parked -> first job done) ==");
+    println!("{:<6} {:>12} {:>12} {:>12}", "idle", "p50", "p99", "max");
+    for park in [true, false] {
+        let srv = server(true, park);
+        burst(&srv, 4, false); // warm-up
+        let mut lats = Vec::with_capacity(PROBES);
+        for _ in 0..PROBES {
+            if park {
+                // Wait for the whole team (master included) to park.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while srv.parked_workers() < THREADS {
+                    assert!(Instant::now() < deadline, "team never parked");
+                    std::hint::spin_loop();
+                }
+            } else {
+                // Spinning baseline: an equivalent quiet period.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let t0 = Instant::now();
+            let h = srv.submit(move |_| t0.elapsed()).expect("open");
+            lats.push(h.join().expect("job ok"));
+        }
+        srv.shutdown();
+        let (p50, p99, max) = quantiles(lats);
+        println!(
+            "{:<6} {:>12?} {:>12?} {:>12?}",
+            if park { "park" } else { "spin" },
+            p50,
+            p99,
+            max,
+        );
     }
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_throughput, latency_table
+    targets = bench_throughput, latency_table, parked_wake_table
 }
 criterion_main!(benches);

@@ -39,11 +39,22 @@ pub enum BarrierKind {
 
 impl BarrierKind {
     /// Instantiates the barrier for a team of `n` workers.
-    pub(crate) fn build(self, n: usize) -> Box<dyn TeamBarrier> {
+    ///
+    /// `parker` is the team's idle parker. Only the tree barrier uses
+    /// it: its gather protocol needs *every* worker to report per round,
+    /// so the bottom-up hand-off wakes a parked parent and a new round
+    /// wakes everyone (see `tree.rs`). The shared-counter barriers
+    /// detect release from any awake poller, which then performs the
+    /// team-wide wake in the worker loop.
+    pub(crate) fn build(
+        self,
+        n: usize,
+        parker: std::sync::Arc<xgomp_xqueue::Parker>,
+    ) -> Box<dyn TeamBarrier> {
         match self {
             BarrierKind::Centralized => Box::new(CentralizedBarrier::new(n)),
             BarrierKind::AtomicCount => Box::new(AtomicCountBarrier::new(n)),
-            BarrierKind::Tree => Box::new(TreeBarrier::new(n)),
+            BarrierKind::Tree => Box::new(TreeBarrier::new(n).with_parker(parker)),
         }
     }
 }

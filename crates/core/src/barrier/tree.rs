@@ -76,6 +76,13 @@ pub struct TreeBarrier {
     owner: PerWorker<OwnerState>,
     /// Current gather round; written only by the root worker.
     round: AtomicU64,
+    /// Team idle parker, when the team runs event-driven idling. The
+    /// gather needs every worker's report each round, and a parked
+    /// worker reports nothing: a child therefore wakes its parent after
+    /// the bit hand-off, and the root wakes the whole team when it
+    /// starts a new round. Without these wakes a mid-gather park would
+    /// stall termination detection forever.
+    parker: Option<std::sync::Arc<xgomp_xqueue::Parker>>,
 }
 
 impl TreeBarrier {
@@ -90,7 +97,15 @@ impl TreeBarrier {
                 .into_boxed_slice(),
             owner: PerWorker::new(n, |_| OwnerState::default()),
             round: AtomicU64::new(1),
+            parker: None,
         }
+    }
+
+    /// Attaches the team's idle parker (gather wake-ups; see the
+    /// `parker` field).
+    pub fn with_parker(mut self, parker: std::sync::Arc<xgomp_xqueue::Parker>) -> Self {
+        self.parker = Some(parker);
+        self
     }
 
     #[inline]
@@ -151,6 +166,17 @@ impl TeamBarrier for TreeBarrier {
     }
 
     fn try_release(&self, w: usize) -> bool {
+        /// What the gather step did (wake-ups are issued outside the
+        /// owner-slot closure, which must stay a leaf access).
+        enum Gather {
+            Nothing,
+            Released,
+            /// Reported this subtree's sums to `parent`.
+            Reported(usize),
+            /// Root restarted the gather (activity since last round).
+            NewRound,
+        }
+
         let node = &self.nodes[w].0;
         // Lock-less release path: flag written only by our parent.
         if node.released.load(Ordering::Acquire) {
@@ -160,7 +186,7 @@ impl TeamBarrier for TreeBarrier {
         let r = self.round.load(Ordering::Acquire);
         // SAFETY: worker-ownership contract; all inner operations are
         // leaf accesses that cannot re-enter this slot.
-        let became_released = unsafe {
+        let step = unsafe {
             self.owner.with(w, |st| {
                 if st.last_round != r {
                     st.last_round = r;
@@ -172,12 +198,12 @@ impl TeamBarrier for TreeBarrier {
                     node.complete[((r + 1) & 1) as usize].store(0, Ordering::Relaxed);
                 }
                 if st.reported {
-                    return false;
+                    return Gather::Nothing;
                 }
                 // Gather precondition: all children subtrees reported.
                 let parity = (r & 1) as usize;
                 if node.complete[parity].load(Ordering::Acquire) != self.expected_mask(w) {
-                    return false;
+                    return Gather::Nothing;
                 }
                 // Aggregate: own counters (we are idle, so these include
                 // everything we have done) + children's published sums.
@@ -191,11 +217,11 @@ impl TeamBarrier for TreeBarrier {
                 if w == 0 {
                     if c == e {
                         node.released.store(true, Ordering::Release);
-                        true
+                        Gather::Released
                     } else {
                         // Activity since the last round: gather again.
                         self.round.store(r + 1, Ordering::Release);
-                        false
+                        Gather::NewRound
                     }
                 } else {
                     node.sub_created.store(c, Ordering::Relaxed);
@@ -205,15 +231,33 @@ impl TeamBarrier for TreeBarrier {
                     // The lock-free gather hand-off (one RMW per worker
                     // per round; release ordering publishes the sums).
                     self.nodes[parent].0.complete[parity].fetch_or(bit, Ordering::AcqRel);
-                    false
+                    Gather::Reported(parent)
                 }
             })
         };
-        if became_released {
-            self.propagate_release(w);
-            return true;
+        match step {
+            Gather::Released => {
+                self.propagate_release(w);
+                true
+            }
+            Gather::Reported(parent) => {
+                // The parent may be parked mid-gather; our bit is the
+                // event it is waiting for.
+                if let Some(p) = &self.parker {
+                    p.unpark(parent);
+                }
+                false
+            }
+            Gather::NewRound => {
+                // Workers that reported round `r` and then parked must
+                // participate in round `r + 1`.
+                if let Some(p) = &self.parker {
+                    p.unpark_all();
+                }
+                false
+            }
+            Gather::Nothing => false,
         }
-        false
     }
 
     fn name(&self) -> &'static str {

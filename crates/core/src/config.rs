@@ -45,6 +45,14 @@ pub struct RuntimeConfig {
     pub cost_model: CostModel,
     /// Per-thread event profiling (§V); off by default.
     pub profiling: bool,
+    /// Event-driven idle handling: workers that exhaust their spin
+    /// backoff park on the team's NUMA-aware [`Parker`] and are woken by
+    /// producers/DLB/teardown instead of spinning. On by default; turn
+    /// off to reproduce the paper's pure spin-idle measurement mode (the
+    /// latency-vs-CPU trade-off knob of the task server).
+    ///
+    /// [`Parker`]: xgomp_xqueue::Parker
+    pub park_idle: bool,
 }
 
 impl RuntimeConfig {
@@ -61,6 +69,7 @@ impl RuntimeConfig {
             affinity: Affinity::Close,
             cost_model: CostModel::disabled(),
             profiling: false,
+            park_idle: true,
         }
     }
 
@@ -178,6 +187,12 @@ impl RuntimeConfig {
     /// Toggles §V profiling.
     pub fn profiling(mut self, on: bool) -> Self {
         self.profiling = on;
+        self
+    }
+
+    /// Toggles event-driven idling (see [`RuntimeConfig::park_idle`]).
+    pub fn park_idle(mut self, on: bool) -> Self {
+        self.park_idle = on;
         self
     }
 

@@ -16,6 +16,7 @@
 use std::marker::PhantomData;
 use std::ptr::NonNull;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use xgomp_profiling::{clock, EventKind, WorkerStats};
 use xgomp_xqueue::Backoff;
@@ -118,6 +119,30 @@ impl<'t> TaskCtx<'t> {
     /// region is ending abnormally; cooperative loops should bail out).
     pub fn is_poisoned(&self) -> bool {
         self.team.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// The team's NUMA-aware idle parker.
+    ///
+    /// Custom master loops (a task server's serve loop) use it to park
+    /// the calling worker with the same announce → re-check → commit
+    /// protocol the worker loop uses, and submitters clone it as their
+    /// doorbell. Whether the *scheduler's* idle arm parks is
+    /// [`park_idle_enabled`](Self::park_idle_enabled); the parker itself
+    /// always works.
+    pub fn parker(&self) -> &Arc<xgomp_xqueue::Parker> {
+        &self.team.parker
+    }
+
+    /// Whether this team runs event-driven idling
+    /// (`RuntimeConfig::park_idle`).
+    pub fn park_idle_enabled(&self) -> bool {
+        self.team.park_idle
+    }
+
+    /// Racy hint that the scheduler could yield a task for this worker
+    /// right now — the pre-park re-check for custom idle loops.
+    pub fn has_local_work_hint(&self) -> bool {
+        self.team.sched.has_work_hint(self.worker)
     }
 
     /// Executes up to `max` already-queued tasks on the calling worker,

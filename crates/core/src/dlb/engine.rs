@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use xgomp_profiling::WorkerStats;
 use xgomp_topology::Placement;
-use xgomp_xqueue::XQueueLattice;
+use xgomp_xqueue::{Parker, XQueueLattice};
 
 use super::message::MsgCell;
 use super::{DlbConfig, DlbStrategy, DlbTuning};
@@ -58,6 +58,10 @@ pub(crate) struct DlbEngine {
     thief: PerWorker<ThiefState>,
     redirect: PerWorker<RedirectState>,
     rng: PerWorker<SmallRng>,
+    /// Team idle parker: a victim that migrates tasks into a thief's row
+    /// must wake that thief — a thief parks between request bursts, and
+    /// nobody else would ever touch its row.
+    parker: Arc<Parker>,
 }
 
 impl DlbEngine {
@@ -66,6 +70,7 @@ impl DlbEngine {
         tuning: Arc<DlbTuning>,
         placement: Arc<Placement>,
         stats: Arc<Vec<WorkerStats>>,
+        parker: Arc<Parker>,
     ) -> Self {
         DlbEngine {
             tuning,
@@ -81,6 +86,7 @@ impl DlbEngine {
             rng: PerWorker::new(n, |w| {
                 SmallRng::seed_from_u64(0xD1B0_5EED ^ (w as u64) << 17)
             }),
+            parker,
         }
     }
 
@@ -276,6 +282,9 @@ impl DlbEngine {
             } else {
                 WorkerStats::add(&stats.nsteal_remote, moved);
             }
+            // The thief may have parked since sending its request; the
+            // migrated tasks sit in its row, reachable by no one else.
+            self.parker.notify_push(thief);
         }
     }
 
@@ -364,8 +373,11 @@ mod tests {
             Affinity::Close,
         ));
         let stats = Arc::new((0..n).map(|_| WorkerStats::default()).collect::<Vec<_>>());
+        let parker = Arc::new(Parker::new(
+            &(0..n).map(|w| placement.zone_of(w)).collect::<Vec<_>>(),
+        ));
         (
-            DlbEngine::new(n, Arc::new(DlbTuning::new(cfg)), placement, stats),
+            DlbEngine::new(n, Arc::new(DlbTuning::new(cfg)), placement, stats, parker),
             XQueueLattice::new(n, 16),
         )
     }
@@ -494,7 +506,10 @@ mod tests {
             Affinity::Close,
         ));
         let stats = Arc::new((0..2).map(|_| WorkerStats::default()).collect::<Vec<_>>());
-        let eng = DlbEngine::new(2, Arc::new(DlbTuning::new(cfg)), placement, stats);
+        let parker = Arc::new(Parker::new(
+            &(0..2).map(|w| placement.zone_of(w)).collect::<Vec<_>>(),
+        ));
+        let eng = DlbEngine::new(2, Arc::new(DlbTuning::new(cfg)), placement, stats, parker);
         let lat: XQueueLattice<Task> = XQueueLattice::new(2, 2); // tiny queues
         unsafe {
             assert!(eng.cell(0).try_send_request(1));

@@ -72,6 +72,7 @@ pub use xgomp_profiling::{
     ProfileDump, StatsSnapshot, TaskSizeHistogram, TeamStats,
 };
 pub use xgomp_topology::{Affinity, CostModel, Locality, MachineTopology, Placement};
+pub use xgomp_xqueue::Parker;
 
 #[doc(hidden)]
 pub mod internal {

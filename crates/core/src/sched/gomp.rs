@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use xgomp_profiling::WorkerStats;
+use xgomp_xqueue::Parker;
 
 use super::{Scheduler, TaskPtr};
 use crate::task::Task;
@@ -56,13 +57,15 @@ struct GlobalQueue {
 pub struct GompScheduler {
     queue: Mutex<GlobalQueue>,
     stats: Arc<Vec<WorkerStats>>,
+    parker: Arc<Parker>,
 }
 
 impl GompScheduler {
-    pub(crate) fn new(stats: Arc<Vec<WorkerStats>>) -> Self {
+    pub(crate) fn new(stats: Arc<Vec<WorkerStats>>, parker: Arc<Parker>) -> Self {
         GompScheduler {
             queue: Mutex::new(GlobalQueue::default()),
             stats,
+            parker,
         }
     }
 }
@@ -81,6 +84,9 @@ impl Scheduler for GompScheduler {
         });
         drop(q);
         WorkerStats::inc(&self.stats[w].ntasks_static_push);
+        // Any worker can pop the global queue: wake one parked worker,
+        // zone-local to the spawner first.
+        self.parker.notify_any(self.parker.zone_of(w));
         Ok(())
     }
 
@@ -88,6 +94,10 @@ impl Scheduler for GompScheduler {
         // The global-lock acquisition at every scheduling point is the
         // modeled phenomenon — even when the queue turns out to be empty.
         self.queue.lock().heap.pop().map(|e| e.ptr.0)
+    }
+
+    fn has_work_hint(&self, _w: usize) -> bool {
+        !self.queue.lock().heap.is_empty()
     }
 
     fn drain_all(&self, f: &mut dyn FnMut(NonNull<Task>)) {
@@ -118,9 +128,13 @@ mod tests {
         Arc::new((0..n).map(|_| WorkerStats::default()).collect())
     }
 
+    fn parker(n: usize) -> Arc<Parker> {
+        Arc::new(Parker::new(&vec![0usize; n]))
+    }
+
     #[test]
     fn priority_then_fifo_order() {
-        let s = GompScheduler::new(stats(1));
+        let s = GompScheduler::new(stats(1), parker(1));
         let a = mk(0);
         let b = mk(5);
         let c = mk(0);
@@ -142,7 +156,7 @@ mod tests {
 
     #[test]
     fn drain_returns_everything() {
-        let s = GompScheduler::new(stats(1));
+        let s = GompScheduler::new(stats(1), parker(1));
         let ptrs: Vec<_> = (0..10).map(|_| mk(0)).collect();
         for &p in &ptrs {
             s.spawn(0, p).unwrap();
@@ -158,7 +172,7 @@ mod tests {
     #[test]
     fn cross_thread_conservation() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let s = Arc::new(GompScheduler::new(stats(4)));
+        let s = Arc::new(GompScheduler::new(stats(4), parker(4)));
         let popped = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
         for w in 0..4usize {

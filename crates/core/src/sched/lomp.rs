@@ -14,6 +14,7 @@ use crossbeam_deque::{Steal, Stealer, Worker as Deque};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use xgomp_profiling::WorkerStats;
+use xgomp_xqueue::Parker;
 
 use super::{Scheduler, TaskPtr};
 use crate::task::Task;
@@ -27,11 +28,12 @@ pub struct LompScheduler {
     stealers: Box<[Stealer<TaskPtr>]>,
     rng: PerWorker<SmallRng>,
     stats: Arc<Vec<WorkerStats>>,
+    parker: Arc<Parker>,
     n: usize,
 }
 
 impl LompScheduler {
-    pub(crate) fn new(n: usize, stats: Arc<Vec<WorkerStats>>) -> Self {
+    pub(crate) fn new(n: usize, stats: Arc<Vec<WorkerStats>>, parker: Arc<Parker>) -> Self {
         let owners: Vec<Deque<TaskPtr>> = (0..n).map(|_| Deque::new_lifo()).collect();
         let stealers: Box<[Stealer<TaskPtr>]> = owners.iter().map(|d| d.stealer()).collect();
         let mut it = owners.into_iter();
@@ -42,6 +44,7 @@ impl LompScheduler {
                 SmallRng::seed_from_u64(0x103F_5EED ^ ((w as u64) << 13))
             }),
             stats,
+            parker,
             n,
         }
     }
@@ -52,6 +55,9 @@ impl Scheduler for LompScheduler {
         // SAFETY: worker-ownership contract (team loop); leaf access.
         unsafe { self.deques.with(w, |d| d.push(TaskPtr(task))) };
         WorkerStats::inc(&self.stats[w].ntasks_static_push);
+        // Stealing is pull-based: a parked thief would never come for
+        // this task, so wake one (zone-local to the spawner first).
+        self.parker.notify_any(self.parker.zone_of(w));
         Ok(())
     }
 
@@ -85,6 +91,11 @@ impl Scheduler for LompScheduler {
             }
         }
         None
+    }
+
+    fn has_work_hint(&self, _w: usize) -> bool {
+        // Any deque's backlog is reachable from any worker via stealing.
+        self.stealers.iter().any(|s| !s.is_empty())
     }
 
     fn drain_all(&self, f: &mut dyn FnMut(NonNull<Task>)) {
@@ -121,9 +132,13 @@ mod tests {
         Arc::new((0..n).map(|_| WorkerStats::default()).collect())
     }
 
+    fn parker(n: usize) -> Arc<Parker> {
+        Arc::new(Parker::new(&vec![0usize; n]))
+    }
+
     #[test]
     fn lifo_on_own_deque() {
-        let s = LompScheduler::new(2, stats(2));
+        let s = LompScheduler::new(2, stats(2), parker(2));
         let a = mk();
         let b = mk();
         s.spawn(0, a).unwrap();
@@ -138,7 +153,7 @@ mod tests {
 
     #[test]
     fn idle_worker_steals_from_busy_one() {
-        let s = LompScheduler::new(2, stats(2));
+        let s = LompScheduler::new(2, stats(2), parker(2));
         let a = mk();
         s.spawn(0, a).unwrap();
         assert_eq!(s.next_task(1), Some(a), "worker 1 must steal");
@@ -147,7 +162,7 @@ mod tests {
 
     #[test]
     fn single_worker_never_steals() {
-        let s = LompScheduler::new(1, stats(1));
+        let s = LompScheduler::new(1, stats(1), parker(1));
         assert_eq!(s.next_task(0), None);
         let a = mk();
         s.spawn(0, a).unwrap();
@@ -158,7 +173,7 @@ mod tests {
     #[test]
     fn threaded_conservation() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let s = Arc::new(LompScheduler::new(4, stats(4)));
+        let s = Arc::new(LompScheduler::new(4, stats(4), parker(4)));
         let popped = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
         for w in 0..4usize {

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use xgomp_profiling::WorkerStats;
 use xgomp_topology::Placement;
+use xgomp_xqueue::Parker;
 
 use crate::dlb::{DlbConfig, DlbTuning};
 use crate::task::Task;
@@ -43,7 +44,11 @@ impl SchedulerKind {
     ///
     /// `tuning`, when given, overrides `dlb` as the DLB configuration
     /// source and stays shared with the caller, enabling hot re-tuning
-    /// while the team runs (XQueue scheduler only).
+    /// while the team runs (XQueue scheduler only). `parker` is the
+    /// team's idle parker: schedulers wake the push target (or, for
+    /// global queues, a zone-local sleeper) after publishing a task, so
+    /// parked workers never miss work.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         self,
         n: usize,
@@ -52,16 +57,18 @@ impl SchedulerKind {
         placement: Arc<Placement>,
         dlb: Option<DlbConfig>,
         tuning: Option<Arc<DlbTuning>>,
+        parker: Arc<Parker>,
     ) -> Box<dyn Scheduler> {
         match self {
-            SchedulerKind::Gomp => Box::new(GompScheduler::new(stats)),
-            SchedulerKind::Lomp => Box::new(LompScheduler::new(n, stats)),
+            SchedulerKind::Gomp => Box::new(GompScheduler::new(stats, parker)),
+            SchedulerKind::Lomp => Box::new(LompScheduler::new(n, stats, parker)),
             SchedulerKind::XQueue => Box::new(XQueueScheduler::new(
                 n,
                 queue_capacity,
                 stats,
                 placement,
                 tuning.or_else(|| dlb.map(|cfg| Arc::new(DlbTuning::new(cfg)))),
+                parker,
             )),
         }
     }
@@ -88,6 +95,14 @@ pub(crate) trait Scheduler: Send + Sync {
     /// Hook fired when `next_task` returned `None` (the DLB *thief*
     /// hook).
     fn on_idle(&self, _w: usize) {}
+
+    /// Racy hint that worker `w` could find a task right now — the
+    /// pre-park re-check of the event-driven idle path. May report stale
+    /// `true` (the worker cancels its park and re-probes, harmless); a
+    /// `false` is only trusted because every producer wakes its push
+    /// target *after* publishing, closing the race with a `SeqCst` fence
+    /// pair (see `xgomp_xqueue::parker`).
+    fn has_work_hint(&self, w: usize) -> bool;
 
     /// Removes every remaining task (teardown path; the region barrier
     /// guarantees emptiness, so anything drained here is a bug surfaced

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use xgomp_profiling::WorkerStats;
 use xgomp_topology::Placement;
-use xgomp_xqueue::{PushCursor, XQueueLattice};
+use xgomp_xqueue::{Parker, PushCursor, XQueueLattice};
 
 use super::Scheduler;
 use crate::dlb::{DlbEngine, DlbTuning};
@@ -21,6 +21,9 @@ pub struct XQueueScheduler {
     cursors: PerWorker<PushCursor>,
     stats: Arc<Vec<WorkerStats>>,
     dlb: Option<DlbEngine>,
+    /// Team idle parker: every successful push wakes its target row's
+    /// owner if that worker is parked (free while nobody is).
+    parker: Arc<Parker>,
     n: usize,
 }
 
@@ -31,12 +34,14 @@ impl XQueueScheduler {
         stats: Arc<Vec<WorkerStats>>,
         placement: Arc<Placement>,
         tuning: Option<Arc<DlbTuning>>,
+        parker: Arc<Parker>,
     ) -> Self {
         XQueueScheduler {
             lattice: XQueueLattice::new(n, queue_capacity),
             cursors: PerWorker::new(n, |w| PushCursor::new(n, w)),
-            dlb: tuning.map(|t| DlbEngine::new(n, t, placement, stats.clone())),
+            dlb: tuning.map(|t| DlbEngine::new(n, t, placement, stats.clone(), parker.clone())),
             stats,
+            parker,
             n,
         }
     }
@@ -60,6 +65,7 @@ impl Scheduler for XQueueScheduler {
                 // side hint), and only this worker produces into it.
                 unsafe { self.lattice.push(w, thief, task) }
                     .expect("redirect push after negative fullness hint");
+                self.parker.notify_push(thief);
                 return Ok(());
             }
         }
@@ -70,6 +76,9 @@ impl Scheduler for XQueueScheduler {
         match unsafe { self.lattice.push(w, target, task) } {
             Ok(()) => {
                 WorkerStats::inc(&self.stats[w].ntasks_static_push);
+                if target != w {
+                    self.parker.notify_push(target);
+                }
                 Ok(())
             }
             // Full: hand back for immediate execution (§II-B).
@@ -97,6 +106,12 @@ impl Scheduler for XQueueScheduler {
             // SAFETY: worker-ownership contract from the team loop.
             unsafe { dlb.on_idle(w) };
         }
+    }
+
+    fn has_work_hint(&self, w: usize) -> bool {
+        // SAFETY: worker-ownership contract from the team loop — the
+        // calling thread owns consumer role `w`.
+        !unsafe { self.lattice.is_empty_hint(w) }
     }
 
     fn drain_all(&self, f: &mut dyn FnMut(NonNull<Task>)) {
@@ -138,7 +153,10 @@ mod tests {
             Affinity::Close,
         ));
         let tuning = dlb.map(|cfg| Arc::new(DlbTuning::new(cfg)));
-        XQueueScheduler::new(n, cap, stats, placement, tuning)
+        let parker = Arc::new(Parker::new(
+            &(0..n).map(|w| placement.zone_of(w)).collect::<Vec<_>>(),
+        ));
+        XQueueScheduler::new(n, cap, stats, placement, tuning, parker)
     }
 
     #[test]

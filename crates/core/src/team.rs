@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use xgomp_profiling::{clock, EventKind, LiveTaskSampler, PerfLog, TeamStats, WorkerStats};
 use xgomp_topology::{CostModel, Placement};
-use xgomp_xqueue::Backoff;
+use xgomp_xqueue::{Backoff, Parker};
 
 use crate::alloc::TaskAllocator;
 use crate::barrier::TeamBarrier;
@@ -58,6 +58,18 @@ const WORKER_STACK_BYTES: usize = 32 * 1024 * 1024;
 pub trait IngressSource: Send + Sync {
     /// Polls for external work; returns the number of tasks spawned.
     fn poll(&self, ctx: &TaskCtx<'_>) -> usize;
+
+    /// Racy hint that a `poll` right now could yield work — the
+    /// pre-park re-check of the event-driven idle path. The default is
+    /// deliberately conservative (`true`): a source that cannot answer
+    /// keeps its workers spinning, never parked, preserving the old
+    /// behavior. Implementations that *do* answer must wake a worker
+    /// (ring the team's doorbell) after every enqueue, or a sleeping
+    /// team will miss the work their `false` allowed it to sleep
+    /// through.
+    fn has_pending(&self) -> bool {
+        true
+    }
 }
 
 /// Optional per-region extensions (persistent-executor hook set).
@@ -95,6 +107,11 @@ pub(crate) struct TeamShared {
     pub root: AtomicPtr<Task>,
     /// See [`TeamExtras::isolate_panics`].
     pub isolate_panics: bool,
+    /// NUMA-aware idle parker (zone wake sets follow the placement).
+    /// Always present; whether workers actually park is `park_idle`.
+    pub parker: Arc<Parker>,
+    /// Event-driven idling on/off (`RuntimeConfig::park_idle`).
+    pub park_idle: bool,
 }
 
 /// Builds the shared state for one region of `cfg` with the given
@@ -103,6 +120,9 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
     let n = cfg.threads;
     let placement = Arc::new(Placement::new(cfg.topology.clone(), n, cfg.affinity));
     let stats: Arc<Vec<WorkerStats>> = Arc::new((0..n).map(|_| WorkerStats::default()).collect());
+    let parker = Arc::new(Parker::new(
+        &(0..n).map(|w| placement.zone_of(w)).collect::<Vec<_>>(),
+    ));
     TeamShared {
         n,
         sched: cfg.scheduler.build(
@@ -112,8 +132,9 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
             placement.clone(),
             cfg.dlb,
             extras.tuning,
+            parker.clone(),
         ),
-        barrier: cfg.barrier.build(n),
+        barrier: cfg.barrier.build(n, parker.clone()),
         alloc: TaskAllocator::new(cfg.allocator, n),
         stats,
         placement,
@@ -125,6 +146,8 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
         sampler: extras.sampler,
         root: AtomicPtr::new(std::ptr::null_mut()),
         isolate_panics: extras.isolate_panics,
+        parker,
+        park_idle: cfg.park_idle,
     }
 }
 
@@ -167,6 +190,13 @@ impl TeamShared {
             unsafe { self.logs.with(w, |l| l.push_span(kind, t0, clock::now())) };
         }
     }
+
+    /// Marks the team poisoned and wakes every parked worker so the
+    /// abort is observed — a sleeping worker cannot poll the flag.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.parker.unpark_all();
+    }
 }
 
 /// Executes one task on worker `w`: locality accounting, NUMA cost
@@ -193,7 +223,7 @@ pub(crate) fn execute(team: &TeamShared, w: usize, task: NonNull<Task>) {
             let team = self.team;
             let w = self.w;
             if std::thread::panicking() {
-                team.poisoned.store(true, Ordering::Release);
+                team.poison();
             }
             // SAFETY: record alive until our release below.
             let t = unsafe { self.task.as_ref() };
@@ -266,6 +296,28 @@ fn run_body_isolated(ctx: &TaskCtx<'_>, task: NonNull<Task>, body: crate::task::
 /// The scheduling loop every worker runs inside the region-end barrier:
 /// execute whatever the scheduler yields; when idle, fire the DLB thief
 /// hook and poll the barrier.
+///
+/// ## The event-driven idle arm
+///
+/// With [`RuntimeConfig::park_idle`](crate::RuntimeConfig::park_idle) on
+/// (the default), a worker that has exhausted its spin backoff parks on
+/// the team's NUMA-aware [`Parker`] instead of yield-looping. Every
+/// event that could end its idleness has a waker:
+///
+/// * a producer pushing into its lattice row (or any queue it can
+///   reach) wakes it from the scheduler's `spawn`;
+/// * a DLB victim migrating tasks into its row wakes it from the engine;
+/// * an external submitter wakes it through the ingress doorbell
+///   (`xgomp-service`);
+/// * tree-barrier gather progress wakes it from the hand-off, so the
+///   quiescence protocol counts parked workers correctly;
+/// * region teardown and poison wake *everyone* — whichever worker
+///   observes release or poisons the team calls
+///   [`Parker::unpark_all`] before leaving its loop.
+///
+/// The announce → re-check → commit protocol (see `xgomp_xqueue::parker`)
+/// makes the sleep race-free: the re-check below covers exactly the
+/// conditions those wakers signal.
 pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
     let mut backoff = Backoff::new();
     // One merged span per idle period: closed as STALL when work shows
@@ -273,6 +325,7 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
     let mut idle_t0: Option<u64> = None;
     loop {
         if team.poisoned.load(Ordering::Acquire) {
+            team.parker.unpark_all();
             break;
         }
         if let Some(t) = team.sched.next_task(w) {
@@ -311,7 +364,38 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
             if let Some(t0) = idle_t0.take() {
                 team.log_span(w, EventKind::Barrier, t0);
             }
+            // Wake the sleepers so they observe the release too; for the
+            // tree barrier this also chases the broadcast down the tree
+            // (each releasing ancestor re-wakes everyone after
+            // propagating to its children).
+            team.parker.unpark_all();
             break;
+        }
+        if team.park_idle && backoff.is_completed() && team.parker.prepare_park(w) {
+            // Announced. Re-check everything a waker could have
+            // signalled between our last probes and the announcement.
+            let stay_awake = team.poisoned.load(Ordering::Acquire)
+                || team.sched.has_work_hint(w)
+                || team.source.as_ref().is_some_and(|s| s.has_pending());
+            // The release probe participates in the gather, so run it
+            // even though we polled just above: a releaser may have
+            // scanned the park set before our announcement.
+            let released = !stay_awake && team.barrier.try_release(w);
+            if stay_awake || released {
+                team.parker.cancel_park(w);
+                if released {
+                    if let Some(t0) = idle_t0.take() {
+                        team.log_span(w, EventKind::Barrier, t0);
+                    }
+                    team.parker.unpark_all();
+                    break;
+                }
+            } else {
+                team.parker.park(w);
+                // Woken for a reason: probe aggressively again.
+                backoff.reset();
+            }
+            continue;
         }
         backoff.snooze();
     }
@@ -329,7 +413,7 @@ fn master_main<R>(team: &TeamShared, f: impl FnOnce(&TaskCtx<'_>) -> R) -> R {
     struct PoisonOnUnwind<'a>(&'a TeamShared);
     impl Drop for PoisonOnUnwind<'_> {
         fn drop(&mut self) {
-            self.0.poisoned.store(true, Ordering::Release);
+            self.0.poison();
         }
     }
 
@@ -483,7 +567,7 @@ fn parked_worker(gate: Arc<StartGate>, w: usize) {
         }))
         .is_err();
         if unwound {
-            team.poisoned.store(true, Ordering::Release);
+            team.poison();
         }
         drop(team);
         let mut st = gate.lock();
@@ -858,6 +942,61 @@ mod tests {
             // Give the panicking task a chance to run on either worker.
             ctx.taskwait();
         });
+    }
+
+    #[test]
+    fn parked_workers_wake_for_late_work_and_release() {
+        // The master stays busy (no spawns) long enough for every other
+        // worker to exhaust its backoff and park; the late spawns must
+        // wake them, and region teardown must release the sleepers.
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        let out = rt.parallel(|ctx| {
+            std::thread::sleep(Duration::from_millis(100));
+            let mut acc = vec![0u64; 64];
+            ctx.scope(|s| {
+                for (i, slot) in acc.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u64 + 1);
+                }
+            });
+            acc.iter().sum::<u64>()
+        });
+        assert_eq!(out.result, (1..=64u64).sum());
+        out.stats.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn persistent_team_parks_between_and_inside_generations() {
+        let mut team = PersistentTeam::new(RuntimeConfig::xgomptb(4));
+        for round in 0..3u64 {
+            let out = team.run(move |ctx| {
+                // Idle phase: aux workers park mid-region.
+                std::thread::sleep(Duration::from_millis(60));
+                let mut acc = vec![0u64; 32];
+                ctx.scope(|s| {
+                    for (i, slot) in acc.iter_mut().enumerate() {
+                        s.spawn(move |_| *slot = round * 100 + i as u64);
+                    }
+                });
+                acc.iter().sum::<u64>()
+            });
+            let expect: u64 = (0..32u64).map(|i| round * 100 + i).sum();
+            assert_eq!(out.result, expect);
+        }
+    }
+
+    #[test]
+    fn spin_mode_still_works_with_parking_disabled() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4).park_idle(false));
+        let out = rt.parallel(|ctx| {
+            let mut acc = vec![0u64; 128];
+            ctx.scope(|s| {
+                for (i, slot) in acc.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u64);
+                }
+            });
+            acc.iter().sum::<u64>()
+        });
+        assert_eq!(out.result, (0..128u64).sum());
     }
 
     #[test]

@@ -8,6 +8,17 @@
 //! of completed tasks and hot-swaps the team's [`DlbTuning`] cell
 //! whenever the recommendation changes. Workers observe the new knobs at
 //! their next scheduling point; nothing stops or restarts.
+//!
+//! ## Hysteresis
+//!
+//! A workload whose mean task size straddles a Table-IV class boundary
+//! would flap between configurations window after window — each retune
+//! churns redirect state and steal quotas for no benefit. The
+//! controller therefore applies a confirmation band: a *changed*
+//! recommendation is only published after
+//! [`confirm_windows`](AdaptiveController::confirm_windows) consecutive
+//! windows (default 2) recommend the same configuration. A window that
+//! agrees with the active configuration clears any pending candidate.
 
 use std::sync::Arc;
 
@@ -24,6 +35,11 @@ pub struct AdaptiveController {
     log: bool,
     /// Cumulative snapshot at the last window boundary.
     last: TaskSizeHistogram,
+    /// Consecutive agreeing windows a changed recommendation needs.
+    confirm: u32,
+    /// Candidate configuration awaiting confirmation, with the number of
+    /// consecutive windows that have recommended it.
+    pending: Option<(DlbConfig, u32)>,
 }
 
 /// Mean task size of the window between two cumulative snapshots.
@@ -39,7 +55,7 @@ pub(crate) fn window_mean(last: &TaskSizeHistogram, now: &TaskSizeHistogram) -> 
 
 impl AdaptiveController {
     /// A controller re-tuning `tuning` from `sampler` every `window`
-    /// completed tasks.
+    /// completed tasks, with the default two-window hysteresis.
     pub fn new(
         tuning: Arc<DlbTuning>,
         sampler: Arc<LiveTaskSampler>,
@@ -52,13 +68,25 @@ impl AdaptiveController {
             window,
             log,
             last: TaskSizeHistogram::default(),
+            confirm: 2,
+            pending: None,
         }
+    }
+
+    /// Sets how many consecutive windows must agree on a *changed*
+    /// recommendation before it is published (≥ 1; 1 disables the
+    /// hysteresis and restores retune-on-first-window behavior).
+    pub fn confirm_windows(mut self, n: u32) -> Self {
+        self.confirm = n.max(1);
+        self
     }
 
     /// Called from the master loop at every scheduling opportunity; when
     /// a full window of tasks has completed since the last check,
-    /// re-applies Table IV to the window's mean task size. Returns the
-    /// newly published config if this tick caused an effective retune.
+    /// re-applies Table IV to the window's mean task size. A changed
+    /// recommendation is published only once `confirm_windows`
+    /// consecutive windows agree on it. Returns the newly published
+    /// config if this tick caused an effective retune.
     pub fn tick(&mut self) -> Option<DlbConfig> {
         if self.window == 0 {
             return None;
@@ -74,8 +102,25 @@ impl AdaptiveController {
         let recommended = recommend_dlb(mean);
         let active = self.tuning.load();
         if recommended == active {
+            // Boundary flap back onto the active class: abandon any
+            // half-confirmed candidate.
+            self.pending = None;
             return None;
         }
+        let confirmed = match &mut self.pending {
+            Some((candidate, seen)) if *candidate == recommended => {
+                *seen += 1;
+                *seen >= self.confirm
+            }
+            _ => {
+                self.pending = Some((recommended, 1));
+                1 >= self.confirm
+            }
+        };
+        if !confirmed {
+            return None;
+        }
+        self.pending = None;
         self.tuning.store(recommended);
         if self.log {
             eprintln!(
@@ -114,48 +159,110 @@ mod tests {
         )
     }
 
+    fn feed(sampler: &LiveTaskSampler, lane: usize, n: u64, cycles: u64) {
+        for _ in 0..n {
+            sampler.record(lane, cycles);
+        }
+    }
+
     #[test]
     fn no_retune_before_a_full_window() {
         let (mut c, sampler) = controller(100, 1);
-        for _ in 0..99 {
-            sampler.record(0, 50);
-        }
+        feed(&sampler, 0, 99, 50);
         assert!(c.tick().is_none());
         sampler.record(0, 50);
-        // Fine-grained tasks: Table IV row 1 — still NA-WS but with the
-        // row's exact knobs, so the first full window retunes.
-        let cfg = c.tick().expect("first window must publish a tune");
+        // First full window: Table IV row 1 differs from the seed config,
+        // but hysteresis holds it back as a candidate…
+        assert!(c.tick().is_none(), "first window only nominates");
+        // …until a second window agrees.
+        feed(&sampler, 0, 100, 50);
+        let cfg = c.tick().expect("second agreeing window publishes");
         assert_eq!(cfg.strategy, DlbStrategy::WorkSteal);
         assert_eq!(cfg, recommend_dlb(50));
     }
 
     #[test]
-    fn distribution_shift_switches_strategy() {
+    fn distribution_shift_switches_strategy_after_confirmation() {
         let (mut c, sampler) = controller(64, 2);
-        for _ in 0..64 {
-            sampler.record(0, 200);
-        }
-        let first = c.tick().expect("tune for fine tasks");
+        feed(&sampler, 0, 128, 200);
+        assert!(c.tick().is_none(), "fine-task tune pending");
+        feed(&sampler, 0, 64, 200);
+        let first = c.tick().expect("confirmed tune for fine tasks");
         assert_eq!(first.strategy, DlbStrategy::WorkSteal);
         // The workload shifts to coarse tasks (> 10^4 cycles).
-        for _ in 0..64 {
-            sampler.record(1, 200_000);
-        }
-        let second = c.tick().expect("coarse window must retune");
+        feed(&sampler, 1, 64, 200_000);
+        assert!(c.tick().is_none(), "coarse window 1 only nominates");
+        feed(&sampler, 1, 64, 200_000);
+        let second = c.tick().expect("coarse window 2 confirms");
         assert_eq!(second.strategy, DlbStrategy::RedirectPush);
         assert_eq!(c.retunes(), 2);
+    }
+
+    #[test]
+    fn confirm_windows_one_restores_immediate_retunes() {
+        let (c, sampler) = controller(64, 1);
+        let mut c = c.confirm_windows(1);
+        feed(&sampler, 0, 64, 200_000);
+        assert!(c.tick().is_some(), "no hysteresis: first window tunes");
+    }
+
+    #[test]
+    fn boundary_flapping_does_not_retune() {
+        // Means alternate across the 10^4 class boundary every window:
+        // NA-WS row, NA-RP row, NA-WS row, … With two-window hysteresis
+        // the candidate never survives two windows, so after the initial
+        // settle no retune happens at all.
+        let (c, sampler) = controller(32, 1);
+        let mut c = c.confirm_windows(2);
+        // Settle on the fine-grained class first (two agreeing windows).
+        feed(&sampler, 0, 64, 5_000);
+        c.tick();
+        feed(&sampler, 0, 32, 5_000);
+        c.tick();
+        let settled = c.retunes();
+        assert_eq!(settled, 1, "settling tune published once");
+        let active = c.tuning.load();
+        for flap in 0..10 {
+            let cycles = if flap % 2 == 0 { 20_000 } else { 5_000 };
+            feed(&sampler, 0, 32, cycles);
+            assert!(
+                c.tick().is_none(),
+                "flapping window {flap} must not publish"
+            );
+        }
+        assert_eq!(c.retunes(), settled, "no flap retunes");
+        assert_eq!(c.tuning.load(), active);
+    }
+
+    #[test]
+    fn sustained_shift_still_converges() {
+        let (c, sampler) = controller(32, 1);
+        let mut c = c.confirm_windows(3);
+        for _ in 0..3 {
+            feed(&sampler, 0, 32, 500);
+            c.tick();
+        }
+        assert_eq!(c.retunes(), 1, "three agreeing windows publish");
+        // A real (sustained) shift takes exactly `confirm` windows.
+        for w in 0..3 {
+            feed(&sampler, 0, 32, 300_000);
+            let tick = c.tick();
+            if w < 2 {
+                assert!(tick.is_none(), "window {w} still confirming");
+            } else {
+                assert_eq!(tick.unwrap().strategy, DlbStrategy::RedirectPush);
+            }
+        }
     }
 
     #[test]
     fn stable_distribution_does_not_flap() {
         let (mut c, sampler) = controller(32, 1);
         for round in 0..8 {
-            for _ in 0..32 {
-                sampler.record(0, 5_000);
-            }
+            feed(&sampler, 0, 32, 5_000);
             let tick = c.tick();
-            if round == 0 {
-                assert!(tick.is_some(), "first window tunes");
+            if round == 1 {
+                assert!(tick.is_some(), "second agreeing window tunes");
             } else {
                 assert!(tick.is_none(), "same distribution must not retune");
             }
@@ -182,9 +289,7 @@ mod tests {
     #[test]
     fn disabled_controller_never_ticks() {
         let (mut c, sampler) = controller(0, 1);
-        for _ in 0..1_000 {
-            sampler.record(0, 10);
-        }
+        feed(&sampler, 0, 1_000, 10);
         assert!(c.tick().is_none());
     }
 }

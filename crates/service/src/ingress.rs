@@ -15,11 +15,22 @@
 //!   plain load/store B-queue protocol, and the worker-to-worker
 //!   scheduling fabric behind it remains fully lock-less.
 //!
+//! ## Registered lanes
+//!
+//! A lane can be *reserved* for one submitter
+//! ([`IngressShard::reserve_lane`]): the reservation is a permanent
+//! producer claim, making the lane an honest SPSC channel — the pinned
+//! submitter pushes with plain loads and stores and never races another
+//! producer's claim CAS, while anonymous submitters skip reserved lanes.
+//! This is what `TaskServer::register_submitter` hands out, replacing
+//! the old thread-hash lane choice whose collisions let two submitters
+//! contend on one lane while others sat empty.
+//!
 //! Jobs are boxed `FnOnce(&TaskCtx)` bodies; a drained body is handed to
 //! `TaskCtx::spawn_boxed` by whichever idle worker claimed the drain.
 
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use xgomp_core::TaskCtx;
 use xgomp_xqueue::BQueue;
@@ -31,6 +42,13 @@ struct Lane {
     q: BQueue<JobBody>,
     /// Producer-side claim: holder is the lane's unique producer.
     producing: AtomicBool,
+    /// Permanent reservation (registered submitter). While set, the
+    /// anonymous push path skips this lane entirely.
+    reserved: AtomicBool,
+    /// Jobs ever pushed into this lane (conservation accounting).
+    pushed: AtomicU64,
+    /// Jobs ever drained out of this lane.
+    drained: AtomicU64,
 }
 
 /// One NUMA zone's ingress: lanes of SPSC rings + a drain claim making
@@ -41,6 +59,9 @@ pub struct IngressShard {
     draining: AtomicBool,
     /// Rotates the first lane probed by producers, spreading contention.
     next_lane: AtomicUsize,
+    /// Anonymous pushes that found a lane's producer claim held — the
+    /// cross-submitter contention registered lanes exist to eliminate.
+    claim_conflicts: AtomicU64,
 }
 
 impl IngressShard {
@@ -50,16 +71,66 @@ impl IngressShard {
                 .map(|_| Lane {
                     q: BQueue::with_capacity(lane_capacity),
                     producing: AtomicBool::new(false),
+                    reserved: AtomicBool::new(false),
+                    pushed: AtomicU64::new(0),
+                    drained: AtomicU64::new(0),
                 })
                 .collect(),
             draining: AtomicBool::new(false),
             next_lane: AtomicUsize::new(0),
+            claim_conflicts: AtomicU64::new(0),
         }
+    }
+
+    /// Number of lanes in this shard.
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Slots across all lanes (actual ring capacities).
     pub fn capacity(&self) -> usize {
         self.lanes.iter().map(|l| l.q.capacity()).sum()
+    }
+
+    /// Reserves a free lane for one registered submitter; `None` when
+    /// none is reservable (the caller falls back to the anonymous claim
+    /// path). Lane 0 is never reservable: anonymous submitters must
+    /// always have somewhere to land, or a fully registered shard would
+    /// starve them. Release with [`release_lane`](Self::release_lane).
+    pub(crate) fn reserve_lane(&self) -> Option<usize> {
+        self.lanes
+            .iter()
+            .skip(1)
+            .position(|l| {
+                l.reserved
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            })
+            .map(|i| i + 1)
+    }
+
+    /// Returns a reserved lane to the anonymous pool.
+    pub(crate) fn release_lane(&self, lane: usize) {
+        let was = self.lanes[lane].reserved.swap(false, Ordering::AcqRel);
+        debug_assert!(was, "released lane {lane} was not reserved");
+    }
+
+    /// Pushes through a reserved lane. The caller must hold the
+    /// reservation of `lane` — that makes it the lane's unique producer,
+    /// so the push is a plain SPSC enqueue with no claim traffic.
+    pub(crate) fn push_ptr_reserved(
+        &self,
+        lane: usize,
+        ptr: NonNull<JobBody>,
+    ) -> Result<(), NonNull<JobBody>> {
+        let l = &self.lanes[lane];
+        debug_assert!(l.reserved.load(Ordering::Relaxed), "lane not reserved");
+        // SAFETY: the reservation makes the holder the unique producer.
+        let pushed = unsafe { l.q.enqueue(ptr) };
+        if pushed.is_ok() {
+            l.pushed.fetch_add(1, Ordering::Relaxed);
+        }
+        pushed
     }
 
     /// Attempts to enqueue `job` into any lane of this shard. Fails when
@@ -76,21 +147,34 @@ impl IngressShard {
     /// Pointer-level [`try_push`](Self::try_push): ownership of the
     /// boxed body transfers on `Ok`, returns to the caller on `Err`.
     /// Lets retry loops probe many lanes/shards without re-boxing the
-    /// job per attempt.
+    /// job per attempt. Skips reserved lanes.
     pub(crate) fn try_push_ptr(&self, ptr: NonNull<JobBody>) -> Result<(), NonNull<JobBody>> {
         let start = self.next_lane.fetch_add(1, Ordering::Relaxed);
         for i in 0..self.lanes.len() {
             let lane = &self.lanes[(start + i) % self.lanes.len()];
+            if lane.reserved.load(Ordering::Acquire) {
+                continue;
+            }
             if lane
                 .producing
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_err()
             {
+                self.claim_conflicts.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // The claim may have raced a registration: re-check so a
+            // reserved lane never sees an anonymous producer.
+            if lane.reserved.load(Ordering::Acquire) {
+                lane.producing.store(false, Ordering::Release);
                 continue;
             }
             // SAFETY: the `producing` claim makes this thread the lane's
             // unique producer for the duration of the call.
             let pushed = unsafe { lane.q.enqueue(ptr) };
+            if pushed.is_ok() {
+                lane.pushed.fetch_add(1, Ordering::Relaxed);
+            }
             lane.producing.store(false, Ordering::Release);
             if pushed.is_ok() {
                 return Ok(());
@@ -117,9 +201,12 @@ impl IngressShard {
                 // SAFETY: the `draining` claim makes this thread the
                 // unique consumer of every lane in the shard.
                 match unsafe { lane.q.dequeue() } {
-                    // SAFETY: every queued pointer came from `Box::leak`
-                    // in `try_push`.
-                    Some(p) => batch.push(*unsafe { Box::from_raw(p.as_ptr()) }),
+                    Some(p) => {
+                        lane.drained.fetch_add(1, Ordering::Relaxed);
+                        // SAFETY: every queued pointer came from
+                        // `Box::leak` in a push path.
+                        batch.push(*unsafe { Box::from_raw(p.as_ptr()) });
+                    }
                     None => continue 'lanes,
                 }
             }
@@ -137,6 +224,24 @@ impl IngressShard {
     pub fn looks_empty(&self) -> bool {
         self.lanes.iter().all(|l| l.q.occupancy_scan() == 0)
     }
+
+    /// Per-lane `(pushed, drained)` counters (conservation checks).
+    pub fn lane_counters(&self) -> Vec<(u64, u64)> {
+        self.lanes
+            .iter()
+            .map(|l| {
+                (
+                    l.pushed.load(Ordering::Relaxed),
+                    l.drained.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Anonymous pushes that lost a lane-claim race in this shard.
+    pub fn claim_conflicts(&self) -> u64 {
+        self.claim_conflicts.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for IngressShard {
@@ -146,7 +251,7 @@ impl Drop for IngressShard {
         for lane in self.lanes.iter() {
             // SAFETY: `&mut self` — no concurrent producers or consumers.
             while let Some(p) = unsafe { lane.q.dequeue() } {
-                // SAFETY: pointer from `Box::leak` in `try_push`.
+                // SAFETY: pointer from `Box::leak` in a push path.
                 drop(unsafe { Box::from_raw(p.as_ptr()) });
             }
         }
@@ -173,9 +278,19 @@ impl ShardedIngress {
         self.shards.len()
     }
 
+    /// Shard `i` (stats, registration).
+    pub fn shard(&self, i: usize) -> &IngressShard {
+        &self.shards[i]
+    }
+
     /// Total slots across every shard.
     pub fn capacity(&self) -> usize {
         self.shards.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Anonymous lane-claim conflicts summed over all shards.
+    pub fn claim_conflicts(&self) -> u64 {
+        self.shards.iter().map(|s| s.claim_conflicts()).sum()
     }
 
     /// Pushes preferring shard `hint`, falling over to the others.
@@ -252,6 +367,11 @@ mod tests {
         let n = shard.try_drain(16, &mut |j| drained.push(j));
         assert_eq!(n, 5);
         assert!(shard.looks_empty());
+        let (pushed, got): (u64, u64) = shard
+            .lane_counters()
+            .iter()
+            .fold((0, 0), |(a, b), &(p, d)| (a + p, b + d));
+        assert_eq!((pushed, got), (5, 5));
         drop(drained); // dropping undrained bodies must not leak or run them
         assert_eq!(hits.load(Ordering::Relaxed), 0);
     }
@@ -271,6 +391,42 @@ mod tests {
         shard.draining.store(true, Ordering::Release);
         assert_eq!(shard.try_drain(8, &mut |_| {}), 0);
         shard.draining.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn reserved_lane_is_invisible_to_anonymous_pushes() {
+        let shard = IngressShard::new(2, 2);
+        let lane = shard.reserve_lane().expect("free lane");
+        let hits = Arc::new(AtomicU64::new(0));
+        // Anonymous pushes can only land in the one unreserved lane.
+        shard.try_push(counter_job(hits.clone())).ok().unwrap();
+        shard.try_push(counter_job(hits.clone())).ok().unwrap();
+        assert!(
+            shard.try_push(counter_job(hits.clone())).is_err(),
+            "reserved lane must not absorb anonymous pushes"
+        );
+        let counters = shard.lane_counters();
+        assert_eq!(counters[lane].0, 0, "reserved lane untouched");
+        // The reservation holder pushes without a claim.
+        let ptr = NonNull::from(Box::leak(Box::new(counter_job(hits.clone()))));
+        shard.push_ptr_reserved(lane, ptr).ok().unwrap();
+        assert_eq!(shard.lane_counters()[lane].0, 1);
+        // Release: the lane rejoins the anonymous pool.
+        shard.release_lane(lane);
+        let mut n = 0;
+        while shard.try_drain(16, &mut |_j| n += 1) > 0 {}
+        assert_eq!(n, 3);
+        shard.try_push(counter_job(hits)).ok().unwrap();
+    }
+
+    #[test]
+    fn reservations_exhaust_then_fail() {
+        let shard = IngressShard::new(3, 4);
+        assert_eq!(shard.reserve_lane(), Some(1), "lane 0 stays anonymous");
+        assert_eq!(shard.reserve_lane(), Some(2));
+        assert!(shard.reserve_lane().is_none(), "no reservable lane left");
+        shard.release_lane(1);
+        assert_eq!(shard.reserve_lane(), Some(1));
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //!  submitter threads (any)        TaskServer
 //!  ───────────────────────        ─────────────────────────────────────
 //!  submit / try_submit  ──────▶  admission control (bounded in-flight)
-//!        │                               │
-//!        ▼                               ▼
-//!  [IngressShard zone 0] [zone 1] …   (one MPSC shard per NUMA zone,
-//!        │        │                    lanes of lock-less B-queues)
-//!        ▼        ▼
+//!  register_submitter(zone)              │
+//!        │                               ▼
+//!  [IngressShard zone 0] [zone 1] …   (one MPSC shard per NUMA zone;
+//!        │        │                    lanes of lock-less B-queues —
+//!        │ doorbell: wake one          registered submitters own a
+//!        ▼ parked worker, zone-local   reserved SPSC lane, claim-free)
 //!  idle workers + master drain their zone's shard in batches and
 //!  spawn each job into the XQueue lattice  ──▶  normal DLB scheduling
 //!        │
@@ -26,8 +27,24 @@
 //!  job body runs (unwind-caught) ──▶ JobHandle completes
 //!
 //!  every completed task feeds a LiveTaskSampler; the AdaptiveController
-//!  re-runs guidelines::recommend_dlb per window and hot-swaps DlbTuning
+//!  re-runs guidelines::recommend_dlb per window (with two-window
+//!  hysteresis) and hot-swaps DlbTuning
 //! ```
+//!
+//! ## Idle/wake semantics
+//!
+//! An idle server burns ~0 CPU: workers that exhaust their spin backoff
+//! park on the team's NUMA-aware [`Parker`](xgomp_core::Parker) (per
+//! worker parking words, zone-grouped wake sets), and the serve loop
+//! parks worker 0 the same way. Every submission rings a *doorbell*
+//! after its push lands: one parked worker of the target shard's NUMA
+//! zone is woken — zone-local before any remote worker, mirroring the
+//! paper's NA-RP victim order — so a sleeping server starts a job within
+//! microseconds rather than a scheduler quantum. Busy servers never
+//! reach the parking path; the doorbell then costs one fence and one
+//! relaxed load per submission. `RuntimeConfig::park_idle(false)`
+//! restores the pure spin-idle mode (latency micro-optimization at the
+//! price of one busy core per worker).
 //!
 //! ## Quickstart
 //!
@@ -44,10 +61,10 @@
 //! assert_eq!(report.stats.completed, 32);
 //! ```
 //!
-//! Jobs receive a full [`TaskCtx`], so a job may itself fan out into
-//! fine-grained tasks (`ctx.scope(...)`) that the DLB engine balances
-//! across the team — the server is the front door, not a replacement,
-//! for the paper's runtime.
+//! Jobs receive a full [`TaskCtx`](xgomp_core::TaskCtx), so a job may
+//! itself fan out into fine-grained tasks (`ctx.scope(...)`) that the
+//! DLB engine balances across the team — the server is the front door,
+//! not a replacement, for the paper's runtime.
 //!
 //! ## Blocking inside jobs
 //!
@@ -66,21 +83,14 @@
 mod controller;
 mod handle;
 mod ingress;
+mod server;
 
 pub use controller::AdaptiveController;
 pub use handle::{JobHandle, JobPanic};
 pub use ingress::{IngressShard, ShardedIngress};
+pub use server::{Closed, ServerReport, ServerStats, SubmitterHandle, TaskServer};
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use ingress::JobBody;
-use xgomp_core::{
-    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, PersistentTeam,
-    RegionOutput, RuntimeConfig, TaskCtx,
-};
-use xgomp_topology::Placement;
-use xgomp_xqueue::Backoff;
+use xgomp_core::{DlbConfig, DlbStrategy, RuntimeConfig};
 
 /// Configuration of a [`TaskServer`].
 #[derive(Debug, Clone)]
@@ -94,8 +104,10 @@ pub struct ServerConfig {
     /// blocks and `try_submit` fails while at the bound. Clamped to the
     /// total ingress capacity so an admitted job always finds a slot.
     pub max_in_flight: usize,
-    /// SPSC lanes per ingress shard (concurrent submitters per zone
-    /// that can push without colliding on a lane claim).
+    /// SPSC lanes per ingress shard. Lane 0 of each shard serves the
+    /// anonymous claim path; the rest can be pinned to registered
+    /// submitters ([`TaskServer::register_submitter`]), so size this as
+    /// expected registered submitters per zone plus one.
     pub lanes_per_shard: usize,
     /// Slots per lane (rounded up to a power of two by the B-queue).
     pub lane_capacity: usize,
@@ -162,450 +174,5 @@ impl ServerConfig {
     pub fn log_retunes(mut self, on: bool) -> Self {
         self.log_retunes = on;
         self
-    }
-}
-
-/// State shared between submitters, the drain hook, and the master loop.
-struct ServerShared {
-    ingress: ShardedIngress,
-    /// worker → ingress shard (its NUMA zone's rank).
-    shard_of_worker: Vec<usize>,
-    closed: AtomicBool,
-    in_flight: AtomicUsize,
-    max_in_flight: usize,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-}
-
-/// The [`IngressSource`] wired into the team: idle workers (and the
-/// master loop) drain their zone's shard and spawn the jobs.
-struct ServiceSource {
-    shared: Arc<ServerShared>,
-    drain_batch: usize,
-}
-
-impl IngressSource for ServiceSource {
-    fn poll(&self, ctx: &TaskCtx<'_>) -> usize {
-        let hint = self.shared.shard_of_worker[ctx.worker_id()];
-        self.shared
-            .ingress
-            .drain_into(hint, self.drain_batch, &mut |job| ctx.spawn_boxed(job))
-    }
-}
-
-/// Error returned by [`TaskServer::submit`] once the server is closed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Closed;
-
-impl std::fmt::Display for Closed {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task server is closed")
-    }
-}
-
-impl std::error::Error for Closed {}
-
-/// Point-in-time server counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Jobs accepted by admission control.
-    pub submitted: u64,
-    /// Jobs whose handles have completed (including panicked jobs).
-    pub completed: u64,
-    /// `try_submit` calls bounced by backpressure or closure.
-    pub rejected: u64,
-    /// Jobs admitted but not yet completed.
-    pub in_flight: usize,
-    /// Effective DLB retunes published by the controller.
-    pub retunes: u64,
-    /// Ingress shards (NUMA zones of the team).
-    pub shards: usize,
-}
-
-/// What [`TaskServer::shutdown`] returns after the drain.
-pub struct ServerReport {
-    /// Final counters.
-    pub stats: ServerStats,
-    /// Telemetry of the serving region (per-worker §V counters, wall
-    /// time of the whole serve, event logs when profiling was on).
-    /// `None` only when the serve ended abnormally (master thread
-    /// panicked — a runtime bug, since job panics are isolated).
-    pub region: Option<RegionOutput<()>>,
-}
-
-/// A persistent executor serving jobs from arbitrary threads.
-///
-/// See the [crate docs](crate) for the architecture; construction starts
-/// the team, [`shutdown`](Self::shutdown) drains in-flight work and
-/// returns the serve's telemetry. Dropping without `shutdown` performs
-/// the same drain.
-pub struct TaskServer {
-    shared: Arc<ServerShared>,
-    tuning: Arc<DlbTuning>,
-    sampler: Arc<LiveTaskSampler>,
-    master: Option<std::thread::JoinHandle<RegionOutput<()>>>,
-}
-
-impl TaskServer {
-    /// Starts the team and begins serving.
-    pub fn start(cfg: ServerConfig) -> Self {
-        let rt = cfg.runtime.clone();
-        let n = rt.threads;
-        let placement = Placement::new(rt.topology.clone(), n, rt.affinity);
-
-        // One shard per NUMA zone that actually hosts workers, ranked so
-        // shard ids are dense.
-        let mut zones: Vec<usize> = (0..n).map(|w| placement.zone_of(w)).collect();
-        let mut distinct = zones.clone();
-        distinct.sort_unstable();
-        distinct.dedup();
-        for z in &mut zones {
-            *z = distinct.binary_search(z).expect("zone is in distinct set");
-        }
-        let n_shards = distinct.len();
-
-        let ingress = ShardedIngress::new(n_shards, cfg.lanes_per_shard, cfg.lane_capacity);
-        // An admitted job must always find an ingress slot (the blocking
-        // push in submit relies on it), so the bound never exceeds the
-        // real ring capacity.
-        let max_in_flight = cfg.max_in_flight.min(ingress.capacity()).max(1);
-
-        let shared = Arc::new(ServerShared {
-            ingress,
-            shard_of_worker: zones,
-            closed: AtomicBool::new(false),
-            in_flight: AtomicUsize::new(0),
-            max_in_flight,
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-        });
-
-        let initial_dlb = rt
-            .dlb
-            .unwrap_or_else(|| DlbConfig::new(DlbStrategy::WorkSteal));
-        let tuning = Arc::new(DlbTuning::new(initial_dlb));
-        let sampler = Arc::new(LiveTaskSampler::new(n));
-
-        let source = Arc::new(ServiceSource {
-            shared: shared.clone(),
-            drain_batch: cfg.drain_batch,
-        });
-
-        let master = {
-            let shared = shared.clone();
-            let tuning = tuning.clone();
-            let sampler = sampler.clone();
-            let adapt_every = cfg.adapt_every;
-            let log_retunes = cfg.log_retunes;
-            let run_batch = cfg.drain_batch.max(8) * 4;
-            std::thread::Builder::new()
-                .name("xgomp-service-master".into())
-                .spawn(move || {
-                    let mut team = PersistentTeam::new(rt);
-                    team.run_serving(
-                        source.clone(),
-                        Some(sampler.clone()),
-                        Some(tuning.clone()),
-                        move |ctx| {
-                            let mut controller =
-                                AdaptiveController::new(tuning, sampler, adapt_every, log_retunes);
-                            let mut backoff = Backoff::new();
-                            loop {
-                                if ctx.is_poisoned() {
-                                    // Un-isolated panic (a runtime bug —
-                                    // job panics are caught): the team is
-                                    // ending; don't spin on in_flight.
-                                    break;
-                                }
-                                let injected = source.poll(ctx);
-                                let ran = ctx.run_pending(run_batch);
-                                controller.tick();
-                                if injected > 0 || ran > 0 {
-                                    backoff.reset();
-                                    continue;
-                                }
-                                if shared.closed.load(Ordering::SeqCst)
-                                    && shared.in_flight.load(Ordering::SeqCst) == 0
-                                {
-                                    break;
-                                }
-                                backoff.snooze();
-                            }
-                        },
-                    )
-                })
-                .expect("spawn service master")
-        };
-
-        TaskServer {
-            shared,
-            tuning,
-            sampler,
-            master: Some(master),
-        }
-    }
-
-    /// Non-blocking submission. On backpressure (in-flight bound reached)
-    /// or a closed server the closure is handed back so the caller can
-    /// retry or drop it.
-    pub fn try_submit<R, F>(&self, f: F) -> Result<JobHandle<R>, F>
-    where
-        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
-        R: Send + 'static,
-    {
-        let sh = &self.shared;
-        if sh.closed.load(Ordering::SeqCst) {
-            sh.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(f);
-        }
-        if sh.in_flight.fetch_add(1, Ordering::SeqCst) >= sh.max_in_flight {
-            sh.in_flight.fetch_sub(1, Ordering::SeqCst);
-            sh.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(f);
-        }
-        // Re-check after the admission increment: a shutdown that read
-        // the counters before our increment rejects us here; one that
-        // read after will wait for this job (see `shutdown`).
-        if sh.closed.load(Ordering::SeqCst) {
-            sh.in_flight.fetch_sub(1, Ordering::SeqCst);
-            sh.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(f);
-        }
-
-        let (handle, state) = JobHandle::new();
-        let shared = self.shared.clone();
-        let body: JobBody = Box::new(move |ctx: &TaskCtx<'_>| {
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)))
-                .map_err(JobPanic::from_payload);
-            state.complete(result);
-            // Completion order matters: the handle is observable before
-            // the drain accounting lets a shutdown finish.
-            shared.completed.fetch_add(1, Ordering::SeqCst);
-            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        });
-
-        // Admission guarantees a slot exists or will exist as soon as a
-        // drainer runs; rotate shards with backoff until placed. The job
-        // is boxed for the queue exactly once, before the retry loop.
-        let hint = submitter_shard_hint(sh.ingress.n_shards());
-        let mut backoff = Backoff::new();
-        let mut ptr = std::ptr::NonNull::from(Box::leak(Box::new(body)));
-        loop {
-            match sh.ingress.push_ptr_from(hint, ptr) {
-                Ok(()) => break,
-                Err(back) => {
-                    ptr = back;
-                    backoff.snooze();
-                }
-            }
-        }
-        sh.submitted.fetch_add(1, Ordering::Relaxed);
-        Ok(handle)
-    }
-
-    /// Blocking submission: waits out backpressure, fails only once the
-    /// server is closed.
-    pub fn submit<R, F>(&self, f: F) -> Result<JobHandle<R>, Closed>
-    where
-        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
-        R: Send + 'static,
-    {
-        let mut f = f;
-        let mut backoff = Backoff::new();
-        loop {
-            match self.try_submit(f) {
-                Ok(h) => return Ok(h),
-                Err(back) => {
-                    if self.shared.closed.load(Ordering::SeqCst) {
-                        return Err(Closed);
-                    }
-                    f = back;
-                    backoff.snooze();
-                }
-            }
-        }
-    }
-
-    /// Whether the server has been closed to new submissions.
-    pub fn is_closed(&self) -> bool {
-        self.shared.closed.load(Ordering::SeqCst)
-    }
-
-    /// Jobs admitted but not yet completed.
-    pub fn in_flight(&self) -> usize {
-        self.shared.in_flight.load(Ordering::SeqCst)
-    }
-
-    /// Snapshot of the server counters.
-    pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            in_flight: self.shared.in_flight.load(Ordering::SeqCst),
-            retunes: self.tuning.retunes(),
-            shards: self.shared.ingress.n_shards(),
-        }
-    }
-
-    /// The DLB configuration currently driving the team.
-    pub fn active_dlb(&self) -> DlbConfig {
-        self.tuning.load()
-    }
-
-    /// Effective DLB retunes so far.
-    pub fn retunes(&self) -> u64 {
-        self.tuning.retunes()
-    }
-
-    /// Merged live task-size histogram since the server started.
-    pub fn task_histogram(&self) -> xgomp_core::TaskSizeHistogram {
-        self.sampler.snapshot()
-    }
-
-    /// Closes admission, waits for every in-flight job to complete, and
-    /// tears the team down.
-    pub fn shutdown(mut self) -> ServerReport {
-        let region = self
-            .shutdown_inner()
-            .expect("server not yet shut down")
-            .ok();
-        ServerReport {
-            stats: self.stats(),
-            region,
-        }
-    }
-
-    /// Outer `None`: already shut down. Inner `Err`: the master thread
-    /// panicked (runtime bug); the payload is swallowed here so `Drop`
-    /// never panics-in-drop — `shutdown` surfaces it as `region: None`.
-    #[allow(clippy::type_complexity)]
-    fn shutdown_inner(&mut self) -> Option<std::thread::Result<RegionOutput<()>>> {
-        let master = self.master.take()?;
-        self.shared.closed.store(true, Ordering::SeqCst);
-        Some(master.join())
-    }
-}
-
-impl Drop for TaskServer {
-    fn drop(&mut self) {
-        let _ = self.shutdown_inner();
-    }
-}
-
-/// Stable-per-thread shard choice, so a submitter keeps feeding the same
-/// zone (its jobs' spawned subtasks then stay creator-local by default).
-fn submitter_shard_hint(n_shards: usize) -> usize {
-    use std::hash::{Hash, Hasher};
-    thread_local! {
-        static HINT: std::cell::OnceCell<usize> = const { std::cell::OnceCell::new() };
-    }
-    if n_shards <= 1 {
-        return 0;
-    }
-    HINT.with(|cell| {
-        *cell.get_or_init(|| {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            std::thread::current().id().hash(&mut h);
-            h.finish() as usize
-        })
-    }) % n_shards
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn jobs_roundtrip_results() {
-        let server = TaskServer::start(ServerConfig::new(4));
-        let handles: Vec<_> = (0..200u64)
-            .map(|i| server.submit(move |_| i * 3).unwrap())
-            .collect();
-        for (i, h) in handles.into_iter().enumerate() {
-            assert_eq!(h.join().unwrap(), i as u64 * 3);
-        }
-        let report = server.shutdown();
-        assert_eq!(report.stats.completed, 200);
-        assert_eq!(report.stats.in_flight, 0);
-        let region = report.region.expect("clean serve");
-        region.stats.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn jobs_can_fan_out_into_tasks() {
-        let server = TaskServer::start(ServerConfig::new(4));
-        let h = server
-            .submit(|ctx| {
-                let mut squares = vec![0u64; 64];
-                ctx.scope(|s| {
-                    for (i, sq) in squares.iter_mut().enumerate() {
-                        s.spawn(move |_| *sq = (i as u64) * (i as u64));
-                    }
-                });
-                squares.iter().sum::<u64>()
-            })
-            .unwrap();
-        assert_eq!(h.join().unwrap(), (0..64u64).map(|i| i * i).sum());
-        // 1 job task + 64 subtasks.
-        let report = server.shutdown();
-        assert_eq!(
-            report
-                .region
-                .expect("clean serve")
-                .stats
-                .total()
-                .tasks_executed,
-            65
-        );
-    }
-
-    #[test]
-    fn backpressure_bounds_admission() {
-        // One worker that is blocked on a gate ⇒ in-flight saturates.
-        let gate = Arc::new(AtomicBool::new(false));
-        let server = TaskServer::start(
-            ServerConfig::new(1)
-                .max_in_flight(4)
-                .lanes_per_shard(1)
-                .lane_capacity(8),
-        );
-        let mut handles = Vec::new();
-        let mut accepted = 0;
-        for _ in 0..64 {
-            let gate = gate.clone();
-            match server.try_submit(move |_| {
-                while !gate.load(Ordering::Acquire) {
-                    std::thread::yield_now();
-                }
-            }) {
-                Ok(h) => {
-                    handles.push(h);
-                    accepted += 1;
-                }
-                Err(_) => break,
-            }
-        }
-        assert!(
-            accepted <= 4 + 1,
-            "admission exceeded the bound: {accepted} accepted"
-        );
-        assert!(server.stats().rejected == 0 || accepted >= 4);
-        gate.store(true, Ordering::Release);
-        for h in handles {
-            h.join().unwrap();
-        }
-        server.shutdown();
-    }
-
-    #[test]
-    fn closed_server_rejects_submissions() {
-        let server = TaskServer::start(ServerConfig::new(2));
-        let h = server.submit(|_| 1u32).unwrap();
-        assert_eq!(h.join().unwrap(), 1);
-        let report = server.shutdown();
-        assert_eq!(report.stats.submitted, 1);
     }
 }

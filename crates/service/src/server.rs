@@ -1,0 +1,778 @@
+//! The [`TaskServer`]: a persistent executor serving jobs from arbitrary
+//! threads, with event-driven idling and registered ingress lanes.
+//!
+//! Submission-side architecture (see the crate docs for the full
+//! picture):
+//!
+//! * **Admission** — a bounded in-flight count gates every path;
+//! * **Placement** — anonymous submitters rotate over the claim-guarded
+//!   lanes of their hinted shard; *registered* submitters
+//!   ([`TaskServer::register_submitter`]) own a reserved lane and push
+//!   with plain SPSC stores, no claims at all;
+//! * **Doorbell** — after the push lands, the submitter wakes one parked
+//!   worker in the target shard's NUMA zone (zone-local first, exactly
+//!   the NA-RP victim order). While the team is busy this is one fence
+//!   plus one relaxed load; while the team sleeps it is the microsecond
+//!   path from "job queued" to "worker running it".
+//!
+//! The serve loop itself parks worker 0 once its backoff saturates, so a
+//! fully idle server occupies zero cores; the doorbell (or shutdown)
+//! brings it back.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::controller::AdaptiveController;
+use crate::handle::{JobHandle, JobPanic};
+use crate::ingress::{JobBody, ShardedIngress};
+use crate::ServerConfig;
+use xgomp_core::{
+    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, Parker, PersistentTeam,
+    RegionOutput, TaskCtx,
+};
+use xgomp_topology::Placement;
+use xgomp_xqueue::Backoff;
+
+/// State shared between submitters, the drain hook, and the master loop.
+pub(crate) struct ServerShared {
+    pub(crate) ingress: ShardedIngress,
+    /// worker → ingress shard (its NUMA zone's rank).
+    shard_of_worker: Vec<usize>,
+    /// shard → NUMA zone id of the team placement (doorbell targeting).
+    zone_of_shard: Vec<usize>,
+    /// The team's parker, published by the serve loop at startup: the
+    /// submitters' doorbell. Empty only in the brief window before the
+    /// serve loop runs, during which no worker has parked yet.
+    doorbell: OnceLock<Arc<Parker>>,
+    closed: AtomicBool,
+    in_flight: AtomicUsize,
+    max_in_flight: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ServerShared {
+    /// Admission control: reserves one in-flight slot. `false` means
+    /// rejected (closed or at the bound) with the slot released and the
+    /// rejection counted.
+    fn try_admit(&self) -> bool {
+        if self.closed.load(Ordering::SeqCst) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if self.in_flight.fetch_add(1, Ordering::SeqCst) >= self.max_in_flight {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // Re-check after the admission increment: a shutdown that read
+        // the counters before our increment rejects us here; one that
+        // read after will wait for this job (see `shutdown`).
+        if self.closed.load(Ordering::SeqCst) {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Wraps a user closure into the queued job body (unwind-caught,
+    /// completion-accounted) and its result handle.
+    fn make_job<R, F>(self: &Arc<Self>, f: F) -> (JobHandle<R>, JobBody)
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let (handle, state) = JobHandle::new();
+        let shared = self.clone();
+        let body: JobBody = Box::new(move |ctx: &TaskCtx<'_>| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)))
+                .map_err(JobPanic::from_payload);
+            state.complete(result);
+            // Completion order matters: the handle is observable before
+            // the drain accounting lets a shutdown finish.
+            shared.completed.fetch_add(1, Ordering::SeqCst);
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        });
+        (handle, body)
+    }
+
+    /// Places an admitted job through the anonymous claim path, rotating
+    /// shards starting at `hint` until it lands (admission guarantees a
+    /// slot exists or will exist as soon as a drainer runs). Rings the
+    /// doorbell for the shard that took it.
+    fn place_anonymous(&self, hint: usize, body: JobBody) {
+        let mut backoff = Backoff::new();
+        let mut ptr = std::ptr::NonNull::from(Box::leak(Box::new(body)));
+        loop {
+            match self.ingress.push_ptr_from(hint, ptr) {
+                Ok(()) => break,
+                Err(back) => {
+                    ptr = back;
+                    // Queues full: make sure someone is draining them.
+                    self.ring_doorbell(hint);
+                    backoff.snooze();
+                }
+            }
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.ring_doorbell(hint);
+    }
+
+    /// Wakes one parked worker for shard `shard`'s zone (zone-local
+    /// first). No-op before the serve loop has published the parker —
+    /// at that point every worker is still awake.
+    fn ring_doorbell(&self, shard: usize) {
+        if let Some(parker) = self.doorbell.get() {
+            let zone = self
+                .zone_of_shard
+                .get(shard % self.zone_of_shard.len().max(1))
+                .copied()
+                .unwrap_or(0);
+            parker.notify_any(zone);
+        }
+    }
+}
+
+/// The [`IngressSource`] wired into the team: idle workers (and the
+/// master loop) drain their zone's shard and spawn the jobs.
+pub(crate) struct ServiceSource {
+    shared: Arc<ServerShared>,
+    drain_batch: usize,
+}
+
+impl IngressSource for ServiceSource {
+    fn poll(&self, ctx: &TaskCtx<'_>) -> usize {
+        let hint = self.shared.shard_of_worker[ctx.worker_id()];
+        self.shared
+            .ingress
+            .drain_into(hint, self.drain_batch, &mut |job| ctx.spawn_boxed(job))
+    }
+
+    fn has_pending(&self) -> bool {
+        // Pre-park re-check: jobs are visible here before the submitter's
+        // doorbell fence, so a worker either sees them and stays awake or
+        // is woken by the bell (see `xgomp_xqueue::parker`).
+        !self.shared.ingress.looks_empty()
+    }
+}
+
+/// Error returned by [`TaskServer::submit`] once the server is closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+impl std::fmt::Display for Closed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task server is closed")
+    }
+}
+
+impl std::error::Error for Closed {}
+
+/// Point-in-time server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Jobs accepted by admission control.
+    pub submitted: u64,
+    /// Jobs whose handles have completed (including panicked jobs).
+    pub completed: u64,
+    /// `try_submit` calls bounced by backpressure or closure.
+    pub rejected: u64,
+    /// Jobs admitted but not yet completed.
+    pub in_flight: usize,
+    /// Effective DLB retunes published by the controller.
+    pub retunes: u64,
+    /// Ingress shards (NUMA zones of the team).
+    pub shards: usize,
+    /// Workers currently parked (announced or asleep), master included.
+    pub parked_workers: usize,
+    /// Cumulative committed parks across the team — a fully idle server
+    /// stops advancing this counter once everyone sleeps.
+    pub parks: u64,
+}
+
+/// What [`TaskServer::shutdown`] returns after the drain.
+pub struct ServerReport {
+    /// Final counters.
+    pub stats: ServerStats,
+    /// Telemetry of the serving region (per-worker §V counters, wall
+    /// time of the whole serve, event logs when profiling was on).
+    /// `None` only when the serve ended abnormally (master thread
+    /// panicked — a runtime bug, since job panics are isolated).
+    pub region: Option<RegionOutput<()>>,
+}
+
+/// A persistent executor serving jobs from arbitrary threads.
+///
+/// See the [crate docs](crate) for the architecture; construction starts
+/// the team, [`shutdown`](Self::shutdown) drains in-flight work and
+/// returns the serve's telemetry. Dropping without `shutdown` performs
+/// the same drain.
+pub struct TaskServer {
+    shared: Arc<ServerShared>,
+    tuning: Arc<DlbTuning>,
+    sampler: Arc<LiveTaskSampler>,
+    master: Option<std::thread::JoinHandle<RegionOutput<()>>>,
+}
+
+impl TaskServer {
+    /// Starts the team and begins serving.
+    pub fn start(cfg: ServerConfig) -> Self {
+        let rt = cfg.runtime.clone();
+        let n = rt.threads;
+        let placement = Placement::new(rt.topology.clone(), n, rt.affinity);
+
+        // One shard per NUMA zone that actually hosts workers, ranked so
+        // shard ids are dense.
+        let mut zones: Vec<usize> = (0..n).map(|w| placement.zone_of(w)).collect();
+        let mut distinct = zones.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for z in &mut zones {
+            *z = distinct.binary_search(z).expect("zone is in distinct set");
+        }
+        let n_shards = distinct.len();
+
+        let ingress = ShardedIngress::new(n_shards, cfg.lanes_per_shard, cfg.lane_capacity);
+        // An admitted job must always find an ingress slot (the blocking
+        // push in submit relies on it), so the bound never exceeds the
+        // real ring capacity.
+        let max_in_flight = cfg.max_in_flight.min(ingress.capacity()).max(1);
+
+        let shared = Arc::new(ServerShared {
+            ingress,
+            shard_of_worker: zones,
+            zone_of_shard: distinct,
+            doorbell: OnceLock::new(),
+            closed: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+
+        let initial_dlb = rt
+            .dlb
+            .unwrap_or_else(|| DlbConfig::new(DlbStrategy::WorkSteal));
+        let tuning = Arc::new(DlbTuning::new(initial_dlb));
+        let sampler = Arc::new(LiveTaskSampler::new(n));
+
+        let source = Arc::new(ServiceSource {
+            shared: shared.clone(),
+            drain_batch: cfg.drain_batch,
+        });
+
+        let master = {
+            let shared = shared.clone();
+            let tuning = tuning.clone();
+            let sampler = sampler.clone();
+            let adapt_every = cfg.adapt_every;
+            let log_retunes = cfg.log_retunes;
+            let run_batch = cfg.drain_batch.max(8) * 4;
+            std::thread::Builder::new()
+                .name("xgomp-service-master".into())
+                .spawn(move || {
+                    let mut team = PersistentTeam::new(rt);
+                    team.run_serving(
+                        source.clone(),
+                        Some(sampler.clone()),
+                        Some(tuning.clone()),
+                        move |ctx| {
+                            // Publish the team's parker as the doorbell
+                            // before any worker could possibly park.
+                            let parker = ctx.parker().clone();
+                            let _ = shared.doorbell.set(parker.clone());
+                            let mut controller =
+                                AdaptiveController::new(tuning, sampler, adapt_every, log_retunes);
+                            let mut backoff = Backoff::new();
+                            loop {
+                                if ctx.is_poisoned() {
+                                    // Un-isolated panic (a runtime bug —
+                                    // job panics are caught): the team is
+                                    // ending; don't spin on in_flight.
+                                    break;
+                                }
+                                let injected = source.poll(ctx);
+                                let ran = ctx.run_pending(run_batch);
+                                controller.tick();
+                                if injected > 0 || ran > 0 {
+                                    backoff.reset();
+                                    continue;
+                                }
+                                let closed = shared.closed.load(Ordering::SeqCst);
+                                if closed && shared.in_flight.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                // Event-driven idle arm of the serve loop:
+                                // park worker 0 once the backoff
+                                // saturates. Never parks while closed —
+                                // the final in-flight decrement rings no
+                                // bell; the drain is short, spin it out.
+                                if ctx.park_idle_enabled()
+                                    && !closed
+                                    && backoff.is_completed()
+                                    && parker.prepare_park(0)
+                                {
+                                    let stay_awake = ctx.is_poisoned()
+                                        || ctx.has_local_work_hint()
+                                        || !shared.ingress.looks_empty()
+                                        || shared.closed.load(Ordering::SeqCst);
+                                    if stay_awake {
+                                        parker.cancel_park(0);
+                                    } else {
+                                        parker.park(0);
+                                        backoff.reset();
+                                    }
+                                    continue;
+                                }
+                                backoff.snooze();
+                            }
+                        },
+                    )
+                })
+                .expect("spawn service master")
+        };
+
+        TaskServer {
+            shared,
+            tuning,
+            sampler,
+            master: Some(master),
+        }
+    }
+
+    /// Non-blocking submission. On backpressure (in-flight bound reached)
+    /// or a closed server the closure is handed back so the caller can
+    /// retry or drop it.
+    pub fn try_submit<R, F>(&self, f: F) -> Result<JobHandle<R>, F>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        if !self.shared.try_admit() {
+            return Err(f);
+        }
+        let (handle, body) = self.shared.make_job(f);
+        let hint = submitter_shard_hint(self.shared.ingress.n_shards());
+        self.shared.place_anonymous(hint, body);
+        Ok(handle)
+    }
+
+    /// Blocking submission: waits out backpressure, fails only once the
+    /// server is closed.
+    pub fn submit<R, F>(&self, f: F) -> Result<JobHandle<R>, Closed>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let mut f = f;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_submit(f) {
+                Ok(h) => return Ok(h),
+                Err(back) => {
+                    if self.shared.closed.load(Ordering::SeqCst) {
+                        return Err(Closed);
+                    }
+                    f = back;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Registers a pinned submitter for NUMA zone `zone` (any value is
+    /// accepted; it is mapped onto the zones that actually host
+    /// workers).
+    ///
+    /// The handle owns a reserved ingress lane in the zone's shard when
+    /// one is free — its pushes are then plain SPSC enqueues with zero
+    /// claim traffic and zero cross-submitter contention. When every
+    /// lane of the shard is already reserved the handle still works,
+    /// falling back to the anonymous claim path. Dropping the handle
+    /// releases the lane.
+    pub fn register_submitter(&self, zone: usize) -> SubmitterHandle {
+        let shard = self
+            .shared
+            .zone_of_shard
+            .iter()
+            .position(|&z| z == zone)
+            .unwrap_or(zone % self.shared.ingress.n_shards());
+        let lane = self.shared.ingress.shard(shard).reserve_lane();
+        SubmitterHandle {
+            shared: self.shared.clone(),
+            shard,
+            lane,
+        }
+    }
+
+    /// Whether the server has been closed to new submissions.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::SeqCst)
+    }
+
+    /// Jobs admitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Workers currently parked (announced or asleep), master included.
+    pub fn parked_workers(&self) -> usize {
+        self.shared
+            .doorbell
+            .get()
+            .map_or(0, |p| p.currently_parked())
+    }
+
+    /// Cumulative committed parks across the team. A fully idle server
+    /// parks everyone and this counter stops moving — the observable
+    /// "no yield-loop progress" property.
+    pub fn park_events(&self) -> u64 {
+        self.shared.doorbell.get().map_or(0, |p| p.parks())
+    }
+
+    /// Cumulative wake-ups delivered (doorbells, push wakes, teardown).
+    pub fn wake_events(&self) -> u64 {
+        self.shared.doorbell.get().map_or(0, |p| p.wakes())
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            in_flight: self.shared.in_flight.load(Ordering::SeqCst),
+            retunes: self.tuning.retunes(),
+            shards: self.shared.ingress.n_shards(),
+            parked_workers: self.parked_workers(),
+            parks: self.park_events(),
+        }
+    }
+
+    /// The ingress tier (lane counters, claim-conflict statistics).
+    pub fn ingress(&self) -> &ShardedIngress {
+        &self.shared.ingress
+    }
+
+    /// The DLB configuration currently driving the team.
+    pub fn active_dlb(&self) -> DlbConfig {
+        self.tuning.load()
+    }
+
+    /// Effective DLB retunes so far.
+    pub fn retunes(&self) -> u64 {
+        self.tuning.retunes()
+    }
+
+    /// Merged live task-size histogram since the server started.
+    pub fn task_histogram(&self) -> xgomp_core::TaskSizeHistogram {
+        self.sampler.snapshot()
+    }
+
+    /// Closes admission, waits for every in-flight job to complete, and
+    /// tears the team down.
+    pub fn shutdown(mut self) -> ServerReport {
+        let region = self
+            .shutdown_inner()
+            .expect("server not yet shut down")
+            .ok();
+        ServerReport {
+            stats: self.stats(),
+            region,
+        }
+    }
+
+    /// Outer `None`: already shut down. Inner `Err`: the master thread
+    /// panicked (runtime bug); the payload is swallowed here so `Drop`
+    /// never panics-in-drop — `shutdown` surfaces it as `region: None`.
+    #[allow(clippy::type_complexity)]
+    fn shutdown_inner(&mut self) -> Option<std::thread::Result<RegionOutput<()>>> {
+        let master = self.master.take()?;
+        self.shared.closed.store(true, Ordering::SeqCst);
+        // The whole team may be asleep; `closed` rings no doorbell on its
+        // own. (A not-yet-published doorbell means the serve loop hasn't
+        // started — it re-reads `closed` before it ever parks.)
+        if let Some(parker) = self.shared.doorbell.get() {
+            parker.unpark_all();
+        }
+        Some(master.join())
+    }
+}
+
+impl Drop for TaskServer {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// A pinned submission handle from [`TaskServer::register_submitter`]:
+/// one reserved SPSC ingress lane in one NUMA zone's shard.
+///
+/// Submission semantics mirror the server's ([`try_submit`]
+/// fails only on backpressure/closure; [`submit`] blocks it out), but
+/// placement is *strict*: an admitted job always lands in the pinned
+/// lane, waiting for drains rather than spilling to claim-guarded lanes
+/// — which is what keeps registered traffic contention-free and
+/// per-lane accounting exact. Handles without a lane (shard fully
+/// reserved) place anonymously.
+///
+/// Submission takes `&mut self`: the reserved lane is a
+/// single-producer ring and the exclusive borrow *is* the producer
+/// claim — one handle, one thread at a time. To submit from several
+/// threads, register one handle per thread (that is the point of
+/// registration).
+///
+/// The handle is independent of the [`TaskServer`] value's lifetime
+/// (both share the server state), but submissions fail once the server
+/// shuts down.
+///
+/// [`try_submit`]: SubmitterHandle::try_submit
+/// [`submit`]: SubmitterHandle::submit
+pub struct SubmitterHandle {
+    shared: Arc<ServerShared>,
+    shard: usize,
+    lane: Option<usize>,
+}
+
+impl SubmitterHandle {
+    /// The ingress shard this handle feeds.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The reserved lane, if one was free at registration.
+    pub fn lane(&self) -> Option<usize> {
+        self.lane
+    }
+
+    /// Non-blocking admission, pinned placement. Fails (returning the
+    /// closure) only on backpressure or a closed server; once admitted,
+    /// the job is always placed.
+    pub fn try_submit<R, F>(&mut self, f: F) -> Result<JobHandle<R>, F>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        if !self.shared.try_admit() {
+            return Err(f);
+        }
+        let (handle, body) = self.shared.make_job(f);
+        match self.lane {
+            Some(lane) => self.place_pinned(lane, body),
+            None => self.shared.place_anonymous(self.shard, body),
+        }
+        Ok(handle)
+    }
+
+    /// Blocking submission through the pinned lane; fails only once the
+    /// server is closed.
+    pub fn submit<R, F>(&mut self, f: F) -> Result<JobHandle<R>, Closed>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let mut f = f;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_submit(f) {
+                Ok(h) => return Ok(h),
+                Err(back) => {
+                    if self.shared.closed.load(Ordering::SeqCst) {
+                        return Err(Closed);
+                    }
+                    f = back;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Places an admitted job into the reserved lane, waiting out a full
+    /// ring. Liveness: every queued job rang a doorbell, and workers
+    /// never park while the ingress looks non-empty, so a full lane is
+    /// always being drained.
+    fn place_pinned(&self, lane: usize, body: JobBody) {
+        let shard = self.shared.ingress.shard(self.shard);
+        let mut backoff = Backoff::new();
+        let mut ptr = std::ptr::NonNull::from(Box::leak(Box::new(body)));
+        loop {
+            match shard.push_ptr_reserved(lane, ptr) {
+                Ok(()) => break,
+                Err(back) => {
+                    ptr = back;
+                    self.shared.ring_doorbell(self.shard);
+                    backoff.snooze();
+                }
+            }
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.ring_doorbell(self.shard);
+    }
+}
+
+impl Drop for SubmitterHandle {
+    fn drop(&mut self) {
+        if let Some(lane) = self.lane.take() {
+            self.shared.ingress.shard(self.shard).release_lane(lane);
+        }
+    }
+}
+
+/// Stable-per-thread shard choice, so an anonymous submitter keeps
+/// feeding the same zone (its jobs' spawned subtasks then stay
+/// creator-local by default). Registered submitters pin explicitly.
+fn submitter_shard_hint(n_shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static HINT: std::cell::OnceCell<usize> = const { std::cell::OnceCell::new() };
+    }
+    if n_shards <= 1 {
+        return 0;
+    }
+    HINT.with(|cell| {
+        *cell.get_or_init(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish() as usize
+        })
+    }) % n_shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_roundtrip_results() {
+        let server = TaskServer::start(ServerConfig::new(4));
+        let handles: Vec<_> = (0..200u64)
+            .map(|i| server.submit(move |_| i * 3).unwrap())
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), i as u64 * 3);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.stats.completed, 200);
+        assert_eq!(report.stats.in_flight, 0);
+        let region = report.region.expect("clean serve");
+        region.stats.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn jobs_can_fan_out_into_tasks() {
+        let server = TaskServer::start(ServerConfig::new(4));
+        let h = server
+            .submit(|ctx| {
+                let mut squares = vec![0u64; 64];
+                ctx.scope(|s| {
+                    for (i, sq) in squares.iter_mut().enumerate() {
+                        s.spawn(move |_| *sq = (i as u64) * (i as u64));
+                    }
+                });
+                squares.iter().sum::<u64>()
+            })
+            .unwrap();
+        assert_eq!(h.join().unwrap(), (0..64u64).map(|i| i * i).sum());
+        // 1 job task + 64 subtasks.
+        let report = server.shutdown();
+        assert_eq!(
+            report
+                .region
+                .expect("clean serve")
+                .stats
+                .total()
+                .tasks_executed,
+            65
+        );
+    }
+
+    #[test]
+    fn backpressure_bounds_admission() {
+        // One worker that is blocked on a gate ⇒ in-flight saturates.
+        let gate = Arc::new(AtomicBool::new(false));
+        let server = TaskServer::start(
+            ServerConfig::new(1)
+                .max_in_flight(4)
+                .lanes_per_shard(1)
+                .lane_capacity(8),
+        );
+        let mut handles = Vec::new();
+        let mut accepted = 0;
+        for _ in 0..64 {
+            let gate = gate.clone();
+            match server.try_submit(move |_| {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }) {
+                Ok(h) => {
+                    handles.push(h);
+                    accepted += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        assert!(
+            accepted <= 4 + 1,
+            "admission exceeded the bound: {accepted} accepted"
+        );
+        assert!(server.stats().rejected == 0 || accepted >= 4);
+        gate.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn closed_server_rejects_submissions() {
+        let server = TaskServer::start(ServerConfig::new(2));
+        let h = server.submit(|_| 1u32).unwrap();
+        assert_eq!(h.join().unwrap(), 1);
+        let report = server.shutdown();
+        assert_eq!(report.stats.submitted, 1);
+    }
+
+    #[test]
+    fn registered_submitter_roundtrips_through_its_lane() {
+        let server = TaskServer::start(ServerConfig::new(2).lanes_per_shard(2));
+        let mut sub = server.register_submitter(0);
+        assert!(sub.lane().is_some(), "a free lane must be reserved");
+        let handles: Vec<_> = (0..100u64)
+            .map(|i| sub.submit(move |_| i + 7).unwrap())
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), i as u64 + 7);
+        }
+        let lane = sub.lane().unwrap();
+        let counters = server.ingress().shard(sub.shard()).lane_counters();
+        assert_eq!(counters[lane].0, 100, "all jobs went through the pin");
+        assert_eq!(counters[lane].1, 100, "and were drained from it");
+        drop(sub);
+        // Lane released: a new registration gets it back.
+        let again = server.register_submitter(0);
+        assert!(again.lane().is_some());
+        drop(again);
+        server.shutdown();
+    }
+
+    #[test]
+    fn registration_falls_back_when_lanes_exhausted() {
+        let server = TaskServer::start(ServerConfig::new(1).lanes_per_shard(2));
+        let mut a = server.register_submitter(0);
+        let mut b = server.register_submitter(0);
+        assert!(a.lane().is_some());
+        assert!(
+            b.lane().is_none(),
+            "only one reservable lane (lane 0 stays anonymous)"
+        );
+        // Both handles still submit fine.
+        assert_eq!(a.submit(|_| 4u32).unwrap().join().unwrap(), 4);
+        assert_eq!(b.submit(|_| 5u32).unwrap().join().unwrap(), 5);
+        drop((a, b));
+        server.shutdown();
+    }
+}

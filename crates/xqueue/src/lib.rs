@@ -24,11 +24,19 @@
 //!
 //! The paper distinguishes *lock-free* code (atomic read-modify-write
 //! primitives such as compare-and-swap) from *lock-less* code (plain loads
-//! and stores only, made safe by single-writer disciplines). Everything in
-//! this crate is lock-less: the only atomic operations are `load(Acquire)`
-//! and `store(Release)`, which compile to ordinary `MOV`s on x86-64. There
-//! is **no atomic RMW instruction anywhere in this crate** — a property
-//! checked by `tests/no_rmw.rs` via the public API's construction.
+//! and stores only, made safe by single-writer disciplines). The queuing
+//! layers of this crate ([`BQueue`], [`XQueueLattice`], [`spsc`]) are
+//! lock-less: their only atomic operations are `load(Acquire)` and
+//! `store(Release)`, which compile to ordinary `MOV`s on x86-64 — no
+//! atomic RMW instruction anywhere on a queue operation.
+//!
+//! The one deliberate exception is the [`parker`] module: the
+//! kernel-assisted *idle* tier. Spinning is the right trade while work is
+//! in flight, but a persistent server must not burn a core per worker
+//! while empty, so exhausted-backoff workers park on an OS primitive and
+//! are woken through per-worker parking words (which do use CAS — they
+//! exist precisely to leave the lock-less fast path). The fast path pays
+//! one fence plus one relaxed load per push while nobody is parked.
 //!
 //! ## Safety model
 //!
@@ -46,8 +54,10 @@
 mod backoff;
 mod bqueue;
 mod lattice;
+pub mod parker;
 pub mod spsc;
 
 pub use backoff::Backoff;
 pub use bqueue::{BQueue, DEFAULT_CAPACITY};
 pub use lattice::{LatticeStats, PushCursor, XQueueLattice};
+pub use parker::Parker;

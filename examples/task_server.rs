@@ -1,12 +1,17 @@
 //! `task_server`: the persistent executor under concurrent load.
 //!
 //! Eight submitter threads push 1 000 jobs each into a [`TaskServer`]
-//! running on a two-socket virtual machine (two ingress shards). Halfway
-//! through, every submitter switches from fine-grained jobs (hundreds of
-//! cycles) to coarse ones (hundreds of thousands of cycles) — the
-//! adaptive controller observes the shift in the live task-size
-//! histogram and hot-swaps the DLB configuration per Table IV, logging
-//! each retune to stderr.
+//! running on a two-socket virtual machine (two ingress shards). Each
+//! submitter registers a pinned ingress lane in its NUMA zone
+//! ([`TaskServer::register_submitter`]) — claim-free SPSC submission
+//! with a zone-local doorbell wake. Halfway through, every submitter
+//! switches from fine-grained jobs (hundreds of cycles) to coarse ones
+//! (hundreds of thousands of cycles) — the adaptive controller observes
+//! the shift in the live task-size histogram and, after its two-window
+//! hysteresis confirms it, hot-swaps the DLB configuration per
+//! Table IV, logging each retune to stderr. At the end the example
+//! demonstrates the event-driven idle path: the drained server parks
+//! every worker (zero CPU) and one last doorbell ring wakes it.
 //!
 //! ```text
 //! cargo run --release --example task_server
@@ -22,13 +27,16 @@ const SUBMITTERS: u64 = 8;
 const JOBS_PER_SUBMITTER: u64 = 1_000;
 
 fn submit_and_verify(server: &TaskServer, t: u64, checksum: &AtomicU64) {
+    // Pin this submitter to a reserved SPSC lane in its NUMA zone: no
+    // producer-claim traffic, and every push rings that zone's doorbell.
+    let mut sub = server.register_submitter(t as usize % server.stats().shards);
     let mut handles = Vec::with_capacity(JOBS_PER_SUBMITTER as usize);
     for i in 0..JOBS_PER_SUBMITTER {
         // First half: fine-grained jobs (a handful of arithmetic ops).
         // Second half: coarse jobs spinning for ~10^5 cycles — the
         // distribution shift the controller must catch.
         let coarse = i >= JOBS_PER_SUBMITTER / 2;
-        let h = server
+        let h = sub
             .submit(move |_ctx| {
                 if coarse {
                     let mut acc = 0u64;
@@ -92,10 +100,40 @@ fn main() {
         "checksum over all job results"
     );
 
+    // Event-driven idle: with the backlog drained, every worker (the
+    // serve loop included) parks — an idle server burns no CPU. One
+    // more submission rings the doorbell and wakes a zone-local worker.
+    let n_workers = 8;
+    let parked_at = std::time::Instant::now();
+    while server.parked_workers() < n_workers {
+        assert!(
+            parked_at.elapsed() < std::time::Duration::from_secs(20),
+            "drained server failed to park its workers"
+        );
+        std::thread::yield_now();
+    }
+    let wake_t0 = std::time::Instant::now();
+    let woken = server
+        .submit(move |_| wake_t0.elapsed())
+        .expect("server open")
+        .join()
+        .expect("wake job");
+    eprintln!(
+        "[task_server] idle: all {n_workers} workers parked after {:.2?}; \
+         doorbell wake -> job done in {woken:.2?} ({} parks, {} wakes so far)",
+        parked_at.elapsed(),
+        server.park_events(),
+        server.wake_events(),
+    );
+
     let hist = server.task_histogram();
     let report = server.shutdown();
     let total = SUBMITTERS * JOBS_PER_SUBMITTER;
-    assert_eq!(report.stats.completed, total, "every job completed");
+    assert_eq!(
+        report.stats.completed,
+        total + 1, // + the doorbell wake probe
+        "every job completed"
+    );
     assert!(
         report.stats.retunes >= 1,
         "the distribution shift must trigger at least one live retune \

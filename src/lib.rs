@@ -33,11 +33,11 @@
 pub use xgomp_core::{
     clock, guidelines, render_task_counts, render_timeline, state_summary, Affinity, AllocKind,
     BarrierKind, CostModel, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource,
-    LiveTaskSampler, Locality, MachineTopology, PerfLog, PersistentTeam, Placement, ProfileDump,
-    RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope, StatsSnapshot, TaskCtx,
-    TaskSizeHistogram, TeamStats,
+    LiveTaskSampler, Locality, MachineTopology, Parker, PerfLog, PersistentTeam, Placement,
+    ProfileDump, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope, StatsSnapshot,
+    TaskCtx, TaskSizeHistogram, TeamStats,
 };
-pub use xgomp_service::{JobHandle, JobPanic, ServerConfig, TaskServer};
+pub use xgomp_service::{JobHandle, JobPanic, ServerConfig, SubmitterHandle, TaskServer};
 
 /// The BOTS benchmark suite (`xgomp-bots`).
 pub mod bots {

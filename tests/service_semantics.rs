@@ -282,6 +282,58 @@ fn saturated_cooperative_joins_make_progress() {
 }
 
 #[test]
+fn idle_server_parks_all_workers_and_stays_parked() {
+    const THREADS: usize = 4;
+    let server = server(THREADS);
+    // Warm up: prove the team is fully serving before it goes idle.
+    server.submit(|_| ()).unwrap().join().unwrap();
+
+    // Every worker — the serve-loop master included — must reach the
+    // parked state once the backlog is gone.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while server.parked_workers() < THREADS {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle team never parked: {}/{THREADS} after warmup \
+             (parks={}, wakes={})",
+            server.parked_workers(),
+            server.park_events(),
+            server.wake_events(),
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Let in-progress announcements commit to actual sleeps.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The park counter must stop moving: a parked team makes no
+    // yield-loop progress (this is the CPU-burn assertion, observable
+    // without wall-clock sampling).
+    let parks_before = server.park_events();
+    std::thread::sleep(Duration::from_millis(250));
+    assert_eq!(
+        server.park_events(),
+        parks_before,
+        "parked workers cycled through park/unpark while fully idle"
+    );
+    assert_eq!(server.parked_workers(), THREADS);
+
+    // The doorbell path: one submission wakes the sleeping team and the
+    // job completes normally.
+    assert_eq!(server.submit(|_| 99u32).unwrap().join().unwrap(), 99);
+    assert!(
+        server.park_events() > parks_before || server.parked_workers() < THREADS,
+        "submission must have woken at least one sleeper"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.stats.completed, 2);
+    assert!(
+        report.region.is_some(),
+        "parked team must tear down cleanly"
+    );
+}
+
+#[test]
 fn concurrent_submitters_from_many_threads() {
     const SUBMITTERS: u64 = 8;
     const JOBS_PER: u64 = 250;
