@@ -323,6 +323,13 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
     // One merged span per idle period: closed as STALL when work shows
     // up, as BARRIER when the region ends (keeps logs bounded).
     let mut idle_t0: Option<u64> = None;
+    // Set by a stay-awake park cancellation: skip the next park attempt
+    // so the iteration after a cancel re-probes immediately (the hint
+    // may be work we can take right now) but, if that probe comes up
+    // empty, lands in the snooze below instead of hard-spinning the
+    // announce/cancel counters while e.g. another worker holds the
+    // drain claim the hint points at.
+    let mut skip_park = false;
     loop {
         if team.poisoned.load(Ordering::Acquire) {
             team.parker.unpark_all();
@@ -335,6 +342,7 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
             team.sched.pre_execute(w);
             execute(team, w, t);
             backoff.reset();
+            skip_park = false;
             continue;
         }
         team.sched.on_idle(w);
@@ -353,6 +361,7 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
                         team.log_span(w, EventKind::Stall, t0);
                     }
                     backoff.reset();
+                    skip_park = false;
                     continue;
                 }
             }
@@ -371,7 +380,11 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
             team.parker.unpark_all();
             break;
         }
-        if team.park_idle && backoff.is_completed() && team.parker.prepare_park(w) {
+        if team.park_idle
+            && backoff.is_completed()
+            && !std::mem::take(&mut skip_park)
+            && team.parker.prepare_park(w)
+        {
             // Announced. Re-check everything a waker could have
             // signalled between our last probes and the announcement.
             let stay_awake = team.poisoned.load(Ordering::Acquire)
@@ -390,6 +403,9 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
                     team.parker.unpark_all();
                     break;
                 }
+                // Stay-awake cancel: re-probe immediately, but throttle
+                // the next park attempt (see `skip_park`).
+                skip_park = true;
             } else {
                 team.parker.park(w);
                 // Woken for a reason: probe aggressively again.

@@ -22,9 +22,14 @@
 //! producer claim, making the lane an honest SPSC channel — the pinned
 //! submitter pushes with plain loads and stores and never races another
 //! producer's claim CAS, while anonymous submitters skip reserved lanes.
-//! This is what `TaskServer::register_submitter` hands out, replacing
-//! the old thread-hash lane choice whose collisions let two submitters
-//! contend on one lane while others sat empty.
+//! Registration on a live shard is safe: winning the reservation does
+//! not hand the lane over until any in-flight anonymous producer claim
+//! has drained (a SeqCst Dekker handshake between the reservation flag
+//! and the producer claim — see [`reserve_lane`](IngressShard::reserve_lane)),
+//! so the lane never has two concurrent producers. This is what
+//! `TaskServer::register_submitter` hands out, replacing the old
+//! thread-hash lane choice whose collisions let two submitters contend
+//! on one lane while others sat empty.
 //!
 //! Jobs are boxed `FnOnce(&TaskCtx)` bodies; a drained body is handed to
 //! `TaskCtx::spawn_boxed` by whichever idle worker claimed the drain.
@@ -33,7 +38,7 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use xgomp_core::TaskCtx;
-use xgomp_xqueue::BQueue;
+use xgomp_xqueue::{BQueue, Backoff};
 
 /// A submitted job body, exactly as the scheduler will consume it.
 pub(crate) type JobBody = Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>;
@@ -98,15 +103,37 @@ impl IngressShard {
     /// always have somewhere to land, or a fully registered shard would
     /// starve them. Release with [`release_lane`](Self::release_lane).
     pub(crate) fn reserve_lane(&self) -> Option<usize> {
-        self.lanes
+        let lane = self
+            .lanes
             .iter()
             .skip(1)
             .position(|l| {
                 l.reserved
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok()
             })
-            .map(|i| i + 1)
+            .map(|i| i + 1)?;
+        // Registration handshake (Dekker with `try_push_ptr`): an
+        // anonymous producer that claimed `producing` before this
+        // reservation became visible may still be mid-enqueue, and
+        // returning now would let the reservation holder become a second
+        // concurrent producer on an SPSC ring. Both sides' flag
+        // store→load pairs are SeqCst, so every anonymous claimant
+        // either sees the reservation at its re-check and bails without
+        // touching the ring, or this load sees its `producing` claim and
+        // waits for the release — whose Release/Acquire pairing also
+        // makes the in-flight enqueue happen-before the holder's first
+        // `push_ptr_reserved`. Claimants that bail still toggle
+        // `producing`, but never enqueue, so one observed `false` here
+        // is enough; the wait spans at most one in-flight enqueue plus
+        // brief bail toggles from claimants whose pre-check missed the
+        // reservation. The backoff yields in case the mid-enqueue
+        // producer was preempted on an oversubscribed host.
+        let mut backoff = Backoff::new();
+        while self.lanes[lane].producing.load(Ordering::SeqCst) {
+            backoff.snooze();
+        }
+        Some(lane)
     }
 
     /// Returns a reserved lane to the anonymous pool.
@@ -157,15 +184,19 @@ impl IngressShard {
             }
             if lane
                 .producing
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
                 .is_err()
             {
                 self.claim_conflicts.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             // The claim may have raced a registration: re-check so a
-            // reserved lane never sees an anonymous producer.
-            if lane.reserved.load(Ordering::Acquire) {
+            // reserved lane never sees an anonymous producer. SeqCst on
+            // the claim CAS above and this load is the anonymous half of
+            // the handshake documented in `reserve_lane` — if this read
+            // misses a reservation, the reserver is guaranteed to see
+            // our `producing` claim and wait it out.
+            if lane.reserved.load(Ordering::SeqCst) {
                 lane.producing.store(false, Ordering::Release);
                 continue;
             }
@@ -297,22 +328,28 @@ impl ShardedIngress {
     #[cfg(test)]
     pub(crate) fn push_from(&self, hint: usize, job: JobBody) -> Result<(), JobBody> {
         let ptr = NonNull::from(Box::leak(Box::new(job)));
-        self.push_ptr_from(hint, ptr).map_err(|back| {
-            // SAFETY: the rejected pointer is the box we leaked above.
-            *unsafe { Box::from_raw(back.as_ptr()) }
-        })
+        self.push_ptr_from(hint, ptr)
+            .map(|_shard| ())
+            .map_err(|back| {
+                // SAFETY: the rejected pointer is the box we leaked above.
+                *unsafe { Box::from_raw(back.as_ptr()) }
+            })
     }
 
     /// Pointer-level [`push_from`](Self::push_from); see
     /// [`IngressShard::try_push_ptr`] for the ownership contract.
+    /// `Ok` carries the index of the shard that accepted the job, so the
+    /// caller can ring the doorbell of the zone the job actually landed
+    /// in (fallover may pick a different shard than `hint`).
     pub(crate) fn push_ptr_from(
         &self,
         hint: usize,
         mut ptr: NonNull<JobBody>,
-    ) -> Result<(), NonNull<JobBody>> {
+    ) -> Result<usize, NonNull<JobBody>> {
         for i in 0..self.shards.len() {
-            match self.shards[(hint + i) % self.shards.len()].try_push_ptr(ptr) {
-                Ok(()) => return Ok(()),
+            let shard = (hint + i) % self.shards.len();
+            match self.shards[shard].try_push_ptr(ptr) {
+                Ok(()) => return Ok(shard),
                 Err(back) => ptr = back,
             }
         }
@@ -445,6 +482,113 @@ mod tests {
         let mut n = 0;
         while ingress.drain_into(1, 64, &mut |_j| n += 1) > 0 {}
         assert_eq!(n, 4);
+    }
+
+    /// Hammers live registration against anonymous pushes on a tiny
+    /// shard: the reservation handshake must guarantee the reserved
+    /// lane never has two concurrent producers, observable as exact job
+    /// conservation (a lost or duplicated enqueue shows up as a count
+    /// mismatch or a double-free under the test allocator).
+    #[test]
+    fn registration_racing_anonymous_pushes_conserves_jobs() {
+        let shard = Arc::new(IngressShard::new(2, 4)); // lane 1 is the contended one
+        const ANON_THREADS: u64 = 3;
+        const ANON_JOBS: u64 = 4_000;
+        const ROUNDS: u64 = 1_000;
+        const PER_ROUND: u64 = 4;
+        let drained = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let drainer = {
+            let shard = shard.clone();
+            let drained = drained.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || loop {
+                let got = shard.try_drain(32, &mut |_job| {});
+                drained.fetch_add(got as u64, Ordering::Relaxed);
+                if got == 0 {
+                    if stop.load(Ordering::Acquire) && shard.looks_empty() {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        // Registrar: repeatedly reserve the lane on the live shard,
+        // push through the reserved path, release — racing the
+        // anonymous claimants below the whole time.
+        let registrar = {
+            let shard = shard.clone();
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    let lane = loop {
+                        match shard.reserve_lane() {
+                            Some(l) => break l,
+                            None => std::thread::yield_now(),
+                        }
+                    };
+                    for i in 0..PER_ROUND {
+                        let job: JobBody = Box::new(move |_| {
+                            std::hint::black_box(i);
+                        });
+                        let mut ptr = NonNull::from(Box::leak(Box::new(job)));
+                        loop {
+                            match shard.push_ptr_reserved(lane, ptr) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    ptr = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    shard.release_lane(lane);
+                }
+            })
+        };
+
+        let anons: Vec<_> = (0..ANON_THREADS)
+            .map(|_| {
+                let shard = shard.clone();
+                std::thread::spawn(move || {
+                    for i in 0..ANON_JOBS {
+                        let mut job: JobBody = Box::new(move |_| {
+                            std::hint::black_box(i);
+                        });
+                        loop {
+                            match shard.try_push(job) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    job = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        registrar.join().unwrap();
+        for a in anons {
+            a.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        drainer.join().unwrap();
+        let mut rest = 0;
+        while shard.try_drain(1024, &mut |_job| rest += 1) > 0 {}
+        let total = ANON_THREADS * ANON_JOBS + ROUNDS * PER_ROUND;
+        assert_eq!(
+            drained.load(Ordering::Relaxed) + rest,
+            total,
+            "registration race lost or duplicated jobs"
+        );
+        let (pushed, got): (u64, u64) = shard
+            .lane_counters()
+            .iter()
+            .fold((0, 0), |(a, b), &(p, d)| (a + p, b + d));
+        assert_eq!((pushed, got), (total, total));
     }
 
     #[test]

@@ -105,9 +105,9 @@ impl ServerShared {
     fn place_anonymous(&self, hint: usize, body: JobBody) {
         let mut backoff = Backoff::new();
         let mut ptr = std::ptr::NonNull::from(Box::leak(Box::new(body)));
-        loop {
+        let landed = loop {
             match self.ingress.push_ptr_from(hint, ptr) {
-                Ok(()) => break,
+                Ok(shard) => break shard,
                 Err(back) => {
                     ptr = back;
                     // Queues full: make sure someone is draining them.
@@ -115,9 +115,13 @@ impl ServerShared {
                     backoff.snooze();
                 }
             }
-        }
+        };
         self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.ring_doorbell(hint);
+        // Ring for the shard that actually took the job: under fallover
+        // it may not be `hint`, and waking `hint`'s zone instead would
+        // leave the job stranded until a drainer's cross-shard rotation
+        // happens to reach it.
+        self.ring_doorbell(landed);
     }
 
     /// Wakes one parked worker for shard `shard`'s zone (zone-local
@@ -287,6 +291,12 @@ impl TaskServer {
                             let mut controller =
                                 AdaptiveController::new(tuning, sampler, adapt_every, log_retunes);
                             let mut backoff = Backoff::new();
+                            // Skip the park attempt right after a
+                            // stay-awake cancel: re-probe immediately,
+                            // and only fall into the snooze below if
+                            // that probe finds nothing (see the worker
+                            // loop's `skip_park` for the rationale).
+                            let mut skip_park = false;
                             loop {
                                 if ctx.is_poisoned() {
                                     // Un-isolated panic (a runtime bug —
@@ -299,6 +309,7 @@ impl TaskServer {
                                 controller.tick();
                                 if injected > 0 || ran > 0 {
                                     backoff.reset();
+                                    skip_park = false;
                                     continue;
                                 }
                                 let closed = shared.closed.load(Ordering::SeqCst);
@@ -313,6 +324,7 @@ impl TaskServer {
                                 if ctx.park_idle_enabled()
                                     && !closed
                                     && backoff.is_completed()
+                                    && !std::mem::take(&mut skip_park)
                                     && parker.prepare_park(0)
                                 {
                                     let stay_awake = ctx.is_poisoned()
@@ -321,6 +333,7 @@ impl TaskServer {
                                         || shared.closed.load(Ordering::SeqCst);
                                     if stay_awake {
                                         parker.cancel_park(0);
+                                        skip_park = true;
                                     } else {
                                         parker.park(0);
                                         backoff.reset();

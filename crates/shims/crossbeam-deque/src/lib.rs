@@ -19,13 +19,26 @@
 //!   copies the slot, and claims it by CASing `top` — a failed CAS
 //!   *forgets* the copied bits (ownership only transfers on success).
 //!
-//! Torn slot reads cannot happen: the owner grows the buffer before an
-//! index could wrap onto an unconsumed slot, so an owner write and a
-//! thief read never target the same slot of the same buffer. Retired
-//! buffers stay allocated (on the owner's retire list) until the deque
-//! drops, because a slow thief may still be reading through an old
-//! buffer pointer — the classic Chase–Lev reclamation compromise, cheap
-//! here because doubling makes the retire list logarithmic in the
+//! For any slot a thief can successfully *claim*, torn reads cannot
+//! happen: the owner grows the buffer before an index could wrap onto
+//! an unconsumed slot, so for positions still in `top..bottom` an owner
+//! write and a thief read never target the same slot of the same
+//! buffer. The speculative copy before a CAS that then **fails** is
+//! weaker: a stalled thief whose `top` snapshot was already consumed
+//! can read a slot the owner is concurrently rewriting after the index
+//! wraps (the owner writes position `t + cap` once the real `top` has
+//! advanced past `t`), which is formally a data race on the copied
+//! bits. We mitigate it the way upstream `crossbeam-deque` does: the
+//! slot copy is a **volatile** read of uninterpreted `MaybeUninit`
+//! bytes (so the compiler cannot rematerialize the value from the slot
+//! after the claim), and the bytes are only `assume_init`-ed once the
+//! claim CAS succeeds — a failed claim drops them uninterpreted. This
+//! is the field-accepted compromise, still a known gap from strict C11
+//! data-race freedom rather than a proven impossibility. Retired buffers
+//! stay allocated (on the owner's retire list) until the deque drops,
+//! because a slow thief may still be reading through an old buffer
+//! pointer — the classic Chase–Lev reclamation compromise, cheap here
+//! because doubling makes the retire list logarithmic in the
 //! high-water mark.
 
 use std::cell::UnsafeCell;
@@ -66,15 +79,22 @@ impl<T> Buffer<T> {
         unsafe { (*slot.get()).write(value) };
     }
 
-    /// Bitwise-copies position `i`. The copy owns nothing until the
-    /// caller's claim (CAS) succeeds; on failure it must be forgotten.
+    /// Bitwise-copies position `i` as uninterpreted bytes. The copy
+    /// owns nothing until the caller's claim (CAS) succeeds — only then
+    /// may it be `assume_init`-ed; on failure the bytes are dropped
+    /// uninterpreted (`MaybeUninit` never runs `T`'s destructor).
+    ///
+    /// The volatile read is upstream crossbeam-deque's mitigation for
+    /// the speculative steal copy: a read whose claim later fails may
+    /// race an owner rewrite of a wrapped index (see the module docs),
+    /// and volatility stops the compiler from rematerializing the value
+    /// from the slot after the claim.
     #[inline]
-    unsafe fn read(&self, i: isize) -> T {
+    unsafe fn read(&self, i: isize) -> MaybeUninit<T> {
         let slot = &self.slots[i as usize & self.mask];
-        // SAFETY: slot was initialized by a preceding `write` at this
-        // position (t < b), and no concurrent writer exists for it (the
-        // owner grows before wrapping onto unconsumed positions).
-        unsafe { (*slot.get()).assume_init_read() }
+        // SAFETY: the slot pointer is valid; initialization and
+        // interpretation of the bytes are the caller's contract above.
+        unsafe { std::ptr::read_volatile(slot.get()) }
     }
 }
 
@@ -101,7 +121,7 @@ impl<T> Drop for Inner<T> {
         // Drop the elements still in the deque.
         for i in t..b {
             // SAFETY: exclusive access; positions t..b are initialized.
-            unsafe { drop((*buf).read(i)) };
+            unsafe { drop((*buf).read(i).assume_init()) };
         }
         // SAFETY: `buf` and everything on the retire list came from
         // `Buffer::alloc` and is referenced by no one anymore.
@@ -178,7 +198,7 @@ impl<T> Worker<T> {
             // cannot: a thief CASes `top`, and any `top` it can claim was
             // ≥ t at publish time, where both buffers agree. Old copies
             // beyond that are dead bits, never dropped.
-            unsafe { (*new).write(i, (*old).read(i)) };
+            unsafe { (*new).write(i, (*old).read(i).assume_init()) };
         }
         inner.buf.store(new, Ordering::Release);
         // SAFETY: retire list is owner-only until drop.
@@ -230,12 +250,12 @@ impl<T> Worker<T> {
                 return None; // a thief took it
             }
             // SAFETY: the successful CAS transferred position b to us.
-            return Some(unsafe { (*buf).read(b) });
+            return Some(unsafe { (*buf).read(b).assume_init() });
         }
         // More than one element: position b is unreachable by thieves
         // (they stop at bottom), no race.
         // SAFETY: unique claim on position b.
-        Some(unsafe { (*buf).read(b) })
+        Some(unsafe { (*buf).read(b).assume_init() })
     }
 
     /// Racy emptiness probe (idle/park heuristics).
@@ -272,12 +292,15 @@ impl<T> Stealer<T> {
         if t >= b {
             return Steal::Empty;
         }
-        // Read the element *before* claiming: after a successful claim
-        // the owner may overwrite… it may not, see the module docs — but
-        // the claim may fail, in which case these bits are not ours.
+        // Speculative volatile copy before claiming — uninterpreted
+        // `MaybeUninit` bytes until the claim validates. If the CAS
+        // below succeeds, position `t` was still claimable, so no owner
+        // write could have targeted it (grow-before-wrap, see module
+        // docs) and the copy is ours. If the CAS fails, this read may
+        // have raced an owner rewrite of a wrapped index — the racy
+        // bytes are dropped uninterpreted (no destructor runs).
         let buf = inner.buf.load(Ordering::Acquire);
-        // SAFETY: t < b, so position t is initialized; see module docs
-        // for why no concurrent writer can target it.
+        // SAFETY: t < b, so position t was initialized by a past write.
         let value = unsafe { (*buf).read(t) };
         if inner
             .top
@@ -285,10 +308,11 @@ impl<T> Stealer<T> {
             .is_err()
         {
             // Lost the race: the bits we copied belong to whoever won.
-            std::mem::forget(value);
             return Steal::Retry;
         }
-        Steal::Success(value)
+        // SAFETY: the successful CAS transferred position t to us, and
+        // for a claimable position the copy could not have been torn.
+        Steal::Success(unsafe { value.assume_init() })
     }
 }
 

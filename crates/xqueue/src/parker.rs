@@ -250,12 +250,13 @@ impl Parker {
         if self.n_parked.load(Ordering::Relaxed) == 0 {
             return None;
         }
-        if let Some(w) = self.unpark_one_in_zone_no_fence(prefer_zone) {
-            return Some(w);
-        }
         let n = self.zones.len();
-        for i in 1..n {
-            if let Some(w) = self.unpark_one_in_zone_no_fence((prefer_zone + i) % n) {
+        // Normalize first so an out-of-range zone id still probes every
+        // zone: starting the rotation at the raw id would skip residue
+        // `prefer_zone % n` and could miss a parked worker entirely.
+        let prefer = prefer_zone % n;
+        for i in 0..n {
+            if let Some(w) = self.unpark_one_in_zone_no_fence((prefer + i) % n) {
                 return Some(w);
             }
         }
@@ -375,6 +376,24 @@ mod tests {
         assert_eq!(p.currently_parked(), 0);
         assert_eq!(p.parks(), 2);
         assert_eq!(p.wakes(), 2);
+    }
+
+    /// An out-of-range zone id must still probe every zone: before the
+    /// normalization in `notify_any`, the rotation started at the raw id
+    /// and skipped residue `prefer_zone % n`, losing the wake entirely.
+    #[test]
+    fn out_of_range_zone_hint_still_wakes() {
+        // Workers 0 in zone 0; worker 1 in zone 1.
+        let p = Arc::new(Parker::new(&[0, 1]));
+        let h = park_on_thread(&p, 1); // zone 1 == 3 % 2
+        wait_parked(&p, 1);
+        assert_eq!(
+            p.notify_any(3),
+            Some(1),
+            "raw zone id 3 must reach the zone-1 sleeper"
+        );
+        h.join().unwrap();
+        assert_eq!(p.currently_parked(), 0);
     }
 
     #[test]
