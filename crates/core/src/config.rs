@@ -51,8 +51,24 @@ pub struct RuntimeConfig {
     /// off to reproduce the paper's pure spin-idle measurement mode (the
     /// latency-vs-CPU trade-off knob of the task server).
     ///
+    /// The default honors the `XGOMP_WAIT_POLICY` environment variable
+    /// (the `OMP_WAIT_POLICY` analog): `active` = spin idle
+    /// (`park_idle = false`), `passive` = park (the default). An explicit
+    /// [`park_idle`](RuntimeConfig::park_idle) call always wins. CI runs
+    /// the whole test suite once per policy so idle-subsystem regressions
+    /// cannot hide behind either default.
+    ///
     /// [`Parker`]: xgomp_xqueue::Parker
     pub park_idle: bool,
+}
+
+/// Default idle policy from `XGOMP_WAIT_POLICY` (see
+/// [`RuntimeConfig::park_idle`]); read once per process.
+fn default_park_idle() -> bool {
+    static POLICY: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *POLICY.get_or_init(|| {
+        !std::env::var("XGOMP_WAIT_POLICY").is_ok_and(|v| v.eq_ignore_ascii_case("active"))
+    })
 }
 
 impl RuntimeConfig {
@@ -69,7 +85,7 @@ impl RuntimeConfig {
             affinity: Affinity::Close,
             cost_model: CostModel::disabled(),
             profiling: false,
-            park_idle: true,
+            park_idle: default_park_idle(),
         }
     }
 

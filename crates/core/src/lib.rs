@@ -72,7 +72,7 @@ pub use xgomp_profiling::{
     ProfileDump, StatsSnapshot, TaskSizeHistogram, TeamStats,
 };
 pub use xgomp_topology::{Affinity, CostModel, Locality, MachineTopology, Placement};
-pub use xgomp_xqueue::Parker;
+pub use xgomp_xqueue::{Parker, ParkerCell};
 
 #[doc(hidden)]
 pub mod internal {

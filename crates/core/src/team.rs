@@ -638,6 +638,39 @@ impl PersistentTeam {
         &self.cfg
     }
 
+    /// The team size (workers, master included).
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+
+    /// Replaces the team's configuration between generations (the next
+    /// [`run`](Self::run) builds its region from `cfg`).
+    ///
+    /// When the worker count is unchanged the parked threads are reused
+    /// as-is — scheduler, barrier, DLB and allocator settings all take
+    /// effect at the next generation, since each generation builds fresh
+    /// region state anyway. A changed worker count rebuilds the thread
+    /// set: the old workers (idle on the start gate — `&mut self` proves
+    /// no generation is open) are released and joined, and a new set is
+    /// spawned parked. This is the growth/shrink path of a persistent
+    /// server's config swap; it costs thread spawn/join once per resize,
+    /// never per generation.
+    pub fn reconfigure(&mut self, cfg: RuntimeConfig) {
+        assert!(cfg.threads >= 1, "a team needs at least one worker");
+        assert!(
+            cfg.threads <= (1 << 24),
+            "worker ids must fit the 24-bit message-cell field"
+        );
+        if cfg.threads == self.cfg.threads {
+            self.cfg = cfg;
+            return;
+        }
+        // Different shape: spawn the new team first, then drop (join) the
+        // old one. The old workers are parked on their gate, so the join
+        // is immediate.
+        *self = PersistentTeam::new(cfg);
+    }
+
     /// Runs one region on the persistent workers (see
     /// [`Runtime::parallel`] for region semantics).
     ///
@@ -1039,6 +1072,34 @@ mod tests {
             assert_eq!(out.stats.total().tasks_executed, 64);
             out.stats.check_invariants().unwrap();
         }
+    }
+
+    #[test]
+    fn persistent_team_reconfigures_between_generations() {
+        let mut team = PersistentTeam::new(RuntimeConfig::xgomptb(2));
+        let run_sum = |team: &mut PersistentTeam, n: usize| {
+            let out = team.run(move |ctx| {
+                let mut acc = vec![0u64; n * 8];
+                ctx.scope(|s| {
+                    for (i, slot) in acc.iter_mut().enumerate() {
+                        s.spawn(move |_| *slot = i as u64);
+                    }
+                });
+                acc.iter().sum::<u64>()
+            });
+            out.result
+        };
+        assert_eq!(run_sum(&mut team, 2), (0..16u64).sum());
+        // Grow: 2 → 4 workers, and swap the barrier kind with it.
+        team.reconfigure(RuntimeConfig::xgomp(4));
+        assert_eq!(team.threads(), 4);
+        assert_eq!(run_sum(&mut team, 4), (0..32u64).sum());
+        // Shrink back, same-size swap keeps the threads.
+        team.reconfigure(RuntimeConfig::xgomptb(4).queue_capacity(16));
+        assert_eq!(team.config().queue_capacity, 16);
+        assert_eq!(run_sum(&mut team, 4), (0..32u64).sum());
+        team.reconfigure(RuntimeConfig::xgomptb(1));
+        assert_eq!(run_sum(&mut team, 1), (0..8u64).sum());
     }
 
     #[test]

@@ -19,7 +19,22 @@
 //! [`confirm_windows`](AdaptiveController::confirm_windows) consecutive
 //! windows (default 2) recommend the same configuration. A window that
 //! agrees with the active configuration clears any pending candidate.
+//!
+//! ## External swaps
+//!
+//! The tuning cell is shared: `TaskServer::swap_tuning` (and a config
+//! swap at a generation boundary) can replace the active `DlbConfig`
+//! out from under the controller mid-window. Without care, a candidate
+//! that was one window short of confirmation *before* the swap would
+//! publish one window *after* it — overriding the operator's explicit
+//! choice with a recommendation computed against the previous
+//! configuration. The controller therefore watches an external-swap
+//! epoch ([`watch_swaps`](AdaptiveController::watch_swaps)): on any
+//! epoch change it drops the pending candidate *and* re-baselines its
+//! window snapshot, so hysteresis restarts cleanly from the swap and
+//! only post-swap windows can argue against the new configuration.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use xgomp_core::guidelines::recommend_dlb;
@@ -40,6 +55,10 @@ pub struct AdaptiveController {
     /// Candidate configuration awaiting confirmation, with the number of
     /// consecutive windows that have recommended it.
     pending: Option<(DlbConfig, u32)>,
+    /// External-swap epoch (see [`watch_swaps`](Self::watch_swaps)) and
+    /// the last value observed by [`tick`](Self::tick).
+    swap_epoch: Option<Arc<AtomicU64>>,
+    seen_epoch: u64,
 }
 
 /// Mean task size of the window between two cumulative snapshots.
@@ -70,7 +89,31 @@ impl AdaptiveController {
             last: TaskSizeHistogram::default(),
             confirm: 2,
             pending: None,
+            swap_epoch: None,
+            seen_epoch: 0,
         }
+    }
+
+    /// Watches `epoch` for external [`DlbTuning`] swaps: whenever the
+    /// counter changes between ticks, the pending candidate is dropped
+    /// and the window baseline resets to *now*, so a half-confirmed
+    /// recommendation computed against the previous configuration can
+    /// never publish right after a manual swap.
+    pub fn watch_swaps(mut self, epoch: Arc<AtomicU64>) -> Self {
+        self.seen_epoch = epoch.load(Ordering::Acquire);
+        self.swap_epoch = Some(epoch);
+        self
+    }
+
+    /// Rebinds the controller to a new sampler (the server replaces its
+    /// sampler when a config swap changes the worker count — lanes are
+    /// per worker). Resets the window baseline and any pending candidate:
+    /// the new sampler's counters restart from zero, and a swap that
+    /// resized the team is a configuration change like any other.
+    pub fn rebind_sampler(&mut self, sampler: Arc<LiveTaskSampler>) {
+        self.last = sampler.snapshot();
+        self.sampler = sampler;
+        self.pending = None;
     }
 
     /// Sets how many consecutive windows must agree on a *changed*
@@ -90,6 +133,19 @@ impl AdaptiveController {
     pub fn tick(&mut self) -> Option<DlbConfig> {
         if self.window == 0 {
             return None;
+        }
+        // An external swap landed since the last tick: restart hysteresis
+        // from the swap point. Both the pending candidate and the partial
+        // window it was building on were computed against the *previous*
+        // configuration — publishing either would override the swap.
+        if let Some(epoch) = &self.swap_epoch {
+            let now = epoch.load(Ordering::Acquire);
+            if now != self.seen_epoch {
+                self.seen_epoch = now;
+                self.pending = None;
+                self.last = self.sampler.snapshot();
+                return None;
+            }
         }
         // Cheap gate before the full snapshot merge.
         if self.sampler.tasks_observed() < self.last.count + self.window {
@@ -268,6 +324,72 @@ mod tests {
             }
         }
         assert_eq!(c.retunes(), 1);
+    }
+
+    /// Regression: a half-confirmed candidate from before an external
+    /// `DlbTuning` swap must not publish one window after the swap.
+    /// Without the epoch reset, the pre-swap nomination window plus one
+    /// post-swap agreeing window reach `confirm_windows` and override
+    /// the operator's explicit configuration.
+    #[test]
+    fn external_swap_resets_pending_candidate() {
+        let tuning = Arc::new(DlbTuning::new(DlbConfig::new(DlbStrategy::WorkSteal)));
+        let epoch = Arc::new(AtomicU64::new(0));
+        let sampler = Arc::new(LiveTaskSampler::new(1));
+        let mut c = AdaptiveController::new(tuning.clone(), sampler.clone(), 32, false)
+            .confirm_windows(2)
+            .watch_swaps(epoch.clone());
+
+        // Settle on the fine-grained recommendation first.
+        feed(&sampler, 0, 32, 500);
+        c.tick();
+        feed(&sampler, 0, 32, 500);
+        assert!(c.tick().is_some(), "settling tune");
+
+        // Window nominates the coarse class — half-confirmed candidate.
+        feed(&sampler, 0, 32, 300_000);
+        assert!(c.tick().is_none(), "first coarse window only nominates");
+
+        // Operator swaps the tuning manually, mid-window.
+        let manual = DlbConfig::new(DlbStrategy::WorkSteal)
+            .n_steal(3)
+            .p_local(0.9);
+        tuning.store(manual);
+        epoch.fetch_add(1, Ordering::Release);
+        feed(&sampler, 0, 16, 300_000); // stale half-window tail
+
+        // This tick observes the swap: it must drop the candidate and
+        // re-baseline, NOT publish the stale coarse recommendation.
+        assert!(c.tick().is_none(), "swap tick must not publish");
+        assert_eq!(tuning.load(), manual, "manual swap survives the tick");
+
+        // One more agreeing window alone must not publish either (the
+        // count restarted); two post-swap windows may.
+        feed(&sampler, 0, 32, 300_000);
+        assert!(c.tick().is_none(), "post-swap window 1 only nominates");
+        assert_eq!(tuning.load(), manual);
+        feed(&sampler, 0, 32, 300_000);
+        let cfg = c.tick().expect("two clean post-swap windows publish");
+        assert_eq!(cfg.strategy, DlbStrategy::RedirectPush);
+    }
+
+    #[test]
+    fn rebind_resets_baseline_and_candidate() {
+        let (mut c, sampler) = controller(32, 1);
+        feed(&sampler, 0, 32, 300_000);
+        assert!(c.tick().is_none(), "nomination pending");
+        // Team resized: new sampler, counters restart from zero. The
+        // controller must not see counts "go backwards" (a stuck window)
+        // nor keep the stale candidate.
+        let fresh = Arc::new(LiveTaskSampler::new(4));
+        c.rebind_sampler(fresh.clone());
+        feed(&fresh, 1, 32, 300_000);
+        assert!(c.tick().is_none(), "post-rebind window 1 nominates anew");
+        feed(&fresh, 2, 32, 300_000);
+        assert_eq!(
+            c.tick().expect("window 2 confirms").strategy,
+            DlbStrategy::RedirectPush
+        );
     }
 
     #[test]

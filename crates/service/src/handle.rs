@@ -68,8 +68,25 @@ impl<R> JobState<R> {
 /// [`is_done`](Self::is_done) is a lock-free readiness probe — the same
 /// completion-observation triple a future offers, without an async
 /// runtime in the loop.
+///
+/// Handles span server generations: a job admitted while the server is
+/// paused stays queued (its handle pending) until a `resume` opens the
+/// next generation, and a `shutdown` drains every admitted job — so a
+/// pending handle always resolves unless the process aborts. A `join`
+/// on a queued-while-paused handle therefore blocks until someone calls
+/// `resume` (or `shutdown`); use [`try_join`](Self::try_join) or
+/// [`join_timeout`](Self::join_timeout) when the pause duration is
+/// under the caller's control.
 pub struct JobHandle<R> {
     pub(crate) state: Arc<JobState<R>>,
+}
+
+impl<R> std::fmt::Debug for JobHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
 }
 
 impl<R> JobHandle<R> {

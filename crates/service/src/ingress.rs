@@ -33,6 +33,21 @@
 //!
 //! Jobs are boxed `FnOnce(&TaskCtx)` bodies; a drained body is handed to
 //! `TaskCtx::spawn_boxed` by whichever idle worker claimed the drain.
+//!
+//! ## Generations
+//!
+//! The ingress tier belongs to the *server*, not to any one team
+//! generation: shards, lanes, reservations and their counters all
+//! survive a `TaskServer::pause()`/`resume()` cycle and a config swap.
+//! A pause *drains* the rings (jobs that reached them were admitted
+//! before the pause and must complete with that generation); pause-time
+//! submissions divert to the server's spill queue and re-enter through
+//! the first polls of the next generation. A config swap that changes
+//! the team's zone map
+//! *re-maps* workers and doorbells onto the existing shard set rather
+//! than reallocating it — which is exactly what lets a pinned
+//! [`SubmitterHandle`](crate::SubmitterHandle)'s `(shard, lane)`
+//! coordinates stay valid across every generation.
 
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -256,6 +271,12 @@ impl IngressShard {
         self.lanes.iter().all(|l| l.q.occupancy_scan() == 0)
     }
 
+    /// Jobs currently sitting in this shard's lanes (racy scan; exact
+    /// only while no push or drain is in flight — e.g. a paused server).
+    pub fn occupancy(&self) -> usize {
+        self.lanes.iter().map(|l| l.q.occupancy_scan()).sum()
+    }
+
     /// Per-lane `(pushed, drained)` counters (conservation checks).
     pub fn lane_counters(&self) -> Vec<(u64, u64)> {
         self.lanes
@@ -377,6 +398,13 @@ impl ShardedIngress {
     /// Racy emptiness hint across all shards.
     pub fn looks_empty(&self) -> bool {
         self.shards.iter().all(|s| s.looks_empty())
+    }
+
+    /// Jobs currently queued across all shards (racy scan; exact while
+    /// quiescent — the paused-server "queued for the next generation"
+    /// gauge).
+    pub fn occupancy(&self) -> usize {
+        self.shards.iter().map(|s| s.occupancy()).sum()
     }
 }
 

@@ -46,6 +46,22 @@
 //! restores the pure spin-idle mode (latency micro-optimization at the
 //! price of one busy core per worker).
 //!
+//! ## Lifecycle: generations, pause/resume, config swap
+//!
+//! The server serves *generations* — one persistent-team region each.
+//! [`TaskServer::pause`] drains the jobs already handed to the team and
+//! parks everything (~0 CPU) while keeping the ingress tier, registered
+//! lanes and every [`SubmitterHandle`] intact; submissions made while
+//! paused queue for the next generation (bouncing with
+//! [`SubmitError::Paused`] only at the in-flight bound).
+//! [`TaskServer::resume`] reopens on the team's generation-stamped start
+//! gate, and [`TaskServer::resume_with`] applies a whole new
+//! [`RuntimeConfig`] at the boundary — worker count, barrier, topology —
+//! while [`TaskServer::swap_tuning`] hot-swaps just the DLB parameters
+//! without pausing at all (resetting the controller's hysteresis so a
+//! stale half-confirmed recommendation cannot override the swap). See
+//! the [server module](TaskServer) docs for the state-machine diagram.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -88,7 +104,9 @@ mod server;
 pub use controller::AdaptiveController;
 pub use handle::{JobHandle, JobPanic};
 pub use ingress::{IngressShard, ShardedIngress};
-pub use server::{Closed, ServerReport, ServerStats, SubmitterHandle, TaskServer};
+pub use server::{
+    Lifecycle, LifecycleError, ServerReport, ServerStats, SubmitError, SubmitterHandle, TaskServer,
+};
 
 use xgomp_core::{DlbConfig, DlbStrategy, RuntimeConfig};
 
@@ -101,8 +119,13 @@ pub struct ServerConfig {
     /// the server seeds the tuning cell with the NA-WS defaults.
     pub runtime: RuntimeConfig,
     /// Admission bound: jobs submitted but not yet completed. `submit`
-    /// blocks and `try_submit` fails while at the bound. Clamped to the
-    /// total ingress capacity so an admitted job always finds a slot.
+    /// parks and `try_submit` fails while at the bound. Must be ≥ 1
+    /// ([`TaskServer::start`] panics on 0 — a zero bound admits nothing,
+    /// ever). The *effective* bound is this value clamped to the total
+    /// ingress ring capacity (`lanes_per_shard × lane_capacity × shards`,
+    /// after the per-lane power-of-two round-up), so an admitted job
+    /// always finds a slot; the clamped value is surfaced as
+    /// [`ServerStats::max_in_flight`].
     pub max_in_flight: usize,
     /// SPSC lanes per ingress shard. Lane 0 of each shard serves the
     /// anonymous claim path; the rest can be pinned to registered
@@ -140,9 +163,19 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the in-flight admission bound (≥ 1).
+    /// Sets the in-flight admission bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `0` — the old behavior silently substituted `1`, which
+    /// masked a configuration bug (see
+    /// [`max_in_flight`](Self::max_in_flight) for the semantics).
     pub fn max_in_flight(mut self, n: usize) -> Self {
-        self.max_in_flight = n.max(1);
+        assert!(
+            n > 0,
+            "ServerConfig::max_in_flight must be ≥ 1: a bound of 0 admits no job ever"
+        );
+        self.max_in_flight = n;
         self
     }
 

@@ -1,5 +1,6 @@
 //! The [`TaskServer`]: a persistent executor serving jobs from arbitrary
-//! threads, with event-driven idling and registered ingress lanes.
+//! threads, with event-driven idling, registered ingress lanes, and
+//! multi-generation serving (pause / resume / config swap).
 //!
 //! Submission-side architecture (see the crate docs for the full
 //! picture):
@@ -15,66 +16,288 @@
 //!   plus one relaxed load; while the team sleeps it is the microsecond
 //!   path from "job queued" to "worker running it".
 //!
+//! ## Generations
+//!
+//! The server serves *generations*: one parallel region of the
+//! [`PersistentTeam`] per generation. [`TaskServer::pause`] completes
+//! every job admitted before it — in-team and still-ring-queued alike —
+//! to a quiescent barrier and retires the generation: every worker
+//! parks (aux workers on the team's start gate, the master on the
+//! control condvar; ~0 CPU), while the ingress tier, registered lanes,
+//! and all [`SubmitterHandle`]s stay exactly as they were. Submissions
+//! made from the pause onward are admitted (up to the in-flight bound)
+//! and queue for the next generation; at the bound they bounce with
+//! [`SubmitError::Paused`].
+//! [`TaskServer::resume`] opens the next generation on the team's
+//! generation-stamped start gate; [`TaskServer::resume_with`] applies a
+//! new [`RuntimeConfig`] at the boundary — growing or shrinking the
+//! worker set and re-mapping workers/doorbells onto the (persistent)
+//! ingress shards when the zone map changes — and
+//! [`TaskServer::swap_tuning`] hot-swaps the DLB configuration at any
+//! time, resetting the adaptive controller's hysteresis so a stale
+//! half-confirmed recommendation cannot override the swap.
+//!
+//! ```text
+//!            ┌────────────────────── resume / resume_with ─────────────┐
+//!            ▼                                                         │
+//!       ┌─────────┐   pause()    ┌──────────┐  in-team drained   ┌────────┐
+//!  ───▶ │ Serving │ ───────────▶ │ Draining │ ─────────────────▶ │ Paused │
+//!       └─────────┘              └──────────┘   (region ends,    └────────┘
+//!            │                        │          workers park)        │
+//!            │ shutdown()             │ shutdown()       shutdown()   │
+//!            ▼                        ▼                               ▼
+//!       ┌──────────────────────────────────────────────────────────────┐
+//!       │ Closed: admission rejected, full drain (queued jobs too),    │
+//!       │ team torn down, per-generation telemetry returned            │
+//!       └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
 //! The serve loop itself parks worker 0 once its backoff saturates, so a
-//! fully idle server occupies zero cores; the doorbell (or shutdown)
-//! brings it back.
+//! fully idle server occupies zero cores; the doorbell (or a lifecycle
+//! transition) brings it back.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 use crate::controller::AdaptiveController;
 use crate::handle::{JobHandle, JobPanic};
 use crate::ingress::{JobBody, ShardedIngress};
 use crate::ServerConfig;
 use xgomp_core::{
-    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, Parker, PersistentTeam,
-    RegionOutput, TaskCtx,
+    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, ParkerCell, PersistentTeam,
+    RegionOutput, RuntimeConfig, TaskCtx, TaskSizeHistogram,
 };
 use xgomp_topology::Placement;
 use xgomp_xqueue::Backoff;
 
+// ---- lifecycle states (ServerShared::state) ----------------------------
+
+/// A generation is open; drainers inject, submissions flow.
+const SERVING: u32 = 0;
+/// `pause()` requested: the serve loop is completing every job admitted
+/// before the pause (in-team and ring-queued); new submissions divert
+/// to the spill for the next generation.
+const DRAINING: u32 = 1;
+/// Between generations: team quiescent and parked, ingress retained,
+/// submissions queue (or bounce at the bound).
+const PAUSED: u32 = 2;
+/// `shutdown()` (or drop): admission closed, everything admitted — queued
+/// jobs included — drains before the team is torn down. Terminal.
+const CLOSING: u32 = 3;
+
+/// Point-in-time lifecycle of a [`TaskServer`] (see the
+/// [module docs](self) for the state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// A generation is open and executing jobs.
+    Serving,
+    /// A [`pause`](TaskServer::pause) is draining the in-team jobs.
+    Draining,
+    /// Parked between generations; submissions queue for the next one.
+    Paused,
+    /// Shut down (or shutting down); submissions are rejected.
+    Closed,
+}
+
+/// Why [`TaskServer::pause`] / [`resume`](TaskServer::resume) /
+/// [`resume_with`](TaskServer::resume_with) could not change the
+/// lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// The server is closed (or closed while the request was waiting).
+    Closed,
+    /// `resume` was called on a server that is not paused.
+    NotPaused,
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifecycleError::Closed => write!(f, "task server is closed"),
+            LifecycleError::NotPaused => write!(f, "task server is not paused"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+/// Why a submission was rejected. Every variant hands the closure back,
+/// so the caller can retry, re-route, or drop it — and, unlike the old
+/// bare `Err(F)`, tell those cases apart:
+///
+/// * [`Backpressure`](Self::Backpressure) — the in-flight bound is
+///   reached while serving; capacity frees as jobs complete, so *retry
+///   soon* (or use the blocking `submit`, which parks until then).
+/// * [`Paused`](Self::Paused) — the bound is reached while the server is
+///   paused; no capacity frees until [`TaskServer::resume`], so retrying
+///   in a loop is futile.
+/// * [`Closed`](Self::Closed) — the server is shut down; give up.
+pub enum SubmitError<F> {
+    /// In-flight bound reached while serving; retry after completions.
+    Backpressure(F),
+    /// In-flight bound reached while paused; resume frees capacity.
+    Paused(F),
+    /// The server is closed; the job can never be accepted.
+    Closed(F),
+}
+
+impl<F> SubmitError<F> {
+    /// The rejected closure, for retry or disposal.
+    pub fn into_inner(self) -> F {
+        match self {
+            SubmitError::Backpressure(f) | SubmitError::Paused(f) | SubmitError::Closed(f) => f,
+        }
+    }
+
+    /// Whether retrying after completions can succeed.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, SubmitError::Backpressure(_))
+    }
+
+    /// Whether the rejection is the paused-at-capacity case.
+    pub fn is_paused(&self) -> bool {
+        matches!(self, SubmitError::Paused(_))
+    }
+
+    /// Whether the server is closed (terminal).
+    pub fn is_closed(&self) -> bool {
+        matches!(self, SubmitError::Closed(_))
+    }
+
+    fn variant_name(&self) -> &'static str {
+        match self {
+            SubmitError::Backpressure(_) => "Backpressure",
+            SubmitError::Paused(_) => "Paused",
+            SubmitError::Closed(_) => "Closed",
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for SubmitError<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple(self.variant_name()).finish()
+    }
+}
+
+impl<F> std::fmt::Display for SubmitError<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backpressure(_) => {
+                write!(f, "submission rejected: in-flight bound reached (retry)")
+            }
+            SubmitError::Paused(_) => write!(
+                f,
+                "submission rejected: server paused at capacity (resume frees it)"
+            ),
+            SubmitError::Closed(_) => write!(f, "submission rejected: task server is closed"),
+        }
+    }
+}
+
+impl<F> std::error::Error for SubmitError<F> {}
+
+/// Command sent from a `resume`/`resume_with` caller to the master
+/// control loop: open the next generation, optionally with a new
+/// runtime configuration.
+struct ControlPlane {
+    resume: Option<Option<RuntimeConfig>>,
+}
+
 /// State shared between submitters, the drain hook, and the master loop.
 pub(crate) struct ServerShared {
     pub(crate) ingress: ShardedIngress,
-    /// worker → ingress shard (its NUMA zone's rank).
-    shard_of_worker: Vec<usize>,
-    /// shard → NUMA zone id of the team placement (doorbell targeting).
-    zone_of_shard: Vec<usize>,
-    /// The team's parker, published by the serve loop at startup: the
-    /// submitters' doorbell. Empty only in the brief window before the
-    /// serve loop runs, during which no worker has parked yet.
-    doorbell: OnceLock<Arc<Parker>>,
-    closed: AtomicBool,
+    /// shard → NUMA zone for doorbell targeting, re-mapped at every
+    /// generation boundary (a config swap may change the zone map; the
+    /// shard set itself is fixed so pinned lanes stay valid).
+    zone_of_shard: Box<[AtomicUsize]>,
+    /// The doorbell: publishes the current generation's parker to
+    /// submitters and accumulates park/wake counters across generations.
+    doorbell: ParkerCell,
+    /// Lifecycle state machine (`SERVING`/`DRAINING`/`PAUSED`/`CLOSING`).
+    /// Written only under the `ctl` lock (or by the exclusive-borrow
+    /// shutdown path); read lock-free on the hot paths.
+    state: AtomicU32,
+    /// Workers of the current/next generation (reported as "parked"
+    /// while the server is paused — they sit on the team's start gate).
+    current_threads: AtomicUsize,
+    /// Generations opened so far.
+    generation: AtomicU64,
+    /// Jobs admitted but not yet completed (ingress-queued + in-team).
     in_flight: AtomicUsize,
+    /// Jobs handed to the team's scheduler but not yet completed — the
+    /// quantity a pause drains to zero (ingress-queued jobs stay queued).
+    in_team: AtomicUsize,
     max_in_flight: usize,
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    /// Placement backstop for admitted jobs that find no ring slot while
+    /// no drainer runs (paused server + full anonymous lanes): bounded by
+    /// the admission clamp, drained before the ingress at every poll.
+    spill: Mutex<VecDeque<JobBody>>,
+    spill_nonempty: std::sync::atomic::AtomicBool,
+    /// Submitters currently between a "rings open" check and the end of
+    /// their ring push. The pause drain may not quiesce while this is
+    /// nonzero: a producer that observed `SERVING` could otherwise land
+    /// its (pre-pause-admitted) job in a ring *after* the drain's final
+    /// emptiness check, stranding it until resume. SeqCst Dekker with
+    /// the state flip — see `announce_ring_producer`.
+    ring_producers: AtomicUsize,
+    /// Blocked `submit` callers parked on `bp_cv` (instead of the old
+    /// spin-retry); completions notify when someone is waiting.
+    bp_waiters: AtomicUsize,
+    bp_lock: Mutex<()>,
+    bp_cv: Condvar,
+    /// Control plane: lifecycle transitions and the resume command.
+    ctl: Mutex<ControlPlane>,
+    ctl_cv: Condvar,
+    /// Live task-size sampler of the current generation (replaced when a
+    /// config swap resizes the team — lanes are per worker).
+    sampler: Mutex<Arc<LiveTaskSampler>>,
+    /// Histograms of retired samplers, so `task_histogram` spans every
+    /// generation.
+    retired_hist: Mutex<TaskSizeHistogram>,
+    /// Bumped on every external `DlbTuning` swap; the controller resets
+    /// its hysteresis when it observes a change.
+    swap_epoch: Arc<AtomicU64>,
 }
 
 impl ServerShared {
-    /// Admission control: reserves one in-flight slot. `false` means
-    /// rejected (closed or at the bound) with the slot released and the
-    /// rejection counted.
-    fn try_admit(&self) -> bool {
-        if self.closed.load(Ordering::SeqCst) {
+    fn lock_ctl(&self) -> std::sync::MutexGuard<'_, ControlPlane> {
+        self.ctl.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admission control: reserves one in-flight slot, or reports why it
+    /// could not (slot released, rejection counted).
+    fn try_admit(&self) -> Admit {
+        if self.state.load(Ordering::SeqCst) == CLOSING {
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return Admit::Closed;
         }
         if self.in_flight.fetch_add(1, Ordering::SeqCst) >= self.max_in_flight {
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            return false;
+            // At the bound: distinguish "completions will free capacity"
+            // from "nothing frees until resume". A *draining* server is
+            // still completing jobs, so its bound clears like ordinary
+            // backpressure; only the fully paused state is hopeless to
+            // retry against.
+            return match self.state.load(Ordering::SeqCst) {
+                PAUSED => Admit::PausedFull,
+                _ => Admit::Busy,
+            };
         }
         // Re-check after the admission increment: a shutdown that read
         // the counters before our increment rejects us here; one that
         // read after will wait for this job (see `shutdown`).
-        if self.closed.load(Ordering::SeqCst) {
+        if self.state.load(Ordering::SeqCst) == CLOSING {
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return Admit::Closed;
         }
-        true
+        Admit::Ok
     }
 
     /// Wraps a user closure into the queued job body (unwind-caught,
@@ -91,88 +314,242 @@ impl ServerShared {
                 .map_err(JobPanic::from_payload);
             state.complete(result);
             // Completion order matters: the handle is observable before
-            // the drain accounting lets a shutdown finish.
+            // the drain accounting lets a shutdown (or pause) finish.
             shared.completed.fetch_add(1, Ordering::SeqCst);
+            shared.in_team.fetch_sub(1, Ordering::SeqCst);
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.notify_capacity();
         });
         (handle, body)
     }
 
     /// Places an admitted job through the anonymous claim path, rotating
-    /// shards starting at `hint` until it lands (admission guarantees a
-    /// slot exists or will exist as soon as a drainer runs). Rings the
-    /// doorbell for the shard that took it.
+    /// shards starting at `hint` until it lands. While serving, a full
+    /// ring waits out the (running) drainers exactly as before; from the
+    /// pause onward, submissions divert to the spill — the rings belong
+    /// to the pause drain, and a `try_submit` must never block until
+    /// `resume`. Rings the doorbell for the shard that took it.
     fn place_anonymous(&self, hint: usize, body: JobBody) {
-        let mut backoff = Backoff::new();
+        // Announce *before* the state check (see `ring_producers`).
+        self.announce_ring_producer();
+        if !self.rings_open() {
+            self.retire_ring_producer();
+            self.spill_job(body);
+            return;
+        }
         let mut ptr = std::ptr::NonNull::from(Box::leak(Box::new(body)));
-        let landed = loop {
+        let mut backoff = Backoff::new();
+        loop {
             match self.ingress.push_ptr_from(hint, ptr) {
-                Ok(shard) => break shard,
+                Ok(shard) => {
+                    self.retire_ring_producer();
+                    self.submitted.fetch_add(1, Ordering::Relaxed);
+                    // Ring for the shard that actually took the job:
+                    // under fallover it may not be `hint`, and waking
+                    // `hint`'s zone instead would leave the job stranded
+                    // behind another shard's backlog.
+                    self.ring_doorbell(shard);
+                    return;
+                }
                 Err(back) => {
                     ptr = back;
+                    if !self.rings_open() {
+                        // A pause landed mid-placement: no drainer will
+                        // free a slot before resume — spill instead of
+                        // blocking the caller.
+                        self.retire_ring_producer();
+                        // SAFETY: the rejected pointer is the box we
+                        // leaked above.
+                        let body = *unsafe { Box::from_raw(back.as_ptr()) };
+                        self.spill_job(body);
+                        return;
+                    }
                     // Queues full: make sure someone is draining them.
                     self.ring_doorbell(hint);
                     backoff.snooze();
                 }
             }
-        };
+        }
+    }
+
+    /// Whether ring placement is live: drainers are pulling from the
+    /// rings and will keep doing so (serving), or a closing drain is
+    /// taking everything anyway. From the pause onward the rings belong
+    /// to the pause drain — submissions divert to the spill, which is
+    /// what lets that drain converge under sustained traffic.
+    ///
+    /// Only meaningful between [`announce_ring_producer`]
+    /// (Self::announce_ring_producer) and the matching retire: the
+    /// announcement is what makes the answer stable against a
+    /// concurrent pause (Dekker: either this SeqCst load sees the
+    /// DRAINING store and the caller diverts to the spill, or the pause
+    /// drain's SeqCst `ring_producers` read sees the announcement and
+    /// waits the push out).
+    fn rings_open(&self) -> bool {
+        matches!(self.state.load(Ordering::SeqCst), SERVING | CLOSING)
+    }
+
+    fn announce_ring_producer(&self) {
+        self.ring_producers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn retire_ring_producer(&self) {
+        self.ring_producers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Queues a job for the *next* generation (submissions that arrive
+    /// from the pause onward), or catches a job that lost the ring race
+    /// against a pause. Bounded by `max_in_flight`; drained before the
+    /// ingress by the first polls of the next (or closing) generation.
+    fn spill_job(&self, body: JobBody) {
+        {
+            let mut spill = self.spill.lock().unwrap_or_else(PoisonError::into_inner);
+            spill.push_back(body);
+            self.spill_nonempty.store(true, Ordering::SeqCst);
+        }
         self.submitted.fetch_add(1, Ordering::Relaxed);
-        // Ring for the shard that actually took the job: under fallover
-        // it may not be `hint`, and waking `hint`'s zone instead would
-        // leave the job stranded until a drainer's cross-shard rotation
-        // happens to reach it.
-        self.ring_doorbell(landed);
+        // Harmless while paused (nobody is parked in a live generation);
+        // necessary while closing, where drainers are still running.
+        self.ring_doorbell(0);
+    }
+
+    /// Moves up to `max` spilled jobs into the team. Runs before the
+    /// ingress drain so spilled jobs cannot be starved by fresh pushes.
+    fn drain_spill(&self, max: usize, ctx: &TaskCtx<'_>) -> usize {
+        if !self.spill_nonempty.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let batch: Vec<JobBody> = {
+            let mut spill = self.spill.lock().unwrap_or_else(PoisonError::into_inner);
+            let take = max.min(spill.len());
+            let batch = spill.drain(..take).collect();
+            if spill.is_empty() {
+                self.spill_nonempty.store(false, Ordering::SeqCst);
+            }
+            batch
+        };
+        let n = batch.len();
+        for job in batch {
+            self.in_team.fetch_add(1, Ordering::SeqCst);
+            ctx.spawn_boxed(job);
+        }
+        n
+    }
+
+    /// Racy "anything queued for the team?" probe (pre-park re-checks).
+    fn has_queued_jobs(&self) -> bool {
+        self.spill_nonempty.load(Ordering::SeqCst) || !self.ingress.looks_empty()
     }
 
     /// Wakes one parked worker for shard `shard`'s zone (zone-local
     /// first). No-op before the serve loop has published the parker —
     /// at that point every worker is still awake.
     fn ring_doorbell(&self, shard: usize) {
-        if let Some(parker) = self.doorbell.get() {
-            let zone = self
-                .zone_of_shard
-                .get(shard % self.zone_of_shard.len().max(1))
-                .copied()
-                .unwrap_or(0);
-            parker.notify_any(zone);
+        let zone = self.zone_of_shard[shard % self.zone_of_shard.len()].load(Ordering::Relaxed);
+        self.doorbell.with_current(|p| {
+            p.notify_any(zone);
+        });
+    }
+
+    /// Completion-side half of the blocked-submit handshake: one relaxed
+    /// probe while nobody waits; a lock-bridged notify when someone does
+    /// (the lock ensures the waiter is either still re-checking — and
+    /// will see the decrement — or already waiting and gets the notify).
+    fn notify_capacity(&self) {
+        if self.bp_waiters.load(Ordering::SeqCst) == 0 {
+            return;
         }
+        drop(self.bp_lock.lock().unwrap_or_else(PoisonError::into_inner));
+        self.bp_cv.notify_all();
+    }
+
+    /// Parks the calling submitter until in-flight capacity may be free
+    /// (or the server closes). The SeqCst waiter registration pairs with
+    /// the completion path's SeqCst decrement (a Dekker handshake), so a
+    /// wake-up cannot be lost; the timeout is a defensive re-probe, not
+    /// a correctness requirement.
+    fn wait_capacity(&self) {
+        self.bp_waiters.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut guard = self.bp_lock.lock().unwrap_or_else(PoisonError::into_inner);
+            while self.in_flight.load(Ordering::SeqCst) >= self.max_in_flight
+                && self.state.load(Ordering::SeqCst) != CLOSING
+            {
+                let (g, _) = self
+                    .bp_cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard = g;
+            }
+        }
+        self.bp_waiters.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-/// The [`IngressSource`] wired into the team: idle workers (and the
-/// master loop) drain their zone's shard and spawn the jobs.
+/// Outcome of [`ServerShared::try_admit`].
+enum Admit {
+    Ok,
+    Busy,
+    PausedFull,
+    Closed,
+}
+
+/// The [`IngressSource`] wired into one generation's team: idle workers
+/// (and the master loop) drain their zone's shard and spawn the jobs.
+/// Rebuilt per generation so the worker → shard map always matches the
+/// live placement.
 pub(crate) struct ServiceSource {
     shared: Arc<ServerShared>,
+    /// worker → ingress shard for this generation.
+    shard_of_worker: Vec<usize>,
     drain_batch: usize,
 }
 
 impl IngressSource for ServiceSource {
     fn poll(&self, ctx: &TaskCtx<'_>) -> usize {
-        let hint = self.shared.shard_of_worker[ctx.worker_id()];
-        self.shared
+        // Drains are gated on the lifecycle. While pausing (`DRAINING`),
+        // the rings keep draining — everything that reached them was
+        // admitted before the pause and must complete — but the spill,
+        // where pause-time submissions divert, is held back; that is what
+        // lets the drain converge under sustained submission. A paused
+        // server drains nothing; a closing one drains everything.
+        let st = self.shared.state.load(Ordering::SeqCst);
+        if st == PAUSED {
+            return 0;
+        }
+        let shared = &self.shared;
+        let mut n = 0;
+        if st != DRAINING {
+            n += shared.drain_spill(self.drain_batch, ctx);
+        }
+        let hint = self
+            .shard_of_worker
+            .get(ctx.worker_id())
+            .copied()
+            .unwrap_or(0);
+        n += shared
             .ingress
-            .drain_into(hint, self.drain_batch, &mut |job| ctx.spawn_boxed(job))
+            .drain_into(hint, self.drain_batch, &mut |job| {
+                shared.in_team.fetch_add(1, Ordering::SeqCst);
+                ctx.spawn_boxed(job)
+            });
+        n
     }
 
     fn has_pending(&self) -> bool {
         // Pre-park re-check: jobs are visible here before the submitter's
         // doorbell fence, so a worker either sees them and stays awake or
-        // is woken by the bell (see `xgomp_xqueue::parker`).
-        !self.shared.ingress.looks_empty()
+        // is woken by the bell (see `xgomp_xqueue::parker`). Gated like
+        // `poll`: queued-for-next-generation jobs must not keep workers
+        // awake, but a pause drain keeps them helping until the rings
+        // are empty.
+        match self.shared.state.load(Ordering::SeqCst) {
+            PAUSED => false,
+            DRAINING => !self.shared.ingress.looks_empty(),
+            _ => self.shared.has_queued_jobs(),
+        }
     }
 }
-
-/// Error returned by [`TaskServer::submit`] once the server is closed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Closed;
-
-impl std::fmt::Display for Closed {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task server is closed")
-    }
-}
-
-impl std::error::Error for Closed {}
 
 /// Point-in-time server counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,18 +558,28 @@ pub struct ServerStats {
     pub submitted: u64,
     /// Jobs whose handles have completed (including panicked jobs).
     pub completed: u64,
-    /// `try_submit` calls bounced by backpressure or closure.
+    /// Submissions bounced by backpressure, pause-at-capacity or closure.
     pub rejected: u64,
     /// Jobs admitted but not yet completed.
     pub in_flight: usize,
-    /// Effective DLB retunes published by the controller.
+    /// Admitted jobs still queued in the ingress tier (not yet handed to
+    /// the team) — nonzero mostly while paused.
+    pub queued: usize,
+    /// The *effective* admission bound: the configured
+    /// `ServerConfig::max_in_flight` clamped to the total ingress ring
+    /// capacity (an admitted job must always find a slot).
+    pub max_in_flight: usize,
+    /// Serve generations opened so far (pause/resume cycles + 1).
+    pub generations: u64,
+    /// Effective DLB retunes published (controller + manual swaps).
     pub retunes: u64,
-    /// Ingress shards (NUMA zones of the team).
+    /// Ingress shards (fixed at construction).
     pub shards: usize,
-    /// Workers currently parked (announced or asleep), master included.
+    /// Workers currently parked. While serving: parker-announced workers,
+    /// master included. While paused: the whole team (on the start gate).
     pub parked_workers: usize,
-    /// Cumulative committed parks across the team — a fully idle server
-    /// stops advancing this counter once everyone sleeps.
+    /// Cumulative committed parks across all generations — a fully idle
+    /// server stops advancing this counter once everyone sleeps.
     pub parks: u64,
 }
 
@@ -200,149 +587,137 @@ pub struct ServerStats {
 pub struct ServerReport {
     /// Final counters.
     pub stats: ServerStats,
-    /// Telemetry of the serving region (per-worker §V counters, wall
-    /// time of the whole serve, event logs when profiling was on).
-    /// `None` only when the serve ended abnormally (master thread
-    /// panicked — a runtime bug, since job panics are isolated).
+    /// Telemetry of the final serve generation (per-worker §V counters,
+    /// wall time, event logs when profiling was on). `None` only when the
+    /// serve ended abnormally (master thread panicked — a runtime bug,
+    /// since job panics are isolated).
     pub region: Option<RegionOutput<()>>,
+    /// Telemetry of every earlier generation, in serve order (one entry
+    /// per completed pause/swap cycle). Empty for a single-generation
+    /// server.
+    pub prior_regions: Vec<RegionOutput<()>>,
 }
 
 /// A persistent executor serving jobs from arbitrary threads.
 ///
 /// See the [crate docs](crate) for the architecture; construction starts
-/// the team, [`shutdown`](Self::shutdown) drains in-flight work and
-/// returns the serve's telemetry. Dropping without `shutdown` performs
-/// the same drain.
+/// the team, [`pause`](Self::pause)/[`resume`](Self::resume)/
+/// [`resume_with`](Self::resume_with) manage generations, and
+/// [`shutdown`](Self::shutdown) drains everything in flight and returns
+/// the per-generation telemetry. Dropping without `shutdown` performs the
+/// same drain.
 pub struct TaskServer {
     shared: Arc<ServerShared>,
     tuning: Arc<DlbTuning>,
-    sampler: Arc<LiveTaskSampler>,
-    master: Option<std::thread::JoinHandle<RegionOutput<()>>>,
+    master: Option<std::thread::JoinHandle<Vec<RegionOutput<()>>>>,
+}
+
+/// Per-worker NUMA zones and the sorted distinct zone list of `rt`'s
+/// placement — the single source of the zone-ranking logic shared by
+/// server construction (shard count) and every generation's re-map.
+fn placement_zones(rt: &RuntimeConfig) -> (Vec<usize>, Vec<usize>) {
+    let placement = Placement::new(rt.topology.clone(), rt.threads, rt.affinity);
+    let zones: Vec<usize> = (0..rt.threads).map(|w| placement.zone_of(w)).collect();
+    let mut distinct = zones.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    (zones, distinct)
+}
+
+/// Computes one generation's ingress maps for runtime `rt` against the
+/// fixed shard set: worker → shard (dense zone rank, folded onto the
+/// available shards) and shard → doorbell zone.
+fn generation_layout(rt: &RuntimeConfig, n_shards: usize) -> (Vec<usize>, Vec<usize>) {
+    let (zones, distinct) = placement_zones(rt);
+    let shard_of_worker = zones
+        .iter()
+        .map(|z| distinct.binary_search(z).expect("zone in distinct set") % n_shards)
+        .collect();
+    let zone_of_shard = (0..n_shards)
+        .map(|s| distinct[s % distinct.len()])
+        .collect();
+    (shard_of_worker, zone_of_shard)
 }
 
 impl TaskServer {
-    /// Starts the team and begins serving.
+    /// Starts the team and begins serving generation 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.max_in_flight` is `0` — that bound would reject
+    /// every submission, which is never what a caller wants (the old
+    /// behavior silently substituted `1`).
     pub fn start(cfg: ServerConfig) -> Self {
+        assert!(
+            cfg.max_in_flight > 0,
+            "ServerConfig::max_in_flight must be ≥ 1: a bound of 0 admits no job ever"
+        );
         let rt = cfg.runtime.clone();
-        let n = rt.threads;
-        let placement = Placement::new(rt.topology.clone(), n, rt.affinity);
 
-        // One shard per NUMA zone that actually hosts workers, ranked so
-        // shard ids are dense.
-        let mut zones: Vec<usize> = (0..n).map(|w| placement.zone_of(w)).collect();
-        let mut distinct = zones.clone();
-        distinct.sort_unstable();
-        distinct.dedup();
-        for z in &mut zones {
-            *z = distinct.binary_search(z).expect("zone is in distinct set");
-        }
-        let n_shards = distinct.len();
+        // One shard per NUMA zone of the *initial* placement. The shard
+        // set is fixed for the server's lifetime (pinned lanes keep their
+        // coordinates); later generations re-map onto it.
+        let n_shards = placement_zones(&rt).1.len();
+        let (shard_of_worker, zone_of_shard) = generation_layout(&rt, n_shards);
 
         let ingress = ShardedIngress::new(n_shards, cfg.lanes_per_shard, cfg.lane_capacity);
         // An admitted job must always find an ingress slot (the blocking
         // push in submit relies on it), so the bound never exceeds the
-        // real ring capacity.
-        let max_in_flight = cfg.max_in_flight.min(ingress.capacity()).max(1);
-
-        let shared = Arc::new(ServerShared {
-            ingress,
-            shard_of_worker: zones,
-            zone_of_shard: distinct,
-            doorbell: OnceLock::new(),
-            closed: AtomicBool::new(false),
-            in_flight: AtomicUsize::new(0),
-            max_in_flight,
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-        });
+        // real ring capacity. The effective value is surfaced in
+        // `ServerStats::max_in_flight`.
+        let max_in_flight = cfg.max_in_flight.min(ingress.capacity());
 
         let initial_dlb = rt
             .dlb
             .unwrap_or_else(|| DlbConfig::new(DlbStrategy::WorkSteal));
         let tuning = Arc::new(DlbTuning::new(initial_dlb));
-        let sampler = Arc::new(LiveTaskSampler::new(n));
+        let sampler = Arc::new(LiveTaskSampler::new(rt.threads));
 
-        let source = Arc::new(ServiceSource {
-            shared: shared.clone(),
-            drain_batch: cfg.drain_batch,
+        let shared = Arc::new(ServerShared {
+            ingress,
+            zone_of_shard: zone_of_shard.iter().map(|&z| AtomicUsize::new(z)).collect(),
+            doorbell: ParkerCell::new(),
+            state: AtomicU32::new(SERVING),
+            current_threads: AtomicUsize::new(rt.threads),
+            generation: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            in_team: AtomicUsize::new(0),
+            max_in_flight,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            spill: Mutex::new(VecDeque::new()),
+            spill_nonempty: std::sync::atomic::AtomicBool::new(false),
+            ring_producers: AtomicUsize::new(0),
+            bp_waiters: AtomicUsize::new(0),
+            bp_lock: Mutex::new(()),
+            bp_cv: Condvar::new(),
+            ctl: Mutex::new(ControlPlane { resume: None }),
+            ctl_cv: Condvar::new(),
+            sampler: Mutex::new(sampler.clone()),
+            retired_hist: Mutex::new(TaskSizeHistogram::default()),
+            swap_epoch: Arc::new(AtomicU64::new(0)),
         });
 
         let master = {
             let shared = shared.clone();
             let tuning = tuning.clone();
-            let sampler = sampler.clone();
             let adapt_every = cfg.adapt_every;
             let log_retunes = cfg.log_retunes;
-            let run_batch = cfg.drain_batch.max(8) * 4;
+            let drain_batch = cfg.drain_batch;
+            let first_layout = shard_of_worker;
             std::thread::Builder::new()
                 .name("xgomp-service-master".into())
                 .spawn(move || {
-                    let mut team = PersistentTeam::new(rt);
-                    team.run_serving(
-                        source.clone(),
-                        Some(sampler.clone()),
-                        Some(tuning.clone()),
-                        move |ctx| {
-                            // Publish the team's parker as the doorbell
-                            // before any worker could possibly park.
-                            let parker = ctx.parker().clone();
-                            let _ = shared.doorbell.set(parker.clone());
-                            let mut controller =
-                                AdaptiveController::new(tuning, sampler, adapt_every, log_retunes);
-                            let mut backoff = Backoff::new();
-                            // Skip the park attempt right after a
-                            // stay-awake cancel: re-probe immediately,
-                            // and only fall into the snooze below if
-                            // that probe finds nothing (see the worker
-                            // loop's `skip_park` for the rationale).
-                            let mut skip_park = false;
-                            loop {
-                                if ctx.is_poisoned() {
-                                    // Un-isolated panic (a runtime bug —
-                                    // job panics are caught): the team is
-                                    // ending; don't spin on in_flight.
-                                    break;
-                                }
-                                let injected = source.poll(ctx);
-                                let ran = ctx.run_pending(run_batch);
-                                controller.tick();
-                                if injected > 0 || ran > 0 {
-                                    backoff.reset();
-                                    skip_park = false;
-                                    continue;
-                                }
-                                let closed = shared.closed.load(Ordering::SeqCst);
-                                if closed && shared.in_flight.load(Ordering::SeqCst) == 0 {
-                                    break;
-                                }
-                                // Event-driven idle arm of the serve loop:
-                                // park worker 0 once the backoff
-                                // saturates. Never parks while closed —
-                                // the final in-flight decrement rings no
-                                // bell; the drain is short, spin it out.
-                                if ctx.park_idle_enabled()
-                                    && !closed
-                                    && backoff.is_completed()
-                                    && !std::mem::take(&mut skip_park)
-                                    && parker.prepare_park(0)
-                                {
-                                    let stay_awake = ctx.is_poisoned()
-                                        || ctx.has_local_work_hint()
-                                        || !shared.ingress.looks_empty()
-                                        || shared.closed.load(Ordering::SeqCst);
-                                    if stay_awake {
-                                        parker.cancel_park(0);
-                                        skip_park = true;
-                                    } else {
-                                        parker.park(0);
-                                        backoff.reset();
-                                    }
-                                    continue;
-                                }
-                                backoff.snooze();
-                            }
-                        },
+                    master_loop(
+                        shared,
+                        tuning,
+                        sampler,
+                        rt,
+                        first_layout,
+                        drain_batch,
+                        adapt_every,
+                        log_retunes,
                     )
                 })
                 .expect("spawn service master")
@@ -351,21 +726,24 @@ impl TaskServer {
         TaskServer {
             shared,
             tuning,
-            sampler,
             master: Some(master),
         }
     }
 
-    /// Non-blocking submission. On backpressure (in-flight bound reached)
-    /// or a closed server the closure is handed back so the caller can
-    /// retry or drop it.
-    pub fn try_submit<R, F>(&self, f: F) -> Result<JobHandle<R>, F>
+    /// Non-blocking submission. The error tells the caller exactly why
+    /// ([`SubmitError`]) and hands the closure back. While the server is
+    /// paused, submissions below the in-flight bound are accepted and
+    /// queue for the next generation.
+    pub fn try_submit<R, F>(&self, f: F) -> Result<JobHandle<R>, SubmitError<F>>
     where
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        if !self.shared.try_admit() {
-            return Err(f);
+        match self.shared.try_admit() {
+            Admit::Ok => {}
+            Admit::Busy => return Err(SubmitError::Backpressure(f)),
+            Admit::PausedFull => return Err(SubmitError::Paused(f)),
+            Admit::Closed => return Err(SubmitError::Closed(f)),
         }
         let (handle, body) = self.shared.make_job(f);
         let hint = submitter_shard_hint(self.shared.ingress.n_shards());
@@ -373,24 +751,22 @@ impl TaskServer {
         Ok(handle)
     }
 
-    /// Blocking submission: waits out backpressure, fails only once the
-    /// server is closed.
-    pub fn submit<R, F>(&self, f: F) -> Result<JobHandle<R>, Closed>
+    /// Blocking submission: parks on the capacity condvar through
+    /// backpressure (and through a pause at the bound — capacity then
+    /// frees on resume), failing only once the server is closed.
+    pub fn submit<R, F>(&self, f: F) -> Result<JobHandle<R>, SubmitError<F>>
     where
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
         let mut f = f;
-        let mut backoff = Backoff::new();
         loop {
             match self.try_submit(f) {
                 Ok(h) => return Ok(h),
-                Err(back) => {
-                    if self.shared.closed.load(Ordering::SeqCst) {
-                        return Err(Closed);
-                    }
+                Err(SubmitError::Closed(back)) => return Err(SubmitError::Closed(back)),
+                Err(SubmitError::Backpressure(back)) | Err(SubmitError::Paused(back)) => {
                     f = back;
-                    backoff.snooze();
+                    self.shared.wait_capacity();
                 }
             }
         }
@@ -406,13 +782,15 @@ impl TaskServer {
     /// lane of the shard is already reserved the handle still works,
     /// falling back to the anonymous claim path. Dropping the handle
     /// releases the lane.
+    ///
+    /// Registration survives every lifecycle transition short of
+    /// shutdown: the lane (and anything queued in it) rides through
+    /// `pause`/`resume` and config swaps untouched.
     pub fn register_submitter(&self, zone: usize) -> SubmitterHandle {
-        let shard = self
-            .shared
-            .zone_of_shard
-            .iter()
-            .position(|&z| z == zone)
-            .unwrap_or(zone % self.shared.ingress.n_shards());
+        let n = self.shared.ingress.n_shards();
+        let shard = (0..n)
+            .find(|&s| self.shared.zone_of_shard[s].load(Ordering::Relaxed) == zone)
+            .unwrap_or(zone % n);
         let lane = self.shared.ingress.shard(shard).reserve_lane();
         SubmitterHandle {
             shared: self.shared.clone(),
@@ -421,43 +799,192 @@ impl TaskServer {
         }
     }
 
+    // ---- lifecycle ----------------------------------------------------
+
+    /// Completes every job admitted before the pause and parks the team
+    /// between generations. Returns once the server is quiescent: every
+    /// worker parked (~0 CPU), ingress lanes and [`SubmitterHandle`]s
+    /// retained, and submissions from the pause onward held (queued) for
+    /// the next generation.
+    ///
+    /// Idempotent: pausing a pausing/paused server just waits for /
+    /// confirms quiescence. Fails only on a closed server.
+    pub fn pause(&self) -> Result<(), LifecycleError> {
+        let mut ctl = self.shared.lock_ctl();
+        loop {
+            match self.shared.state.load(Ordering::SeqCst) {
+                SERVING => {
+                    self.shared.state.store(DRAINING, Ordering::SeqCst);
+                    self.shared.ctl_cv.notify_all();
+                    // The whole team may be asleep; the state store rings
+                    // no bell on its own.
+                    self.shared.doorbell.with_current(|p| p.unpark_all());
+                }
+                DRAINING => {
+                    ctl = self
+                        .shared
+                        .ctl_cv
+                        .wait(ctl)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                PAUSED => {
+                    if ctl.resume.is_none() {
+                        return Ok(());
+                    }
+                    // A resume is in flight: wait for the generation to
+                    // open, then request a fresh drain through the
+                    // SERVING arm.
+                    ctl = self
+                        .shared
+                        .ctl_cv
+                        .wait(ctl)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => return Err(LifecycleError::Closed),
+            }
+        }
+    }
+
+    /// Opens the next generation with the current configuration,
+    /// completing queued-while-paused jobs first. Returns once the new
+    /// generation is serving. Requires a paused (or pausing) server.
+    pub fn resume(&self) -> Result<(), LifecycleError> {
+        self.resume_inner(None)
+    }
+
+    /// Opens the next generation under a new [`RuntimeConfig`], applied
+    /// at the generation boundary: worker count, barrier/scheduler kind,
+    /// topology and `park_idle` all take effect for generation N+1. A
+    /// changed worker count rebuilds the thread set and re-maps workers
+    /// and doorbells onto the existing ingress shards; a `Some` DLB in
+    /// the config seeds the tuning cell (counting as an external swap,
+    /// which resets the adaptive controller's hysteresis).
+    pub fn resume_with(&self, rt: RuntimeConfig) -> Result<(), LifecycleError> {
+        assert!(rt.threads >= 1, "a team needs at least one worker");
+        assert!(
+            rt.threads <= (1 << 24),
+            "worker ids must fit the 24-bit message-cell field"
+        );
+        self.resume_inner(Some(rt))
+    }
+
+    fn resume_inner(&self, cfg: Option<RuntimeConfig>) -> Result<(), LifecycleError> {
+        let mut ctl = self.shared.lock_ctl();
+        loop {
+            match self.shared.state.load(Ordering::SeqCst) {
+                PAUSED => break,
+                // A pause is completing; resume right after it.
+                DRAINING => {
+                    ctl = self
+                        .shared
+                        .ctl_cv
+                        .wait(ctl)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                SERVING => return Err(LifecycleError::NotPaused),
+                _ => return Err(LifecycleError::Closed),
+            }
+        }
+        // Concurrent resumes race benignly: the last command in before
+        // the master picks one up wins; all callers wait for the next
+        // generation. The wait observes the *generation counter*, not
+        // the instantaneous SERVING state — a pause() racing in right
+        // after the new generation opens could flip SERVING→DRAINING
+        // before this thread wakes, and a state-based wait would then
+        // block forever on a resume that actually succeeded.
+        let sent_gen = self.shared.generation.load(Ordering::SeqCst);
+        ctl.resume = Some(cfg);
+        self.shared.ctl_cv.notify_all();
+        loop {
+            if self.shared.state.load(Ordering::SeqCst) == CLOSING {
+                return Err(LifecycleError::Closed);
+            }
+            if self.shared.generation.load(Ordering::SeqCst) > sent_gen {
+                return Ok(());
+            }
+            ctl = self
+                .shared
+                .ctl_cv
+                .wait(ctl)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Hot-swaps the DLB configuration driving the team, effective at
+    /// the workers' next scheduling points — no pause required. The swap
+    /// bumps the external-swap epoch, so the adaptive controller drops
+    /// any half-confirmed recommendation computed against the previous
+    /// configuration instead of publishing it one window later.
+    pub fn swap_tuning(&self, dlb: DlbConfig) {
+        self.tuning.store(dlb);
+        self.shared.swap_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Current lifecycle state (racy snapshot).
+    pub fn lifecycle(&self) -> Lifecycle {
+        match self.shared.state.load(Ordering::SeqCst) {
+            SERVING => Lifecycle::Serving,
+            DRAINING => Lifecycle::Draining,
+            PAUSED => Lifecycle::Paused,
+            _ => Lifecycle::Closed,
+        }
+    }
+
+    /// Serve generations opened so far.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Relaxed)
+    }
+
     /// Whether the server has been closed to new submissions.
     pub fn is_closed(&self) -> bool {
-        self.shared.closed.load(Ordering::SeqCst)
+        self.shared.state.load(Ordering::SeqCst) == CLOSING
     }
+
+    // ---- observability ------------------------------------------------
 
     /// Jobs admitted but not yet completed.
     pub fn in_flight(&self) -> usize {
         self.shared.in_flight.load(Ordering::SeqCst)
     }
 
-    /// Workers currently parked (announced or asleep), master included.
+    /// Workers currently parked. While serving, this counts parker
+    /// announcements (master included); while paused, the whole team is
+    /// parked on its start gate and is reported as such.
     pub fn parked_workers(&self) -> usize {
+        if self.shared.state.load(Ordering::SeqCst) == PAUSED {
+            return self.shared.current_threads.load(Ordering::Relaxed);
+        }
         self.shared
             .doorbell
-            .get()
-            .map_or(0, |p| p.currently_parked())
+            .with_current(|p| p.currently_parked())
+            .unwrap_or(0)
     }
 
-    /// Cumulative committed parks across the team. A fully idle server
-    /// parks everyone and this counter stops moving — the observable
-    /// "no yield-loop progress" property.
+    /// Cumulative committed parks across all generations. A fully idle
+    /// server parks everyone and this counter stops moving — the
+    /// observable "no yield-loop progress" property.
     pub fn park_events(&self) -> u64 {
-        self.shared.doorbell.get().map_or(0, |p| p.parks())
+        self.shared.doorbell.parks()
     }
 
-    /// Cumulative wake-ups delivered (doorbells, push wakes, teardown).
+    /// Cumulative wake-ups delivered across all generations (doorbells,
+    /// push wakes, teardown).
     pub fn wake_events(&self) -> u64 {
-        self.shared.doorbell.get().map_or(0, |p| p.wakes())
+        self.shared.doorbell.wakes()
     }
 
     /// Snapshot of the server counters.
     pub fn stats(&self) -> ServerStats {
+        let in_flight = self.shared.in_flight.load(Ordering::SeqCst);
+        let in_team = self.shared.in_team.load(Ordering::SeqCst);
         ServerStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
-            in_flight: self.shared.in_flight.load(Ordering::SeqCst),
+            in_flight,
+            queued: in_flight.saturating_sub(in_team),
+            max_in_flight: self.shared.max_in_flight,
+            generations: self.generation(),
             retunes: self.tuning.retunes(),
             shards: self.shared.ingress.n_shards(),
             parked_workers: self.parked_workers(),
@@ -480,21 +1007,41 @@ impl TaskServer {
         self.tuning.retunes()
     }
 
-    /// Merged live task-size histogram since the server started.
-    pub fn task_histogram(&self) -> xgomp_core::TaskSizeHistogram {
-        self.sampler.snapshot()
+    /// Merged live task-size histogram since the server started,
+    /// spanning every generation (including retired samplers from
+    /// team-resizing config swaps).
+    pub fn task_histogram(&self) -> TaskSizeHistogram {
+        let mut hist = self
+            .shared
+            .retired_hist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let current = self
+            .shared
+            .sampler
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        hist.merge(&current.snapshot());
+        hist
     }
 
-    /// Closes admission, waits for every in-flight job to complete, and
-    /// tears the team down.
+    /// Closes admission, waits for every admitted job — queued ones
+    /// included — to complete, and tears the team down.
     pub fn shutdown(mut self) -> ServerReport {
-        let region = self
-            .shutdown_inner()
-            .expect("server not yet shut down")
-            .ok();
+        let joined = self.shutdown_inner().expect("server not yet shut down");
+        let (region, prior_regions) = match joined {
+            Ok(mut regions) => {
+                let last = regions.pop();
+                (last, regions)
+            }
+            Err(_) => (None, Vec::new()),
+        };
         ServerReport {
             stats: self.stats(),
             region,
+            prior_regions,
         }
     }
 
@@ -502,15 +1049,19 @@ impl TaskServer {
     /// panicked (runtime bug); the payload is swallowed here so `Drop`
     /// never panics-in-drop — `shutdown` surfaces it as `region: None`.
     #[allow(clippy::type_complexity)]
-    fn shutdown_inner(&mut self) -> Option<std::thread::Result<RegionOutput<()>>> {
+    fn shutdown_inner(&mut self) -> Option<std::thread::Result<Vec<RegionOutput<()>>>> {
         let master = self.master.take()?;
-        self.shared.closed.store(true, Ordering::SeqCst);
-        // The whole team may be asleep; `closed` rings no doorbell on its
-        // own. (A not-yet-published doorbell means the serve loop hasn't
-        // started — it re-reads `closed` before it ever parks.)
-        if let Some(parker) = self.shared.doorbell.get() {
-            parker.unpark_all();
+        {
+            let _ctl = self.shared.lock_ctl();
+            self.shared.state.store(CLOSING, Ordering::SeqCst);
+            self.shared.ctl_cv.notify_all();
         }
+        // Blocked submitters abort with `Closed`.
+        self.shared.notify_capacity();
+        // The whole team may be asleep; `CLOSING` rings no doorbell on
+        // its own. (An unpublished doorbell means the serve loop hasn't
+        // started — it re-reads the state before it ever parks.)
+        self.shared.doorbell.with_current(|p| p.unpark_all());
         Some(master.join())
     }
 }
@@ -521,16 +1072,273 @@ impl Drop for TaskServer {
     }
 }
 
+/// The master thread: one `run_serving` region per generation, with the
+/// control handshake (pause quiescence, resume commands, config swaps,
+/// final shutdown drain) between regions.
+#[allow(clippy::too_many_arguments)]
+fn master_loop(
+    shared: Arc<ServerShared>,
+    tuning: Arc<DlbTuning>,
+    mut sampler: Arc<LiveTaskSampler>,
+    mut rt: RuntimeConfig,
+    first_layout: Vec<usize>,
+    drain_batch: usize,
+    adapt_every: u64,
+    log_retunes: bool,
+) -> Vec<RegionOutput<()>> {
+    let mut team = PersistentTeam::new(rt.clone());
+    // The controller persists across generations (window continuity and
+    // hysteresis are workload properties, not generation properties);
+    // config swaps reset it through the swap epoch.
+    let controller = Arc::new(Mutex::new(
+        AdaptiveController::new(tuning.clone(), sampler.clone(), adapt_every, log_retunes)
+            .watch_swaps(shared.swap_epoch.clone()),
+    ));
+    let mut layout = Some(first_layout);
+    let mut regions: Vec<RegionOutput<()>> = Vec::new();
+    let run_batch = drain_batch.max(8) * 4;
+
+    loop {
+        // Install this generation's ingress maps.
+        let shard_of_worker = layout.take().unwrap_or_else(|| {
+            let (workers, zones) = generation_layout(&rt, shared.ingress.n_shards());
+            for (cell, z) in shared.zone_of_shard.iter().zip(zones) {
+                cell.store(z, Ordering::Relaxed);
+            }
+            workers
+        });
+        shared.current_threads.store(rt.threads, Ordering::Relaxed);
+        // SeqCst: resume() waiters poll this counter to learn their
+        // generation opened (see `resume_inner`).
+        shared.generation.fetch_add(1, Ordering::SeqCst);
+        // Open the generation: resume() callers unblock only now, with
+        // the maps installed and the generation counter advanced. The
+        // resume command is consumed in the same critical section that
+        // stores SERVING, so a concurrent pause() never observes a
+        // "paused" server that is actually mid-resume. A no-op for
+        // generation 1 (already serving) and for a closing drain
+        // generation (admission stays shut).
+        {
+            let mut ctl = shared.lock_ctl();
+            ctl.resume = None;
+            if shared.state.load(Ordering::SeqCst) != CLOSING {
+                shared.state.store(SERVING, Ordering::SeqCst);
+                shared.ctl_cv.notify_all();
+            }
+        }
+
+        let source = Arc::new(ServiceSource {
+            shared: shared.clone(),
+            shard_of_worker,
+            drain_batch,
+        });
+        let serve = {
+            let shared = shared.clone();
+            let controller = controller.clone();
+            let source = source.clone();
+            move |ctx: &TaskCtx<'_>| serve_loop(ctx, &shared, &controller, &source, run_batch)
+        };
+        regions.push(team.run_serving(
+            source.clone(),
+            Some(sampler.clone()),
+            Some(tuning.clone()),
+            serve,
+        ));
+
+        // Generation over. If a pause requested it, publish quiescence.
+        {
+            let _ctl = shared.lock_ctl();
+            if shared.state.load(Ordering::SeqCst) == DRAINING {
+                shared.state.store(PAUSED, Ordering::SeqCst);
+                shared.ctl_cv.notify_all();
+            }
+        }
+
+        // Wait for what comes next: a resume command, or shutdown (which
+        // runs one more closing generation when jobs are still queued).
+        let resume_cfg: Option<Option<RuntimeConfig>> = {
+            let mut ctl = shared.lock_ctl();
+            loop {
+                if shared.state.load(Ordering::SeqCst) == CLOSING {
+                    break if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                        None // fully drained: tear down
+                    } else {
+                        Some(None) // final drain generation, same config
+                    };
+                }
+                // Peek, don't take: the command stays visible (so a
+                // concurrent pause() knows a resume is in flight) until
+                // the next generation's SERVING store consumes it.
+                if let Some(cmd) = ctl.resume.clone() {
+                    break Some(cmd);
+                }
+                ctl = shared
+                    .ctl_cv
+                    .wait(ctl)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(cfg) = resume_cfg else {
+            break;
+        };
+        if let Some(new_rt) = cfg {
+            apply_config(
+                &shared,
+                &mut team,
+                &mut rt,
+                &mut sampler,
+                &controller,
+                &tuning,
+                new_rt,
+            );
+        }
+    }
+    regions
+}
+
+/// Applies a `resume_with` configuration at the generation boundary.
+fn apply_config(
+    shared: &Arc<ServerShared>,
+    team: &mut PersistentTeam,
+    rt: &mut RuntimeConfig,
+    sampler: &mut Arc<LiveTaskSampler>,
+    controller: &Arc<Mutex<AdaptiveController>>,
+    tuning: &Arc<DlbTuning>,
+    new_rt: RuntimeConfig,
+) {
+    let resized = new_rt.threads != rt.threads;
+    team.reconfigure(new_rt.clone());
+    if resized {
+        // Sampler lanes are per worker: retire the old histogram into the
+        // cumulative store and rebind the controller to a fresh sampler.
+        let fresh = Arc::new(LiveTaskSampler::new(new_rt.threads));
+        {
+            let mut current = shared
+                .sampler
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            shared
+                .retired_hist
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .merge(&current.snapshot());
+            *current = fresh.clone();
+        }
+        controller
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .rebind_sampler(fresh.clone());
+        *sampler = fresh;
+    }
+    if let Some(dlb) = new_rt.dlb {
+        tuning.store(dlb);
+    }
+    // A config swap is a hysteresis boundary even when the DLB seed is
+    // unchanged: recommendations confirmed against the old shape must
+    // not publish against the new one.
+    shared.swap_epoch.fetch_add(1, Ordering::Release);
+    *rt = new_rt;
+}
+
+/// One generation's serve loop, run by worker 0 as the region closure:
+/// drain ingress, execute, tick the controller, park when idle, and exit
+/// at the generation's drain point (pause: in-team jobs done; shutdown:
+/// everything admitted done).
+fn serve_loop(
+    ctx: &TaskCtx<'_>,
+    shared: &Arc<ServerShared>,
+    controller: &Arc<Mutex<AdaptiveController>>,
+    source: &ServiceSource,
+    run_batch: usize,
+) {
+    // Publish the team's parker as the doorbell before any worker could
+    // possibly park. (Replaces the previous generation's parker, which
+    // has no sleepers left.)
+    let parker = ctx.parker().clone();
+    shared.doorbell.publish(parker.clone());
+    let mut backoff = Backoff::new();
+    // Skip the park attempt right after a stay-awake cancel: re-probe
+    // immediately, and only fall into the snooze below if that probe
+    // finds nothing (see the worker loop's `skip_park` for the
+    // rationale).
+    let mut skip_park = false;
+    loop {
+        if ctx.is_poisoned() {
+            // Un-isolated panic (a runtime bug — job panics are caught):
+            // the team is ending; don't spin on the drain conditions.
+            break;
+        }
+        let injected = source.poll(ctx);
+        let ran = ctx.run_pending(run_batch);
+        controller
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .tick();
+        if injected > 0 || ran > 0 {
+            backoff.reset();
+            skip_park = false;
+            continue;
+        }
+        let st = shared.state.load(Ordering::SeqCst);
+        match st {
+            // Shutdown drains *everything admitted*; the final in-flight
+            // decrement rings no bell, so spin the (short) tail out.
+            CLOSING if shared.in_flight.load(Ordering::SeqCst) == 0 => break,
+            // A pause drains everything admitted before it — the team's
+            // jobs and anything still in the rings (submissions from the
+            // pause onward divert to the spill, which waits for resume,
+            // so this converges under sustained traffic). Order matters:
+            // `ring_producers == 0` must be observed *before* the
+            // emptiness scan — a producer that saw SERVING holds the
+            // count until its push completes, so reading 0 here means
+            // every such push is already visible to `looks_empty`.
+            DRAINING
+                if shared.ring_producers.load(Ordering::SeqCst) == 0
+                    && shared.in_team.load(Ordering::SeqCst) == 0
+                    && shared.ingress.looks_empty() =>
+            {
+                break
+            }
+            _ => {}
+        }
+        // Event-driven idle arm of the serve loop: park worker 0 once
+        // the backoff saturates. Only while serving — the pause/shutdown
+        // drains are short and their exit conditions ring no bell.
+        if st == SERVING
+            && ctx.park_idle_enabled()
+            && backoff.is_completed()
+            && !std::mem::take(&mut skip_park)
+            && parker.prepare_park(0)
+        {
+            let stay_awake = ctx.is_poisoned()
+                || ctx.has_local_work_hint()
+                || shared.has_queued_jobs()
+                || shared.state.load(Ordering::SeqCst) != SERVING;
+            if stay_awake {
+                parker.cancel_park(0);
+                skip_park = true;
+            } else {
+                parker.park(0);
+                backoff.reset();
+            }
+            continue;
+        }
+        backoff.snooze();
+    }
+}
+
 /// A pinned submission handle from [`TaskServer::register_submitter`]:
 /// one reserved SPSC ingress lane in one NUMA zone's shard.
 ///
-/// Submission semantics mirror the server's ([`try_submit`]
-/// fails only on backpressure/closure; [`submit`] blocks it out), but
-/// placement is *strict*: an admitted job always lands in the pinned
-/// lane, waiting for drains rather than spilling to claim-guarded lanes
-/// — which is what keeps registered traffic contention-free and
-/// per-lane accounting exact. Handles without a lane (shard fully
-/// reserved) place anonymously.
+/// Submission semantics mirror the server's ([`try_submit`] fails with a
+/// [`SubmitError`]; [`submit`] parks through backpressure), but
+/// placement is *strict*: an admitted job lands in the pinned lane,
+/// waiting for drains rather than spilling to claim-guarded lanes —
+/// which is what keeps registered traffic contention-free and per-lane
+/// accounting exact. The one exception is a paused server whose lane is
+/// full: with no drainer running until resume, the job diverts to the
+/// server's spill so `try_submit` cannot block until `resume`. Handles
+/// without a lane (shard fully reserved) place anonymously.
 ///
 /// Submission takes `&mut self`: the reserved lane is a
 /// single-producer ring and the exclusive borrow *is* the producer
@@ -539,8 +1347,9 @@ impl Drop for TaskServer {
 /// registration).
 ///
 /// The handle is independent of the [`TaskServer`] value's lifetime
-/// (both share the server state), but submissions fail once the server
-/// shuts down.
+/// (both share the server state) and stays registered across
+/// [`pause`](TaskServer::pause)/[`resume`](TaskServer::resume) cycles
+/// and config swaps; submissions fail once the server shuts down.
 ///
 /// [`try_submit`]: SubmitterHandle::try_submit
 /// [`submit`]: SubmitterHandle::submit
@@ -561,16 +1370,19 @@ impl SubmitterHandle {
         self.lane
     }
 
-    /// Non-blocking admission, pinned placement. Fails (returning the
-    /// closure) only on backpressure or a closed server; once admitted,
-    /// the job is always placed.
-    pub fn try_submit<R, F>(&mut self, f: F) -> Result<JobHandle<R>, F>
+    /// Non-blocking admission, pinned placement. Fails with a
+    /// [`SubmitError`] carrying the closure back; once admitted, the job
+    /// is always placed.
+    pub fn try_submit<R, F>(&mut self, f: F) -> Result<JobHandle<R>, SubmitError<F>>
     where
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        if !self.shared.try_admit() {
-            return Err(f);
+        match self.shared.try_admit() {
+            Admit::Ok => {}
+            Admit::Busy => return Err(SubmitError::Backpressure(f)),
+            Admit::PausedFull => return Err(SubmitError::Paused(f)),
+            Admit::Closed => return Err(SubmitError::Closed(f)),
         }
         let (handle, body) = self.shared.make_job(f);
         match self.lane {
@@ -580,24 +1392,21 @@ impl SubmitterHandle {
         Ok(handle)
     }
 
-    /// Blocking submission through the pinned lane; fails only once the
-    /// server is closed.
-    pub fn submit<R, F>(&mut self, f: F) -> Result<JobHandle<R>, Closed>
+    /// Blocking submission through the pinned lane; parks through
+    /// backpressure and fails only once the server is closed.
+    pub fn submit<R, F>(&mut self, f: F) -> Result<JobHandle<R>, SubmitError<F>>
     where
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
         let mut f = f;
-        let mut backoff = Backoff::new();
         loop {
             match self.try_submit(f) {
                 Ok(h) => return Ok(h),
-                Err(back) => {
-                    if self.shared.closed.load(Ordering::SeqCst) {
-                        return Err(Closed);
-                    }
+                Err(SubmitError::Closed(back)) => return Err(SubmitError::Closed(back)),
+                Err(SubmitError::Backpressure(back)) | Err(SubmitError::Paused(back)) => {
                     f = back;
-                    backoff.snooze();
+                    self.shared.wait_capacity();
                 }
             }
         }
@@ -606,8 +1415,17 @@ impl SubmitterHandle {
     /// Places an admitted job into the reserved lane, waiting out a full
     /// ring. Liveness: every queued job rang a doorbell, and workers
     /// never park while the ingress looks non-empty, so a full lane is
-    /// always being drained.
+    /// always being drained — except from a pause onward, where the job
+    /// diverts to the server's spill (the rings belong to the pause
+    /// drain) instead of blocking until resume.
     fn place_pinned(&self, lane: usize, body: JobBody) {
+        // Announce *before* the state check (see `ring_producers`).
+        self.shared.announce_ring_producer();
+        if !self.shared.rings_open() {
+            self.shared.retire_ring_producer();
+            self.shared.spill_job(body);
+            return;
+        }
         let shard = self.shared.ingress.shard(self.shard);
         let mut backoff = Backoff::new();
         let mut ptr = std::ptr::NonNull::from(Box::leak(Box::new(body)));
@@ -616,11 +1434,20 @@ impl SubmitterHandle {
                 Ok(()) => break,
                 Err(back) => {
                     ptr = back;
+                    if !self.shared.rings_open() {
+                        self.shared.retire_ring_producer();
+                        // SAFETY: the rejected pointer is the box we
+                        // leaked above.
+                        let body = *unsafe { Box::from_raw(back.as_ptr()) };
+                        self.shared.spill_job(body);
+                        return;
+                    }
                     self.shared.ring_doorbell(self.shard);
                     backoff.snooze();
                 }
             }
         }
+        self.shared.retire_ring_producer();
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.ring_doorbell(self.shard);
     }
@@ -657,6 +1484,7 @@ fn submitter_shard_hint(n_shards: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
 
     #[test]
     fn jobs_roundtrip_results() {
@@ -670,6 +1498,8 @@ mod tests {
         let report = server.shutdown();
         assert_eq!(report.stats.completed, 200);
         assert_eq!(report.stats.in_flight, 0);
+        assert_eq!(report.stats.generations, 1);
+        assert!(report.prior_regions.is_empty(), "single generation");
         let region = report.region.expect("clean serve");
         region.stats.check_invariants().unwrap();
     }
@@ -712,6 +1542,7 @@ mod tests {
                 .lanes_per_shard(1)
                 .lane_capacity(8),
         );
+        assert_eq!(server.stats().max_in_flight, 4, "bound under capacity");
         let mut handles = Vec::new();
         let mut accepted = 0;
         for _ in 0..64 {
@@ -725,7 +1556,10 @@ mod tests {
                     handles.push(h);
                     accepted += 1;
                 }
-                Err(_) => break,
+                Err(e) => {
+                    assert!(e.is_backpressure(), "serving bound ⇒ Backpressure: {e:?}");
+                    break;
+                }
             }
         }
         assert!(
@@ -747,6 +1581,30 @@ mod tests {
         assert_eq!(h.join().unwrap(), 1);
         let report = server.shutdown();
         assert_eq!(report.stats.submitted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_in_flight must be ≥ 1")]
+    fn zero_in_flight_bound_is_rejected_loudly() {
+        let mut cfg = ServerConfig::new(1);
+        cfg.max_in_flight = 0; // bypasses the builder's own assert
+        let _ = TaskServer::start(cfg);
+    }
+
+    #[test]
+    fn effective_in_flight_bound_is_surfaced() {
+        // Configured 1 000 000 but the rings only hold 1 lane × 8 slots:
+        // the clamp must be visible instead of silently applied.
+        let server = TaskServer::start(
+            ServerConfig::new(1)
+                .max_in_flight(1_000_000)
+                .lanes_per_shard(1)
+                .lane_capacity(8),
+        );
+        let capacity = server.ingress().capacity();
+        assert_eq!(server.stats().max_in_flight, capacity);
+        let report = server.shutdown();
+        assert_eq!(report.stats.max_in_flight, capacity);
     }
 
     #[test]
@@ -787,5 +1645,67 @@ mod tests {
         assert_eq!(b.submit(|_| 5u32).unwrap().join().unwrap(), 5);
         drop((a, b));
         server.shutdown();
+    }
+
+    #[test]
+    fn pause_resume_roundtrip_completes_queued_jobs() {
+        let server = TaskServer::start(ServerConfig::new(2));
+        assert_eq!(server.lifecycle(), Lifecycle::Serving);
+        let before = server.submit(|_| 1u32).unwrap();
+        server.pause().unwrap();
+        assert_eq!(server.lifecycle(), Lifecycle::Paused);
+        assert_eq!(before.join().unwrap(), 1, "in-team job drained by pause");
+
+        // Queued while paused: admitted, not executed.
+        let queued = server.submit(|_| 2u32).unwrap();
+        assert!(!queued.is_done());
+        assert_eq!(server.stats().queued, 1);
+
+        // Pause is idempotent; resume on a serving server errors.
+        server.pause().unwrap();
+        server.resume().unwrap();
+        assert_eq!(server.lifecycle(), Lifecycle::Serving);
+        assert_eq!(server.resume(), Err(LifecycleError::NotPaused));
+        assert_eq!(queued.join().unwrap(), 2);
+
+        let report = server.shutdown();
+        assert_eq!(report.stats.completed, 2);
+        assert_eq!(report.stats.generations, 2);
+        assert_eq!(report.prior_regions.len(), 1, "one retired generation");
+        assert!(report.region.is_some());
+    }
+
+    #[test]
+    fn paused_at_capacity_bounces_with_paused_error() {
+        let server = TaskServer::start(
+            ServerConfig::new(1)
+                .max_in_flight(2)
+                .lanes_per_shard(1)
+                .lane_capacity(4),
+        );
+        server.pause().unwrap();
+        let a = server.try_submit(|_| 1u32).unwrap();
+        let b = server.try_submit(|_| 2u32).unwrap();
+        let bounced = server.try_submit(|_| 3u32).unwrap_err();
+        assert!(
+            bounced.is_paused(),
+            "bound reached while paused must be Paused, got {bounced:?}"
+        );
+        server.resume().unwrap();
+        assert_eq!(a.join().unwrap(), 1);
+        assert_eq!(b.join().unwrap(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn lifecycle_errors_after_shutdown_begins() {
+        let server = TaskServer::start(ServerConfig::new(2));
+        server.pause().unwrap();
+        let queued = server.submit(|_| 7u32).unwrap();
+        // Shutdown from paused: the queued job still completes.
+        let report = server.shutdown();
+        assert_eq!(queued.join().unwrap(), 7);
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.in_flight, 0);
     }
 }

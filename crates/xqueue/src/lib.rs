@@ -60,4 +60,4 @@ pub mod spsc;
 pub use backoff::Backoff;
 pub use bqueue::{BQueue, DEFAULT_CAPACITY};
 pub use lattice::{LatticeStats, PushCursor, XQueueLattice};
-pub use parker::Parker;
+pub use parker::{Parker, ParkerCell};

@@ -35,7 +35,7 @@
 //! observes the payload and cancels. Both can happen; neither can be
 //! missed.
 
-use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Worker is running (or spinning); not observable by wakers.
@@ -312,6 +312,124 @@ impl Parker {
     }
 }
 
+/// A multi-generation doorbell: publishes the *current* team's [`Parker`]
+/// to threads that outlive any single team generation.
+///
+/// A persistent server that pauses and resumes replaces its team's parker
+/// at every generation boundary (the parker is sized per worker set), but
+/// submitter threads hold their doorbell reference across generations.
+/// `ParkerCell` closes that gap with a publication registry:
+///
+/// * [`publish`](Self::publish) installs a new generation's parker with a
+///   single `Release` pointer store — readers never take a lock;
+/// * [`with_current`](Self::with_current) runs a closure against the
+///   currently published parker (one `Acquire` load on the hot path);
+/// * every parker ever published is retained, so a reader that loaded the
+///   pointer just before a swap still dereferences a live parker — a
+///   *retired* parker has no sleepers (its region quiesced and
+///   `unpark_all` ran), so a stale notification is a harmless no-op;
+/// * the retained history also preserves retired generations' park/wake
+///   counters: [`parks`](Self::parks)/[`wakes`](Self::wakes) report
+///   cumulative totals across every generation.
+///
+/// Publications are expected to be rare (generation boundaries), so the
+/// retained history is bounded in practice by the pause/resume count —
+/// one small `Parker` allocation per generation is the price of keeping
+/// the reader side a single unsynchronized pointer load (freeing a
+/// retired parker would need hazard/epoch machinery on every doorbell).
+/// The cumulative counters are O(1): a retired parker's totals are
+/// folded into running sums at publish time (they are final by then —
+/// its region quiesced, and a stale notification on a parker with no
+/// sleepers bumps nothing).
+#[derive(Default)]
+pub struct ParkerCell {
+    current: AtomicPtr<Parker>,
+    /// Every parker ever published, in order. Never shrinks: this is what
+    /// keeps `current`'s referent alive for lock-free readers.
+    history: Mutex<Vec<std::sync::Arc<Parker>>>,
+    /// Final park/wake totals of every *retired* generation.
+    retired_parks: AtomicU64,
+    retired_wakes: AtomicU64,
+}
+
+impl ParkerCell {
+    /// An empty cell: [`with_current`](Self::with_current) returns `None`
+    /// until the first [`publish`](Self::publish).
+    pub fn new() -> Self {
+        ParkerCell {
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            history: Mutex::new(Vec::new()),
+            retired_parks: AtomicU64::new(0),
+            retired_wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs `parker` as the current generation's doorbell target,
+    /// retiring the previous one (its final counters are folded into the
+    /// cumulative totals).
+    pub fn publish(&self, parker: std::sync::Arc<Parker>) {
+        let raw = std::sync::Arc::as_ptr(&parker) as *mut Parker;
+        let mut history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(prev) = history.last() {
+            // The previous generation quiesced before its replacement is
+            // published, so these counters are final.
+            self.retired_parks
+                .fetch_add(prev.parks(), Ordering::Relaxed);
+            self.retired_wakes
+                .fetch_add(prev.wakes(), Ordering::Relaxed);
+        }
+        history.push(parker);
+        // The store is ordered after the history push (Release), so a
+        // reader that observes the pointer is guaranteed the Arc keeping
+        // it alive has already been retained.
+        self.current.store(raw, Ordering::Release);
+    }
+
+    /// Runs `f` against the currently published parker; `None` before the
+    /// first publication. Lock-free: one `Acquire` pointer load.
+    pub fn with_current<R>(&self, f: impl FnOnce(&Parker) -> R) -> Option<R> {
+        let raw = self.current.load(Ordering::Acquire);
+        if raw.is_null() {
+            return None;
+        }
+        // SAFETY: `raw` was published by `publish`, which retained the
+        // owning `Arc` in `history` first; history entries are never
+        // removed while the cell is alive, and `&self` keeps the cell
+        // alive for the duration of `f`.
+        Some(f(unsafe { &*raw }))
+    }
+
+    /// How many parkers have been published (server generations so far).
+    pub fn published(&self) -> usize {
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Cumulative committed parks across every published generation
+    /// (retired totals + the current parker's live counter; O(1)).
+    pub fn parks(&self) -> u64 {
+        self.retired_parks.load(Ordering::Relaxed) + self.with_current(|p| p.parks()).unwrap_or(0)
+    }
+
+    /// Cumulative delivered wake-ups across every published generation
+    /// (retired totals + the current parker's live counter; O(1)).
+    pub fn wakes(&self) -> u64 {
+        self.retired_wakes.load(Ordering::Relaxed) + self.with_current(|p| p.wakes()).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for ParkerCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParkerCell")
+            .field("published", &self.published())
+            .field("parks", &self.parks())
+            .field("wakes", &self.wakes())
+            .finish()
+    }
+}
+
 impl std::fmt::Debug for Parker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Parker")
@@ -494,6 +612,44 @@ mod tests {
         consumer.join().unwrap();
         assert_eq!(done.load(Ordering::Relaxed), TOKENS);
         assert_eq!(pending.load(Ordering::Relaxed), 0);
+    }
+
+    /// The multi-generation doorbell: counters accumulate across
+    /// published parkers, stale notifications on retired generations are
+    /// harmless, and wakes reach the current generation's sleepers.
+    #[test]
+    fn parker_cell_spans_generations() {
+        let cell = ParkerCell::new();
+        assert!(cell.with_current(|_| ()).is_none(), "empty cell");
+        assert_eq!(cell.notify_stats(), (0, 0));
+
+        // Generation 1: park, wake through the cell, retire.
+        let gen1 = Arc::new(Parker::new(&[0, 0]));
+        cell.publish(gen1.clone());
+        let h = park_on_thread(&gen1, 0);
+        wait_parked(&gen1, 1);
+        assert_eq!(cell.with_current(|p| p.notify_any(0)), Some(Some(0)));
+        h.join().unwrap();
+
+        // Generation 2 replaces it; a doorbell rung now must reach the
+        // new team, and the cumulative counters keep generation 1's.
+        let gen2 = Arc::new(Parker::new(&[0]));
+        cell.publish(gen2.clone());
+        assert_eq!(cell.published(), 2);
+        let h = park_on_thread(&gen2, 0);
+        wait_parked(&gen2, 1);
+        // A stale ring on the retired parker wakes nobody and breaks
+        // nothing (generation 1 has no sleepers left).
+        assert_eq!(gen1.notify_any(0), None);
+        assert_eq!(cell.with_current(|p| p.notify_any(0)), Some(Some(0)));
+        h.join().unwrap();
+        assert_eq!(cell.notify_stats(), (2, 2));
+    }
+
+    impl ParkerCell {
+        fn notify_stats(&self) -> (u64, u64) {
+            (self.parks(), self.wakes())
+        }
     }
 
     #[test]

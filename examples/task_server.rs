@@ -62,7 +62,10 @@ fn main() {
     // so the ingress runs with two NUMA shards.
     let runtime = RuntimeConfig::xgomptb(8)
         .topology(MachineTopology::new(2, 4, 1))
-        .dlb(DlbConfig::new(DlbStrategy::WorkSteal));
+        .dlb(DlbConfig::new(DlbStrategy::WorkSteal))
+        // The example asserts on parked_workers(): pin parking on so it
+        // holds under any XGOMP_WAIT_POLICY environment.
+        .park_idle(true);
     let server = TaskServer::start(
         ServerConfig::new(8)
             .runtime(runtime)
@@ -126,14 +129,54 @@ fn main() {
         server.wake_events(),
     );
 
+    // Multi-generation serving: pause the server (the whole team parks,
+    // ingress lanes survive), queue a backlog at ~0 CPU, then resume
+    // under a *different* configuration — half the workers on one
+    // socket, RedirectPush tuning — and let generation 2 complete the
+    // queued-while-paused jobs plus fresh ones.
+    server.pause().expect("pause");
+    assert_eq!(server.parked_workers(), n_workers, "paused team parked");
+    let paused_jobs: Vec<_> = (0..256u64)
+        .map(|i| server.submit(move |_| i).expect("queues while paused"))
+        .collect();
+    assert!(
+        paused_jobs.iter().all(|h| !h.is_done()),
+        "paused jobs must wait for resume"
+    );
+    eprintln!(
+        "[task_server] paused: {} jobs queued while every worker sleeps",
+        server.stats().queued
+    );
+    server
+        .resume_with(
+            RuntimeConfig::xgomptb(4)
+                .topology(MachineTopology::new(1, 4, 1))
+                .dlb(DlbConfig::new(DlbStrategy::RedirectPush)),
+        )
+        .expect("resume with new config");
+    let backlog: u64 = paused_jobs
+        .into_iter()
+        .map(|h| h.join().expect("queued job completes"))
+        .sum();
+    assert_eq!(backlog, (0..256u64).sum::<u64>(), "backlog conserved");
+    let fresh = server.submit(|_| 1u64).expect("generation 2 serves");
+    assert_eq!(fresh.join().expect("fresh job"), 1);
+    eprintln!(
+        "[task_server] generation {} serving on 4 workers under {} after the swap",
+        server.generation(),
+        server.active_dlb().strategy.name(),
+    );
+
     let hist = server.task_histogram();
     let report = server.shutdown();
     let total = SUBMITTERS * JOBS_PER_SUBMITTER;
     assert_eq!(
         report.stats.completed,
-        total + 1, // + the doorbell wake probe
+        total + 1 + 256 + 1, // + wake probe, paused backlog, gen-2 probe
         "every job completed"
     );
+    assert_eq!(report.stats.generations, 2);
+    assert_eq!(report.prior_regions.len(), 1);
     assert!(
         report.stats.retunes >= 1,
         "the distribution shift must trigger at least one live retune \

@@ -284,7 +284,15 @@ fn saturated_cooperative_joins_make_progress() {
 #[test]
 fn idle_server_parks_all_workers_and_stays_parked() {
     const THREADS: usize = 4;
-    let server = server(THREADS);
+    // Pin parking on: this test asserts the parking subsystem itself, so
+    // it must not inherit the `XGOMP_WAIT_POLICY=active` CI leg default.
+    let server = TaskServer::start(
+        ServerConfig::new(THREADS).runtime(
+            RuntimeConfig::xgomptb(THREADS)
+                .dlb(DlbConfig::new(DlbStrategy::WorkSteal))
+                .park_idle(true),
+        ),
+    );
     // Warm up: prove the team is fully serving before it goes idle.
     server.submit(|_| ()).unwrap().join().unwrap();
 
