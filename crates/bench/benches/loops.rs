@@ -1,0 +1,62 @@
+//! Criterion-style throughput comparison of the `parallel_for`
+//! schedules on the skewed triangular kernel (the statically
+//! unbalanceable case), plus a uniform-cost baseline — the quick
+//! regression companion of the `loop_schedules` binary's full matrix.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xgomp_bots::dataloops::{CostProfile, Kernel, Triangular};
+use xgomp_core::{DlbConfig, DlbStrategy, LoopSchedule, MachineTopology, Runtime, RuntimeConfig};
+
+const N: u64 = 4_000;
+const THREADS: usize = 8;
+
+fn runtime() -> Runtime {
+    Runtime::new(
+        RuntimeConfig::xgomptb(THREADS)
+            .topology(MachineTopology::new(2, THREADS / 2, 1))
+            .dlb(DlbConfig::new(DlbStrategy::WorkSteal).t_interval(64)),
+    )
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    for profile in [CostProfile::Skewed, CostProfile::Uniform] {
+        let kernel = Triangular::new(N, profile, 11);
+        let expect = kernel.seq_checksum();
+        let mut group = c.benchmark_group(format!("parallel_for/{}", profile.name()));
+        group.throughput(Throughput::Elements(N));
+        for sched in [
+            LoopSchedule::Static,
+            LoopSchedule::Dynamic(64),
+            LoopSchedule::Guided(16),
+            LoopSchedule::Adaptive,
+        ] {
+            let rt = runtime();
+            let kernel = &kernel;
+            group.bench_function(sched.name(), |b| {
+                b.iter(|| {
+                    let out = rt.parallel(|ctx| {
+                        let acc = AtomicU64::new(0);
+                        ctx.parallel_for(0..kernel.len(), sched, |i, _| {
+                            acc.fetch_add(kernel.value(i), Ordering::Relaxed);
+                        });
+                        acc.load(Ordering::Relaxed)
+                    });
+                    assert_eq!(out.result, expect);
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_schedules
+}
+criterion_main!(benches);

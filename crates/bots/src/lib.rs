@@ -28,10 +28,16 @@
 //!
 //! [`suite::BotsApp`] exposes the whole suite uniformly (name, run,
 //! digest) for the benchmark harness.
+//!
+//! Beyond BOTS, [`dataloops`] adds *data-parallel* kernels (row-skewed
+//! SpMV, triangular loop nest, fixed-point Mandelbrot) with tunable
+//! per-iteration imbalance, driving `TaskCtx::parallel_for`'s schedule
+//! comparison.
 
 #![warn(missing_docs)]
 
 pub mod align;
+pub mod dataloops;
 pub mod fft;
 pub mod fib;
 pub mod floorplan;

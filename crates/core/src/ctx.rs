@@ -249,6 +249,14 @@ impl<'t> TaskCtx<'t> {
     /// publication, link the dependency atomically, allocate, then push —
     /// falling back to immediate execution when the target queue is full.
     pub(crate) fn spawn_impl(&self, body: TaskBody, priority: i32) {
+        self.spawn_impl_placed(body, priority, None)
+    }
+
+    /// [`spawn_impl`](Self::spawn_impl) with an optional placement
+    /// target: `Some(t)` asks the scheduler to hand the task to worker
+    /// `t` (the zone-affine placement of loop-drain tasks; schedulers
+    /// without per-worker queues ignore it).
+    pub(crate) fn spawn_impl_placed(&self, body: TaskBody, priority: i32, target: Option<usize>) {
         let team = self.team;
         let w = self.worker;
         let t0 = if team.profiling { clock::now() } else { 0 };
@@ -260,7 +268,11 @@ impl<'t> TaskCtx<'t> {
         // SAFETY: this thread owns worker slot `w`.
         let ptr = unsafe { team.alloc.alloc(w, Some(body), Some(self.task), priority) };
         WorkerStats::inc(&team.stats[w].tasks_created);
-        match team.sched.spawn(w, ptr) {
+        let pushed = match target {
+            Some(t) => team.sched.spawn_to(w, t, ptr),
+            None => team.sched.spawn(w, ptr),
+        };
+        match pushed {
             Ok(()) => {
                 if team.profiling {
                     team.log_span(w, EventKind::TaskCreate, t0);
@@ -308,6 +320,21 @@ impl<'ctx, 'env> Scope<'ctx, 'env> {
         // SAFETY: as in `spawn`.
         let boxed: TaskBody = unsafe { std::mem::transmute(boxed) };
         self.ctx.spawn_impl(boxed, priority);
+    }
+
+    /// Spawns a borrowing task with a *placement target*: worker
+    /// `target` gets the task in its own queue (best effort — a full
+    /// queue falls back to immediate execution, and dynamic load
+    /// balancing may still migrate it). This is how `parallel_for`
+    /// places its per-worker loop-drain tasks zone-affinely.
+    pub fn spawn_on<F>(&self, target: usize, f: F)
+    where
+        F: FnOnce(&TaskCtx<'_>) + Send + 'env,
+    {
+        let boxed: Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'env> = Box::new(f);
+        // SAFETY: as in `spawn`.
+        let boxed: TaskBody = unsafe { std::mem::transmute(boxed) };
+        self.ctx.spawn_impl_placed(boxed, 0, Some(target));
     }
 
     /// The underlying context (worker id, topology queries).

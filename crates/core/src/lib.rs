@@ -42,6 +42,8 @@
 //! * scheduling: [`sched`] (GOMP / LOMP / XQueue backends);
 //! * termination: [`barrier`] (centralized / atomic-count / tree);
 //! * load balancing: [`dlb`] (messaging protocol, NA-RP, NA-WS);
+//! * data parallelism: [`loops`] (`parallel_for`, NUMA-aware
+//!   iteration-space scheduling over per-zone range pools);
 //! * tuning: [`guidelines`] (Table IV as code).
 
 #![warn(missing_docs)]
@@ -53,6 +55,7 @@ mod config;
 mod ctx;
 pub mod dlb;
 pub mod guidelines;
+pub mod loops;
 mod sched;
 mod task;
 mod team;
@@ -63,13 +66,15 @@ pub use barrier::BarrierKind;
 pub use config::RuntimeConfig;
 pub use ctx::{Scope, TaskCtx};
 pub use dlb::{DlbConfig, DlbStrategy, DlbTuning};
+pub use loops::{LoopReport, LoopSchedule};
 pub use sched::SchedulerKind;
 pub use team::{IngressSource, PersistentTeam, RegionOutput, Runtime};
 
 // Re-exports so downstream crates need only depend on xgomp-core.
 pub use xgomp_profiling::{
-    clock, render_task_counts, render_timeline, state_summary, EventKind, LiveTaskSampler, PerfLog,
-    ProfileDump, StatsSnapshot, TaskSizeHistogram, TeamStats,
+    clock, render_task_counts, render_timeline, state_summary, EventKind, LiveTaskSampler,
+    LoopTelemetry, LoopTelemetrySnapshot, PerfLog, ProfileDump, StatsSnapshot, TaskSizeHistogram,
+    TeamStats,
 };
 pub use xgomp_topology::{Affinity, CostModel, Locality, MachineTopology, Placement};
 pub use xgomp_xqueue::{Parker, ParkerCell};

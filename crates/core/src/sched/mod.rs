@@ -85,6 +85,17 @@ pub(crate) trait Scheduler: Send + Sync {
     /// schedulers never return `Err`.
     fn spawn(&self, w: usize, task: NonNull<Task>) -> Result<(), NonNull<Task>>;
 
+    /// Publishes a task with a *placement target*: the caller wants
+    /// `target` (a worker index) to execute it — the zone-affine initial
+    /// placement of `parallel_for`'s per-worker loop-drain tasks. The
+    /// default ignores the hint (schedulers without per-worker queues
+    /// cannot honor it); the overflow rule is as for
+    /// [`spawn`](Self::spawn).
+    fn spawn_to(&self, w: usize, target: usize, task: NonNull<Task>) -> Result<(), NonNull<Task>> {
+        let _ = target;
+        self.spawn(w, task)
+    }
+
     /// Fetches the next task for worker `w`, if any.
     fn next_task(&self, w: usize) -> Option<NonNull<Task>>;
 

@@ -86,6 +86,25 @@ impl Scheduler for XQueueScheduler {
         }
     }
 
+    fn spawn_to(&self, w: usize, target: usize, task: NonNull<Task>) -> Result<(), NonNull<Task>> {
+        // Explicit placement (loop-drain tasks): bypass both the NA-RP
+        // redirect and the round-robin cursor — the caller chose the
+        // consumer. The overflow rule still applies; a full target queue
+        // hands the task back for immediate execution on the caller.
+        let target = target % self.n;
+        // SAFETY: w owns producer role w.
+        match unsafe { self.lattice.push(w, target, task) } {
+            Ok(()) => {
+                WorkerStats::inc(&self.stats[w].ntasks_static_push);
+                if target != w {
+                    self.parker.notify_push(target);
+                }
+                Ok(())
+            }
+            Err(t) => Err(t),
+        }
+    }
+
     fn next_task(&self, w: usize) -> Option<NonNull<Task>> {
         // SAFETY: w owns consumer role w.
         unsafe { self.lattice.pop(w) }

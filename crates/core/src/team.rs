@@ -24,7 +24,9 @@ use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use xgomp_profiling::{clock, EventKind, LiveTaskSampler, PerfLog, TeamStats, WorkerStats};
+use xgomp_profiling::{
+    clock, EventKind, LiveTaskSampler, LoopTelemetry, PerfLog, TeamStats, WorkerStats,
+};
 use xgomp_topology::{CostModel, Placement};
 use xgomp_xqueue::{Backoff, Parker};
 
@@ -78,6 +80,9 @@ pub(crate) struct TeamExtras {
     pub source: Option<Arc<dyn IngressSource>>,
     pub sampler: Option<Arc<LiveTaskSampler>>,
     pub tuning: Option<Arc<DlbTuning>>,
+    /// Cross-generation loop-subsystem counters (`parallel_for` folds
+    /// its per-loop totals in here when present).
+    pub loop_stats: Option<Arc<LoopTelemetry>>,
     /// Catch task-body panics instead of poisoning the team: the payload
     /// is carried to the parent's next `taskwait`, which re-raises it
     /// (per-job isolation in `xgomp-service`).
@@ -102,6 +107,8 @@ pub(crate) struct TeamShared {
     pub source: Option<Arc<dyn IngressSource>>,
     /// Online task-size sampling (always-on when present).
     pub sampler: Option<Arc<LiveTaskSampler>>,
+    /// Cross-generation loop counters (see [`TeamExtras::loop_stats`]).
+    pub loop_stats: Option<Arc<LoopTelemetry>>,
     /// The region's implicit task, published by the master so idle
     /// workers can parent injected tasks to it; null outside a region.
     pub root: AtomicPtr<Task>,
@@ -144,6 +151,7 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
         poisoned: AtomicBool::new(false),
         source: extras.source,
         sampler: extras.sampler,
+        loop_stats: extras.loop_stats,
         root: AtomicPtr::new(std::ptr::null_mut()),
         isolate_panics: extras.isolate_panics,
         parker,
@@ -697,6 +705,7 @@ impl PersistentTeam {
         source: Arc<dyn IngressSource>,
         sampler: Option<Arc<LiveTaskSampler>>,
         tuning: Option<Arc<DlbTuning>>,
+        loop_stats: Option<Arc<LoopTelemetry>>,
         f: impl FnOnce(&TaskCtx<'_>) -> R,
     ) -> RegionOutput<R> {
         if let Some(s) = &sampler {
@@ -713,6 +722,7 @@ impl PersistentTeam {
                 source: Some(source),
                 sampler,
                 tuning,
+                loop_stats,
                 isolate_panics: true,
             },
             f,
@@ -1166,7 +1176,7 @@ mod tests {
         let sampler = Arc::new(xgomp_profiling::LiveTaskSampler::new(4));
         let mut team = PersistentTeam::new(RuntimeConfig::xgomptb(4));
         let h2 = hits.clone();
-        let out = team.run_serving(source, Some(sampler.clone()), None, move |ctx| {
+        let out = team.run_serving(source, Some(sampler.clone()), None, None, move |ctx| {
             // The master helps until every injected job has executed.
             while h2.load(Ordering::Relaxed) < JOBS {
                 ctx.run_pending(32);

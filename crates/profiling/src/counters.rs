@@ -82,6 +82,16 @@ counters! {
     nsteal_local,
     /// Of the stolen tasks, how many went to a NUMA-remote thief.
     nsteal_remote,
+    /// Loop chunks executed by this worker (`parallel_for`).
+    nloop_chunks,
+    /// Loop iterations executed by this worker.
+    nloop_iters,
+    /// Of the executed chunks, how many were claimed from the worker's
+    /// own zone's range pool (the zone-local-first fast path).
+    nloop_claim_local,
+    /// Cross-zone range steal-splits performed by this worker (its own
+    /// zone's pool ran dry; a remote pool's upper half was taken).
+    nloop_range_steals,
 }
 
 impl WorkerStats {
@@ -158,6 +168,24 @@ impl TeamStats {
             return Err(format!(
                 "steal locality {}+{} != stolen {}",
                 t.nsteal_local, t.nsteal_remote, t.ntasks_stolen
+            ));
+        }
+        if t.nloop_iters < t.nloop_chunks {
+            return Err(format!(
+                "loop iters {} < chunks {} (every chunk runs ≥ 1 iteration)",
+                t.nloop_iters, t.nloop_chunks
+            ));
+        }
+        if t.nloop_claim_local > t.nloop_chunks {
+            return Err(format!(
+                "local claims {} > chunks {}",
+                t.nloop_claim_local, t.nloop_chunks
+            ));
+        }
+        if t.nloop_range_steals > t.nloop_chunks {
+            return Err(format!(
+                "range steals {} > chunks {} (a thief executes ≥ 1 chunk per steal)",
+                t.nloop_range_steals, t.nloop_chunks
             ));
         }
         Ok(())

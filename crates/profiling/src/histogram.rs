@@ -88,6 +88,75 @@ impl TaskSizeHistogram {
         10u64.pow(i as u32)
     }
 
+    /// The window between an `earlier` cumulative snapshot and this one:
+    /// bucket counts, task count and tick totals are differenced
+    /// (saturating — a rebound sampler yields an empty window instead of
+    /// nonsense). `min_ticks`/`max_ticks` are not diffable and are
+    /// reported as the cumulative values.
+    pub fn window_since(&self, earlier: &TaskSizeHistogram) -> TaskSizeHistogram {
+        let mut w = TaskSizeHistogram {
+            count: self.count.saturating_sub(earlier.count),
+            total_ticks: self.total_ticks.saturating_sub(earlier.total_ticks),
+            min_ticks: self.min_ticks,
+            max_ticks: self.max_ticks,
+            ..Default::default()
+        };
+        for (dst, (now, was)) in w
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *dst = now.saturating_sub(*was);
+        }
+        w
+    }
+
+    /// Index of the decade holding the most tasks, or `None` when the
+    /// histogram is empty. Ties are broken toward the decade containing
+    /// the distribution's *median* sample (the percentile tie-break of
+    /// the modal-decade classifier): of the tied maxima, the one closest
+    /// to the median decade wins; an exact distance tie goes to the
+    /// smaller decade (finer-grained tuning is the safer default).
+    pub fn modal_decade_index(&self) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let max = *self.buckets.iter().max().unwrap();
+        // Median decade: smallest index whose cumulative count reaches
+        // half the samples.
+        let half = self.count.div_ceil(2);
+        let mut cum = 0u64;
+        let mut median = 0usize;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= half {
+                median = i;
+                break;
+            }
+        }
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == max)
+            .min_by_key(|&(i, _)| (i.abs_diff(median), i))
+            .map(|(i, _)| i)
+    }
+
+    /// A representative per-task cycle count for guideline
+    /// classification: the *modal decade* of the distribution (argmax
+    /// bucket, median tie-break), positioned within the decade by the
+    /// histogram's mean when the mean falls inside it and clamped to the
+    /// decade's bounds otherwise. Unlike the raw mean, this cannot be
+    /// dragged across a class boundary by a minority of outliers — a
+    /// bimodal window (many tiny tasks, a few huge ones) classifies by
+    /// what *most* tasks look like. `None` when empty.
+    pub fn modal_cycles(&self) -> Option<u64> {
+        let i = self.modal_decade_index()?;
+        let lo = if i == 0 { 0 } else { 10u64.pow(i as u32) };
+        let hi = 10u64.pow(i as u32 + 1) - 1;
+        Some(self.mean().clamp(lo, hi))
+    }
+
     /// Renders an ASCII distribution, one row per decade.
     pub fn render(&self) -> String {
         let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
@@ -207,6 +276,70 @@ mod tests {
         let s = h.render();
         assert!(s.contains("tasks=5"));
         assert!(s.contains("10^2..10^3"));
+    }
+
+    #[test]
+    fn window_since_diffs_buckets_and_totals() {
+        let mut early = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
+        early.record(50);
+        early.record(5_000);
+        let mut late = early.clone();
+        late.record(50);
+        late.record(50);
+        late.record(700);
+        let w = late.window_since(&early);
+        assert_eq!(w.count, 3);
+        assert_eq!(w.buckets[1], 2); // the two new 50s
+        assert_eq!(w.buckets[2], 1); // 700
+        assert_eq!(w.buckets[3], 0, "pre-window 5000 excluded");
+        assert_eq!(w.total_ticks, 50 + 50 + 700);
+        // Rebound sampler (counts went backwards) yields an empty window.
+        assert_eq!(early.window_since(&late).count, 0);
+    }
+
+    #[test]
+    fn modal_decade_index_argmax_and_median_tie_break() {
+        let mut h = TaskSizeHistogram::default();
+        assert_eq!(h.modal_decade_index(), None, "empty has no mode");
+        h.buckets = [0, 6, 0, 2, 0, 0, 0, 0, 0];
+        h.count = 8;
+        assert_eq!(h.modal_decade_index(), Some(1));
+        // Tie between decades 1 and 6; the median sample sits in decade
+        // 1's half of the distribution, so the tie breaks low.
+        h.buckets = [0, 5, 1, 0, 0, 0, 5, 0, 0];
+        h.count = 11;
+        assert_eq!(h.modal_decade_index(), Some(1));
+        // Mass shifted high: median now lives in decade 6.
+        h.buckets = [0, 5, 0, 0, 0, 1, 5, 0, 0];
+        h.count = 11;
+        assert_eq!(h.modal_decade_index(), Some(6));
+    }
+
+    #[test]
+    fn modal_cycles_resists_bimodal_outliers() {
+        // 1000 tasks of ~50 cycles + 100 tasks of ~5M cycles: the mean
+        // (~455k) says "huge tasks", the modal decade says what most
+        // tasks are — tiny — and clamps the representative into it.
+        let mut h = TaskSizeHistogram {
+            min_ticks: u64::MAX,
+            ..Default::default()
+        };
+        for _ in 0..1_000 {
+            h.record(50);
+        }
+        for _ in 0..100 {
+            h.record(5_000_000);
+        }
+        assert!(h.mean() > 100_000, "mean is outlier-dragged");
+        assert_eq!(h.modal_decade_index(), Some(1));
+        let rep = h.modal_cycles().unwrap();
+        assert!(
+            (10..100).contains(&rep),
+            "representative in 10..100, got {rep}"
+        );
     }
 
     #[test]

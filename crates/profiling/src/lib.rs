@@ -28,10 +28,14 @@ mod counters;
 mod events;
 mod histogram;
 mod live;
+mod loopstats;
 mod timeline;
 
 pub use counters::{StatsSnapshot, TeamStats, WorkerStats};
 pub use events::{EventKind, EventRecord, PerfLog, ProfileDump};
 pub use histogram::{decade_index, TaskSizeHistogram};
 pub use live::LiveTaskSampler;
+pub use loopstats::{
+    LoopTelemetry, LoopTelemetrySnapshot, ScheduleSnapshot, LOOP_SCHEDULES, LOOP_SCHEDULE_NAMES,
+};
 pub use timeline::{render_task_counts, render_timeline, state_summary, StateSummaryRow};

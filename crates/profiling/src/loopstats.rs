@@ -1,0 +1,132 @@
+//! Cross-generation telemetry of the data-parallel loop subsystem.
+//!
+//! Per-*region* loop counters live in [`WorkerStats`](crate::WorkerStats)
+//! (single-writer, collected into each generation's `RegionOutput`).
+//! [`LoopTelemetry`] is the *persistent* counterpart a long-lived server
+//! hangs onto across pause/resume cycles and config swaps: one shared
+//! block of per-schedule chunk/iteration/steal counters, updated once
+//! per completed `parallel_for` (not per chunk), so plain `fetch_add`
+//! contention is irrelevant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of loop-schedule families tracked (Static / Dynamic / Guided /
+/// Adaptive, in that index order — see `xgomp_core::loops::LoopSchedule`).
+pub const LOOP_SCHEDULES: usize = 4;
+
+/// Canonical schedule names, index-aligned with the counters.
+pub const LOOP_SCHEDULE_NAMES: [&str; LOOP_SCHEDULES] = ["static", "dynamic", "guided", "adaptive"];
+
+/// One schedule family's counter block.
+#[derive(Debug, Default)]
+struct ScheduleCounters {
+    loops: AtomicU64,
+    chunks: AtomicU64,
+    iters: AtomicU64,
+    range_steals: AtomicU64,
+}
+
+/// Persistent per-schedule loop counters (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct LoopTelemetry {
+    per_schedule: [ScheduleCounters; LOOP_SCHEDULES],
+}
+
+impl LoopTelemetry {
+    /// A zeroed telemetry block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one completed loop's totals into schedule `schedule`
+    /// (index order of [`LOOP_SCHEDULE_NAMES`]; out-of-range indices are
+    /// clamped into the last family rather than dropped).
+    pub fn record_loop(&self, schedule: usize, chunks: u64, iters: u64, range_steals: u64) {
+        let s = &self.per_schedule[schedule.min(LOOP_SCHEDULES - 1)];
+        s.loops.fetch_add(1, Ordering::Relaxed);
+        s.chunks.fetch_add(chunks, Ordering::Relaxed);
+        s.iters.fetch_add(iters, Ordering::Relaxed);
+        s.range_steals.fetch_add(range_steals, Ordering::Relaxed);
+    }
+
+    /// Plain-value snapshot.
+    pub fn snapshot(&self) -> LoopTelemetrySnapshot {
+        let mut snap = LoopTelemetrySnapshot::default();
+        for (i, s) in self.per_schedule.iter().enumerate() {
+            snap.per_schedule[i] = ScheduleSnapshot {
+                schedule: LOOP_SCHEDULE_NAMES[i],
+                loops: s.loops.load(Ordering::Relaxed),
+                chunks: s.chunks.load(Ordering::Relaxed),
+                iters: s.iters.load(Ordering::Relaxed),
+                range_steals: s.range_steals.load(Ordering::Relaxed),
+            };
+        }
+        snap
+    }
+}
+
+/// Snapshot of one schedule family's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleSnapshot {
+    /// Schedule family name (`"static"` / `"dynamic"` / `"guided"` /
+    /// `"adaptive"`).
+    pub schedule: &'static str,
+    /// Completed `parallel_for` regions.
+    pub loops: u64,
+    /// Chunks executed.
+    pub chunks: u64,
+    /// Iterations executed.
+    pub iters: u64,
+    /// Cross-zone range steal-splits performed.
+    pub range_steals: u64,
+}
+
+/// Snapshot of a whole [`LoopTelemetry`] block.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoopTelemetrySnapshot {
+    /// One entry per schedule family, index-aligned with
+    /// [`LOOP_SCHEDULE_NAMES`].
+    pub per_schedule: [ScheduleSnapshot; LOOP_SCHEDULES],
+}
+
+impl LoopTelemetrySnapshot {
+    /// Totals across all schedule families:
+    /// `(loops, chunks, iters, range_steals)`.
+    pub fn totals(&self) -> (u64, u64, u64, u64) {
+        self.per_schedule.iter().fold((0, 0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.loops,
+                acc.1 + s.chunks,
+                acc.2 + s.iters,
+                acc.3 + s.range_steals,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_schedule() {
+        let t = LoopTelemetry::new();
+        t.record_loop(0, 10, 1_000, 0);
+        t.record_loop(1, 20, 2_000, 3);
+        t.record_loop(1, 5, 500, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.per_schedule[0].loops, 1);
+        assert_eq!(snap.per_schedule[0].chunks, 10);
+        assert_eq!(snap.per_schedule[1].loops, 2);
+        assert_eq!(snap.per_schedule[1].chunks, 25);
+        assert_eq!(snap.per_schedule[1].range_steals, 4);
+        assert_eq!(snap.totals(), (3, 35, 3_500, 4));
+    }
+
+    #[test]
+    fn out_of_range_schedule_clamps() {
+        let t = LoopTelemetry::new();
+        t.record_loop(99, 1, 1, 0);
+        assert_eq!(t.snapshot().per_schedule[LOOP_SCHEDULES - 1].loops, 1);
+    }
+}

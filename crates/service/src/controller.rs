@@ -9,6 +9,19 @@
 //! whenever the recommendation changes. Workers observe the new knobs at
 //! their next scheduling point; nothing stops or restarts.
 //!
+//! ## Classification: modal decade, not window mean
+//!
+//! The window is classified by its **modal decade** — the decade bucket
+//! of the window histogram holding the most tasks, with a percentile
+//! (median) tie-break, positioned within the decade by the window mean
+//! (see `TaskSizeHistogram::modal_cycles`). A plain window *mean* is
+//! dragged across Table-IV class boundaries by minority outliers: a
+//! window of mostly 50-cycle tasks with a few million-cycle stragglers
+//! has a mean in the "coarse" class and would tune NA-RP against a
+//! workload that is overwhelmingly fine-grained. The modal decade tunes
+//! for what *most* tasks look like, which is what the paper's "highest
+//! proportion around 10^k cycles" characterization keys on.
+//!
 //! ## Hysteresis
 //!
 //! A workload whose mean task size straddles a Table-IV class boundary
@@ -59,17 +72,6 @@ pub struct AdaptiveController {
     /// the last value observed by [`tick`](Self::tick).
     swap_epoch: Option<Arc<AtomicU64>>,
     seen_epoch: u64,
-}
-
-/// Mean task size of the window between two cumulative snapshots.
-/// Returns `None` for an empty window.
-pub(crate) fn window_mean(last: &TaskSizeHistogram, now: &TaskSizeHistogram) -> Option<u64> {
-    let count = now.count.checked_sub(last.count)?;
-    if count == 0 {
-        return None;
-    }
-    let ticks = now.total_ticks.saturating_sub(last.total_ticks);
-    Some(ticks / count)
 }
 
 impl AdaptiveController {
@@ -126,7 +128,9 @@ impl AdaptiveController {
 
     /// Called from the master loop at every scheduling opportunity; when
     /// a full window of tasks has completed since the last check,
-    /// re-applies Table IV to the window's mean task size. A changed
+    /// re-applies Table IV to the window's modal-decade task size (see
+    /// the [module docs](self) — the mean is only used to position the
+    /// representative within the modal decade). A changed
     /// recommendation is published only once `confirm_windows`
     /// consecutive windows agree on it. Returns the newly published
     /// config if this tick caused an effective retune.
@@ -152,10 +156,14 @@ impl AdaptiveController {
             return None;
         }
         let now = self.sampler.snapshot();
-        let mean = window_mean(&self.last, &now)?;
+        let window = now.window_since(&self.last);
         self.last = now;
+        // Modal-decade classification (median tie-break, mean-positioned
+        // within the decade) — robust to distributions that straddle a
+        // Table-IV class boundary only through their tails.
+        let rep = window.modal_cycles()?;
 
-        let recommended = recommend_dlb(mean);
+        let recommended = recommend_dlb(rep);
         let active = self.tuning.load();
         if recommended == active {
             // Boundary flap back onto the active class: abandon any
@@ -180,10 +188,12 @@ impl AdaptiveController {
         self.tuning.store(recommended);
         if self.log {
             eprintln!(
-                "[xgomp-service] DLB retune #{}: window mean {} cycles/task -> {} \
+                "[xgomp-service] DLB retune #{}: window modal {} cycles/task \
+                 (mean {}) -> {} \
                  (n_victim={}, n_steal={}, t_interval={}, p_local={}, steal size {:.0})",
                 self.tuning.retunes(),
-                mean,
+                rep,
+                window.mean(),
                 recommended.strategy.name(),
                 recommended.n_victim,
                 recommended.n_steal,
@@ -392,20 +402,37 @@ mod tests {
         );
     }
 
+    /// Regression for the modal-decade classifier: a *bimodal* window —
+    /// overwhelmingly fine tasks plus a minority of huge ones — must
+    /// tune for the majority class. The old window-mean classifier saw
+    /// a mean of ~450k cycles (outlier-dragged across the 10^4 class
+    /// boundary) and tuned NA-RP against a workload that is 90%+
+    /// 50-cycle tasks.
     #[test]
-    fn window_mean_diffs_snapshots() {
-        let a = TaskSizeHistogram {
-            count: 10,
-            total_ticks: 1_000,
-            ..Default::default()
-        };
-        let b = TaskSizeHistogram {
-            count: 30,
-            total_ticks: 5_000,
-            ..Default::default()
-        };
-        assert_eq!(window_mean(&a, &b), Some(200));
-        assert_eq!(window_mean(&b, &b), None);
+    fn bimodal_window_tunes_for_the_majority_class() {
+        let tuning = Arc::new(DlbTuning::new(
+            // Seed with the coarse-class config so a fine-class retune is
+            // observable as a strategy change.
+            recommend_dlb(200_000),
+        ));
+        let sampler = Arc::new(LiveTaskSampler::new(2));
+        let mut c =
+            AdaptiveController::new(tuning.clone(), sampler.clone(), 512, false).confirm_windows(2);
+        for _ in 0..2 {
+            // One window: 1000 tiny tasks + 100 huge ones. Window mean
+            // ≈ 455k cycles (coarse class); modal decade is 10^1..10^2.
+            feed(&sampler, 0, 1_000, 50);
+            feed(&sampler, 1, 100, 5_000_000);
+            c.tick();
+        }
+        let active = tuning.load();
+        assert_eq!(
+            active.strategy,
+            DlbStrategy::WorkSteal,
+            "bimodal window must classify by its modal decade (fine), \
+             not its outlier-dragged mean (coarse)"
+        );
+        assert_eq!(active, recommend_dlb(50));
     }
 
     #[test]

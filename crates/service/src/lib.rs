@@ -82,6 +82,35 @@
 //! DLB engine balances across the team — the server is the front door,
 //! not a replacement, for the paper's runtime.
 //!
+//! ## Data-parallel jobs
+//!
+//! [`TaskServer::submit_for`] serves whole *loops* as jobs: the body
+//! runs once per index, scheduled by a [`LoopSchedule`] over NUMA-zone
+//! range pools with zone-local-first range stealing (see
+//! `xgomp_core::loops`). Admission, panic isolation and pause/resume
+//! treat the loop exactly like any other job; the handle completes with
+//! the loop's [`LoopReport`].
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//! use xgomp_service::{LoopSchedule, ServerConfig, TaskServer};
+//!
+//! let server = TaskServer::start(ServerConfig::new(2));
+//! let sum = Arc::new(AtomicU64::new(0));
+//! let s = sum.clone();
+//! let report = server
+//!     .submit_for(0..1_000, LoopSchedule::Guided(16), move |i, _ctx| {
+//!         s.fetch_add(i, Ordering::Relaxed);
+//!     })
+//!     .expect("server is open")
+//!     .join()
+//!     .unwrap();
+//! assert_eq!(report.iterations, 1_000);
+//! assert_eq!(sum.load(Ordering::Relaxed), (0..1_000u64).sum());
+//! server.shutdown();
+//! ```
+//!
 //! ## Blocking inside jobs
 //!
 //! Workers are cooperative: a job that *parks* its worker on another
@@ -107,6 +136,10 @@ pub use ingress::{IngressShard, ShardedIngress};
 pub use server::{
     Lifecycle, LifecycleError, ServerReport, ServerStats, SubmitError, SubmitterHandle, TaskServer,
 };
+
+// Loop-subsystem types a data-parallel client needs, re-exported so
+// `submit_for` is usable from this crate alone.
+pub use xgomp_core::{LoopReport, LoopSchedule, LoopTelemetrySnapshot};
 
 use xgomp_core::{DlbConfig, DlbStrategy, RuntimeConfig};
 

@@ -66,8 +66,9 @@ use crate::handle::{JobHandle, JobPanic};
 use crate::ingress::{JobBody, ShardedIngress};
 use crate::ServerConfig;
 use xgomp_core::{
-    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, ParkerCell, PersistentTeam,
-    RegionOutput, RuntimeConfig, TaskCtx, TaskSizeHistogram,
+    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, LoopReport, LoopSchedule,
+    LoopTelemetry, LoopTelemetrySnapshot, ParkerCell, PersistentTeam, RegionOutput, RuntimeConfig,
+    TaskCtx, TaskSizeHistogram,
 };
 use xgomp_topology::Placement;
 use xgomp_xqueue::Backoff;
@@ -262,6 +263,11 @@ pub(crate) struct ServerShared {
     /// Bumped on every external `DlbTuning` swap; the controller resets
     /// its hysteresis when it observes a change.
     swap_epoch: Arc<AtomicU64>,
+    /// Loop-subsystem telemetry (`parallel_for` chunk/steal counters),
+    /// owned by the *server*, not by any generation: every generation's
+    /// team folds into the same block, so — like the ingress lane
+    /// counters — these survive pause/resume cycles and config swaps.
+    loop_stats: Arc<LoopTelemetry>,
 }
 
 impl ServerShared {
@@ -494,6 +500,40 @@ enum Admit {
     Closed,
 }
 
+impl ServerShared {
+    /// The admission gate shared by every submission flavor: reserves an
+    /// in-flight slot and hands `payload` back, or maps the refusal onto
+    /// the right [`SubmitError`] carrying the payload.
+    fn admit_or<F>(&self, payload: F) -> Result<F, SubmitError<F>> {
+        match self.try_admit() {
+            Admit::Ok => Ok(payload),
+            Admit::Busy => Err(SubmitError::Backpressure(payload)),
+            Admit::PausedFull => Err(SubmitError::Paused(payload)),
+            Admit::Closed => Err(SubmitError::Closed(payload)),
+        }
+    }
+}
+
+/// The blocking-submission retry loop shared by every `submit` flavor:
+/// parks on the capacity condvar through backpressure (and through a
+/// pause at the bound), failing only once the server is closed.
+fn submit_blocking<F, R>(
+    shared: &ServerShared,
+    mut payload: F,
+    mut try_fn: impl FnMut(F) -> Result<R, SubmitError<F>>,
+) -> Result<R, SubmitError<F>> {
+    loop {
+        match try_fn(payload) {
+            Ok(h) => return Ok(h),
+            Err(SubmitError::Closed(back)) => return Err(SubmitError::Closed(back)),
+            Err(SubmitError::Backpressure(back)) | Err(SubmitError::Paused(back)) => {
+                payload = back;
+                shared.wait_capacity();
+            }
+        }
+    }
+}
+
 /// The [`IngressSource`] wired into one generation's team: idle workers
 /// (and the master loop) drain their zone's shard and spawn the jobs.
 /// Rebuilt per generation so the worker → shard map always matches the
@@ -581,6 +621,17 @@ pub struct ServerStats {
     /// Cumulative committed parks across all generations — a fully idle
     /// server stops advancing this counter once everyone sleeps.
     pub parks: u64,
+    /// Data-parallel loops completed (`submit_for` / `parallel_for`),
+    /// cumulative across generations.
+    pub loops: u64,
+    /// Loop chunks executed, cumulative across generations.
+    pub loop_chunks: u64,
+    /// Loop iterations executed, cumulative across generations.
+    pub loop_iters: u64,
+    /// Cross-zone loop-range steal-splits, cumulative across
+    /// generations. Per-schedule breakdowns:
+    /// [`TaskServer::loop_telemetry`].
+    pub loop_range_steals: u64,
 }
 
 /// What [`TaskServer::shutdown`] returns after the drain.
@@ -697,6 +748,7 @@ impl TaskServer {
             sampler: Mutex::new(sampler.clone()),
             retired_hist: Mutex::new(TaskSizeHistogram::default()),
             swap_epoch: Arc::new(AtomicU64::new(0)),
+            loop_stats: Arc::new(LoopTelemetry::new()),
         });
 
         let master = {
@@ -739,12 +791,7 @@ impl TaskServer {
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        match self.shared.try_admit() {
-            Admit::Ok => {}
-            Admit::Busy => return Err(SubmitError::Backpressure(f)),
-            Admit::PausedFull => return Err(SubmitError::Paused(f)),
-            Admit::Closed => return Err(SubmitError::Closed(f)),
-        }
+        let f = self.shared.admit_or(f)?;
         let (handle, body) = self.shared.make_job(f);
         let hint = submitter_shard_hint(self.shared.ingress.n_shards());
         self.shared.place_anonymous(hint, body);
@@ -759,17 +806,52 @@ impl TaskServer {
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let mut f = f;
-        loop {
-            match self.try_submit(f) {
-                Ok(h) => return Ok(h),
-                Err(SubmitError::Closed(back)) => return Err(SubmitError::Closed(back)),
-                Err(SubmitError::Backpressure(back)) | Err(SubmitError::Paused(back)) => {
-                    f = back;
-                    self.shared.wait_capacity();
-                }
-            }
-        }
+        submit_blocking(&self.shared, f, |f| self.try_submit(f))
+    }
+
+    /// Non-blocking submission of a **data-parallel job**: `body` runs
+    /// once per index of `range`, scheduled across the team by
+    /// `schedule` (see [`LoopSchedule`]) through
+    /// `TaskCtx::parallel_for` — NUMA-blocked zone pools, zone-local
+    /// claims first, cross-zone range stealing when a zone runs dry.
+    ///
+    /// The loop is one *job*: admission control, panic isolation,
+    /// pause/resume draining and per-generation telemetry all treat it
+    /// exactly like a task job, and the returned handle completes with
+    /// the loop's [`LoopReport`]. Rejections hand `body` back.
+    pub fn try_submit_for<F>(
+        &self,
+        range: std::ops::Range<u64>,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> Result<JobHandle<LoopReport>, SubmitError<F>>
+    where
+        F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
+    {
+        let body = self.shared.admit_or(body)?;
+        let (handle, job) = self
+            .shared
+            .make_job(move |ctx| ctx.parallel_for(range, schedule, body));
+        let hint = submitter_shard_hint(self.shared.ingress.n_shards());
+        self.shared.place_anonymous(hint, job);
+        Ok(handle)
+    }
+
+    /// Blocking variant of [`try_submit_for`](Self::try_submit_for):
+    /// parks on the capacity condvar through backpressure (and through a
+    /// pause at the bound), failing only once the server is closed.
+    pub fn submit_for<F>(
+        &self,
+        range: std::ops::Range<u64>,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> Result<JobHandle<LoopReport>, SubmitError<F>>
+    where
+        F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
+    {
+        submit_blocking(&self.shared, body, |body| {
+            self.try_submit_for(range.clone(), schedule, body)
+        })
     }
 
     /// Registers a pinned submitter for NUMA zone `zone` (any value is
@@ -977,6 +1059,8 @@ impl TaskServer {
     pub fn stats(&self) -> ServerStats {
         let in_flight = self.shared.in_flight.load(Ordering::SeqCst);
         let in_team = self.shared.in_team.load(Ordering::SeqCst);
+        let (loops, loop_chunks, loop_iters, loop_range_steals) =
+            self.shared.loop_stats.snapshot().totals();
         ServerStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
@@ -989,7 +1073,17 @@ impl TaskServer {
             shards: self.shared.ingress.n_shards(),
             parked_workers: self.parked_workers(),
             parks: self.park_events(),
+            loops,
+            loop_chunks,
+            loop_iters,
+            loop_range_steals,
         }
+    }
+
+    /// Per-schedule loop telemetry (chunks, iterations, range steals for
+    /// static/dynamic/guided/adaptive), cumulative across generations.
+    pub fn loop_telemetry(&self) -> LoopTelemetrySnapshot {
+        self.shared.loop_stats.snapshot()
     }
 
     /// The ingress tier (lane counters, claim-conflict statistics).
@@ -1142,6 +1236,7 @@ fn master_loop(
             source.clone(),
             Some(sampler.clone()),
             Some(tuning.clone()),
+            Some(shared.loop_stats.clone()),
             serve,
         ));
 
@@ -1378,12 +1473,7 @@ impl SubmitterHandle {
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        match self.shared.try_admit() {
-            Admit::Ok => {}
-            Admit::Busy => return Err(SubmitError::Backpressure(f)),
-            Admit::PausedFull => return Err(SubmitError::Paused(f)),
-            Admit::Closed => return Err(SubmitError::Closed(f)),
-        }
+        let f = self.shared.admit_or(f)?;
         let (handle, body) = self.shared.make_job(f);
         match self.lane {
             Some(lane) => self.place_pinned(lane, body),
@@ -1399,17 +1489,8 @@ impl SubmitterHandle {
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let mut f = f;
-        loop {
-            match self.try_submit(f) {
-                Ok(h) => return Ok(h),
-                Err(SubmitError::Closed(back)) => return Err(SubmitError::Closed(back)),
-                Err(SubmitError::Backpressure(back)) | Err(SubmitError::Paused(back)) => {
-                    f = back;
-                    self.shared.wait_capacity();
-                }
-            }
-        }
+        let shared = self.shared.clone();
+        submit_blocking(&shared, f, |f| self.try_submit(f))
     }
 
     /// Places an admitted job into the reserved lane, waiting out a full
@@ -1530,6 +1611,64 @@ mod tests {
                 .tasks_executed,
             65
         );
+    }
+
+    #[test]
+    fn submit_for_serves_loops_as_jobs() {
+        use std::sync::atomic::AtomicU64;
+
+        let server = TaskServer::start(ServerConfig::new(4));
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = sum.clone();
+        let report = server
+            .submit_for(0..10_000, LoopSchedule::Dynamic(64), move |i, _| {
+                s.fetch_add(i + 1, Ordering::Relaxed);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        assert_eq!(report.iterations, 10_000);
+        assert!(report.chunks >= 10_000 / 64);
+        assert_eq!(sum.load(Ordering::Relaxed), (1..=10_000u64).sum());
+
+        // A plain job and a loop job coexist.
+        let h = server.submit(|_| 7u32).unwrap();
+        assert_eq!(h.join().unwrap(), 7);
+
+        // Loop counters are surfaced on the live server stats and in the
+        // per-schedule telemetry.
+        let stats = server.stats();
+        assert_eq!(stats.loops, 1);
+        assert_eq!(stats.loop_iters, 10_000);
+        assert!(stats.loop_chunks >= 10_000 / 64);
+        let per = server.loop_telemetry().per_schedule;
+        assert_eq!(per[LoopSchedule::Dynamic(64).index()].loops, 1);
+        assert_eq!(per[LoopSchedule::Static.index()].loops, 0);
+
+        // …and in the generation's RegionOutput on shutdown.
+        let report = server.shutdown();
+        let region = report.region.expect("clean serve");
+        region.stats.check_invariants().unwrap();
+        assert_eq!(region.stats.total().nloop_iters, 10_000);
+    }
+
+    #[test]
+    fn loop_panics_are_isolated_per_job() {
+        let server = TaskServer::start(ServerConfig::new(2));
+        let err = server
+            .submit_for(0..100, LoopSchedule::Dynamic(8), |i, _| {
+                if i == 37 {
+                    panic!("iteration 37 exploded");
+                }
+            })
+            .unwrap()
+            .join()
+            .unwrap_err();
+        assert!(err.message.contains("exploded"));
+        // The server survives and keeps serving.
+        let h = server.submit(|_| 5u32).unwrap();
+        assert_eq!(h.join().unwrap(), 5);
+        server.shutdown();
     }
 
     #[test]

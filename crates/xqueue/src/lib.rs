@@ -30,7 +30,10 @@
 //! `store(Release)`, which compile to ordinary `MOV`s on x86-64 — no
 //! atomic RMW instruction anywhere on a queue operation.
 //!
-//! The one deliberate exception is the [`parker`] module: the
+//! Two modules are deliberate exceptions. [`rangepool`] — the
+//! iteration-space substrate of `parallel_for` — uses CAS, but only once
+//! per *chunk* of iterations, never per iteration, so the amortized cost
+//! vanishes into the loop body. The other is the [`parker`] module: the
 //! kernel-assisted *idle* tier. Spinning is the right trade while work is
 //! in flight, but a persistent server must not burn a core per worker
 //! while empty, so exhausted-backoff workers park on an OS primitive and
@@ -55,9 +58,11 @@ mod backoff;
 mod bqueue;
 mod lattice;
 pub mod parker;
+pub mod rangepool;
 pub mod spsc;
 
 pub use backoff::Backoff;
 pub use bqueue::{BQueue, DEFAULT_CAPACITY};
 pub use lattice::{LatticeStats, PushCursor, XQueueLattice};
 pub use parker::{Parker, ParkerCell};
+pub use rangepool::{IterRange, RangePool};

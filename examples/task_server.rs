@@ -167,14 +167,40 @@ fn main() {
         server.active_dlb().strategy.name(),
     );
 
+    // Data-parallel phase: a skewed-cost loop served as one job through
+    // the same admission/telemetry pipeline (adaptive chunking, zone
+    // pools, range stealing).
+    let loop_sum = Arc::new(AtomicU64::new(0));
+    let ls = loop_sum.clone();
+    let loop_report = server
+        .submit_for(0..200_000, xgomp::LoopSchedule::Adaptive, move |i, _| {
+            ls.fetch_add(i, Ordering::Relaxed);
+        })
+        .expect("loop job admitted")
+        .join()
+        .expect("loop job completes");
+    assert_eq!(loop_report.iterations, 200_000);
+    assert_eq!(
+        loop_sum.load(Ordering::Relaxed),
+        (0..200_000u64).sum::<u64>(),
+        "loop checksum conserved"
+    );
+    eprintln!(
+        "[task_server] parallel_for: 200k iterations in {} chunks \
+         ({} zone-local claims, {} range steals)",
+        loop_report.chunks, loop_report.claimed_local, loop_report.range_steals,
+    );
+
     let hist = server.task_histogram();
     let report = server.shutdown();
     let total = SUBMITTERS * JOBS_PER_SUBMITTER;
     assert_eq!(
         report.stats.completed,
-        total + 1 + 256 + 1, // + wake probe, paused backlog, gen-2 probe
+        total + 1 + 256 + 1 + 1, // + wake probe, paused backlog, gen-2 probe, loop job
         "every job completed"
     );
+    assert_eq!(report.stats.loops, 1, "the parallel_for job is counted");
+    assert_eq!(report.stats.loop_iters, 200_000);
     assert_eq!(report.stats.generations, 2);
     assert_eq!(report.prior_regions.len(), 1);
     assert!(
