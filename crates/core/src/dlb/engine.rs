@@ -13,6 +13,7 @@ use xgomp_xqueue::{Parker, XQueueLattice};
 
 use super::message::MsgCell;
 use super::{DlbConfig, DlbStrategy, DlbTuning};
+use crate::loops::LoopBalancer;
 use crate::task::Task;
 use crate::util::{CachePadded, PerWorker};
 
@@ -62,6 +63,10 @@ pub(crate) struct DlbEngine {
     /// must wake that thief — a thief parks between request bursts, and
     /// nobody else would ever touch its row.
     parker: Arc<Parker>,
+    /// Inter-socket loop balancer: idle workers double as its probe
+    /// drivers, so rebalance probes keep firing even when every
+    /// loop-drain task is buried in long chunks.
+    balancer: Arc<LoopBalancer>,
 }
 
 impl DlbEngine {
@@ -71,6 +76,7 @@ impl DlbEngine {
         placement: Arc<Placement>,
         stats: Arc<Vec<WorkerStats>>,
         parker: Arc<Parker>,
+        balancer: Arc<LoopBalancer>,
     ) -> Self {
         DlbEngine {
             tuning,
@@ -87,6 +93,7 @@ impl DlbEngine {
                 SmallRng::seed_from_u64(0xD1B0_5EED ^ (w as u64) << 17)
             }),
             parker,
+            balancer,
         }
     }
 
@@ -130,6 +137,11 @@ impl DlbEngine {
     ///
     /// Caller thread must own worker slot `w`.
     pub unsafe fn on_idle(&self, w: usize) {
+        // Inter-socket loop rebalance probe: rides the idle scheduling
+        // point at its own (tick-based) cadence; a cheap gate when the
+        // interval has not elapsed, a no-op when disabled or no loops
+        // are live.
+        self.balancer.maybe_probe(Some(&self.stats[w]));
         let cfg = self.tuning.load();
         // SAFETY: worker-ownership contract; leaf access.
         let send_now = unsafe {
@@ -377,7 +389,14 @@ mod tests {
             &(0..n).map(|w| placement.zone_of(w)).collect::<Vec<_>>(),
         ));
         (
-            DlbEngine::new(n, Arc::new(DlbTuning::new(cfg)), placement, stats, parker),
+            DlbEngine::new(
+                n,
+                Arc::new(DlbTuning::new(cfg)),
+                placement,
+                stats,
+                parker,
+                Arc::new(LoopBalancer::new()),
+            ),
             XQueueLattice::new(n, 16),
         )
     }
@@ -509,7 +528,14 @@ mod tests {
         let parker = Arc::new(Parker::new(
             &(0..2).map(|w| placement.zone_of(w)).collect::<Vec<_>>(),
         ));
-        let eng = DlbEngine::new(2, Arc::new(DlbTuning::new(cfg)), placement, stats, parker);
+        let eng = DlbEngine::new(
+            2,
+            Arc::new(DlbTuning::new(cfg)),
+            placement,
+            stats,
+            parker,
+            Arc::new(LoopBalancer::new()),
+        );
         let lat: XQueueLattice<Task> = XQueueLattice::new(2, 2); // tiny queues
         unsafe {
             assert!(eng.cell(0).try_send_request(1));

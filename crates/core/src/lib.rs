@@ -65,8 +65,8 @@ pub use alloc::AllocKind;
 pub use barrier::BarrierKind;
 pub use config::RuntimeConfig;
 pub use ctx::{Scope, TaskCtx};
-pub use dlb::{DlbConfig, DlbStrategy, DlbTuning};
-pub use loops::{LoopReport, LoopSchedule};
+pub use dlb::{DlbConfig, DlbStrategy, DlbTuning, DEFAULT_REBALANCE_INTERVAL};
+pub use loops::{LoopBalancer, LoopError, LoopReport, LoopSchedule};
 pub use sched::SchedulerKind;
 pub use team::{IngressSource, PersistentTeam, RegionOutput, Runtime};
 

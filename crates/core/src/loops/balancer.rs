@@ -1,0 +1,316 @@
+//! The inter-socket loop rebalancer — the **coarse** level of two-level
+//! dynamic loop balancing.
+//!
+//! PR 4's per-zone range pools balance *within* one loop reactively: a
+//! worker whose zone pool runs dry steal-splits a remote pool. That fine
+//! level leaves two gaps, both closed here in the spirit of the
+//! two-level DLB literature (Mohammed et al.) with LB4OMP-style measured
+//! cost driving the coarse decisions:
+//!
+//! 1. **Proactivity** — a zone about to starve waits passively until it
+//!    is dry, then pays a cold cross-zone steal on the critical path.
+//!    The balancer watches per-zone *drain rates* (claims-per-tick EWMAs
+//!    sampled from each [`RangePool`](xgomp_xqueue::RangePool)) and
+//!    migrates a back-half range from the slowest-to-finish zone into a
+//!    starved zone's *inbox pool* **before** it runs dry.
+//! 2. **Concurrent loops** — every live `parallel_for` registers its
+//!    [`LoopCore`] here, so one probe arbitrates iteration space across
+//!    *all* loops sharing the team, not just the loop the probing worker
+//!    happens to drain.
+//!
+//! ## Cadence and tuning
+//!
+//! Probes ride the [`DlbTuning`] atomics: the
+//! [`rebalance_interval`](crate::DlbConfig::rebalance_interval) knob
+//! (clock ticks; `0` = off) is re-read on every gate check, so the
+//! Table-IV controller and `TaskServer::swap_tuning` re-tune the cadence
+//! live, mid-loop. The gate itself is called from loop-drain tasks at
+//! chunk boundaries and from the DLB engine's idle hook — one clock read
+//! plus one relaxed load when the interval has not elapsed.
+//!
+//! ## Migration safety
+//!
+//! A migration is two linearizable steps (back-half steal from the rich
+//! pool, deposit into the starved inbox) with a window where the range is
+//! in *neither* pool. Loop-drain tasks must not conclude "the iteration
+//! space is fully claimed" during that window, so each [`LoopCore`]
+//! carries a seqlock-style epoch: odd while a migration is in flight,
+//! bumped again when it lands. The drain exit path re-validates its
+//! all-pools-empty scan against an even, unchanged epoch — exactly a
+//! seqlock read — making lost-iteration exits impossible.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use xgomp_profiling::{clock, WorkerStats};
+use xgomp_xqueue::RangePool;
+
+use super::LoopCore;
+use crate::dlb::{DlbTuning, DEFAULT_REBALANCE_INTERVAL};
+
+/// The rich zone's estimated time-to-drain must exceed the starved
+/// zone's by this factor before a migration fires (hysteresis against
+/// ping-ponging ranges between near-balanced zones).
+const STARVE_RATIO: f64 = 2.0;
+
+/// A rich pool must still hold at least this many iterations for a
+/// back-half migration to be worth the two CASes.
+const MIN_MIGRATE: u32 = 16;
+
+/// Per-team (or, under a task server, per-*server*) inter-socket loop
+/// rebalancer; see the [module docs](self).
+///
+/// The balancer is passive state plus a probe: it owns no thread.
+/// Whichever worker's gate check finds the interval elapsed runs the
+/// probe inline (single-prober lock, so pool rate sampling stays
+/// single-writer), and its per-worker stats block absorbs the rebalance
+/// counters.
+#[derive(Debug)]
+pub struct LoopBalancer {
+    /// Live pool-backed loops (registered by `parallel_for`, removed on
+    /// completion — panics included, via drop guard).
+    loops: Mutex<Vec<Arc<LoopCore>>>,
+    /// Live tuning cell; when bound, `rebalance_interval` is read from
+    /// it so controller retunes and `swap_tuning` apply immediately.
+    tuning: OnceLock<Arc<DlbTuning>>,
+    /// Probe cadence in ticks when no tuning cell is bound.
+    fixed_interval: AtomicU64,
+    /// Tick of the next allowed probe.
+    next_probe: AtomicU64,
+    /// Single-prober gate (also the single-sampler guarantee for the
+    /// pools' rate EWMAs).
+    probing: AtomicBool,
+    probes: AtomicU64,
+    rebalances: AtomicU64,
+    iterations_migrated: AtomicU64,
+}
+
+impl Default for LoopBalancer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoopBalancer {
+    /// A balancer with the default probe cadence
+    /// ([`DEFAULT_REBALANCE_INTERVAL`] ticks until a tuning cell is
+    /// bound). `Default` is this constructor.
+    pub fn new() -> Self {
+        LoopBalancer {
+            loops: Mutex::new(Vec::new()),
+            tuning: OnceLock::new(),
+            fixed_interval: AtomicU64::new(DEFAULT_REBALANCE_INTERVAL),
+            next_probe: AtomicU64::new(0),
+            probing: AtomicBool::new(false),
+            probes: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            iterations_migrated: AtomicU64::new(0),
+        }
+    }
+
+    /// Binds the live [`DlbTuning`] cell the probe cadence is read from
+    /// (first bind wins; later binds of the same server-owned cell are
+    /// no-ops, which is what the per-generation team rebuild wants).
+    pub fn bind_tuning(&self, tuning: &Arc<DlbTuning>) {
+        let _ = self.tuning.set(tuning.clone());
+    }
+
+    /// The active probe interval in clock ticks (`0` = balancer off).
+    #[inline]
+    pub fn interval_ticks(&self) -> u64 {
+        match self.tuning.get() {
+            Some(t) => t.rebalance_interval(),
+            None => self.fixed_interval.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Registers a live loop's pool set for rebalancing.
+    pub(crate) fn register(&self, core: &Arc<LoopCore>) {
+        self.lock_loops().push(core.clone());
+    }
+
+    /// Removes a completed (or unwound) loop.
+    pub(crate) fn deregister(&self, core: &Arc<LoopCore>) {
+        let mut loops = self.lock_loops();
+        if let Some(i) = loops.iter().position(|c| Arc::ptr_eq(c, core)) {
+            loops.swap_remove(i);
+        }
+    }
+
+    fn lock_loops(&self) -> std::sync::MutexGuard<'_, Vec<Arc<LoopCore>>> {
+        self.loops.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The probe gate: cheap when the interval has not elapsed (one
+    /// clock read + relaxed loads), otherwise claims the single-prober
+    /// lock and runs one probe over every registered loop. Returns
+    /// whether this call performed at least one migration.
+    ///
+    /// `stats`, when given, is the calling worker's own stats block (the
+    /// per-worker single-writer contract is the caller's).
+    pub fn maybe_probe(&self, stats: Option<&WorkerStats>) -> bool {
+        let interval = self.interval_ticks();
+        if interval == 0 {
+            return false;
+        }
+        let now = clock::now();
+        if now < self.next_probe.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.probing.swap(true, Ordering::Acquire) {
+            return false; // someone else is probing
+        }
+        // Release the gate even if the probe unwinds (a stuck-true flag
+        // would silently disable the balancer for the process lifetime).
+        struct Gate<'a>(&'a AtomicBool);
+        impl Drop for Gate<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        let _gate = Gate(&self.probing);
+        self.next_probe.store(now + interval, Ordering::Relaxed);
+        self.probe(now, stats)
+    }
+
+    /// One probe: refresh every registered loop's per-zone drain rates
+    /// and apply at most one migration per loop (rich back-half → the
+    /// most-starved zone's inbox).
+    fn probe(&self, now: u64, stats: Option<&WorkerStats>) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let loops = self.lock_loops();
+        let mut any = false;
+        for core in loops.iter() {
+            if let Some(landed) = Self::rebalance_loop(core, now, stats) {
+                any = true;
+                self.rebalances.fetch_add(1, Ordering::Relaxed);
+                self.iterations_migrated
+                    .fetch_add(landed as u64, Ordering::Relaxed);
+            }
+        }
+        any
+    }
+
+    /// Probes one loop; returns the migrated iteration count, if any.
+    ///
+    /// Policy: per zone, estimate the time-to-drain
+    /// `ETA = remaining / claim-rate` (`0` when already dry, `∞` while
+    /// unsampled or stalled). The *starved* zone is the minimal-ETA zone
+    /// whose inbox is free; the *rich* zone is the maximal-ETA zone
+    /// still holding a block worth splitting. Migrate the rich back
+    /// half when the imbalance exceeds [`STARVE_RATIO`] — which includes
+    /// the reactive dry case (`ETA = 0`) and fires *before* dryness once
+    /// the rate samples make a small finite ETA visible.
+    fn rebalance_loop(core: &LoopCore, now: u64, stats: Option<&WorkerStats>) -> Option<u32> {
+        let n = core.pools.len();
+        if n < 2 {
+            return None;
+        }
+        let mut poor: Option<(usize, f64)> = None;
+        let mut rich: Option<(usize, f64)> = None;
+        for (i, p) in core.pools.iter().enumerate() {
+            let rate = p.0.main.sample_rate(now) + p.0.inbox.sample_rate(now);
+            let rem = p.0.remaining() as f64;
+            let eta = if rem == 0.0 {
+                0.0
+            } else if rate <= f64::EPSILON {
+                f64::INFINITY
+            } else {
+                rem / rate
+            };
+            if eta.is_finite() && p.0.inbox.is_empty() && poor.is_none_or(|(_, e)| eta < e) {
+                poor = Some((i, eta));
+            }
+            if p.0.main.remaining() >= MIN_MIGRATE && rich.is_none_or(|(_, e)| eta > e) {
+                rich = Some((i, eta));
+            }
+        }
+        let ((poor, poor_eta), (rich, rich_eta)) = (poor?, rich?);
+        if poor == rich || rich_eta <= STARVE_RATIO * poor_eta {
+            return None;
+        }
+        // Seqlock bracket: drain tasks must not mistake the in-flight
+        // window (range in neither pool) for a completed iteration space.
+        core.epoch.fetch_add(1, Ordering::SeqCst);
+        let landed = Self::migrate(
+            core,
+            &core.pools[rich].0.main,
+            &core.pools[poor].0.inbox,
+            stats,
+        );
+        core.epoch.fetch_add(1, Ordering::SeqCst);
+        landed
+    }
+
+    /// Moves the back half of `src` into `dst` (the protocol of
+    /// [`RangePool::steal_half_into`](xgomp_xqueue::RangePool::steal_half_into)),
+    /// accounting each side **at its own linearization point**:
+    /// `migrated_out` at the steal CAS, `migrated_in` at the deposit
+    /// CAS, and the out-count reverted together with the range when a
+    /// racing foreign depositor forces the give-back path. A migration
+    /// path that loses a range therefore shows up as `out > in` and
+    /// fails the conservation invariant — the identity the tests assert
+    /// is falsifiable, not a double-count of one value.
+    fn migrate(
+        core: &LoopCore,
+        src: &RangePool,
+        dst: &RangePool,
+        stats: Option<&WorkerStats>,
+    ) -> Option<u32> {
+        if !dst.is_empty() {
+            return None;
+        }
+        let (lo, hi) = src.steal_half()?;
+        let n = (hi - lo) as u64;
+        core.migrated_out.fetch_add(n, Ordering::Relaxed);
+        if let Some(st) = stats {
+            WorkerStats::add(&st.nloop_migrated_out, n);
+        }
+        loop {
+            if dst.deposit_if_empty(lo, hi) {
+                core.migrated_in.fetch_add(n, Ordering::Relaxed);
+                core.rebalances.fetch_add(1, Ordering::Relaxed);
+                if let Some(st) = stats {
+                    WorkerStats::add(&st.nloop_migrated_in, n);
+                    WorkerStats::inc(&st.nloop_rebalances);
+                }
+                return Some(hi - lo);
+            }
+            // `dst` raced non-empty: hand the range back to `src`'s back
+            // edge (or park it in whichever pool empties first), and
+            // revert the out-count with it — nothing migrated.
+            if src.unsteal(lo, hi) || src.deposit_if_empty(lo, hi) {
+                core.migrated_out.fetch_sub(n, Ordering::Relaxed);
+                if let Some(st) = stats {
+                    let out = &st.nloop_migrated_out;
+                    out.store(
+                        out.load(Ordering::Relaxed).saturating_sub(n),
+                        Ordering::Relaxed,
+                    );
+                }
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Currently registered (live) loops.
+    pub fn live_loops(&self) -> usize {
+        self.lock_loops().len()
+    }
+
+    /// Probes run so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Migrations performed so far.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances.load(Ordering::Relaxed)
+    }
+
+    /// Iterations migrated so far.
+    pub fn iterations_migrated(&self) -> u64 {
+        self.iterations_migrated.load(Ordering::Relaxed)
+    }
+}

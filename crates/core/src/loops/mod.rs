@@ -1,5 +1,5 @@
 //! Data-parallel loops: NUMA-aware iteration-space scheduling
-//! ([`TaskCtx::parallel_for`]).
+//! ([`TaskCtx::parallel_for`]) with **two-level dynamic load balancing**.
 //!
 //! The runtime's tasking side reproduces the paper's *task* parallelism;
 //! this module adds the other half of the fine-grained-parallelism
@@ -11,9 +11,11 @@
 //! ## Architecture
 //!
 //! * The iteration space is blocked across NUMA zones proportionally to
-//!   each zone's worker count, and each zone's block is seeded into a
-//!   per-zone [`RangePool`] (one packed atomic word — claims and steals
-//!   cost one CAS per *chunk*, never per iteration).
+//!   each zone's worker count, and each zone's block is seeded into the
+//!   `main` [`RangePool`] of its [`ZonePool`] (one packed atomic word —
+//!   claims and steals cost one CAS per *chunk*, never per iteration).
+//!   Each zone also carries an initially empty `inbox` pool, the landing
+//!   pad for balancer migrations.
 //! * One *loop-drain task* per worker is spawned with zone-affine
 //!   placement ([`Scope::spawn_on`](crate::Scope::spawn_on) → the
 //!   scheduler's targeted push). Drain tasks are ordinary tasks: the DLB
@@ -21,13 +23,21 @@
 //!   counts them, and parked workers are woken for them through the
 //!   ordinary `xqueue::parker` push-wake path — loop quiescence needs no
 //!   second mechanism.
-//! * A drain task claims chunks from **its executor's own zone pool
-//!   first**; only when that pool is dry does it *steal-split* a remote
-//!   zone's pool (taking the upper half, exactly like stealing the cold
-//!   end of a deque), visiting remote pools in nearest-first rotation —
-//!   the NA-RP zone-local-first victim order applied to iteration
-//!   ranges. A stolen range's tail is re-deposited into the thief's own
-//!   zone pool when that pool is empty, so one steal feeds a whole zone.
+//! * **Fine level (reactive, intra-loop):** a drain task claims chunks
+//!   from **its executor's own zone pools first** (main, then inbox);
+//!   only when both are dry does it *steal-split* a remote zone's pools
+//!   (taking the upper half, exactly like stealing the cold end of a
+//!   deque), visiting remote pools in nearest-first rotation — the NA-RP
+//!   zone-local-first victim order applied to iteration ranges. A stolen
+//!   range's tail is re-deposited into the thief's own zone pool when
+//!   that pool is empty, so one steal feeds a whole zone.
+//! * **Coarse level (proactive, cross-loop):** every pool-backed loop
+//!   registers with the team's [`LoopBalancer`], which watches per-zone
+//!   claim-rate EWMAs across *all* live loops and migrates back-half
+//!   ranges from the slowest zone into starved zones' inboxes *before*
+//!   they run dry — see the [`balancer`] module docs for the policy and
+//!   the seqlock protocol that keeps migrations invisible to the drain
+//!   tasks' exit scan.
 //! * The loop completes through the ordinary structured-spawn path: the
 //!   calling task `scope`s the drain tasks (helping while it waits), and
 //!   every drain task `taskwait`s its own children, so a body that
@@ -42,16 +52,21 @@
 //! | [`Static`](LoopSchedule::Static) | one NUMA-blocked contiguous block per worker, no pools | uniform iteration cost |
 //! | [`Dynamic(c)`](LoopSchedule::Dynamic) | fixed chunks of `c` from the zone pools | known-irregular cost, small loops |
 //! | [`Guided(m)`](LoopSchedule::Guided) | `remaining / (2 · zone workers)`, floored at `m` | irregular cost, decreasing tail |
-//! | [`Adaptive`](LoopSchedule::Adaptive) | chunk ≈ `TARGET_TICKS` ÷ live per-iteration cost estimate (decade histogram, LB4OMP-style) | unknown or shifting cost |
+//! | [`Adaptive`](LoopSchedule::Adaptive) | chunk ≈ `TARGET_TICKS` ÷ live per-iteration cost estimate (decade histogram, LB4OMP-style), scaled down per zone by its relative drain rate | unknown or shifting cost |
+
+mod balancer;
+
+pub use balancer::LoopBalancer;
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use xgomp_profiling::{clock, decade_index, WorkerStats};
 // (`serde` is used by `LoopReport`; the shim derive cannot handle the
 // data-carrying variants of `LoopSchedule`, which stays plain.)
-use xgomp_xqueue::RangePool;
+use xgomp_xqueue::{Backoff, RangePool};
 
 use crate::ctx::TaskCtx;
 use crate::util::CachePadded;
@@ -73,7 +88,10 @@ pub enum LoopSchedule {
     /// Chunk size derived online from the loop's live per-iteration
     /// cost: each chunk's duration feeds a decade histogram, and the
     /// next chunk targets a fixed time budget divided by the modal
-    /// per-iteration cost (LB4OMP-style self-tuning).
+    /// per-iteration cost (LB4OMP-style self-tuning). v2: the budget is
+    /// additionally scaled per *zone* — a zone draining slower than the
+    /// fastest one (slow remote memory, fewer effective workers) claims
+    /// proportionally smaller chunks, so its tail stays balanceable.
     Adaptive,
 }
 
@@ -95,6 +113,48 @@ impl LoopSchedule {
     }
 }
 
+/// Why a loop could not be run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopError {
+    /// The requested range is longer than `u32::MAX` iterations — the
+    /// pool word packs two 32-bit offsets, so one `parallel_for` call is
+    /// bounded there. Split such spaces into outer waves.
+    RangeTooLarge {
+        /// The rejected range's length.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for LoopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoopError::RangeTooLarge { len } => write!(
+                f,
+                "parallel_for ranges are bounded at u32::MAX iterations per call \
+                 (got {len}); run larger spaces as outer waves"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoopError {}
+
+impl LoopError {
+    /// Validates a `parallel_for` range against the pool-word bound,
+    /// returning its length as the 32-bit offset width. The single
+    /// definition of the rule — `try_parallel_for` and the service
+    /// layer's `submit_for` admission both call this, so a future
+    /// widening (auto-waved outer loops, 128-bit pool words) changes
+    /// one place.
+    pub fn check_range(range: &Range<u64>) -> Result<u32, LoopError> {
+        let len = range.end.saturating_sub(range.start);
+        if len > u32::MAX as u64 {
+            return Err(LoopError::RangeTooLarge { len });
+        }
+        Ok(len as u32)
+    }
+}
+
 /// What a completed [`TaskCtx::parallel_for`] reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoopReport {
@@ -102,12 +162,22 @@ pub struct LoopReport {
     pub iterations: u64,
     /// Chunks the iteration space was claimed in.
     pub chunks: u64,
-    /// Chunks claimed from the executing worker's own zone pool (the
+    /// Chunks claimed from the executing worker's own zone pools (the
     /// zone-local-first fast path; static blocks count when they ran in
     /// their home zone).
     pub claimed_local: u64,
-    /// Cross-zone range steal-splits performed.
+    /// Cross-zone range steal-splits performed (the fine, reactive
+    /// balancing level).
     pub range_steals: u64,
+    /// Inter-socket balancer migrations applied to this loop (the
+    /// coarse, proactive level).
+    pub rebalances: u64,
+    /// Iterations the balancer moved *into* starved zones' inboxes.
+    /// Always equals [`migrated_out`](Self::migrated_out) — the
+    /// conservation identity the test suite asserts per loop.
+    pub migrated_in: u64,
+    /// Iterations the balancer moved *out of* rich zones' pools.
+    pub migrated_out: u64,
 }
 
 /// Chunk-duration target of the adaptive schedule, in clock ticks
@@ -160,20 +230,96 @@ impl AdaptiveCost {
     }
 }
 
+/// One NUMA zone's iteration pools: the seeded `main` block plus the
+/// balancer-fed `inbox` (empty until a migration lands).
+#[derive(Debug)]
+pub(crate) struct ZonePool {
+    /// The zone's seeded share of the iteration space.
+    pub(crate) main: RangePool,
+    /// Landing pad for inter-socket migrations. A separate pool — rather
+    /// than depositing into `main` — is what makes the coarse level
+    /// *proactive*: a zone can receive work while its own block still
+    /// has iterations left (deposits only land in empty pools).
+    pub(crate) inbox: RangePool,
+}
+
+impl ZonePool {
+    fn new(lo: u32, hi: u32) -> Self {
+        ZonePool {
+            main: RangePool::new(lo, hi),
+            inbox: RangePool::empty(),
+        }
+    }
+
+    /// Racy total remaining across both pools.
+    pub(crate) fn remaining(&self) -> u32 {
+        self.main.remaining().saturating_add(self.inbox.remaining())
+    }
+
+    /// Racy zone claim-rate estimate (iterations per tick).
+    fn claim_rate(&self) -> f64 {
+        self.main.claim_rate() + self.inbox.claim_rate()
+    }
+}
+
+/// The `'static` heart of one running pool-backed loop: the per-zone
+/// pools plus the balancer-facing state. Shared between the loop's
+/// drain tasks (via [`LoopShared`]) and the team's [`LoopBalancer`]
+/// registry, which is why it is split out of the stack-borrowing
+/// `LoopShared`.
+#[derive(Debug)]
+pub(crate) struct LoopCore {
+    /// One pool pair per NUMA zone that hosts workers, zone-rank order.
+    pub(crate) pools: Box<[CachePadded<ZonePool>]>,
+    /// pool index → worker count of that zone (guided/adaptive divisor).
+    pub(crate) zone_workers: Box<[u32]>,
+    /// Migration seqlock: odd while a balancer migration is in flight
+    /// (range in neither pool). Drain tasks validate their final
+    /// all-pools-empty scan against an even, unchanged epoch before
+    /// concluding the loop's iteration space is fully claimed.
+    pub(crate) epoch: AtomicU64,
+    /// Balancer migrations applied to this loop.
+    pub(crate) rebalances: AtomicU64,
+    /// Iterations migrated into inboxes / out of mains (conserved).
+    pub(crate) migrated_in: AtomicU64,
+    pub(crate) migrated_out: AtomicU64,
+}
+
+impl LoopCore {
+    /// Racy scan: every pool (mains and inboxes) looked empty.
+    fn all_empty(&self) -> bool {
+        self.pools.iter().all(|p| p.0.remaining() == 0)
+    }
+
+    /// Adaptive v2 zone scaling: shrink `base` by this zone's claim rate
+    /// relative to the fastest zone's (per worker), clamped to `[¼, 1]`.
+    /// Unsampled rates (loop younger than one balancer probe) leave the
+    /// chunk unscaled.
+    fn zone_chunk_scale(&self, pool: usize, base: u32) -> u32 {
+        let per_worker =
+            |i: usize| self.pools[i].0.claim_rate() / f64::from(self.zone_workers[i].max(1));
+        let mine = per_worker(pool);
+        let best = (0..self.pools.len()).map(per_worker).fold(0.0, f64::max);
+        if best <= f64::EPSILON || mine >= best {
+            return base;
+        }
+        let scale = (mine / best).clamp(0.25, 1.0);
+        (((f64::from(base)) * scale) as u32).max(1)
+    }
+}
+
 /// Shared state of one running loop (lives on `parallel_for`'s frame;
 /// drain tasks borrow it through the scope).
 struct LoopShared<'b> {
     /// First iteration index of the user range (`pools` hold offsets).
     base: u64,
     schedule: LoopSchedule,
-    /// One pool per NUMA zone that hosts workers, in zone-rank order.
-    pools: Box<[CachePadded<RangePool>]>,
+    /// The registered, balancer-visible pool state.
+    core: Arc<LoopCore>,
     /// zone id → pool index (zones without workers map to pool 0 — they
     /// can only appear if a placement changes under a migrated task,
     /// which the runtime never does mid-region).
     pool_of_zone: Box<[usize]>,
-    /// pool index → worker count of that zone (guided/adaptive divisor).
-    zone_workers: Box<[u32]>,
     cost: AdaptiveCost,
     /// Loop-wide totals, flushed once per drain task.
     chunks: AtomicU64,
@@ -198,13 +344,24 @@ impl<'b> LoopShared<'b> {
     fn run_chunk(&self, ctx: &TaskCtx<'_>, lo: u32, hi: u32, local: bool, acc: &mut DriveStats) {
         let iters = (hi - lo) as u64;
         let adaptive = matches!(self.schedule, LoopSchedule::Adaptive);
-        let t0 = if adaptive { clock::now() } else { 0 };
+        let sampler = ctx.team.sampler.as_deref();
+        // Chunk durations feed both the adaptive cost model and — when a
+        // live sampler is wired (task server) — the Table-IV adaptive
+        // controller, so loop-heavy workloads retune the DLB engine from
+        // their real chunk grain, not just from whole drain-task sizes.
+        let timed = adaptive || sampler.is_some();
+        let t0 = if timed { clock::now() } else { 0 };
         for off in lo..hi {
             (self.body)(self.base + off as u64, ctx);
         }
-        if adaptive {
-            self.cost
-                .record_chunk(iters, clock::now().saturating_sub(t0));
+        if timed {
+            let dt = clock::now().saturating_sub(t0);
+            if adaptive {
+                self.cost.record_chunk(iters, dt);
+            }
+            if let Some(s) = sampler {
+                s.record(ctx.worker_id(), dt);
+            }
         }
         acc.chunks += 1;
         acc.iters += iters;
@@ -220,8 +377,8 @@ impl<'b> LoopShared<'b> {
             LoopSchedule::Static => unreachable!("static loops never claim from pools"),
             LoopSchedule::Dynamic(c) => c.max(1),
             LoopSchedule::Guided(min) => {
-                let remaining = self.pools[pool].0.remaining();
-                (remaining / (2 * self.zone_workers[pool].max(1))).max(min.max(1))
+                let remaining = self.core.pools[pool].0.remaining();
+                (remaining / (2 * self.core.zone_workers[pool].max(1))).max(min.max(1))
             }
             LoopSchedule::Adaptive => {
                 let base = match self.cost.estimate() {
@@ -230,54 +387,92 @@ impl<'b> LoopShared<'b> {
                         as u32,
                     None => ADAPTIVE_SEED_CHUNK,
                 };
+                // v2: per-zone scaling from the balancer's rate signal.
+                let base = self.core.zone_chunk_scale(pool, base);
                 // Tail cap: never claim more than an even share of what
                 // is left in the pool, so the last chunks stay small
                 // enough to balance.
-                let fair = (self.pools[pool].0.remaining() / self.zone_workers[pool].max(1)).max(1);
+                let fair = (self.core.pools[pool].0.remaining()
+                    / self.core.zone_workers[pool].max(1))
+                .max(1);
                 base.min(fair)
             }
         }
     }
 
-    /// The dynamic-family drain loop one worker runs: claim zone-local,
-    /// steal-split remote (nearest-first) when dry, share stolen tails
-    /// through the local pool.
+    /// The dynamic-family drain loop one worker runs: claim zone-local
+    /// (main, then inbox), steal-split remote (nearest-first) when dry,
+    /// share stolen tails through the local pool — and, at every chunk
+    /// boundary, give the inter-socket balancer its probe chance.
     fn drive(&self, ctx: &TaskCtx<'_>) {
         let zone = ctx.numa_zone();
         let my = *self.pool_of_zone.get(zone).unwrap_or(&0);
-        let n_pools = self.pools.len();
+        let n_pools = self.core.pools.len();
+        let balancer = &ctx.team.balancer;
+        let my_stats = &ctx.team.stats[ctx.worker_id()];
         let mut acc = DriveStats::default();
+        let mut backoff = Backoff::new();
         'outer: loop {
+            // Coarse level: the probe gate is one clock read when the
+            // interval has not elapsed (and a no-op when disabled).
+            balancer.maybe_probe(Some(my_stats));
             // Zone-local first: the claim costs one CAS and keeps the
-            // iterations in the zone whose block they belong to.
-            if let Some((lo, hi)) = self.pools[my].0.claim(self.chunk_size(my)) {
+            // iterations in the zone whose block they belong to. The
+            // inbox holds balancer migrations — zone property too.
+            let mine = &self.core.pools[my].0;
+            let claimed = mine
+                .main
+                .claim(self.chunk_size(my))
+                .or_else(|| mine.inbox.claim(self.chunk_size(my)));
+            if let Some((lo, hi)) = claimed {
                 self.run_chunk(ctx, lo, hi, true, &mut acc);
+                backoff.reset();
                 continue;
             }
-            // Local pool dry: steal-split a remote pool, nearest-first
+            // Local pools dry: steal-split a remote zone, nearest-first
             // rotation (the NA-RP victim order for iteration ranges).
             let mut stolen = None;
             for d in 1..n_pools {
-                if let Some(r) = self.pools[(my + d) % n_pools].0.steal_half() {
+                let p = &self.core.pools[(my + d) % n_pools].0;
+                if let Some(r) = p.main.steal_half().or_else(|| p.inbox.steal_half()) {
                     stolen = Some(r);
                     break;
                 }
             }
-            let Some((mut lo, hi)) = stolen else {
-                break 'outer; // every pool empty: the loop space is claimed
-            };
-            acc.range_steals += 1;
-            // Drain the stolen range: keep one chunk, hand the tail to
-            // the (empty) local pool so zone peers share the spoils.
-            while lo < hi {
-                let take = self.chunk_size(my).min(hi - lo);
-                let (clo, chi) = (lo, lo + take);
-                lo += take;
-                if lo < hi && self.pools[my].0.deposit_if_empty(lo, hi) {
-                    lo = hi;
+            if let Some((mut lo, hi)) = stolen {
+                acc.range_steals += 1;
+                // Drain the stolen range: keep one chunk, hand the tail
+                // to the (empty) local pool so zone peers share the
+                // spoils.
+                while lo < hi {
+                    let take = self.chunk_size(my).min(hi - lo);
+                    let (clo, chi) = (lo, lo + take);
+                    lo += take;
+                    if lo < hi && mine.main.deposit_if_empty(lo, hi) {
+                        lo = hi;
+                    }
+                    self.run_chunk(ctx, clo, chi, false, &mut acc);
                 }
-                self.run_chunk(ctx, clo, chi, false, &mut acc);
+                backoff.reset();
+                continue;
             }
+            // Every pool looked empty — but a balancer migration in
+            // flight holds a range in *neither* pool. Seqlock-validate
+            // the scan (even epoch, unchanged across a re-scan) before
+            // concluding the iteration space is fully claimed; on
+            // failure, yield and retry (migrations are two CASes, so the
+            // window is nanoseconds unless the prober was preempted).
+            let e = self.core.epoch.load(Ordering::SeqCst);
+            let empty = e & 1 == 0 && self.core.all_empty();
+            // Standard seqlock reader: the fence orders the (relaxed)
+            // pool-word scan before the validating epoch re-read, so the
+            // scan cannot be satisfied by values newer than the epoch we
+            // validate against.
+            std::sync::atomic::fence(Ordering::Acquire);
+            if empty && self.core.epoch.load(Ordering::SeqCst) == e {
+                break 'outer;
+            }
+            backoff.snooze();
         }
         self.flush(ctx, acc);
     }
@@ -299,6 +494,19 @@ impl<'b> LoopShared<'b> {
     }
 }
 
+/// Deregisters a loop from the balancer when the loop frame unwinds or
+/// returns — a panicking body must not leave its pools registered.
+struct Registration {
+    balancer: Arc<LoopBalancer>,
+    core: Arc<LoopCore>,
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        self.balancer.deregister(&self.core);
+    }
+}
+
 impl<'t> TaskCtx<'t> {
     /// Executes `body` for every index in `range`, in parallel, under
     /// the given [`LoopSchedule`] — the data-parallel counterpart of
@@ -307,7 +515,7 @@ impl<'t> TaskCtx<'t> {
     /// The iteration space is NUMA-blocked across the team's zones and
     /// drained through per-zone range pools by one loop-drain task per
     /// worker (zone-affinely placed; see the [module docs](self) for the
-    /// stealing protocol). The call returns only when every iteration
+    /// two balancing levels). The call returns only when every iteration
     /// *and every task spawned by the body* has completed, so `body` may
     /// borrow from the enclosing frame, exactly like
     /// [`Scope::spawn`](crate::Scope::spawn).
@@ -318,21 +526,32 @@ impl<'t> TaskCtx<'t> {
     ///
     /// # Panics
     ///
-    /// Panics when the range is longer than `u32::MAX` iterations (the
-    /// pool word packs two 32-bit offsets); split such loops into outer
-    /// waves. Panics from `body` propagate like task panics (isolated
-    /// per job under a serving team, poisoning otherwise).
+    /// Panics on an invalid range ([`LoopError`]: longer than `u32::MAX`
+    /// iterations — the pool word packs two 32-bit offsets); use
+    /// [`try_parallel_for`](Self::try_parallel_for) to handle that as a
+    /// value instead. Panics from `body` propagate like task panics
+    /// (isolated per job under a serving team, poisoning otherwise).
     pub fn parallel_for<F>(&self, range: Range<u64>, schedule: LoopSchedule, body: F) -> LoopReport
     where
         F: Fn(u64, &TaskCtx<'_>) + Sync,
     {
-        let len = range.end.saturating_sub(range.start);
-        assert!(
-            len <= u32::MAX as u64,
-            "parallel_for ranges are bounded at u32::MAX iterations per call \
-             (got {len}); run larger spaces as outer waves"
-        );
-        let len = len as u32;
+        self.try_parallel_for(range, schedule, body)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`parallel_for`](Self::parallel_for): an oversized range
+    /// comes back as [`LoopError::RangeTooLarge`] instead of a panic,
+    /// with the body untouched (zero iterations run).
+    pub fn try_parallel_for<F>(
+        &self,
+        range: Range<u64>,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> Result<LoopReport, LoopError>
+    where
+        F: Fn(u64, &TaskCtx<'_>) + Sync,
+    {
+        let len = LoopError::check_range(&range)?;
         let report = run_loop(self, range.start, len, schedule, &body);
         if let Some(lt) = &self.team.loop_stats {
             lt.record_loop(
@@ -340,14 +559,16 @@ impl<'t> TaskCtx<'t> {
                 report.chunks,
                 report.iterations,
                 report.range_steals,
+                report.rebalances,
             );
         }
-        report
+        Ok(report)
     }
 }
 
-/// Builds the zone layout, seeds the pools, spawns the drain tasks and
-/// waits the loop (and everything the body spawned) out.
+/// Builds the zone layout, seeds the pools, registers with the balancer,
+/// spawns the drain tasks and waits the loop (and everything the body
+/// spawned) out.
 fn run_loop(
     ctx: &TaskCtx<'_>,
     base: u64,
@@ -361,6 +582,9 @@ fn run_loop(
             chunks: 0,
             claimed_local: 0,
             range_steals: 0,
+            rebalances: 0,
+            migrated_in: 0,
+            migrated_out: 0,
         };
     }
 
@@ -384,23 +608,43 @@ fn run_loop(
         return run_static(ctx, base, len, &zones, block, body);
     }
 
-    // Seed one pool per zone with the zone's contiguous block.
+    // Seed one pool pair per zone with the zone's contiguous block.
     let mut pools = Vec::with_capacity(zones.len());
     let mut zone_workers = Vec::with_capacity(zones.len());
     let mut pos = 0u64;
     for &z in &zones {
         let w = placement.workers_in_zone(z).len() as u64;
-        pools.push(CachePadded(RangePool::new(block(pos), block(pos + w))));
+        pools.push(CachePadded(ZonePool::new(block(pos), block(pos + w))));
         zone_workers.push(w as u32);
         pos += w;
     }
 
+    let core = Arc::new(LoopCore {
+        pools: pools.into_boxed_slice(),
+        zone_workers: zone_workers.into_boxed_slice(),
+        epoch: AtomicU64::new(0),
+        rebalances: AtomicU64::new(0),
+        migrated_in: AtomicU64::new(0),
+        migrated_out: AtomicU64::new(0),
+    });
+
+    // Coarse-level registration: the balancer only arbitrates across
+    // zones, so single-zone loops stay off its probe list. The guard
+    // deregisters on every exit path (body panics included).
+    let _registration = (core.pools.len() > 1).then(|| {
+        let balancer = ctx.team.balancer.clone();
+        balancer.register(&core);
+        Registration {
+            balancer,
+            core: core.clone(),
+        }
+    });
+
     let shared = LoopShared {
         base,
         schedule,
-        pools: pools.into_boxed_slice(),
+        core: core.clone(),
         pool_of_zone: pool_of_zone.into_boxed_slice(),
-        zone_workers: zone_workers.into_boxed_slice(),
         cost: AdaptiveCost::new(),
         chunks: AtomicU64::new(0),
         iters: AtomicU64::new(0),
@@ -429,6 +673,9 @@ fn run_loop(
         chunks: shared.chunks.load(Ordering::Relaxed),
         claimed_local: shared.claimed_local.load(Ordering::Relaxed),
         range_steals: shared.range_steals.load(Ordering::Relaxed),
+        rebalances: core.rebalances.load(Ordering::Relaxed),
+        migrated_in: core.migrated_in.load(Ordering::Relaxed),
+        migrated_out: core.migrated_out.load(Ordering::Relaxed),
     }
 }
 
@@ -480,6 +727,9 @@ fn run_static(
         chunks: chunks.load(Ordering::Relaxed),
         claimed_local: claimed_local.load(Ordering::Relaxed),
         range_steals: 0,
+        rebalances: 0,
+        migrated_in: 0,
+        migrated_out: 0,
     }
 }
 
@@ -513,6 +763,7 @@ mod tests {
                     hits[i as usize].fetch_add(1, Ordering::Relaxed);
                 });
                 assert_eq!(report.iterations, N as u64, "{}", sched.name());
+                assert_eq!(report.migrated_in, report.migrated_out, "{}", sched.name());
                 hits.iter().all(|h| h.load(Ordering::Relaxed) == 1)
             });
             assert!(
@@ -598,12 +849,13 @@ mod tests {
         // Two zones. All the *work* (slow iterations) sits in zone 1's
         // half of the space; zone 0's workers finish their own block and
         // must steal across — while zone 1's workers never steal (their
-        // own pool always has work until the very end).
+        // own pool always has work until the very end). The balancer is
+        // off so the fine (reactive) level is isolated.
         let topo = MachineTopology::new(2, 2, 1); // 2 sockets × 2 cores
         let rt = Runtime::new(
             RuntimeConfig::xgomptb(4)
                 .topology(topo)
-                .dlb(DlbConfig::new(DlbStrategy::WorkSteal)),
+                .dlb(DlbConfig::new(DlbStrategy::WorkSteal).rebalance_interval(0)),
         );
         let out = rt.parallel(|ctx| {
             ctx.parallel_for(0..4_000, LoopSchedule::Dynamic(16), |i, _| {
@@ -625,6 +877,8 @@ mod tests {
             report.claimed_local > 0,
             "local claims happen before any steal"
         );
+        assert_eq!(report.rebalances, 0, "balancer disabled");
+        assert_eq!(report.migrated_in, 0);
         out.stats.check_invariants().unwrap();
         // Counter-verified victim order: every steal-split was performed
         // by a worker whose own pool was dry (the drive loop only
@@ -632,38 +886,72 @@ mod tests {
         // claims dominate.
         let total = out.stats.total();
         assert!(total.nloop_claim_local >= total.nloop_range_steals);
+        assert_eq!(total.nloop_rebalances, 0);
     }
 
     #[test]
-    fn local_pool_with_work_is_never_stolen_from_remotely() {
-        // Deterministic victim-order check at the drive level: a worker
-        // whose zone pool has iterations claims locally; the remote pool
-        // is untouched until the local one is dry.
-        let pools: Box<[CachePadded<RangePool>]> = vec![
-            CachePadded(RangePool::new(0, 100)),
-            CachePadded(RangePool::new(100, 200)),
+    fn balancer_migrates_into_a_starved_zone() {
+        // Same skew as above, but with an aggressive probe cadence: the
+        // coarse level must re-split zone 1's block into zone 0's inbox
+        // (visible as rebalances on the report and on the §V counters).
+        let topo = MachineTopology::new(2, 2, 1);
+        let rt = Runtime::new(
+            RuntimeConfig::xgomptb(4)
+                .topology(topo)
+                .dlb(DlbConfig::new(DlbStrategy::WorkSteal).rebalance_interval(256)),
+        );
+        let out = rt.parallel(|ctx| {
+            ctx.parallel_for(0..4_000, LoopSchedule::Dynamic(16), |i, _| {
+                if i >= 2_000 {
+                    for _ in 0..2_000 {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        });
+        let report = out.result;
+        assert_eq!(report.iterations, 4_000);
+        assert!(
+            report.rebalances > 0,
+            "a starved zone with a rich neighbor must trigger a migration"
+        );
+        assert_eq!(report.migrated_in, report.migrated_out, "conservation");
+        assert!(report.migrated_in > 0);
+        out.stats.check_invariants().unwrap();
+        let total = out.stats.total();
+        assert_eq!(total.nloop_migrated_in, total.nloop_migrated_out);
+    }
+
+    #[test]
+    fn local_pools_with_work_are_never_stolen_from_remotely() {
+        // Deterministic victim-order check at the pool level: a worker
+        // whose zone pools have iterations claims locally; the remote
+        // pools are untouched until the local ones are dry.
+        let pools: Box<[CachePadded<ZonePool>]> = vec![
+            CachePadded(ZonePool::new(0, 100)),
+            CachePadded(ZonePool::new(100, 200)),
         ]
         .into_boxed_slice();
-        let shared = LoopShared {
-            base: 0,
-            schedule: LoopSchedule::Dynamic(10),
+        let core = LoopCore {
             pools,
-            pool_of_zone: vec![0, 1].into_boxed_slice(),
             zone_workers: vec![1, 1].into_boxed_slice(),
-            cost: AdaptiveCost::new(),
-            chunks: AtomicU64::new(0),
-            iters: AtomicU64::new(0),
-            claimed_local: AtomicU64::new(0),
-            range_steals: AtomicU64::new(0),
-            body: &|_, _| {},
+            epoch: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            migrated_in: AtomicU64::new(0),
+            migrated_out: AtomicU64::new(0),
         };
-        // Claim as zone 0 until its pool is dry: no steals yet.
-        while shared.pools[0].0.claim(10).is_some() {}
-        assert_eq!(shared.pools[1].0.remaining(), 100, "remote pool untouched");
+        // Claim as zone 0 until its pools are dry: no steals yet.
+        while core.pools[0].0.main.claim(10).is_some() {}
+        assert!(core.pools[0].0.inbox.is_empty());
+        assert_eq!(core.pools[1].0.remaining(), 100, "remote pool untouched");
         // Only now does the steal arm fire: upper half of the remote
-        // pool (nearest-first rotation from the local pool).
+        // main pool (nearest-first rotation from the local pool).
         let my = 0usize;
-        let stolen = shared.pools[(my + 1) % 2].0.steal_half();
+        let remote = &core.pools[(my + 1) % 2].0;
+        let stolen = remote
+            .main
+            .steal_half()
+            .or_else(|| remote.inbox.steal_half());
         assert_eq!(stolen, Some((150, 200)));
     }
 
@@ -701,8 +989,59 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_v2_scales_chunks_by_zone_rate() {
+        let core = LoopCore {
+            pools: vec![
+                CachePadded(ZonePool::new(0, 100)),
+                CachePadded(ZonePool::new(100, 200)),
+            ]
+            .into_boxed_slice(),
+            zone_workers: vec![1, 1].into_boxed_slice(),
+            epoch: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            migrated_in: AtomicU64::new(0),
+            migrated_out: AtomicU64::new(0),
+        };
+        // No rate samples yet: unscaled.
+        assert_eq!(core.zone_chunk_scale(0, 64), 64);
+        // Zone 1 claims 8× faster than zone 0 over a sampled window.
+        core.pools[0].0.main.sample_rate(1_000);
+        core.pools[1].0.main.sample_rate(1_000);
+        core.pools[0].0.main.claim(10);
+        core.pools[1].0.main.claim(80);
+        core.pools[0].0.main.sample_rate(2_000);
+        core.pools[1].0.main.sample_rate(2_000);
+        // Slow zone's chunk shrinks (floored at ¼); fast zone unscaled.
+        assert_eq!(core.zone_chunk_scale(0, 64), 16);
+        assert_eq!(core.zone_chunk_scale(1, 64), 64);
+    }
+
+    #[test]
+    fn oversized_ranges_return_a_typed_error() {
+        let rt = Runtime::new(RuntimeConfig::xgomptb(1));
+        let out = rt.parallel(|ctx| {
+            let err = ctx
+                .try_parallel_for(0..(u32::MAX as u64 + 2), LoopSchedule::Static, |_, _| {
+                    panic!("body must not run on a rejected range")
+                })
+                .unwrap_err();
+            assert_eq!(
+                err,
+                LoopError::RangeTooLarge {
+                    len: u32::MAX as u64 + 2
+                }
+            );
+            assert!(err.to_string().contains("u32::MAX"));
+            // The context stays fully usable after the rejection.
+            ctx.parallel_for(0..10, LoopSchedule::Dynamic(2), |_, _| {})
+                .iterations
+        });
+        assert_eq!(out.result, 10);
+    }
+
+    #[test]
     #[should_panic(expected = "bounded at u32::MAX")]
-    fn oversized_ranges_are_rejected_loudly() {
+    fn parallel_for_still_panics_loudly_on_oversized_ranges() {
         let rt = Runtime::new(RuntimeConfig::xgomptb(1));
         rt.parallel(|ctx| {
             ctx.parallel_for(0..(u32::MAX as u64 + 2), LoopSchedule::Static, |_, _| {});

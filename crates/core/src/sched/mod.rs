@@ -23,7 +23,8 @@ use xgomp_profiling::WorkerStats;
 use xgomp_topology::Placement;
 use xgomp_xqueue::Parker;
 
-use crate::dlb::{DlbConfig, DlbTuning};
+use crate::dlb::DlbTuning;
+use crate::loops::LoopBalancer;
 use crate::task::Task;
 
 /// Scheduler implementation selector.
@@ -42,12 +43,14 @@ pub enum SchedulerKind {
 impl SchedulerKind {
     /// Instantiates the scheduler for a team of `n` workers.
     ///
-    /// `tuning`, when given, overrides `dlb` as the DLB configuration
-    /// source and stays shared with the caller, enabling hot re-tuning
-    /// while the team runs (XQueue scheduler only). `parker` is the
-    /// team's idle parker: schedulers wake the push target (or, for
-    /// global queues, a zone-local sleeper) after publishing a task, so
-    /// parked workers never miss work.
+    /// `tuning` (hoisted by the team builder from the runtime's
+    /// `DlbConfig` or supplied by a server) enables the DLB engine and
+    /// stays shared with the caller, enabling hot re-tuning while the
+    /// team runs (XQueue scheduler only). `parker` is the team's idle
+    /// parker: schedulers wake the push target (or, for global queues, a
+    /// zone-local sleeper) after publishing a task, so parked workers
+    /// never miss work. `balancer` is the team's inter-socket loop
+    /// balancer, probed from the DLB engine's idle hook.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         self,
@@ -55,9 +58,9 @@ impl SchedulerKind {
         queue_capacity: usize,
         stats: Arc<Vec<WorkerStats>>,
         placement: Arc<Placement>,
-        dlb: Option<DlbConfig>,
         tuning: Option<Arc<DlbTuning>>,
         parker: Arc<Parker>,
+        balancer: Arc<LoopBalancer>,
     ) -> Box<dyn Scheduler> {
         match self {
             SchedulerKind::Gomp => Box::new(GompScheduler::new(stats, parker)),
@@ -67,8 +70,9 @@ impl SchedulerKind {
                 queue_capacity,
                 stats,
                 placement,
-                tuning.or_else(|| dlb.map(|cfg| Arc::new(DlbTuning::new(cfg)))),
+                tuning,
                 parker,
+                balancer,
             )),
         }
     }

@@ -12,6 +12,7 @@ use xgomp_xqueue::{Parker, PushCursor, XQueueLattice};
 
 use super::Scheduler;
 use crate::dlb::{DlbEngine, DlbTuning};
+use crate::loops::LoopBalancer;
 use crate::task::Task;
 use crate::util::PerWorker;
 
@@ -28,6 +29,7 @@ pub struct XQueueScheduler {
 }
 
 impl XQueueScheduler {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         n: usize,
         queue_capacity: usize,
@@ -35,11 +37,13 @@ impl XQueueScheduler {
         placement: Arc<Placement>,
         tuning: Option<Arc<DlbTuning>>,
         parker: Arc<Parker>,
+        balancer: Arc<LoopBalancer>,
     ) -> Self {
         XQueueScheduler {
             lattice: XQueueLattice::new(n, queue_capacity),
             cursors: PerWorker::new(n, |w| PushCursor::new(n, w)),
-            dlb: tuning.map(|t| DlbEngine::new(n, t, placement, stats.clone(), parker.clone())),
+            dlb: tuning
+                .map(|t| DlbEngine::new(n, t, placement, stats.clone(), parker.clone(), balancer)),
             stats,
             parker,
             n,
@@ -175,7 +179,8 @@ mod tests {
         let parker = Arc::new(Parker::new(
             &(0..n).map(|w| placement.zone_of(w)).collect::<Vec<_>>(),
         ));
-        XQueueScheduler::new(n, cap, stats, placement, tuning, parker)
+        let balancer = Arc::new(LoopBalancer::new());
+        XQueueScheduler::new(n, cap, stats, placement, tuning, parker, balancer)
     }
 
     #[test]

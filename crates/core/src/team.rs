@@ -35,6 +35,7 @@ use crate::barrier::TeamBarrier;
 use crate::config::RuntimeConfig;
 use crate::ctx::TaskCtx;
 use crate::dlb::DlbTuning;
+use crate::loops::LoopBalancer;
 use crate::sched::Scheduler;
 use crate::task::Task;
 use crate::util::PerWorker;
@@ -83,6 +84,10 @@ pub(crate) struct TeamExtras {
     /// Cross-generation loop-subsystem counters (`parallel_for` folds
     /// its per-loop totals in here when present).
     pub loop_stats: Option<Arc<LoopTelemetry>>,
+    /// Inter-socket loop balancer shared across generations (a task
+    /// server owns one for its whole life so live loops keep their
+    /// registry across pause/resume); `None` builds a per-region one.
+    pub balancer: Option<Arc<LoopBalancer>>,
     /// Catch task-body panics instead of poisoning the team: the payload
     /// is carried to the parent's next `taskwait`, which re-raises it
     /// (per-job isolation in `xgomp-service`).
@@ -109,6 +114,9 @@ pub(crate) struct TeamShared {
     pub sampler: Option<Arc<LiveTaskSampler>>,
     /// Cross-generation loop counters (see [`TeamExtras::loop_stats`]).
     pub loop_stats: Option<Arc<LoopTelemetry>>,
+    /// Inter-socket loop balancer (coarse level of two-level loop
+    /// balancing); probed by loop-drain tasks and the DLB idle hook.
+    pub balancer: Arc<LoopBalancer>,
     /// The region's implicit task, published by the master so idle
     /// workers can parent injected tasks to it; null outside a region.
     pub root: AtomicPtr<Task>,
@@ -130,6 +138,19 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
     let parker = Arc::new(Parker::new(
         &(0..n).map(|w| placement.zone_of(w)).collect::<Vec<_>>(),
     ));
+    // The tuning cell is hoisted here (instead of being created inside
+    // the scheduler) so the loop balancer can ride its
+    // `rebalance_interval` knob — hot-swappable exactly like the task
+    // DLB knobs.
+    let tuning = extras
+        .tuning
+        .or_else(|| cfg.dlb.map(|d| Arc::new(DlbTuning::new(d))));
+    let balancer = extras
+        .balancer
+        .unwrap_or_else(|| Arc::new(LoopBalancer::new()));
+    if let Some(t) = &tuning {
+        balancer.bind_tuning(t);
+    }
     TeamShared {
         n,
         sched: cfg.scheduler.build(
@@ -137,9 +158,9 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
             cfg.queue_capacity,
             stats.clone(),
             placement.clone(),
-            cfg.dlb,
-            extras.tuning,
+            tuning,
             parker.clone(),
+            balancer.clone(),
         ),
         barrier: cfg.barrier.build(n, parker.clone()),
         alloc: TaskAllocator::new(cfg.allocator, n),
@@ -152,6 +173,7 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
         source: extras.source,
         sampler: extras.sampler,
         loop_stats: extras.loop_stats,
+        balancer,
         root: AtomicPtr::new(std::ptr::null_mut()),
         isolate_panics: extras.isolate_panics,
         parker,
@@ -700,12 +722,14 @@ impl PersistentTeam {
     ///
     /// Panics when `sampler` has fewer lanes than the team has workers —
     /// aliased lanes would break its single-writer counters.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_serving<R>(
         &mut self,
         source: Arc<dyn IngressSource>,
         sampler: Option<Arc<LiveTaskSampler>>,
         tuning: Option<Arc<DlbTuning>>,
         loop_stats: Option<Arc<LoopTelemetry>>,
+        balancer: Option<Arc<LoopBalancer>>,
         f: impl FnOnce(&TaskCtx<'_>) -> R,
     ) -> RegionOutput<R> {
         if let Some(s) = &sampler {
@@ -723,6 +747,7 @@ impl PersistentTeam {
                 sampler,
                 tuning,
                 loop_stats,
+                balancer,
                 isolate_panics: true,
             },
             f,
@@ -1176,13 +1201,20 @@ mod tests {
         let sampler = Arc::new(xgomp_profiling::LiveTaskSampler::new(4));
         let mut team = PersistentTeam::new(RuntimeConfig::xgomptb(4));
         let h2 = hits.clone();
-        let out = team.run_serving(source, Some(sampler.clone()), None, None, move |ctx| {
-            // The master helps until every injected job has executed.
-            while h2.load(Ordering::Relaxed) < JOBS {
-                ctx.run_pending(32);
-                std::hint::spin_loop();
-            }
-        });
+        let out = team.run_serving(
+            source,
+            Some(sampler.clone()),
+            None,
+            None,
+            None,
+            move |ctx| {
+                // The master helps until every injected job has executed.
+                while h2.load(Ordering::Relaxed) < JOBS {
+                    ctx.run_pending(32);
+                    std::hint::spin_loop();
+                }
+            },
+        );
         assert_eq!(hits.load(Ordering::Relaxed), JOBS);
         assert_eq!(out.stats.total().tasks_executed as usize, JOBS);
         assert_eq!(sampler.tasks_observed() as usize, JOBS);

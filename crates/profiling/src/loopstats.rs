@@ -24,6 +24,7 @@ struct ScheduleCounters {
     chunks: AtomicU64,
     iters: AtomicU64,
     range_steals: AtomicU64,
+    rebalances: AtomicU64,
 }
 
 /// Persistent per-schedule loop counters (see the [module docs](self)).
@@ -41,12 +42,20 @@ impl LoopTelemetry {
     /// Folds one completed loop's totals into schedule `schedule`
     /// (index order of [`LOOP_SCHEDULE_NAMES`]; out-of-range indices are
     /// clamped into the last family rather than dropped).
-    pub fn record_loop(&self, schedule: usize, chunks: u64, iters: u64, range_steals: u64) {
+    pub fn record_loop(
+        &self,
+        schedule: usize,
+        chunks: u64,
+        iters: u64,
+        range_steals: u64,
+        rebalances: u64,
+    ) {
         let s = &self.per_schedule[schedule.min(LOOP_SCHEDULES - 1)];
         s.loops.fetch_add(1, Ordering::Relaxed);
         s.chunks.fetch_add(chunks, Ordering::Relaxed);
         s.iters.fetch_add(iters, Ordering::Relaxed);
         s.range_steals.fetch_add(range_steals, Ordering::Relaxed);
+        s.rebalances.fetch_add(rebalances, Ordering::Relaxed);
     }
 
     /// Plain-value snapshot.
@@ -59,6 +68,7 @@ impl LoopTelemetry {
                 chunks: s.chunks.load(Ordering::Relaxed),
                 iters: s.iters.load(Ordering::Relaxed),
                 range_steals: s.range_steals.load(Ordering::Relaxed),
+                rebalances: s.rebalances.load(Ordering::Relaxed),
             };
         }
         snap
@@ -79,6 +89,9 @@ pub struct ScheduleSnapshot {
     pub iters: u64,
     /// Cross-zone range steal-splits performed.
     pub range_steals: u64,
+    /// Inter-socket rebalances the loop balancer applied to loops of
+    /// this schedule while they ran.
+    pub rebalances: u64,
 }
 
 /// Snapshot of a whole [`LoopTelemetry`] block.
@@ -91,14 +104,15 @@ pub struct LoopTelemetrySnapshot {
 
 impl LoopTelemetrySnapshot {
     /// Totals across all schedule families:
-    /// `(loops, chunks, iters, range_steals)`.
-    pub fn totals(&self) -> (u64, u64, u64, u64) {
-        self.per_schedule.iter().fold((0, 0, 0, 0), |acc, s| {
+    /// `(loops, chunks, iters, range_steals, rebalances)`.
+    pub fn totals(&self) -> (u64, u64, u64, u64, u64) {
+        self.per_schedule.iter().fold((0, 0, 0, 0, 0), |acc, s| {
             (
                 acc.0 + s.loops,
                 acc.1 + s.chunks,
                 acc.2 + s.iters,
                 acc.3 + s.range_steals,
+                acc.4 + s.rebalances,
             )
         })
     }
@@ -111,22 +125,23 @@ mod tests {
     #[test]
     fn records_accumulate_per_schedule() {
         let t = LoopTelemetry::new();
-        t.record_loop(0, 10, 1_000, 0);
-        t.record_loop(1, 20, 2_000, 3);
-        t.record_loop(1, 5, 500, 1);
+        t.record_loop(0, 10, 1_000, 0, 0);
+        t.record_loop(1, 20, 2_000, 3, 2);
+        t.record_loop(1, 5, 500, 1, 1);
         let snap = t.snapshot();
         assert_eq!(snap.per_schedule[0].loops, 1);
         assert_eq!(snap.per_schedule[0].chunks, 10);
         assert_eq!(snap.per_schedule[1].loops, 2);
         assert_eq!(snap.per_schedule[1].chunks, 25);
         assert_eq!(snap.per_schedule[1].range_steals, 4);
-        assert_eq!(snap.totals(), (3, 35, 3_500, 4));
+        assert_eq!(snap.per_schedule[1].rebalances, 3);
+        assert_eq!(snap.totals(), (3, 35, 3_500, 4, 3));
     }
 
     #[test]
     fn out_of_range_schedule_clamps() {
         let t = LoopTelemetry::new();
-        t.record_loop(99, 1, 1, 0);
+        t.record_loop(99, 1, 1, 0, 0);
         assert_eq!(t.snapshot().per_schedule[LOOP_SCHEDULES - 1].loops, 1);
     }
 }

@@ -139,7 +139,7 @@ pub use server::{
 
 // Loop-subsystem types a data-parallel client needs, re-exported so
 // `submit_for` is usable from this crate alone.
-pub use xgomp_core::{LoopReport, LoopSchedule, LoopTelemetrySnapshot};
+pub use xgomp_core::{LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTelemetrySnapshot};
 
 use xgomp_core::{DlbConfig, DlbStrategy, RuntimeConfig};
 

@@ -66,9 +66,9 @@ use crate::handle::{JobHandle, JobPanic};
 use crate::ingress::{JobBody, ShardedIngress};
 use crate::ServerConfig;
 use xgomp_core::{
-    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, LoopReport, LoopSchedule,
-    LoopTelemetry, LoopTelemetrySnapshot, ParkerCell, PersistentTeam, RegionOutput, RuntimeConfig,
-    TaskCtx, TaskSizeHistogram,
+    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, LoopBalancer, LoopError,
+    LoopReport, LoopSchedule, LoopTelemetry, LoopTelemetrySnapshot, ParkerCell, PersistentTeam,
+    RegionOutput, RuntimeConfig, TaskCtx, TaskSizeHistogram,
 };
 use xgomp_topology::Placement;
 use xgomp_xqueue::Backoff;
@@ -135,6 +135,10 @@ impl std::error::Error for LifecycleError {}
 ///   paused; no capacity frees until [`TaskServer::resume`], so retrying
 ///   in a loop is futile.
 /// * [`Closed`](Self::Closed) — the server is shut down; give up.
+/// * [`InvalidLoop`](Self::InvalidLoop) — a `submit_for` range failed
+///   loop validation ([`LoopError`], e.g. longer than `u32::MAX`
+///   iterations); the job was never admitted and retrying the same range
+///   can never succeed.
 pub enum SubmitError<F> {
     /// In-flight bound reached while serving; retry after completions.
     Backpressure(F),
@@ -142,13 +146,19 @@ pub enum SubmitError<F> {
     Paused(F),
     /// The server is closed; the job can never be accepted.
     Closed(F),
+    /// A `submit_for` range was rejected by loop validation (terminal
+    /// for this range; the carried [`LoopError`] says why).
+    InvalidLoop(F, LoopError),
 }
 
 impl<F> SubmitError<F> {
     /// The rejected closure, for retry or disposal.
     pub fn into_inner(self) -> F {
         match self {
-            SubmitError::Backpressure(f) | SubmitError::Paused(f) | SubmitError::Closed(f) => f,
+            SubmitError::Backpressure(f)
+            | SubmitError::Paused(f)
+            | SubmitError::Closed(f)
+            | SubmitError::InvalidLoop(f, _) => f,
         }
     }
 
@@ -167,11 +177,20 @@ impl<F> SubmitError<F> {
         matches!(self, SubmitError::Closed(_))
     }
 
+    /// Whether a `submit_for` range failed loop validation, and why.
+    pub fn loop_error(&self) -> Option<LoopError> {
+        match self {
+            SubmitError::InvalidLoop(_, e) => Some(*e),
+            _ => None,
+        }
+    }
+
     fn variant_name(&self) -> &'static str {
         match self {
             SubmitError::Backpressure(_) => "Backpressure",
             SubmitError::Paused(_) => "Paused",
             SubmitError::Closed(_) => "Closed",
+            SubmitError::InvalidLoop(..) => "InvalidLoop",
         }
     }
 }
@@ -193,6 +212,7 @@ impl<F> std::fmt::Display for SubmitError<F> {
                 "submission rejected: server paused at capacity (resume frees it)"
             ),
             SubmitError::Closed(_) => write!(f, "submission rejected: task server is closed"),
+            SubmitError::InvalidLoop(_, e) => write!(f, "submission rejected: {e}"),
         }
     }
 }
@@ -268,6 +288,13 @@ pub(crate) struct ServerShared {
     /// team folds into the same block, so — like the ingress lane
     /// counters — these survive pause/resume cycles and config swaps.
     loop_stats: Arc<LoopTelemetry>,
+    /// The inter-socket loop balancer, also server-owned: its loop
+    /// registry, probe cadence state and cumulative rebalance counters
+    /// ride across generations (a pause mid-loop-queue resumes with the
+    /// same balancer the draining loops registered with), and its
+    /// cadence knob lives in the shared `DlbTuning`, so `swap_tuning`
+    /// and the adaptive controller re-tune it live.
+    loop_balancer: Arc<LoopBalancer>,
 }
 
 impl ServerShared {
@@ -525,7 +552,11 @@ fn submit_blocking<F, R>(
     loop {
         match try_fn(payload) {
             Ok(h) => return Ok(h),
+            // Terminal rejections: waiting cannot change either verdict.
             Err(SubmitError::Closed(back)) => return Err(SubmitError::Closed(back)),
+            Err(SubmitError::InvalidLoop(back, e)) => {
+                return Err(SubmitError::InvalidLoop(back, e))
+            }
             Err(SubmitError::Backpressure(back)) | Err(SubmitError::Paused(back)) => {
                 payload = back;
                 shared.wait_capacity();
@@ -632,6 +663,10 @@ pub struct ServerStats {
     /// generations. Per-schedule breakdowns:
     /// [`TaskServer::loop_telemetry`].
     pub loop_range_steals: u64,
+    /// Inter-socket balancer migrations applied to served loops (the
+    /// coarse level of two-level loop balancing), cumulative across
+    /// generations.
+    pub loop_rebalances: u64,
 }
 
 /// What [`TaskServer::shutdown`] returns after the drain.
@@ -723,6 +758,8 @@ impl TaskServer {
             .unwrap_or_else(|| DlbConfig::new(DlbStrategy::WorkSteal));
         let tuning = Arc::new(DlbTuning::new(initial_dlb));
         let sampler = Arc::new(LiveTaskSampler::new(rt.threads));
+        let loop_balancer = Arc::new(LoopBalancer::new());
+        loop_balancer.bind_tuning(&tuning);
 
         let shared = Arc::new(ServerShared {
             ingress,
@@ -749,6 +786,7 @@ impl TaskServer {
             retired_hist: Mutex::new(TaskSizeHistogram::default()),
             swap_epoch: Arc::new(AtomicU64::new(0)),
             loop_stats: Arc::new(LoopTelemetry::new()),
+            loop_balancer,
         });
 
         let master = {
@@ -818,7 +856,10 @@ impl TaskServer {
     /// The loop is one *job*: admission control, panic isolation,
     /// pause/resume draining and per-generation telemetry all treat it
     /// exactly like a task job, and the returned handle completes with
-    /// the loop's [`LoopReport`]. Rejections hand `body` back.
+    /// the loop's [`LoopReport`]. Rejections hand `body` back — an
+    /// invalid range (longer than `u32::MAX` iterations) comes back as
+    /// [`SubmitError::InvalidLoop`] *before* admission, so it costs no
+    /// in-flight slot and never reaches a worker.
     pub fn try_submit_for<F>(
         &self,
         range: std::ops::Range<u64>,
@@ -828,6 +869,9 @@ impl TaskServer {
     where
         F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
     {
+        if let Err(e) = LoopError::check_range(&range) {
+            return Err(SubmitError::InvalidLoop(body, e));
+        }
         let body = self.shared.admit_or(body)?;
         let (handle, job) = self
             .shared
@@ -1059,7 +1103,7 @@ impl TaskServer {
     pub fn stats(&self) -> ServerStats {
         let in_flight = self.shared.in_flight.load(Ordering::SeqCst);
         let in_team = self.shared.in_team.load(Ordering::SeqCst);
-        let (loops, loop_chunks, loop_iters, loop_range_steals) =
+        let (loops, loop_chunks, loop_iters, loop_range_steals, loop_rebalances) =
             self.shared.loop_stats.snapshot().totals();
         ServerStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
@@ -1077,13 +1121,22 @@ impl TaskServer {
             loop_chunks,
             loop_iters,
             loop_range_steals,
+            loop_rebalances,
         }
     }
 
-    /// Per-schedule loop telemetry (chunks, iterations, range steals for
-    /// static/dynamic/guided/adaptive), cumulative across generations.
+    /// Per-schedule loop telemetry (chunks, iterations, range steals and
+    /// rebalances for static/dynamic/guided/adaptive), cumulative across
+    /// generations.
     pub fn loop_telemetry(&self) -> LoopTelemetrySnapshot {
         self.shared.loop_stats.snapshot()
+    }
+
+    /// The server-owned inter-socket loop balancer (live probe and
+    /// migration counters; its registry and cadence survive every
+    /// generation boundary).
+    pub fn loop_balancer(&self) -> &Arc<LoopBalancer> {
+        &self.shared.loop_balancer
     }
 
     /// The ingress tier (lane counters, claim-conflict statistics).
@@ -1237,6 +1290,7 @@ fn master_loop(
             Some(sampler.clone()),
             Some(tuning.clone()),
             Some(shared.loop_stats.clone()),
+            Some(shared.loop_balancer.clone()),
             serve,
         ));
 

@@ -15,9 +15,26 @@
 //!
 //! Offsets are `u32` so the whole pool state fits one atomic word —
 //! a single `parallel_for` is therefore bounded at `u32::MAX`
-//! (≈ 4.3 · 10⁹) iterations, asserted loudly by the loop layer.
+//! (≈ 4.3 · 10⁹) iterations, surfaced as a typed error by the loop
+//! layer.
+//!
+//! ## Rate telemetry
+//!
+//! Beyond the range word, each pool carries *claim-rate telemetry*: a
+//! cumulative [`claimed`](RangePool::claimed) iteration counter (one
+//! relaxed `fetch_add` per successful claim — still amortized over a
+//! whole chunk) and an iterations-per-tick EWMA refreshed by a single
+//! sampler through [`sample_rate`](RangePool::sample_rate). The
+//! inter-socket loop balancer reads these rates to decide which zone's
+//! block to re-split *before* a pool runs dry; the pool itself attaches
+//! no policy to them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// EWMA smoothing factor of [`RangePool::sample_rate`] (new sample
+/// weight). ½ keeps the estimate responsive to phase changes while
+/// damping single-probe noise.
+const RATE_ALPHA: f64 = 0.5;
 
 /// A half-open range of iteration offsets, `[lo, hi)`.
 pub type IterRange = (u32, u32);
@@ -37,14 +54,23 @@ fn unpack(word: u64) -> (u32, u32) {
 #[derive(Debug)]
 pub struct RangePool {
     word: AtomicU64,
+    /// Cumulative iterations handed out through [`claim`](Self::claim)
+    /// (front claims only; steals are *re-homing*, not draining, and are
+    /// counted by their eventual claimer).
+    claimed: AtomicU64,
+    /// `f64::to_bits` of the claims-per-tick EWMA (see
+    /// [`sample_rate`](Self::sample_rate)).
+    rate_bits: AtomicU64,
+    /// `claimed` as of the previous `sample_rate` call.
+    last_claimed: AtomicU64,
+    /// Tick of the previous `sample_rate` call (0 = never sampled).
+    last_tick: AtomicU64,
 }
 
 impl RangePool {
     /// An empty pool.
     pub fn empty() -> Self {
-        RangePool {
-            word: AtomicU64::new(pack(0, 0)),
-        }
+        Self::new(0, 0)
     }
 
     /// A pool seeded with `[lo, hi)`.
@@ -52,6 +78,10 @@ impl RangePool {
         debug_assert!(lo <= hi);
         RangePool {
             word: AtomicU64::new(pack(lo, hi)),
+            claimed: AtomicU64::new(0),
+            rate_bits: AtomicU64::new(0f64.to_bits()),
+            last_claimed: AtomicU64::new(0),
+            last_tick: AtomicU64::new(0),
         }
     }
 
@@ -87,10 +117,51 @@ impl RangePool {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return Some((lo, lo + take)),
+                Ok(_) => {
+                    self.claimed.fetch_add(take as u64, Ordering::Relaxed);
+                    return Some((lo, lo + take));
+                }
                 Err(w) => word = w,
             }
         }
+    }
+
+    /// Cumulative iterations claimed from the front of this pool.
+    #[inline]
+    pub fn claimed(&self) -> u64 {
+        self.claimed.load(Ordering::Relaxed)
+    }
+
+    /// Latest claims-per-tick EWMA (0.0 until two
+    /// [`sample_rate`](Self::sample_rate) calls have bracketed some
+    /// claims).
+    #[inline]
+    pub fn claim_rate(&self) -> f64 {
+        f64::from_bits(self.rate_bits.load(Ordering::Relaxed))
+    }
+
+    /// Folds the claims since the previous call into the rate EWMA and
+    /// returns the updated estimate (iterations per clock tick).
+    ///
+    /// Single-sampler contract: the balancer's probe gate guarantees one
+    /// sampler at a time, so the `last_*` bookkeeping uses plain relaxed
+    /// stores. The first call only establishes the baseline.
+    pub fn sample_rate(&self, now_tick: u64) -> f64 {
+        let claimed = self.claimed.load(Ordering::Relaxed);
+        let prev_tick = self.last_tick.load(Ordering::Relaxed);
+        let prev_claimed = self.last_claimed.load(Ordering::Relaxed);
+        if prev_tick == 0 || now_tick <= prev_tick {
+            self.last_tick.store(now_tick.max(1), Ordering::Relaxed);
+            self.last_claimed.store(claimed, Ordering::Relaxed);
+            return self.claim_rate();
+        }
+        let dt = (now_tick - prev_tick) as f64;
+        let inst = claimed.saturating_sub(prev_claimed) as f64 / dt;
+        let ewma = (1.0 - RATE_ALPHA) * self.claim_rate() + RATE_ALPHA * inst;
+        self.rate_bits.store(ewma.to_bits(), Ordering::Relaxed);
+        self.last_tick.store(now_tick, Ordering::Relaxed);
+        self.last_claimed.store(claimed, Ordering::Relaxed);
+        ewma
     }
 
     /// Steals the upper half of the pool (⌈remaining / 2⌉ iterations —
@@ -114,6 +185,71 @@ impl RangePool {
                 Ordering::Acquire,
             ) {
                 Ok(_) => return Some((mid, hi)),
+                Err(w) => word = w,
+            }
+        }
+    }
+
+    /// Migrates the upper half of this pool into `dst` — the coarse
+    /// (inter-socket) rebalance primitive: one back-half steal from the
+    /// rich pool, one deposit into the starved one. Returns the number of
+    /// iterations moved, `None` when either side made the migration moot
+    /// (`self` empty, or `dst` non-empty — deposits only land in empty
+    /// pools, see [`deposit_if_empty`](Self::deposit_if_empty)).
+    ///
+    /// Caller contract: the caller should be `dst`'s only *depositor*
+    /// (claims and steals by other threads are fine). The balancer's
+    /// single-prober gate guarantees this; a racing depositor is still
+    /// safe — the stolen range is then handed back to `self`'s back edge
+    /// (or, if other steals moved it, parked in whichever of the two
+    /// pools empties first), never lost.
+    pub fn steal_half_into(&self, dst: &RangePool) -> Option<u32> {
+        if !dst.is_empty() {
+            return None;
+        }
+        let (lo, hi) = self.steal_half()?;
+        loop {
+            if dst.deposit_if_empty(lo, hi) {
+                return Some(hi - lo);
+            }
+            // `dst` filled between the check and the deposit (a foreign
+            // depositor): un-steal by re-extending our own back edge, or
+            // park the range in whichever pool empties first.
+            if self.unsteal(lo, hi) || self.deposit_if_empty(lo, hi) {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Re-extends the back of the pool with `[lo, hi)` iff the pool's
+    /// current `hi` is exactly `lo` (the range is still adjacent — no
+    /// other steal moved the back edge since we took it), or the pool
+    /// emptied meanwhile (any range is depositable then). Returns
+    /// whether the range was taken back; on `false` the caller still
+    /// owns it. The undo half of a two-pool migration — callers that
+    /// account migrations at each linearization point (the loop
+    /// balancer) bracket [`steal_half`](Self::steal_half) /
+    /// [`deposit_if_empty`](Self::deposit_if_empty) with this as the
+    /// give-back path.
+    pub fn unsteal(&self, lo: u32, hi: u32) -> bool {
+        let mut word = self.word.load(Ordering::Acquire);
+        loop {
+            let (cur_lo, cur_hi) = unpack(word);
+            if cur_lo >= cur_hi {
+                // Emptied meanwhile: any range is depositable.
+                return self.deposit_if_empty(lo, hi);
+            }
+            if cur_hi != lo {
+                return false;
+            }
+            match self.word.compare_exchange_weak(
+                word,
+                pack(cur_lo, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
                 Err(w) => word = w,
             }
         }
@@ -188,6 +324,62 @@ mod tests {
     }
 
     #[test]
+    fn steal_half_into_migrates_into_an_empty_pool() {
+        let src = RangePool::new(0, 100);
+        let dst = RangePool::empty();
+        assert_eq!(src.steal_half_into(&dst), Some(50));
+        assert_eq!(src.remaining(), 50);
+        assert_eq!(dst.remaining(), 50);
+        assert_eq!(dst.claim(100), Some((50, 100)));
+        // Non-empty destination: migration refused, source untouched.
+        let busy = RangePool::new(0, 10);
+        assert_eq!(src.steal_half_into(&busy), None);
+        assert_eq!(src.remaining(), 50);
+        // Empty source: nothing to migrate.
+        let dry = RangePool::empty();
+        assert_eq!(dry.steal_half_into(&dst), None);
+    }
+
+    #[test]
+    fn unsteal_restores_an_adjacent_back_range() {
+        let p = RangePool::new(0, 10);
+        let (lo, hi) = p.steal_half().unwrap();
+        assert!(p.unsteal(lo, hi), "still adjacent");
+        assert_eq!(p.remaining(), 10);
+        // After a second steal moved the back edge, the first range is no
+        // longer adjacent.
+        let first = p.steal_half().unwrap();
+        let _second = p.steal_half().unwrap();
+        assert!(!p.unsteal(first.0, first.1));
+        // But an emptied pool takes any range back.
+        while p.claim(100).is_some() {}
+        assert!(p.unsteal(first.0, first.1));
+        assert_eq!(p.remaining(), first.1 - first.0);
+    }
+
+    #[test]
+    fn claim_counter_and_rate_ewma() {
+        let p = RangePool::new(0, 1_000);
+        assert_eq!(p.claimed(), 0);
+        p.claim(100);
+        p.claim(50);
+        assert_eq!(p.claimed(), 150);
+        // Steals do not count as claims.
+        p.steal_half();
+        assert_eq!(p.claimed(), 150);
+        // First sample establishes the baseline only.
+        assert_eq!(p.sample_rate(1_000), 0.0);
+        p.claim(200);
+        // 200 iterations over 1000 ticks → 0.2/tick, EWMA-weighted ½.
+        let r = p.sample_rate(2_000);
+        assert!((r - 0.1).abs() < 1e-9, "rate {r}");
+        // A stalled interval decays the estimate.
+        let r2 = p.sample_rate(3_000);
+        assert!((r2 - 0.05).abs() < 1e-9, "rate {r2}");
+        assert_eq!(p.claim_rate(), r2);
+    }
+
+    #[test]
     fn concurrent_claims_and_steals_conserve_iterations() {
         const N: u32 = 200_000;
         let pool = Arc::new(RangePool::new(0, N));
@@ -216,5 +408,57 @@ mod tests {
         });
         assert_eq!(total, N as u64, "every iteration claimed exactly once");
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn migrations_racing_claims_conserve_iterations() {
+        const N: u32 = 400_000;
+        let src = Arc::new(RangePool::new(0, N));
+        let dst = Arc::new(RangePool::empty());
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let total: u64 = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            // One migrator (the single-depositor contract) re-splitting
+            // the rich pool into the starved one whenever it empties.
+            // Its last deposit is visible before `done` flips, so the
+            // claimers' exit condition cannot strand an in-flight range.
+            {
+                let (src, dst, done) = (src.clone(), dst.clone(), done.clone());
+                handles.push(s.spawn(move || {
+                    while !src.is_empty() {
+                        src.steal_half_into(&dst);
+                        std::hint::spin_loop();
+                    }
+                    done.store(true, Ordering::SeqCst);
+                    0u64
+                }));
+            }
+            for t in 0..6 {
+                let (src, dst, done) = (src.clone(), dst.clone(), done.clone());
+                handles.push(s.spawn(move || {
+                    let mut got = 0u64;
+                    loop {
+                        let r = if t % 2 == 0 {
+                            dst.claim(31).or_else(|| src.claim(31))
+                        } else {
+                            src.claim(17).or_else(|| dst.steal_half())
+                        };
+                        match r {
+                            Some((lo, hi)) => got += (hi - lo) as u64,
+                            None => {
+                                if done.load(Ordering::SeqCst) && src.is_empty() && dst.is_empty() {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, N as u64, "migration lost or duplicated iterations");
+        assert!(src.is_empty() && dst.is_empty());
     }
 }

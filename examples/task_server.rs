@@ -150,8 +150,8 @@ fn main() {
     server
         .resume_with(
             RuntimeConfig::xgomptb(4)
-                .topology(MachineTopology::new(1, 4, 1))
-                .dlb(DlbConfig::new(DlbStrategy::RedirectPush)),
+                .topology(MachineTopology::new(2, 2, 1))
+                .dlb(DlbConfig::new(DlbStrategy::RedirectPush).rebalance_interval(2_048)),
         )
         .expect("resume with new config");
     let backlog: u64 = paused_jobs
@@ -167,28 +167,52 @@ fn main() {
         server.active_dlb().strategy.name(),
     );
 
-    // Data-parallel phase: a skewed-cost loop served as one job through
-    // the same admission/telemetry pipeline (adaptive chunking, zone
-    // pools, range stealing).
+    // Data-parallel phase: two *concurrent* skewed-cost loops served as
+    // jobs through the same admission/telemetry pipeline (adaptive
+    // chunking, zone pools, range stealing) while the inter-socket
+    // balancer re-splits rich zone blocks into starved zones' inboxes.
     let loop_sum = Arc::new(AtomicU64::new(0));
-    let ls = loop_sum.clone();
-    let loop_report = server
-        .submit_for(0..200_000, xgomp::LoopSchedule::Adaptive, move |i, _| {
-            ls.fetch_add(i, Ordering::Relaxed);
+    let loop_handles: Vec<_> = (0..2)
+        .map(|_| {
+            let ls = loop_sum.clone();
+            server
+                .submit_for(0..200_000, xgomp::LoopSchedule::Adaptive, move |i, _| {
+                    if i >= 150_000 {
+                        // Skewed tail: the second zone's block is rich.
+                        for _ in 0..60 {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    ls.fetch_add(i, Ordering::Relaxed);
+                })
+                .expect("loop job admitted")
         })
-        .expect("loop job admitted")
-        .join()
-        .expect("loop job completes");
-    assert_eq!(loop_report.iterations, 200_000);
+        .collect();
+    let mut loop_chunks = 0;
+    let mut loop_rebalances = 0;
+    for h in loop_handles {
+        let loop_report = h.join().expect("loop job completes");
+        assert_eq!(loop_report.iterations, 200_000);
+        assert_eq!(
+            loop_report.migrated_in, loop_report.migrated_out,
+            "balancer migration accounting conserves"
+        );
+        loop_chunks += loop_report.chunks;
+        loop_rebalances += loop_report.rebalances;
+    }
     assert_eq!(
         loop_sum.load(Ordering::Relaxed),
-        (0..200_000u64).sum::<u64>(),
+        2 * (0..200_000u64).sum::<u64>(),
         "loop checksum conserved"
     );
     eprintln!(
-        "[task_server] parallel_for: 200k iterations in {} chunks \
-         ({} zone-local claims, {} range steals)",
-        loop_report.chunks, loop_report.claimed_local, loop_report.range_steals,
+        "[task_server] parallel_for: 2 concurrent skewed loops × 200k iterations \
+         in {} chunks ({} inter-socket rebalances, {} iterations migrated, \
+         {} range steals)",
+        loop_chunks,
+        loop_rebalances,
+        server.loop_balancer().iterations_migrated(),
+        server.stats().loop_range_steals,
     );
 
     let hist = server.task_histogram();
@@ -196,11 +220,11 @@ fn main() {
     let total = SUBMITTERS * JOBS_PER_SUBMITTER;
     assert_eq!(
         report.stats.completed,
-        total + 1 + 256 + 1 + 1, // + wake probe, paused backlog, gen-2 probe, loop job
+        total + 1 + 256 + 1 + 2, // + wake probe, paused backlog, gen-2 probe, loop jobs
         "every job completed"
     );
-    assert_eq!(report.stats.loops, 1, "the parallel_for job is counted");
-    assert_eq!(report.stats.loop_iters, 200_000);
+    assert_eq!(report.stats.loops, 2, "the parallel_for jobs are counted");
+    assert_eq!(report.stats.loop_iters, 400_000);
     assert_eq!(report.stats.generations, 2);
     assert_eq!(report.prior_regions.len(), 1);
     assert!(

@@ -33,10 +33,10 @@
 pub use xgomp_core::{
     clock, guidelines, render_task_counts, render_timeline, state_summary, Affinity, AllocKind,
     BarrierKind, CostModel, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource,
-    LiveTaskSampler, Locality, LoopReport, LoopSchedule, LoopTelemetry, LoopTelemetrySnapshot,
-    MachineTopology, Parker, PerfLog, PersistentTeam, Placement, ProfileDump, RegionOutput,
-    Runtime, RuntimeConfig, SchedulerKind, Scope, StatsSnapshot, TaskCtx, TaskSizeHistogram,
-    TeamStats,
+    LiveTaskSampler, Locality, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTelemetry,
+    LoopTelemetrySnapshot, MachineTopology, Parker, PerfLog, PersistentTeam, Placement,
+    ProfileDump, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope, StatsSnapshot,
+    TaskCtx, TaskSizeHistogram, TeamStats,
 };
 pub use xgomp_service::{JobHandle, JobPanic, ServerConfig, SubmitterHandle, TaskServer};
 

@@ -1,0 +1,491 @@
+//! Two-level loop balancing: conservation and chaos tests for
+//! *concurrent* loops sharing one team.
+//!
+//! The contract under test, on top of `tests/loops.rs`' single-loop
+//! guarantees:
+//!
+//! * N simultaneous `submit_for` jobs (mixed schedules, skewed bodies)
+//!   each execute **every iteration exactly once**, with the executing
+//!   zone recorded — no iteration runs in two zones;
+//! * the inter-socket balancer's accounting conserves:
+//!   `migrated_in == migrated_out` per loop, and the per-schedule
+//!   telemetry's rebalance total equals the sum over the loops' reports;
+//! * balancer **off** (`rebalance_interval = 0`) reproduces the PR 4
+//!   dry-pool-steal behavior: identical checksums, all rebalance
+//!   counters exactly zero;
+//! * the chaos matrix holds: pause→resume landing mid-stream on live
+//!   balanced loops, a `resume_with` zone collapse (2 sockets → 1) plus
+//!   worker shrink under the same server-owned balancer, and
+//!   `swap_tuning` retuning the probe cadence mid-loop.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xgomp::service::{ServerConfig, SubmitError, TaskServer};
+use xgomp::{DlbConfig, DlbStrategy, LoopSchedule, MachineTopology, RuntimeConfig};
+
+const SCHEDULES: [LoopSchedule; 4] = [
+    LoopSchedule::Static,
+    LoopSchedule::Dynamic(128),
+    LoopSchedule::Guided(32),
+    LoopSchedule::Adaptive,
+];
+
+/// A two-zone server with an aggressive rebalance cadence (`interval`
+/// ticks; 0 disables the balancer).
+fn two_zone_server(threads: usize, interval: u64) -> TaskServer {
+    let rt = RuntimeConfig::xgomptb(threads)
+        .topology(MachineTopology::new(2, threads.div_ceil(2).max(1), 1))
+        .dlb(
+            DlbConfig::new(DlbStrategy::WorkSteal)
+                .t_interval(64)
+                .rebalance_interval(interval),
+        );
+    TaskServer::start(ServerConfig::new(threads).runtime(rt).adapt_every(0))
+}
+
+/// Spins ~`w` iterations of busy work (pure, checksum-free).
+fn spin(w: u64) {
+    for _ in 0..w {
+        std::hint::spin_loop();
+    }
+}
+
+/// (a) The conservation suite: N simultaneous loop jobs on one team,
+/// mixed schedules, skewed cost. Every loop exactly-once, with the
+/// executing zone recorded per iteration (an iteration claimed by two
+/// zones would overwrite a non-zero owner), and every loop's migration
+/// accounting conserved.
+#[test]
+fn concurrent_loops_conserve_exactly_once_across_zones() {
+    const N: u64 = 60_000;
+    const JOBS: usize = 8;
+    let server = two_zone_server(4, 1_024);
+
+    // owners[j][i] = 1 + zone that executed iteration i of loop j.
+    let owners: Vec<Arc<Vec<AtomicU8>>> = (0..JOBS)
+        .map(|_| Arc::new((0..N).map(|_| AtomicU8::new(0)).collect()))
+        .collect();
+    let doubles = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..JOBS)
+        .map(|j| {
+            let sched = SCHEDULES[j % SCHEDULES.len()];
+            let own = owners[j].clone();
+            let doubles = doubles.clone();
+            server
+                .submit_for(0..N, sched, move |i, ctx| {
+                    // Skew: the top quarter of every space is ~20× the
+                    // cost, concentrated in the last zone's block.
+                    if i >= N - N / 4 {
+                        spin(400);
+                    }
+                    let zone = ctx.numa_zone() as u8 + 1;
+                    if own[i as usize].swap(zone, Ordering::Relaxed) != 0 {
+                        doubles.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .unwrap()
+        })
+        .collect();
+
+    let mut rebalances_sum = 0;
+    for (j, h) in handles.into_iter().enumerate() {
+        let report = h.join().unwrap();
+        let sched = SCHEDULES[j % SCHEDULES.len()];
+        assert_eq!(report.iterations, N, "loop {j} ({})", sched.name());
+        assert_eq!(
+            report.migrated_in,
+            report.migrated_out,
+            "loop {j} ({}): migration accounting must conserve",
+            sched.name()
+        );
+        assert!(
+            report.rebalances <= report.migrated_in,
+            "loop {j}: every rebalance moves ≥ 1 iteration"
+        );
+        rebalances_sum += report.rebalances;
+    }
+    assert_eq!(doubles.load(Ordering::Relaxed), 0, "iteration ran twice");
+    for (j, own) in owners.iter().enumerate() {
+        assert!(
+            own.iter().all(|o| {
+                let z = o.load(Ordering::Relaxed);
+                z == 1 || z == 2
+            }),
+            "loop {j}: some iteration never ran (or reported a bogus zone)"
+        );
+    }
+
+    // The per-schedule telemetry's rebalance total is exactly the sum of
+    // the loops' own reports — no migrations are double-counted or lost.
+    let stats = server.stats();
+    assert_eq!(stats.loops, JOBS as u64);
+    assert_eq!(stats.loop_iters, N * JOBS as u64);
+    assert_eq!(stats.loop_rebalances, rebalances_sum);
+    assert_eq!(server.loop_balancer().live_loops(), 0, "registry drained");
+
+    let report = server.shutdown();
+    let region = report.region.expect("clean serve");
+    region.stats.check_invariants().unwrap();
+}
+
+/// (b) A strongly skewed single loop *must* trigger proactive
+/// rebalancing: zone 0 drains its cheap block quickly, and its own
+/// next probe (fired at a chunk boundary or idle point) re-splits zone
+/// 1's rich block into zone 0's inbox before/at dryness.
+#[test]
+fn skewed_loops_trigger_rebalancing_with_conserved_counters() {
+    let server = two_zone_server(4, 256);
+    const N: u64 = 8_000;
+    let sum = Arc::new(AtomicU64::new(0));
+    let s = sum.clone();
+    let report = server
+        .submit_for(0..N, LoopSchedule::Dynamic(16), move |i, _| {
+            if i >= N / 2 {
+                spin(2_000); // zone 1's block is ~1000× zone 0's
+            }
+            s.fetch_add(i + 1, Ordering::Relaxed);
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(sum.load(Ordering::Relaxed), (1..=N).sum::<u64>());
+    assert!(
+        report.rebalances > 0,
+        "a starved zone facing a rich neighbor must be fed by the balancer"
+    );
+    assert_eq!(report.migrated_in, report.migrated_out);
+    assert_eq!(server.stats().loop_rebalances, report.rebalances);
+    assert!(server.loop_balancer().probes() > 0);
+    assert_eq!(
+        server.loop_balancer().iterations_migrated(),
+        report.migrated_in
+    );
+    server.shutdown();
+}
+
+/// (c) Balancer off (`rebalance_interval = 0`): bit-for-bit the PR 4
+/// dry-pool-steal behavior on the conservation suite — identical
+/// checksums and *zero* everywhere in the rebalance telemetry.
+#[test]
+fn balancer_off_reproduces_dry_pool_steal_baseline() {
+    let server = two_zone_server(4, 0);
+    const N: u64 = 50_000;
+    let mut checksums = Vec::new();
+    for sched in SCHEDULES {
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = sum.clone();
+        let report = server
+            .submit_for(0..N, sched, move |i, _| {
+                if i >= N - N / 4 {
+                    spin(200);
+                }
+                s.fetch_add(i * 31 + 7, Ordering::Relaxed);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        assert_eq!(report.iterations, N, "{}", sched.name());
+        assert_eq!(report.rebalances, 0, "{}", sched.name());
+        assert_eq!(report.migrated_in, 0, "{}", sched.name());
+        assert_eq!(report.migrated_out, 0, "{}", sched.name());
+        checksums.push(sum.load(Ordering::Relaxed));
+    }
+    let expect: u64 = (0..N).map(|i| i * 31 + 7).sum();
+    assert!(checksums.iter().all(|&c| c == expect), "checksum drift");
+    let stats = server.stats();
+    assert_eq!(stats.loop_rebalances, 0);
+    assert_eq!(server.loop_balancer().rebalances(), 0);
+    assert_eq!(server.loop_balancer().iterations_migrated(), 0);
+    let report = server.shutdown();
+    let total = report.region.expect("clean serve").stats.total();
+    assert_eq!(total.nloop_rebalances, 0);
+    assert_eq!(total.nloop_migrated_in, 0);
+    assert_eq!(total.nloop_migrated_out, 0);
+}
+
+/// (d) Chaos: a pause lands mid-stream on a queue of balancer-live
+/// skewed loops; the drain completes them under the balancer, the
+/// queued tail runs in the next generation — same server-owned
+/// balancer, everything conserved.
+#[test]
+fn pause_resume_mid_rebalance_conserves() {
+    const N: u64 = 20_000;
+    const JOBS: usize = 10;
+    let server = two_zone_server(4, 512);
+    let sum = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for j in 0..JOBS {
+        let sched = SCHEDULES[j % SCHEDULES.len()];
+        let s = sum.clone();
+        handles.push(
+            server
+                .submit_for(0..N, sched, move |i, _| {
+                    if i >= N / 2 {
+                        spin(60);
+                    }
+                    s.fetch_add(i + 1, Ordering::Relaxed);
+                })
+                .unwrap(),
+        );
+        if j == JOBS / 2 {
+            // Mid-stream: loops done / in-team (with possible in-flight
+            // migrations) / ring-queued. The pause drains everything
+            // admitted so far; the balancer registry must end empty.
+            server.pause().unwrap();
+            assert_eq!(
+                server.loop_balancer().live_loops(),
+                0,
+                "a paused (quiescent) server cannot have live loops"
+            );
+        }
+    }
+    server.resume().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        sum.load(Ordering::Relaxed),
+        JOBS as u64 * (1..=N).sum::<u64>()
+    );
+    let stats = server.stats();
+    assert_eq!(stats.loops, JOBS as u64);
+    assert_eq!(stats.loop_iters, JOBS as u64 * N);
+    server.shutdown();
+}
+
+/// (e) Chaos: `resume_with` collapses 2 sockets → 1 *and* shrinks the
+/// worker set under the same server-owned balancer. Pre-swap loops may
+/// rebalance (two zones); post-swap loops cannot (single pool) — and
+/// the cumulative telemetry must reflect exactly that.
+#[test]
+fn zone_collapse_and_worker_shrink_with_live_balancer() {
+    const N: u64 = 30_000;
+    let server = two_zone_server(6, 512);
+
+    let sum = Arc::new(AtomicU64::new(0));
+    let s = sum.clone();
+    let before = server
+        .submit_for(0..N, LoopSchedule::Guided(16), move |i, _| {
+            if i >= N / 2 {
+                spin(80);
+            }
+            s.fetch_add(i, Ordering::Relaxed);
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(before.migrated_in, before.migrated_out);
+    let rebalances_before = server.stats().loop_rebalances;
+    assert_eq!(rebalances_before, before.rebalances);
+
+    server.pause().unwrap();
+    server
+        .resume_with(
+            RuntimeConfig::xgomptb(2)
+                .topology(MachineTopology::new(1, 2, 1))
+                .dlb(DlbConfig::new(DlbStrategy::RedirectPush).rebalance_interval(512)),
+        )
+        .unwrap();
+
+    let s = sum.clone();
+    let after = server
+        .submit_for(0..N, LoopSchedule::Adaptive, move |i, _| {
+            if i >= N / 2 {
+                spin(80);
+            }
+            s.fetch_add(i, Ordering::Relaxed);
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(sum.load(Ordering::Relaxed), 2 * (0..N).sum::<u64>());
+    assert_eq!(
+        after.rebalances, 0,
+        "a single-zone loop has nothing to rebalance across"
+    );
+    // Cumulative across the swap: pre-swap rebalances survive, post-swap
+    // adds none.
+    let stats = server.stats();
+    assert_eq!(stats.loops, 2);
+    assert_eq!(stats.loop_rebalances, rebalances_before);
+    server.shutdown();
+}
+
+/// (f) Chaos: `swap_tuning` mid-loop — the probe cadence knob flips
+/// off → aggressive → off while a long skewed loop drains; conservation
+/// holds throughout and the final swap's `rebalance_interval = 0` stops
+/// the balancer (no further migrations after the loop that observed it).
+#[test]
+fn swap_tuning_retunes_rebalance_cadence_mid_loop() {
+    const N: u64 = 40_000;
+    let server = two_zone_server(4, 0); // starts disabled
+    let sum = Arc::new(AtomicU64::new(0));
+
+    let s = sum.clone();
+    let h = server
+        .submit_for(0..N, LoopSchedule::Dynamic(32), move |i, _| {
+            if i >= N / 2 {
+                spin(120);
+            }
+            s.fetch_add(i + 1, Ordering::Relaxed);
+        })
+        .unwrap();
+    // Mid-loop: turn the balancer on, aggressively. The drain tasks
+    // re-read the knob at their next probe gate (no pause needed).
+    server.swap_tuning(
+        DlbConfig::new(DlbStrategy::WorkSteal)
+            .t_interval(64)
+            .rebalance_interval(256),
+    );
+    let report = h.join().unwrap();
+    assert_eq!(report.iterations, N);
+    assert_eq!(report.migrated_in, report.migrated_out);
+    assert_eq!(sum.load(Ordering::Relaxed), (1..=N).sum::<u64>());
+
+    // And off again: the next skewed loop must not migrate at all.
+    server.swap_tuning(DlbConfig::new(DlbStrategy::WorkSteal).rebalance_interval(0));
+    let migrated_so_far = server.loop_balancer().iterations_migrated();
+    let s = sum.clone();
+    let off = server
+        .submit_for(0..N, LoopSchedule::Dynamic(32), move |i, _| {
+            if i >= N / 2 {
+                spin(120);
+            }
+            s.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(off.rebalances, 0, "interval 0 must disable the balancer");
+    assert_eq!(
+        server.loop_balancer().iterations_migrated(),
+        migrated_so_far
+    );
+    server.shutdown();
+}
+
+/// (g) `submit_for` range validation: an oversized range comes back as
+/// a typed, terminal `SubmitError::InvalidLoop` — before admission, so
+/// it costs no in-flight slot — from both the blocking and non-blocking
+/// paths, with the body handed back.
+#[test]
+fn oversized_submit_for_returns_typed_error() {
+    let server = two_zone_server(2, 0);
+    let huge = 0..(u32::MAX as u64 + 2);
+
+    let err = server
+        .try_submit_for(huge.clone(), LoopSchedule::Dynamic(64), |_, _| {})
+        .unwrap_err();
+    assert!(matches!(err, SubmitError::InvalidLoop(..)), "{err:?}");
+    let loop_err = err.loop_error().expect("carries the loop error");
+    assert_eq!(
+        loop_err,
+        xgomp::LoopError::RangeTooLarge {
+            len: u32::MAX as u64 + 2
+        }
+    );
+    assert!(err.to_string().contains("u32::MAX"));
+    let _body = err.into_inner(); // the closure comes back
+
+    // The blocking path is terminal too (must not park forever).
+    let err = server
+        .submit_for(huge, LoopSchedule::Adaptive, |_, _| {})
+        .unwrap_err();
+    assert!(err.loop_error().is_some());
+
+    // Never admitted: no slot consumed, no submission counted.
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 0);
+    assert_eq!(stats.in_flight, 0);
+
+    // A valid loop still runs fine afterwards.
+    let ok = server
+        .submit_for(0..100, LoopSchedule::Static, |_, _| {})
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(ok.iterations, 100);
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10, // each case runs a real server + thread team
+        .. ProptestConfig::default()
+    })]
+
+    /// Random (loops, ranges, schedules, workers, sockets): L concurrent
+    /// loop jobs conserve — index-sum checksums match the closed form,
+    /// per-loop migration accounting balances, and the team-level §V
+    /// invariants (including the new rebalance conservation) hold.
+    #[test]
+    fn random_concurrent_loops_conserve(
+        n_loops in 1usize..5,
+        seed in 0u64..1_000_000,
+        chunk in 1u32..256,
+        threads in 1usize..6,
+        sockets in 1usize..3,
+        interval_pick in 0u8..3,
+    ) {
+        // Per-loop (start, len, schedule) derived from the seed with a
+        // splitmix-style mixer — the shim's proptest has no collection
+        // strategies.
+        let mix = |x: u64| {
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let interval = [0u64, 256, 4_096][interval_pick as usize];
+        let topo = MachineTopology::new(sockets, threads.div_ceil(sockets).max(1), 1);
+        let rt = RuntimeConfig::xgomptb(threads)
+            .topology(topo)
+            .dlb(
+                DlbConfig::new(DlbStrategy::WorkSteal)
+                    .t_interval(32)
+                    .rebalance_interval(interval),
+            );
+        let server = TaskServer::start(
+            ServerConfig::new(threads).runtime(rt).adapt_every(0),
+        );
+
+        let handles: Vec<_> = (0..n_loops)
+            .map(|j| {
+                let r = mix(seed.wrapping_add(j as u64));
+                let sched = match r % 4 {
+                    0 => LoopSchedule::Static,
+                    1 => LoopSchedule::Dynamic(chunk),
+                    2 => LoopSchedule::Guided(chunk),
+                    _ => LoopSchedule::Adaptive,
+                };
+                let (start, len) = ((r >> 2) % 1_000, (r >> 12) % 20_000);
+                let sum = Arc::new(AtomicU64::new(0));
+                let s = sum.clone();
+                let h = server
+                    .submit_for(start..start + len, sched, move |i, _| {
+                        s.fetch_add(i, Ordering::Relaxed);
+                    })
+                    .unwrap();
+                (h, sum, start, len)
+            })
+            .collect();
+
+        for (h, sum, start, len) in handles {
+            let report = h.join().unwrap();
+            prop_assert_eq!(report.iterations, len);
+            prop_assert_eq!(report.migrated_in, report.migrated_out);
+            if interval == 0 {
+                prop_assert_eq!(report.rebalances, 0);
+            }
+            let expect: u64 = (start..start + len).sum();
+            prop_assert_eq!(sum.load(Ordering::Relaxed), expect);
+        }
+        let report = server.shutdown();
+        let region = report.region.expect("clean serve");
+        prop_assert!(region.stats.check_invariants().is_ok());
+    }
+}

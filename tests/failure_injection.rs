@@ -6,7 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use xgomp::bots::{BotsApp, Scale};
-use xgomp::{DlbConfig, DlbStrategy, Runtime, RuntimeConfig};
+use xgomp::service::{ServerConfig, TaskServer};
+use xgomp::{DlbConfig, DlbStrategy, LoopSchedule, MachineTopology, Runtime, RuntimeConfig};
 
 #[test]
 fn zero_ish_queue_capacity_is_clamped_and_works() {
@@ -160,6 +161,66 @@ fn deeply_nested_scopes_do_not_overflow_reasonable_stacks() {
         nest(ctx, 300)
     });
     assert_eq!(out.result, 301);
+}
+
+#[test]
+fn panicking_loop_body_racing_a_rebalance_probe_is_isolated() {
+    // A loop whose body panics inside the rich (heavily rebalanced)
+    // half of the space, racing an aggressive probe cadence — the panic
+    // must fail only its own job: the sibling skewed loop conserves, the
+    // balancer deregisters the dead loop, and the server keeps serving.
+    let rt = RuntimeConfig::xgomptb(4)
+        .topology(MachineTopology::new(2, 2, 1))
+        .dlb(
+            DlbConfig::new(DlbStrategy::WorkSteal)
+                .t_interval(32)
+                .rebalance_interval(256),
+        );
+    let server = TaskServer::start(ServerConfig::new(4).runtime(rt).adapt_every(0));
+
+    const N: u64 = 30_000;
+    let sum = Arc::new(AtomicU64::new(0));
+    let s = sum.clone();
+    let sibling = server
+        .submit_for(0..N, LoopSchedule::Dynamic(32), move |i, _| {
+            if i >= N / 2 {
+                for _ in 0..100 {
+                    std::hint::spin_loop();
+                }
+            }
+            s.fetch_add(i + 1, Ordering::Relaxed);
+        })
+        .unwrap();
+    let doomed = server
+        .submit_for(0..N, LoopSchedule::Guided(16), |i, _| {
+            if i == N - N / 4 {
+                panic!("iteration {i} exploded mid-rebalance");
+            }
+            if i >= N / 2 {
+                for _ in 0..100 {
+                    std::hint::spin_loop();
+                }
+            }
+        })
+        .unwrap();
+
+    let err = doomed.join().unwrap_err();
+    assert!(err.message.contains("exploded"), "{}", err.message);
+    sibling.join().unwrap();
+    assert_eq!(sum.load(Ordering::Relaxed), (1..=N).sum::<u64>());
+
+    // The dead loop deregistered (drop guard ran through the unwind);
+    // probes against an empty registry stay harmless and the server
+    // still serves both flavors of work.
+    assert_eq!(server.loop_balancer().live_loops(), 0);
+    assert_eq!(server.submit(|_| 5u32).unwrap().join().unwrap(), 5);
+    let again = server
+        .submit_for(0..1_000, LoopSchedule::Adaptive, |_, _| {})
+        .unwrap()
+        .join()
+        .unwrap();
+    assert_eq!(again.iterations, 1_000);
+    server.shutdown();
 }
 
 #[test]

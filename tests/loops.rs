@@ -170,6 +170,31 @@ fn worker_shrink_on_resume_conserves_and_telemetry_survives() {
     server.shutdown();
 }
 
+/// Loop chunk durations feed the live task-size sampler (the signal the
+/// Table-IV adaptive controller windows on), so loop-heavy workloads
+/// can retune the DLB engine from their real chunk grain — not just
+/// from whole drain-task durations.
+#[test]
+fn loop_chunk_durations_feed_the_live_sampler() {
+    let server = two_zone_server(4);
+    let baseline = server.task_histogram().count;
+    let report = server
+        .submit_for(0..100_000, LoopSchedule::Dynamic(256), |_, _| {})
+        .unwrap()
+        .join()
+        .unwrap();
+    assert!(report.chunks >= 100_000 / 256);
+    let after = server.task_histogram().count;
+    assert!(
+        after - baseline >= report.chunks,
+        "sampler saw {} new samples for {} chunks — chunk durations must \
+         be sampled individually",
+        after - baseline,
+        report.chunks
+    );
+    server.shutdown();
+}
+
 /// Satellite audit: per-lane ingress counters survive a `resume_with`
 /// zone re-map — a registered submitter's pushed/drained accounting is
 /// cumulative across generations, not reset by the re-map.
