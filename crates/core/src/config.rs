@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use xgomp_profiling::TraceLevel;
 use xgomp_topology::{Affinity, CostModel, MachineTopology};
 
 use crate::alloc::AllocKind;
@@ -60,6 +61,13 @@ pub struct RuntimeConfig {
     ///
     /// [`Parker`]: xgomp_xqueue::Parker
     pub park_idle: bool,
+    /// Flight-recorder trace level (`Off`/`Lifecycle`/`Full`; see
+    /// [`TraceLevel`]). Off by default — every instrumentation site then
+    /// costs one relaxed load plus a branch. The default honors the
+    /// `XGOMP_TRACE` environment variable (`off`/`lifecycle`/`full`);
+    /// an explicit [`trace`](RuntimeConfig::trace) call wins. The task
+    /// server can also flip the level live, without a new generation.
+    pub trace: TraceLevel,
 }
 
 /// Default idle policy from `XGOMP_WAIT_POLICY` (see
@@ -69,6 +77,13 @@ fn default_park_idle() -> bool {
     *POLICY.get_or_init(|| {
         !std::env::var("XGOMP_WAIT_POLICY").is_ok_and(|v| v.eq_ignore_ascii_case("active"))
     })
+}
+
+/// Default trace level from `XGOMP_TRACE` (see [`RuntimeConfig::trace`]);
+/// read once per process.
+fn default_trace_level() -> TraceLevel {
+    static LEVEL: std::sync::OnceLock<TraceLevel> = std::sync::OnceLock::new();
+    *LEVEL.get_or_init(TraceLevel::from_env)
 }
 
 impl RuntimeConfig {
@@ -86,6 +101,7 @@ impl RuntimeConfig {
             cost_model: CostModel::disabled(),
             profiling: false,
             park_idle: default_park_idle(),
+            trace: default_trace_level(),
         }
     }
 
@@ -209,6 +225,13 @@ impl RuntimeConfig {
     /// Toggles event-driven idling (see [`RuntimeConfig::park_idle`]).
     pub fn park_idle(mut self, on: bool) -> Self {
         self.park_idle = on;
+        self
+    }
+
+    /// Sets the flight-recorder trace level (see
+    /// [`RuntimeConfig::trace`]).
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
         self
     }
 

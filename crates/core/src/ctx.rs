@@ -145,6 +145,30 @@ impl<'t> TaskCtx<'t> {
         self.team.sched.has_work_hint(self.worker)
     }
 
+    /// Whether the team's flight recorder is live at `min` or above
+    /// (one relaxed load + branch; `false` when tracing is off).
+    #[inline]
+    pub fn trace_on(&self, min: xgomp_profiling::TraceLevel) -> bool {
+        self.team.trace_on(min)
+    }
+
+    /// Emits one flight-recorder record into the calling worker's ring
+    /// when the team's live trace level admits `min` (no-op otherwise —
+    /// the cost of [`trace_on`](Self::trace_on)). This is the hook
+    /// layered runtimes (the task server's job lifecycle) use to place
+    /// their own events on the same timeline as the scheduler's.
+    #[inline]
+    pub fn trace_emit(
+        &self,
+        min: xgomp_profiling::TraceLevel,
+        kind: EventKind,
+        a: u32,
+        b: u64,
+        c: u64,
+    ) {
+        self.team.trace_emit(self.worker, min, kind, a, b, c);
+    }
+
     /// Executes up to `max` already-queued tasks on the calling worker,
     /// returning how many ran. Unlike [`taskwait`](Self::taskwait) this
     /// never blocks: it is the cooperative scheduling point a server's

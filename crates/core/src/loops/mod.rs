@@ -63,7 +63,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use xgomp_profiling::{clock, decade_index, WorkerStats};
+use xgomp_profiling::{clock, decade_index, EventKind, TraceLevel, WorkerStats};
 // (`serde` is used by `LoopReport`; the shim derive cannot handle the
 // data-carrying variants of `LoopSchedule`, which stays plain.)
 use xgomp_xqueue::{Backoff, RangePool};
@@ -415,7 +415,11 @@ impl<'b> LoopShared<'b> {
         'outer: loop {
             // Coarse level: the probe gate is one clock read when the
             // interval has not elapsed (and a no-op when disabled).
-            balancer.maybe_probe(Some(my_stats));
+            if balancer.maybe_probe(Some(my_stats)) {
+                // Our probe migrated a back-half range between zones —
+                // a coarse-level decision worth a lifecycle record.
+                ctx.trace_emit(TraceLevel::Lifecycle, EventKind::Rebalance, my as u32, 0, 0);
+            }
             // Zone-local first: the claim costs one CAS and keeps the
             // iterations in the zone whose block they belong to. The
             // inbox holds balancer migrations — zone property too.
@@ -425,6 +429,13 @@ impl<'b> LoopShared<'b> {
                 .claim(self.chunk_size(my))
                 .or_else(|| mine.inbox.claim(self.chunk_size(my)));
             if let Some((lo, hi)) = claimed {
+                ctx.trace_emit(
+                    TraceLevel::Full,
+                    EventKind::ChunkClaim,
+                    my as u32,
+                    u64::from(lo),
+                    u64::from(hi),
+                );
                 self.run_chunk(ctx, lo, hi, true, &mut acc);
                 backoff.reset();
                 continue;
@@ -441,6 +452,13 @@ impl<'b> LoopShared<'b> {
             }
             if let Some((mut lo, hi)) = stolen {
                 acc.range_steals += 1;
+                ctx.trace_emit(
+                    TraceLevel::Full,
+                    EventKind::RangeSteal,
+                    my as u32,
+                    u64::from(lo),
+                    u64::from(hi),
+                );
                 // Drain the stolen range: keep one chunk, hand the tail
                 // to the (empty) local pool so zone peers share the
                 // spoils.

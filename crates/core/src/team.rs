@@ -25,10 +25,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use xgomp_profiling::{
-    clock, EventKind, LiveTaskSampler, LoopTelemetry, PerfLog, TeamStats, WorkerStats,
+    clock, EventKind, LiveTaskSampler, LoopTelemetry, PerfLog, TeamStats, TraceLevel, Tracer,
+    WorkerStats,
 };
 use xgomp_topology::{CostModel, Placement};
-use xgomp_xqueue::{Backoff, Parker};
+use xgomp_xqueue::{Backoff, EventRing, Parker};
 
 use crate::alloc::TaskAllocator;
 use crate::barrier::TeamBarrier;
@@ -92,6 +93,20 @@ pub(crate) struct TeamExtras {
     /// is carried to the parent's next `taskwait`, which re-raises it
     /// (per-job isolation in `xgomp-service`).
     pub isolate_panics: bool,
+    /// Flight-recorder tracer shared across generations (a task server
+    /// owns one for its whole life so the ring windows survive
+    /// pause/resume reshaping); `None` falls back to
+    /// [`RuntimeConfig::trace`] (which builds a per-team tracer when the
+    /// level is not `Off`).
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+/// The team-generation view of the flight recorder: the shared
+/// [`Tracer`] plus each worker's ring `Arc`, materialized once at
+/// generation start so the emit path never touches the tracer's mutex.
+pub(crate) struct TeamTracer {
+    pub tracer: Arc<Tracer>,
+    pub rings: Box<[Arc<EventRing>]>,
 }
 
 /// Everything a team of workers shares for one parallel region.
@@ -127,6 +142,10 @@ pub(crate) struct TeamShared {
     pub parker: Arc<Parker>,
     /// Event-driven idling on/off (`RuntimeConfig::park_idle`).
     pub park_idle: bool,
+    /// Flight recorder (`None` when tracing is off *by construction*;
+    /// a live level flip to `Off` keeps the rings but mutes every
+    /// site behind one relaxed load).
+    pub tracer: Option<TeamTracer>,
 }
 
 /// Builds the shared state for one region of `cfg` with the given
@@ -151,6 +170,13 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
     if let Some(t) = &tuning {
         balancer.bind_tuning(t);
     }
+    let tracer = extras
+        .tracer
+        .or_else(|| (cfg.trace != TraceLevel::Off).then(|| Arc::new(Tracer::new(cfg.trace))))
+        .map(|t| {
+            let rings = (0..n).map(|w| t.ring(w)).collect();
+            TeamTracer { tracer: t, rings }
+        });
     TeamShared {
         n,
         sched: cfg.scheduler.build(
@@ -178,6 +204,7 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
         isolate_panics: extras.isolate_panics,
         parker,
         park_idle: cfg.park_idle,
+        tracer,
     }
 }
 
@@ -227,6 +254,36 @@ impl TeamShared {
         self.poisoned.store(true, Ordering::Release);
         self.parker.unpark_all();
     }
+
+    /// The Off-cost trace gate: `false` unless a tracer is attached
+    /// *and* its live level admits `min` (one relaxed load + branch).
+    #[inline]
+    pub(crate) fn trace_on(&self, min: TraceLevel) -> bool {
+        match &self.tracer {
+            Some(t) => t.tracer.enabled(min),
+            None => false,
+        }
+    }
+
+    /// Emits one flight-recorder record from worker `w` when the live
+    /// level admits `min`. The emit itself is four relaxed stores plus
+    /// one release publish into `w`'s own SPSC ring — no RMW, no lock.
+    #[inline]
+    pub(crate) fn trace_emit(
+        &self,
+        w: usize,
+        min: TraceLevel,
+        kind: EventKind,
+        a: u32,
+        b: u64,
+        c: u64,
+    ) {
+        if let Some(t) = &self.tracer {
+            if t.tracer.enabled(min) {
+                t.rings[w].emit(clock::now(), kind as u8, a, b, c);
+            }
+        }
+    }
 }
 
 /// Executes one task on worker `w`: locality accounting, NUMA cost
@@ -240,7 +297,8 @@ pub(crate) fn execute(team: &TeamShared, w: usize, task: NonNull<Task>) {
     team.stats[w].record_execution(locality);
     team.cost.apply(locality);
 
-    let timed = team.profiling || team.sampler.is_some();
+    let tracing_tasks = team.trace_on(TraceLevel::Full);
+    let timed = team.profiling || team.sampler.is_some() || tracing_tasks;
     let t0 = if timed { clock::now() } else { 0 };
 
     struct CompletionGuard<'a> {
@@ -299,6 +357,13 @@ pub(crate) fn execute(team: &TeamShared, w: usize, task: NonNull<Task>) {
         if team.profiling {
             // SAFETY: worker-ownership contract; leaf access.
             unsafe { team.logs.with(w, |l| l.push_span(EventKind::Task, t0, t1)) };
+        }
+        if tracing_tasks {
+            if let Some(t) = &team.tracer {
+                // Emit with the measured end stamp (payload `c` carries
+                // the start) so the trace span matches the sampled span.
+                t.rings[w].emit(t1, EventKind::Task as u8, 0, 0, t0);
+            }
         }
     }
 }
@@ -360,10 +425,47 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
     // announce/cancel counters while e.g. another worker holds the
     // drain claim the hint points at.
     let mut skip_park = false;
+    // Flight-recorder baseline for this worker's own victim-side DLB
+    // counters (single-writer, so deltas are exact): a grown
+    // `nreq_has_steal` means a steal request we served moved tasks, a
+    // grown `ntasks_stolen` counts the tasks migrated away. Sampling
+    // our own counters here avoids threading the tracer through the
+    // scheduler/engine call graph.
+    let mut steal_base: Option<(u64, u64)> = None;
     loop {
         if team.poisoned.load(Ordering::Acquire) {
             team.parker.unpark_all();
             break;
+        }
+        if team.trace_on(TraceLevel::Full) {
+            let stats = &team.stats[w];
+            let served = stats.nreq_has_steal.load(Ordering::Relaxed);
+            let stolen = stats.ntasks_stolen.load(Ordering::Relaxed);
+            if let Some((served0, stolen0)) = steal_base {
+                if served > served0 {
+                    team.trace_emit(
+                        w,
+                        TraceLevel::Full,
+                        EventKind::Steal,
+                        0,
+                        served - served0,
+                        0,
+                    );
+                }
+                if stolen > stolen0 {
+                    team.trace_emit(
+                        w,
+                        TraceLevel::Full,
+                        EventKind::Migrate,
+                        0,
+                        stolen - stolen0,
+                        0,
+                    );
+                }
+            }
+            steal_base = Some((served, stolen));
+        } else {
+            steal_base = None;
         }
         if let Some(t) = team.sched.next_task(w) {
             if let Some(t0) = idle_t0.take() {
@@ -437,7 +539,9 @@ pub(crate) fn worker_loop(team: &TeamShared, w: usize) {
                 // the next park attempt (see `skip_park`).
                 skip_park = true;
             } else {
+                team.trace_emit(w, TraceLevel::Lifecycle, EventKind::Park, 0, 0, 0);
                 team.parker.park(w);
+                team.trace_emit(w, TraceLevel::Lifecycle, EventKind::Wake, 0, 0, 0);
                 // Woken for a reason: probe aggressively again.
                 backoff.reset();
             }
@@ -730,6 +834,7 @@ impl PersistentTeam {
         tuning: Option<Arc<DlbTuning>>,
         loop_stats: Option<Arc<LoopTelemetry>>,
         balancer: Option<Arc<LoopBalancer>>,
+        tracer: Option<Arc<Tracer>>,
         f: impl FnOnce(&TaskCtx<'_>) -> R,
     ) -> RegionOutput<R> {
         if let Some(s) = &sampler {
@@ -749,6 +854,7 @@ impl PersistentTeam {
                 loop_stats,
                 balancer,
                 isolate_panics: true,
+                tracer,
             },
             f,
         )
@@ -1204,6 +1310,7 @@ mod tests {
         let out = team.run_serving(
             source,
             Some(sampler.clone()),
+            None,
             None,
             None,
             None,

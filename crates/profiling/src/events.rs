@@ -5,7 +5,10 @@ use serde::{Deserialize, Serialize};
 use crate::clock;
 use crate::counters::StatsSnapshot;
 
-/// The event classes of §V. Values are stable (used in dumps).
+/// The event classes of §V, plus the flight-recorder runtime kinds.
+/// Values are stable (used in dumps and in binary ring records); the
+/// first five are exactly the paper's `perf_record` markers and must
+/// never change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum EventKind {
@@ -21,10 +24,48 @@ pub enum EventKind {
     Barrier = 3,
     /// Unoccupied cycles: polling queues with nothing scheduled (`STALL`).
     Stall = 4,
+    /// A worker parked on the OS primitive (flight recorder; instant).
+    Park = 5,
+    /// A parked worker woke (instant).
+    Wake = 6,
+    /// A worker obtained at least one task by stealing (instant;
+    /// payload `b` = tasks stolen in the batch).
+    Steal = 7,
+    /// The DLB engine granted a steal request, migrating tasks to
+    /// another worker (instant; payload `b` = requests granted).
+    Migrate = 8,
+    /// A loop-balancer probe migrated iteration ranges between zones
+    /// (instant; payload `a` = probing worker's pool index).
+    Rebalance = 9,
+    /// A loop chunk claimed from a zone pool (instant; payload
+    /// `a` = pool, `b` = range lo, `c` = range hi).
+    ChunkClaim = 10,
+    /// A cross-zone loop range steal-split (instant; payload as
+    /// [`ChunkClaim`](Self::ChunkClaim)).
+    RangeSteal = 11,
+    /// A job's body started executing (payload `b` = job id,
+    /// `c` = submission timestamp — the span `[c, ts]` is the job's
+    /// queue wait).
+    JobStart = 12,
+    /// A job's body finished (payload `a` = 0 ok / 1 panicked,
+    /// `b` = job id, `c` = start timestamp — the span `[c, ts]` is the
+    /// job's run time).
+    JobEnd = 13,
+    /// A task-server generation opened (payload `b` = generation,
+    /// `c` = worker count).
+    GenOpen = 14,
+    /// A task-server generation closed (payload `b` = generation).
+    GenClose = 15,
+    /// The adaptive controller (or `swap_tuning`) hot-swapped the DLB
+    /// tuning (payload `b` = cumulative retune count).
+    Retune = 16,
 }
 
 impl EventKind {
-    /// All kinds, in rendering order (matches Fig. 3's legend order).
+    /// The §V kinds, in rendering order (matches Fig. 3's legend
+    /// order). Deliberately *not* extended by the flight-recorder
+    /// kinds: the timeline renderers and `PerfLog` totals are the
+    /// paper's five-way breakdown.
     pub const ALL: [EventKind; 5] = [
         EventKind::Task,
         EventKind::TaskCreate,
@@ -32,6 +73,33 @@ impl EventKind {
         EventKind::Barrier,
         EventKind::Stall,
     ];
+
+    /// Every kind, §V five first, then the flight-recorder kinds in
+    /// discriminant order.
+    pub const FULL_SET: [EventKind; 17] = [
+        EventKind::Task,
+        EventKind::TaskCreate,
+        EventKind::TaskWait,
+        EventKind::Barrier,
+        EventKind::Stall,
+        EventKind::Park,
+        EventKind::Wake,
+        EventKind::Steal,
+        EventKind::Migrate,
+        EventKind::Rebalance,
+        EventKind::ChunkClaim,
+        EventKind::RangeSteal,
+        EventKind::JobStart,
+        EventKind::JobEnd,
+        EventKind::GenOpen,
+        EventKind::GenClose,
+        EventKind::Retune,
+    ];
+
+    /// Decodes a stable discriminant (ring records store the `u8`).
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::FULL_SET.get(v as usize).copied()
+    }
 
     /// Short label used in summaries.
     pub fn label(self) -> &'static str {
@@ -41,6 +109,18 @@ impl EventKind {
             EventKind::TaskWait => "TASKWAIT",
             EventKind::Barrier => "BARRIER",
             EventKind::Stall => "STALL",
+            EventKind::Park => "PARK",
+            EventKind::Wake => "WAKE",
+            EventKind::Steal => "STEAL",
+            EventKind::Migrate => "MIGRATE",
+            EventKind::Rebalance => "REBALANCE",
+            EventKind::ChunkClaim => "CHUNK_CLAIM",
+            EventKind::RangeSteal => "RANGE_STEAL",
+            EventKind::JobStart => "JOB_START",
+            EventKind::JobEnd => "JOB_END",
+            EventKind::GenOpen => "GEN_OPEN",
+            EventKind::GenClose => "GEN_CLOSE",
+            EventKind::Retune => "RETUNE",
         }
     }
 
@@ -52,6 +132,18 @@ impl EventKind {
             EventKind::TaskWait => 'w',
             EventKind::Barrier => 'B',
             EventKind::Stall => '.',
+            EventKind::Park => 'p',
+            EventKind::Wake => '!',
+            EventKind::Steal => 's',
+            EventKind::Migrate => 'm',
+            EventKind::Rebalance => 'R',
+            EventKind::ChunkClaim => 'c',
+            EventKind::RangeSteal => 'r',
+            EventKind::JobStart => '[',
+            EventKind::JobEnd => ']',
+            EventKind::GenOpen => '<',
+            EventKind::GenClose => '>',
+            EventKind::Retune => '~',
         }
     }
 }
@@ -148,11 +240,16 @@ impl PerfLog {
         &self.events
     }
 
-    /// Total recorded ticks per event kind.
+    /// Total recorded ticks per §V event kind ([`EventKind::ALL`]
+    /// order). Flight-recorder kinds (discriminant ≥ 5) are instant
+    /// markers, not intervals — they do not appear in the five-way
+    /// breakdown and are skipped here.
     pub fn totals(&self) -> [u64; 5] {
         let mut t = [0u64; 5];
         for e in &self.events {
-            t[e.kind as usize] += e.duration();
+            if let Some(slot) = t.get_mut(e.kind as usize) {
+                *slot += e.duration();
+            }
         }
         t
     }
@@ -252,6 +349,37 @@ mod tests {
         assert_eq!(parsed.logs.len(), 1);
         assert_eq!(parsed.logs[0].events()[0].duration(), 150);
         assert_eq!(parsed.stats.len(), 1);
+    }
+
+    #[test]
+    fn full_kind_set_round_trips_through_serde_with_stable_discriminants() {
+        // The §V five are frozen…
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "§V discriminants must not move");
+        }
+        // …and every kind (including the flight-recorder additions)
+        // survives a serde round trip and decodes from its discriminant.
+        for k in EventKind::FULL_SET {
+            let json = serde_json::to_string(&k).unwrap();
+            let back: EventKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, k, "serde round trip for {}", k.label());
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+        }
+        // FULL_SET is index == discriminant, exhaustive and duplicate-free.
+        for (i, k) in EventKind::FULL_SET.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+        }
+        assert_eq!(EventKind::from_u8(EventKind::FULL_SET.len() as u8), None);
+    }
+
+    #[test]
+    fn totals_ignore_flight_recorder_kinds() {
+        let mut log = PerfLog::new(0, true);
+        log.push_span(EventKind::Task, 0, 100);
+        log.push_span(EventKind::Park, 0, 9_999); // instant marker kind
+        let t = log.totals();
+        assert_eq!(t[EventKind::Task as usize], 100);
+        assert_eq!(t.iter().sum::<u64>(), 100);
     }
 
     #[test]

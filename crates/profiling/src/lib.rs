@@ -30,6 +30,7 @@ mod histogram;
 mod live;
 mod loopstats;
 mod timeline;
+pub mod trace;
 
 pub use counters::{StatsSnapshot, TeamStats, WorkerStats};
 pub use events::{EventKind, EventRecord, PerfLog, ProfileDump};
@@ -39,3 +40,4 @@ pub use loopstats::{
     LoopTelemetry, LoopTelemetrySnapshot, ScheduleSnapshot, LOOP_SCHEDULES, LOOP_SCHEDULE_NAMES,
 };
 pub use timeline::{render_task_counts, render_timeline, state_summary, StateSummaryRow};
+pub use trace::{PromText, TraceEvent, TraceLevel, TraceSnapshot, Tracer};

@@ -1,7 +1,7 @@
 //! Futures-style job handles: completion state shared between the
 //! submitting thread and the worker that eventually runs the job.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
@@ -36,18 +36,52 @@ impl std::fmt::Display for JobPanic {
 
 impl std::error::Error for JobPanic {}
 
+/// Per-job latency breakdown, in timestamp-counter **cycles** (the same
+/// clock the flight recorder stamps events with; convert via
+/// `clock::cycles_per_ns` if wall time is needed).
+///
+/// Available from [`JobHandle::report`] once the job has completed.
+/// `queued_cycles` covers admission → first instruction of the body
+/// (ingress residency plus scheduling latency); `run_cycles` covers the
+/// body itself (including a panicking body's partial run);
+/// `total_cycles = queued_cycles + run_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobReport {
+    /// Server-unique job id (also the flight recorder's async-span id
+    /// for this job's `JobStart`/`JobEnd` events).
+    pub job_id: u64,
+    /// Cycles between admission and the job body starting to run.
+    pub queued_cycles: u64,
+    /// Cycles the job body ran for.
+    pub run_cycles: u64,
+    /// Cycles between admission and completion.
+    pub total_cycles: u64,
+}
+
 pub(crate) struct JobState<R> {
     done: AtomicBool,
     slot: Mutex<Option<Result<R, JobPanic>>>,
     cv: Condvar,
+    /// Server-unique id, assigned at admission (0 = untracked).
+    pub(crate) id: u64,
+    /// `clock::now()` at admission.
+    pub(crate) submitted: u64,
+    /// `clock::now()` when the body started running (0 until then).
+    pub(crate) started: AtomicU64,
+    /// `clock::now()` when the body finished (0 until then).
+    pub(crate) finished: AtomicU64,
 }
 
 impl<R> JobState<R> {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(id: u64, submitted: u64) -> Self {
         JobState {
             done: AtomicBool::new(false),
             slot: Mutex::new(None),
             cv: Condvar::new(),
+            id,
+            submitted,
+            started: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
         }
     }
 
@@ -90,8 +124,8 @@ impl<R> std::fmt::Debug for JobHandle<R> {
 }
 
 impl<R> JobHandle<R> {
-    pub(crate) fn new() -> (Self, Arc<JobState<R>>) {
-        let state = Arc::new(JobState::new());
+    pub(crate) fn new(id: u64, submitted: u64) -> (Self, Arc<JobState<R>>) {
+        let state = Arc::new(JobState::new(id, submitted));
         (
             JobHandle {
                 state: state.clone(),
@@ -103,6 +137,31 @@ impl<R> JobHandle<R> {
     /// Whether the job has completed (lock-free probe).
     pub fn is_done(&self) -> bool {
         self.state.done.load(Ordering::Acquire)
+    }
+
+    /// Server-unique id of this job — the flight recorder keys the job's
+    /// `JobStart`/`JobEnd` async span on the same value.
+    pub fn job_id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// The job's latency breakdown, once complete; `None` while pending.
+    ///
+    /// Non-consuming, so it composes with any of the join flavors:
+    /// probe `report()` before `join()`, or clone the numbers after an
+    /// [`is_done`](Self::is_done) turns true.
+    pub fn report(&self) -> Option<JobReport> {
+        if !self.is_done() {
+            return None;
+        }
+        let started = self.state.started.load(Ordering::Acquire);
+        let finished = self.state.finished.load(Ordering::Acquire);
+        Some(JobReport {
+            job_id: self.state.id,
+            queued_cycles: started.saturating_sub(self.state.submitted),
+            run_cycles: finished.saturating_sub(started),
+            total_cycles: finished.saturating_sub(self.state.submitted),
+        })
     }
 
     /// Takes the result if the job has completed; `None` while pending.
@@ -210,7 +269,7 @@ mod tests {
 
     #[test]
     fn join_blocks_until_complete() {
-        let (handle, state) = JobHandle::<u32>::new();
+        let (handle, state) = JobHandle::<u32>::new(1, 0);
         assert!(!handle.is_done());
         let t = std::thread::spawn(move || handle.join());
         std::thread::sleep(Duration::from_millis(10));
@@ -220,7 +279,7 @@ mod tests {
 
     #[test]
     fn try_join_polls() {
-        let (handle, state) = JobHandle::<u32>::new();
+        let (handle, state) = JobHandle::<u32>::new(2, 0);
         let handle = match handle.try_join() {
             Err(h) => h,
             Ok(_) => panic!("job cannot be done yet"),
@@ -235,8 +294,23 @@ mod tests {
     }
 
     #[test]
+    fn report_breaks_down_latency() {
+        let (handle, state) = JobHandle::<u32>::new(42, 100);
+        assert!(handle.report().is_none(), "pending job has no report yet");
+        state.started.store(130, Ordering::Relaxed);
+        state.finished.store(180, Ordering::Relaxed);
+        state.complete(Ok(0));
+        let r = handle.report().expect("completed job reports");
+        assert_eq!(r.job_id, 42);
+        assert_eq!(r.queued_cycles, 30);
+        assert_eq!(r.run_cycles, 50);
+        assert_eq!(r.total_cycles, 80);
+        assert_eq!(r.total_cycles, r.queued_cycles + r.run_cycles);
+    }
+
+    #[test]
     fn join_timeout_returns_handle() {
-        let (handle, state) = JobHandle::<u32>::new();
+        let (handle, state) = JobHandle::<u32>::new(3, 0);
         let handle = match handle.join_timeout(Duration::from_millis(5)) {
             Err(h) => h,
             Ok(_) => panic!("cannot complete"),

@@ -131,7 +131,7 @@ mod ingress;
 mod server;
 
 pub use controller::AdaptiveController;
-pub use handle::{JobHandle, JobPanic};
+pub use handle::{JobHandle, JobPanic, JobReport};
 pub use ingress::{IngressShard, ShardedIngress};
 pub use server::{
     Lifecycle, LifecycleError, ServerReport, ServerStats, SubmitError, SubmitterHandle, TaskServer,
@@ -140,6 +140,11 @@ pub use server::{
 // Loop-subsystem types a data-parallel client needs, re-exported so
 // `submit_for` is usable from this crate alone.
 pub use xgomp_core::{LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTelemetrySnapshot};
+
+// Flight-recorder types surfaced by the server's observability API
+// (`trace_snapshot` / `dump_trace` / `set_trace_level`), re-exported for
+// the same reason.
+pub use xgomp_core::{TraceEvent, TraceLevel, TraceSnapshot};
 
 use xgomp_core::{DlbConfig, DlbStrategy, RuntimeConfig};
 
@@ -174,6 +179,14 @@ pub struct ServerConfig {
     pub adapt_every: u64,
     /// Print a line to stderr on every effective DLB retune.
     pub log_retunes: bool,
+    /// Directory for *automatic* flight-recorder dumps: a panicking job
+    /// writes `panic-job-<id>.trace.json` (before its handle completes)
+    /// and shutdown writes `shutdown.trace.json` — both only while the
+    /// trace level is at least [`TraceLevel::Lifecycle`]. `None`
+    /// disables automatic dumps; [`TaskServer::dump_trace`] always works
+    /// regardless. The default honors the `XGOMP_TRACE_PATH` environment
+    /// variable.
+    pub trace_dump: Option<std::path::PathBuf>,
 }
 
 impl ServerConfig {
@@ -187,6 +200,7 @@ impl ServerConfig {
             drain_batch: 32,
             adapt_every: 512,
             log_retunes: false,
+            trace_dump: std::env::var_os("XGOMP_TRACE_PATH").map(std::path::PathBuf::from),
         }
     }
 
@@ -239,6 +253,13 @@ impl ServerConfig {
     /// Toggles retune logging.
     pub fn log_retunes(mut self, on: bool) -> Self {
         self.log_retunes = on;
+        self
+    }
+
+    /// Sets the automatic flight-recorder dump directory (see
+    /// [`trace_dump`](Self::trace_dump)).
+    pub fn trace_dump(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_dump = Some(dir.into());
         self
     }
 }

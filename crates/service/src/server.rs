@@ -66,9 +66,10 @@ use crate::handle::{JobHandle, JobPanic};
 use crate::ingress::{JobBody, ShardedIngress};
 use crate::ServerConfig;
 use xgomp_core::{
-    DlbConfig, DlbStrategy, DlbTuning, IngressSource, LiveTaskSampler, LoopBalancer, LoopError,
-    LoopReport, LoopSchedule, LoopTelemetry, LoopTelemetrySnapshot, ParkerCell, PersistentTeam,
-    RegionOutput, RuntimeConfig, TaskCtx, TaskSizeHistogram,
+    clock, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource, LiveTaskSampler,
+    LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTelemetry, LoopTelemetrySnapshot,
+    ParkerCell, PersistentTeam, PromText, RegionOutput, RuntimeConfig, TaskCtx, TaskSizeHistogram,
+    TraceLevel, TraceSnapshot, Tracer,
 };
 use xgomp_topology::Placement;
 use xgomp_xqueue::Backoff;
@@ -295,6 +296,20 @@ pub(crate) struct ServerShared {
     /// cadence knob lives in the shared `DlbTuning`, so `swap_tuning`
     /// and the adaptive controller re-tune it live.
     loop_balancer: Arc<LoopBalancer>,
+    /// The flight recorder: one lock-free event ring per worker, shared
+    /// with every generation's team (the same `Arc` is handed to
+    /// `run_serving`, so `ctx.trace_emit` in job bodies and the server's
+    /// own snapshot/dump paths see one recorder). Always present; the
+    /// level gates every emission — `Off` costs one relaxed load per
+    /// site — and is live-flippable via [`TaskServer::set_trace_level`].
+    tracer: Arc<Tracer>,
+    /// Monotone job-id allocator (ids start at 1; `0` means untracked).
+    /// The id keys the job's `JobStart`/`JobEnd` async trace span and
+    /// its [`JobReport`](crate::JobReport).
+    job_seq: AtomicU64,
+    /// Directory for automatic flight-recorder dumps (job panic,
+    /// shutdown); `None` disables automatic dumps.
+    trace_dump: Option<std::path::PathBuf>,
 }
 
 impl ServerShared {
@@ -334,17 +349,45 @@ impl ServerShared {
     }
 
     /// Wraps a user closure into the queued job body (unwind-caught,
-    /// completion-accounted) and its result handle.
+    /// completion-accounted, lifecycle-traced) and its result handle.
     fn make_job<R, F>(self: &Arc<Self>, f: F) -> (JobHandle<R>, JobBody)
     where
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let (handle, state) = JobHandle::new();
+        let id = self.job_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let (handle, state) = JobHandle::new(id, clock::now());
         let shared = self.clone();
         let body: JobBody = Box::new(move |ctx: &TaskCtx<'_>| {
+            // Lifecycle stamps feed both the flight recorder (one
+            // `JobStart`..`JobEnd` async span per job id) and the
+            // handle's `JobReport`; `state.complete`'s release store
+            // publishes the relaxed stamp stores to `report()` readers.
+            let t_start = clock::now();
+            state.started.store(t_start, Ordering::Relaxed);
+            ctx.trace_emit(
+                TraceLevel::Lifecycle,
+                EventKind::JobStart,
+                0,
+                id,
+                state.submitted,
+            );
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)))
                 .map_err(JobPanic::from_payload);
+            let panicked = result.is_err();
+            state.finished.store(clock::now(), Ordering::Relaxed);
+            ctx.trace_emit(
+                TraceLevel::Lifecycle,
+                EventKind::JobEnd,
+                panicked as u32,
+                id,
+                t_start,
+            );
+            if panicked {
+                // Dump *before* completing: the joiner's `JobPanic` then
+                // implies the flight-recorder file already exists.
+                shared.dump_flight_recorder(&format!("panic-job-{id}.trace.json"));
+            }
             state.complete(result);
             // Completion order matters: the handle is observable before
             // the drain accounting lets a shutdown (or pause) finish.
@@ -354,6 +397,24 @@ impl ServerShared {
             shared.notify_capacity();
         });
         (handle, body)
+    }
+
+    /// Best-effort automatic flight-recorder dump (job panic, shutdown):
+    /// a no-op without a [`ServerConfig::trace_dump`] directory or below
+    /// `Lifecycle`, and never panics — observability must not take the
+    /// server down with it.
+    fn dump_flight_recorder(&self, file_name: &str) {
+        let Some(dir) = &self.trace_dump else { return };
+        if !self.tracer.enabled(TraceLevel::Lifecycle) {
+            return;
+        }
+        let path = dir.join(file_name);
+        if let Err(e) = self.tracer.snapshot().dump_to(&path) {
+            eprintln!(
+                "xgomp-service: flight-recorder dump to {} failed: {e}",
+                path.display()
+            );
+        }
     }
 
     /// Places an admitted job through the anonymous claim path, rotating
@@ -669,6 +730,129 @@ pub struct ServerStats {
     pub loop_rebalances: u64,
 }
 
+impl ServerStats {
+    /// The counter movement between `earlier` and `self` — the rate
+    /// window a scraper wants: every cumulative counter becomes
+    /// `self − earlier` (saturating, so swapped arguments yield zeros
+    /// rather than wrapping), while the point-in-time gauges
+    /// (`in_flight`, `queued`, `max_in_flight`, `shards`,
+    /// `parked_workers`) keep `self`'s values — a gauge difference has
+    /// no meaning.
+    pub fn delta(&self, earlier: &ServerStats) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            in_flight: self.in_flight,
+            queued: self.queued,
+            max_in_flight: self.max_in_flight,
+            generations: self.generations.saturating_sub(earlier.generations),
+            retunes: self.retunes.saturating_sub(earlier.retunes),
+            shards: self.shards,
+            parked_workers: self.parked_workers,
+            parks: self.parks.saturating_sub(earlier.parks),
+            loops: self.loops.saturating_sub(earlier.loops),
+            loop_chunks: self.loop_chunks.saturating_sub(earlier.loop_chunks),
+            loop_iters: self.loop_iters.saturating_sub(earlier.loop_iters),
+            loop_range_steals: self
+                .loop_range_steals
+                .saturating_sub(earlier.loop_range_steals),
+            loop_rebalances: self.loop_rebalances.saturating_sub(earlier.loop_rebalances),
+        }
+    }
+
+    /// Renders every counter in the Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`) under stable metric names (see the
+    /// README's metric table). [`TaskServer::render_prometheus`] extends
+    /// this with the server-level extras (wake events, ingress
+    /// claim-conflicts/occupancy, per-schedule loop counters, flight
+    /// recorder volume).
+    pub fn render_prometheus(&self) -> String {
+        let mut p = PromText::new();
+        p.counter(
+            "xgomp_jobs_submitted_total",
+            "Jobs accepted by admission control",
+            self.submitted,
+        );
+        p.counter(
+            "xgomp_jobs_completed_total",
+            "Jobs completed (including panicked jobs)",
+            self.completed,
+        );
+        p.counter(
+            "xgomp_jobs_rejected_total",
+            "Submissions bounced by backpressure, pause-at-capacity or closure",
+            self.rejected,
+        );
+        p.gauge(
+            "xgomp_jobs_in_flight",
+            "Jobs admitted but not yet completed",
+            self.in_flight as u64,
+        );
+        p.gauge(
+            "xgomp_jobs_queued",
+            "Admitted jobs still queued in the ingress tier",
+            self.queued as u64,
+        );
+        p.gauge(
+            "xgomp_max_in_flight",
+            "Effective admission bound",
+            self.max_in_flight as u64,
+        );
+        p.counter(
+            "xgomp_generations_total",
+            "Serve generations opened",
+            self.generations,
+        );
+        p.counter(
+            "xgomp_retunes_total",
+            "Effective DLB retunes published (controller + manual swaps)",
+            self.retunes,
+        );
+        p.gauge(
+            "xgomp_ingress_shards",
+            "Ingress shards (one per NUMA zone)",
+            self.shards as u64,
+        );
+        p.gauge(
+            "xgomp_workers_parked",
+            "Workers currently parked",
+            self.parked_workers as u64,
+        );
+        p.counter(
+            "xgomp_park_events_total",
+            "Committed worker parks across all generations",
+            self.parks,
+        );
+        p.counter(
+            "xgomp_loops_total",
+            "Data-parallel loops completed",
+            self.loops,
+        );
+        p.counter(
+            "xgomp_loop_chunks_total",
+            "Loop chunks executed",
+            self.loop_chunks,
+        );
+        p.counter(
+            "xgomp_loop_iters_total",
+            "Loop iterations executed",
+            self.loop_iters,
+        );
+        p.counter(
+            "xgomp_loop_range_steals_total",
+            "Cross-zone loop range steal-splits",
+            self.loop_range_steals,
+        );
+        p.counter(
+            "xgomp_loop_rebalances_total",
+            "Inter-socket balancer migrations applied to served loops",
+            self.loop_rebalances,
+        );
+        p.finish()
+    }
+}
+
 /// What [`TaskServer::shutdown`] returns after the drain.
 pub struct ServerReport {
     /// Final counters.
@@ -760,6 +944,9 @@ impl TaskServer {
         let sampler = Arc::new(LiveTaskSampler::new(rt.threads));
         let loop_balancer = Arc::new(LoopBalancer::new());
         loop_balancer.bind_tuning(&tuning);
+        // Server-owned so it spans generations (the same rings are handed
+        // to every generation's team) and stays drainable after shutdown.
+        let tracer = Arc::new(Tracer::new(rt.trace));
 
         let shared = Arc::new(ServerShared {
             ingress,
@@ -787,6 +974,9 @@ impl TaskServer {
             swap_epoch: Arc::new(AtomicU64::new(0)),
             loop_stats: Arc::new(LoopTelemetry::new()),
             loop_balancer,
+            tracer,
+            job_seq: AtomicU64::new(0),
+            trace_dump: cfg.trace_dump.clone(),
         });
 
         let master = {
@@ -1100,6 +1290,21 @@ impl TaskServer {
     }
 
     /// Snapshot of the server counters.
+    ///
+    /// ## Coherence
+    ///
+    /// Each field is one independent atomic load: the snapshot is *not*
+    /// an atomic cut across fields. Every cumulative counter is
+    /// individually monotone (two snapshots always satisfy
+    /// `later.submitted >= earlier.submitted`, etc. — which is what
+    /// makes [`ServerStats::delta`] meaningful), but cross-field
+    /// identities hold exactly only on a quiescent server: after
+    /// [`pause`](Self::pause) returns, `submitted == completed + queued`
+    /// and `in_flight == queued`; on the final [`shutdown`](Self::shutdown)
+    /// report, `submitted == completed` and `in_flight == queued == 0`.
+    /// While serving, a job may be counted `submitted` a beat before its
+    /// `in_flight` increment is visible, so derived quantities can be
+    /// transiently off by the number of in-progress submissions.
     pub fn stats(&self) -> ServerStats {
         let in_flight = self.shared.in_flight.load(Ordering::SeqCst);
         let in_team = self.shared.in_team.load(Ordering::SeqCst);
@@ -1174,6 +1379,96 @@ impl TaskServer {
         hist
     }
 
+    // ---- flight recorder / metrics exposition -------------------------
+
+    /// Current flight-recorder level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.shared.tracer.level()
+    }
+
+    /// Flips the flight-recorder level live — no generation boundary:
+    /// every instrumentation site picks the new level up at its next
+    /// (relaxed) probe. Raising the level mid-flight starts recording
+    /// from here on; lowering to [`TraceLevel::Off`] reduces every site
+    /// back to one relaxed load + branch.
+    pub fn set_trace_level(&self, level: TraceLevel) {
+        self.shared.tracer.set_level(level);
+    }
+
+    /// Drains every worker's event ring into a point-in-time snapshot.
+    ///
+    /// Draining *consumes*: events move out of the rings, so consecutive
+    /// snapshots partition the stream rather than overlap. Concurrent
+    /// emission keeps running — events landing mid-drain are picked up
+    /// by the next snapshot; `snapshot.dropped` counts flight-recorder
+    /// overwrites (ring laps) since the previous drain.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.shared.tracer.snapshot()
+    }
+
+    /// Snapshots the flight recorder and writes Chrome-tracing JSON —
+    /// load the file in [Perfetto](https://ui.perfetto.dev) or
+    /// `chrome://tracing`. One track per worker, plus one async span per
+    /// job (`JobStart`..`JobEnd`, keyed on the job id).
+    pub fn dump_trace<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        self.shared.tracer.snapshot().dump_to(path.as_ref())
+    }
+
+    /// Renders the full metrics surface in the Prometheus text
+    /// exposition format: everything in
+    /// [`ServerStats::render_prometheus`], plus wake-event, ingress
+    /// claim-conflict/occupancy, per-schedule loop and flight-recorder
+    /// volume series. Serve the returned string as
+    /// `text/plain; version=0.0.4` from any scrape endpoint.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.stats().render_prometheus();
+        let mut p = PromText::new();
+        p.counter(
+            "xgomp_wake_events_total",
+            "Wake-ups delivered across all generations (doorbells, pushes, teardown)",
+            self.wake_events(),
+        );
+        p.counter(
+            "xgomp_ingress_claim_conflicts_total",
+            "Lost lane-claim races on the anonymous ingress path",
+            self.shared.ingress.claim_conflicts(),
+        );
+        p.gauge(
+            "xgomp_ingress_occupancy",
+            "Jobs currently sitting in ingress ring slots",
+            self.shared.ingress.occupancy() as u64,
+        );
+        let lt = self.loop_telemetry();
+        let chunks: Vec<(&str, u64)> = lt
+            .per_schedule
+            .iter()
+            .map(|s| (s.schedule, s.chunks))
+            .collect();
+        p.counter_vec(
+            "xgomp_loop_chunks_by_schedule_total",
+            "Loop chunks executed, by schedule family",
+            "schedule",
+            &chunks,
+        );
+        p.counter(
+            "xgomp_trace_events_emitted_total",
+            "Flight-recorder events emitted (all rings, including overwritten)",
+            self.shared.tracer.emitted(),
+        );
+        p.counter(
+            "xgomp_trace_events_dropped_total",
+            "Flight-recorder events overwritten before a drain read them",
+            self.shared.tracer.dropped(),
+        );
+        p.gauge(
+            "xgomp_trace_level",
+            "Active trace level (0=off, 1=lifecycle, 2=full)",
+            self.shared.tracer.level() as u64,
+        );
+        out.push_str(&p.finish());
+        out
+    }
+
     /// Closes admission, waits for every admitted job — queued ones
     /// included — to complete, and tears the team down.
     pub fn shutdown(mut self) -> ServerReport {
@@ -1209,7 +1504,11 @@ impl TaskServer {
         // its own. (An unpublished doorbell means the serve loop hasn't
         // started — it re-reads the state before it ever parks.)
         self.shared.doorbell.with_current(|p| p.unpark_all());
-        Some(master.join())
+        let joined = master.join();
+        // After the join every ring is quiet, so the shutdown dump is a
+        // complete record of whatever the flight recorder still holds.
+        self.shared.dump_flight_recorder("shutdown.trace.json");
+        Some(joined)
     }
 }
 
@@ -1283,16 +1582,28 @@ fn master_loop(
             let shared = shared.clone();
             let controller = controller.clone();
             let source = source.clone();
-            move |ctx: &TaskCtx<'_>| serve_loop(ctx, &shared, &controller, &source, run_batch)
+            let tuning = tuning.clone();
+            move |ctx: &TaskCtx<'_>| {
+                serve_loop(ctx, &shared, &controller, &source, &tuning, run_batch)
+            }
         };
+        // Generation markers go through `emit_meta`, which is only safe
+        // while worker 0's thread is not running — exactly here, between
+        // regions, on the master thread.
+        let gen = shared.generation.load(Ordering::SeqCst);
+        shared
+            .tracer
+            .emit_meta(0, EventKind::GenOpen, 0, gen, rt.threads as u64);
         regions.push(team.run_serving(
             source.clone(),
             Some(sampler.clone()),
             Some(tuning.clone()),
             Some(shared.loop_stats.clone()),
             Some(shared.loop_balancer.clone()),
+            Some(shared.tracer.clone()),
             serve,
         ));
+        shared.tracer.emit_meta(0, EventKind::GenClose, 0, gen, 0);
 
         // Generation over. If a pause requested it, publish quiescence.
         {
@@ -1398,6 +1709,7 @@ fn serve_loop(
     shared: &Arc<ServerShared>,
     controller: &Arc<Mutex<AdaptiveController>>,
     source: &ServiceSource,
+    tuning: &Arc<DlbTuning>,
     run_batch: usize,
 ) {
     // Publish the team's parker as the doorbell before any worker could
@@ -1406,6 +1718,7 @@ fn serve_loop(
     let parker = ctx.parker().clone();
     shared.doorbell.publish(parker.clone());
     let mut backoff = Backoff::new();
+    let mut last_retunes = tuning.retunes();
     // Skip the park attempt right after a stay-awake cancel: re-probe
     // immediately, and only fall into the snooze below if that probe
     // finds nothing (see the worker loop's `skip_park` for the
@@ -1423,6 +1736,16 @@ fn serve_loop(
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .tick();
+        if ctx.trace_on(TraceLevel::Lifecycle) {
+            // Retunes land from the controller tick above or from a
+            // concurrent `swap_tuning`; the serve loop is the one place
+            // that polls often enough to stamp them near their effect.
+            let r = tuning.retunes();
+            if r != last_retunes {
+                last_retunes = r;
+                ctx.trace_emit(TraceLevel::Lifecycle, EventKind::Retune, 0, r, 0);
+            }
+        }
         if injected > 0 || ran > 0 {
             backoff.reset();
             skip_park = false;
@@ -1900,5 +2223,188 @@ mod tests {
         assert_eq!(queued.join().unwrap(), 7);
         assert_eq!(report.stats.completed, 1);
         assert_eq!(report.stats.in_flight, 0);
+    }
+
+    /// A traced server config (the test env leaves `XGOMP_TRACE` unset,
+    /// so the level must be explicit).
+    fn traced_config(threads: usize, level: TraceLevel) -> ServerConfig {
+        let cfg = ServerConfig::new(threads);
+        let rt = cfg.runtime.clone().trace(level);
+        cfg.runtime(rt)
+    }
+
+    #[test]
+    fn stats_cohere_when_quiescent_and_delta_subtracts() {
+        let server = TaskServer::start(ServerConfig::new(2));
+        let handles: Vec<_> = (0..40u64)
+            .map(|i| server.submit(move |_| i).unwrap())
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.pause().unwrap();
+        let s1 = server.stats();
+        // Quiescent (paused, nothing queued): the cross-field identities
+        // the docs promise hold exactly.
+        assert_eq!(s1.submitted, s1.completed + s1.queued as u64);
+        assert_eq!(s1.in_flight, s1.queued);
+        server.resume().unwrap();
+        let more: Vec<_> = (0..25u64)
+            .map(|i| server.submit(move |_| i).unwrap())
+            .collect();
+        for h in more {
+            h.join().unwrap();
+        }
+        server.pause().unwrap();
+        let s2 = server.stats();
+        let d = s2.delta(&s1);
+        assert_eq!(d.submitted, 25, "window counts only the second batch");
+        assert_eq!(d.completed, 25);
+        assert_eq!(d.generations, 1, "one resume in the window");
+        // Gauges come from the later snapshot, not a difference.
+        assert_eq!(d.max_in_flight, s2.max_in_flight);
+        assert_eq!(d.shards, s2.shards);
+        // Swapped arguments saturate to zero instead of wrapping.
+        assert_eq!(s1.delta(&s2).submitted, 0);
+        let report = server.shutdown();
+        assert_eq!(report.stats.submitted, report.stats.completed);
+        assert_eq!(report.stats.in_flight, 0);
+        assert_eq!(report.stats.queued, 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_uses_stable_names() {
+        let server = TaskServer::start(ServerConfig::new(2));
+        let handles: Vec<_> = (0..10u64)
+            .map(|i| server.submit(move |_| i).unwrap())
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let text = server.render_prometheus();
+        for name in [
+            "xgomp_jobs_submitted_total",
+            "xgomp_jobs_completed_total",
+            "xgomp_jobs_rejected_total",
+            "xgomp_jobs_in_flight",
+            "xgomp_jobs_queued",
+            "xgomp_max_in_flight",
+            "xgomp_generations_total",
+            "xgomp_retunes_total",
+            "xgomp_ingress_shards",
+            "xgomp_workers_parked",
+            "xgomp_park_events_total",
+            "xgomp_loops_total",
+            "xgomp_loop_chunks_total",
+            "xgomp_loop_iters_total",
+            "xgomp_loop_range_steals_total",
+            "xgomp_loop_rebalances_total",
+            "xgomp_wake_events_total",
+            "xgomp_ingress_claim_conflicts_total",
+            "xgomp_ingress_occupancy",
+            "xgomp_loop_chunks_by_schedule_total",
+            "xgomp_trace_events_emitted_total",
+            "xgomp_trace_events_dropped_total",
+            "xgomp_trace_level",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "missing TYPE line for {name}"
+            );
+        }
+        assert!(text.contains("xgomp_jobs_submitted_total 10"));
+        assert!(text.contains(r#"xgomp_loop_chunks_by_schedule_total{schedule="guided"}"#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_recorder_spans_jobs_and_reports_latency() {
+        let server = TaskServer::start(traced_config(2, TraceLevel::Lifecycle));
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| server.submit(move |_| i * i).unwrap())
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let id = h.job_id();
+            assert!(id > 0, "tracked jobs get nonzero ids");
+            while !h.is_done() {
+                std::thread::yield_now();
+            }
+            let r = h.report().expect("done job reports");
+            assert_eq!(r.job_id, id);
+            assert_eq!(r.total_cycles, r.queued_cycles + r.run_cycles);
+            assert_eq!(h.join().unwrap(), (i as u64) * (i as u64));
+        }
+        let snap = server.trace_snapshot();
+        assert_eq!(snap.count(EventKind::JobStart), 8);
+        assert_eq!(snap.count(EventKind::JobEnd), 8);
+        // All clean completions: every JobEnd carries a = 0.
+        assert!(snap
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::JobStart || e.kind == EventKind::JobEnd)
+            .all(|e| e.a == 0 && e.b > 0));
+        let json = snap.to_chrome_json();
+        assert!(json.contains("\"ph\":\"b\""), "async span begin present");
+        assert!(json.contains("\"ph\":\"e\""), "async span end present");
+        server.shutdown();
+    }
+
+    #[test]
+    fn job_report_is_complete_after_done() {
+        let server = TaskServer::start(traced_config(2, TraceLevel::Lifecycle));
+        let h = server
+            .submit(|_| std::thread::sleep(Duration::from_millis(2)))
+            .unwrap();
+        while !h.is_done() {
+            std::thread::yield_now();
+        }
+        let r = h.report().expect("done job reports");
+        assert!(r.run_cycles > 0, "a sleeping job has nonzero run time");
+        assert_eq!(r.total_cycles, r.queued_cycles + r.run_cycles);
+        h.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_level_flips_live() {
+        let server = TaskServer::start(traced_config(2, TraceLevel::Off));
+        assert_eq!(server.trace_level(), TraceLevel::Off);
+        let h = server.submit(|_| ()).unwrap();
+        h.join().unwrap();
+        assert_eq!(
+            server.trace_snapshot().count(EventKind::JobStart),
+            0,
+            "Off records nothing"
+        );
+        server.set_trace_level(TraceLevel::Lifecycle);
+        let h = server.submit(|_| ()).unwrap();
+        h.join().unwrap();
+        let snap = server.trace_snapshot();
+        assert_eq!(snap.count(EventKind::JobStart), 1, "live flip takes effect");
+        server.shutdown();
+    }
+
+    #[test]
+    fn generation_markers_bracket_every_generation() {
+        let server = TaskServer::start(traced_config(2, TraceLevel::Lifecycle));
+        let h = server.submit(|_| 1u32).unwrap();
+        h.join().unwrap();
+        server.pause().unwrap();
+        server.resume().unwrap();
+        let h = server.submit(|_| 2u32).unwrap();
+        h.join().unwrap();
+        let snap = server.trace_snapshot();
+        // Generation 1 opened and closed (at the pause); generation 2
+        // opened on resume and is still running.
+        assert_eq!(snap.count(EventKind::GenOpen), 2);
+        assert_eq!(snap.count(EventKind::GenClose), 1);
+        let opens: Vec<u64> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::GenOpen)
+            .map(|e| e.b)
+            .collect();
+        assert_eq!(opens, vec![1, 2], "markers carry the generation number");
+        server.shutdown();
     }
 }

@@ -68,6 +68,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// `Value` is its own data model: (de)serializing it is the identity.
+// This is what lets callers parse arbitrary JSON structurally
+// (`serde_json::from_str::<Value>`), mirroring real serde_json.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),+) => {$(
         impl Serialize for $t {

@@ -2,7 +2,9 @@
 //! crate's owned [`Value`] data model: a JSON writer and a recursive
 //! descent JSON parser.
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
+
+pub use serde::Value;
 
 /// Error type shared by serialization and parsing.
 #[derive(Debug, Clone)]

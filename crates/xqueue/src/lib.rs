@@ -41,6 +41,11 @@
 //! exist precisely to leave the lock-less fast path). The fast path pays
 //! one fence plus one relaxed load per push while nobody is parked.
 //!
+//! The [`eventring`] flight recorder keeps the discipline on its hot
+//! side: an emit is relaxed slot stores plus one Release index publish,
+//! no RMW anywhere on the writer path; only the *reader's* drop
+//! accounting uses a `fetch_add`, off the measured path by definition.
+//!
 //! ## Safety model
 //!
 //! Rust forbids the C trick of racing on `volatile` cells, so the slot
@@ -56,6 +61,7 @@
 
 mod backoff;
 mod bqueue;
+pub mod eventring;
 mod lattice;
 pub mod parker;
 pub mod rangepool;
@@ -63,6 +69,7 @@ pub mod spsc;
 
 pub use backoff::Backoff;
 pub use bqueue::{BQueue, DEFAULT_CAPACITY};
+pub use eventring::{EventRing, RawEvent, RingCursor, DEFAULT_EVENT_CAPACITY};
 pub use lattice::{LatticeStats, PushCursor, XQueueLattice};
 pub use parker::{Parker, ParkerCell};
 pub use rangepool::{IterRange, RangePool};

@@ -35,10 +35,13 @@ pub use xgomp_core::{
     BarrierKind, CostModel, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource,
     LiveTaskSampler, Locality, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTelemetry,
     LoopTelemetrySnapshot, MachineTopology, Parker, PerfLog, PersistentTeam, Placement,
-    ProfileDump, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope, StatsSnapshot,
-    TaskCtx, TaskSizeHistogram, TeamStats,
+    ProfileDump, PromText, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope,
+    StatsSnapshot, TaskCtx, TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel, TraceSnapshot,
+    Tracer,
 };
-pub use xgomp_service::{JobHandle, JobPanic, ServerConfig, SubmitterHandle, TaskServer};
+pub use xgomp_service::{
+    JobHandle, JobPanic, JobReport, ServerConfig, ServerStats, SubmitterHandle, TaskServer,
+};
 
 /// The BOTS benchmark suite (`xgomp-bots`).
 pub mod bots {
