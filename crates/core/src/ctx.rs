@@ -21,6 +21,7 @@ use std::sync::Arc;
 use xgomp_profiling::{clock, EventKind, WorkerStats};
 use xgomp_xqueue::Backoff;
 
+use crate::cancel::{raise_cancel, CancelToken};
 use crate::task::{Task, TaskBody};
 use crate::team::{execute, TeamShared};
 
@@ -119,6 +120,57 @@ impl<'t> TaskCtx<'t> {
     /// region is ending abnormally; cooperative loops should bail out).
     pub fn is_poisoned(&self) -> bool {
         self.team.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Installs a [`CancelToken`] on the current task. Every task spawned
+    /// from here on (directly or transitively) inherits a clone, and the
+    /// runtime's cancellation checkpoints — chunk claims in
+    /// `parallel_for` drains, [`taskwait`](Self::taskwait) exits — poll
+    /// it. The task server installs one per job; plain runtime users can
+    /// install their own to make a task tree cancellable.
+    pub fn set_cancel_token(&self, token: CancelToken) {
+        // SAFETY: we are the executing worker of `self.task`.
+        unsafe { Task::set_cancel(self.task, Some(token)) };
+    }
+
+    /// Removes the current task's [`CancelToken`]. Tasks already spawned
+    /// keep their inherited clones; new spawns inherit nothing.
+    pub fn clear_cancel_token(&self) {
+        // SAFETY: we are the executing worker of `self.task`.
+        unsafe { Task::set_cancel(self.task, None) };
+    }
+
+    /// The current task's cancellation token, if one is installed (on it
+    /// or inherited from the task that spawned it).
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        // SAFETY: we are the executing worker of `self.task`.
+        unsafe { Task::cancel_token(self.task) }
+    }
+
+    /// Whether the current task's cancellation token (if any) has fired.
+    /// One relaxed load on the live path; long-running bodies that want
+    /// tighter cancellation latency than the chunk/taskwait checkpoints
+    /// give them poll this and return early.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel_token().is_some_and(|t| t.poll().is_some())
+    }
+
+    /// Cancellation checkpoint: unwinds with a
+    /// [`CancelUnwind`](crate::CancelUnwind) payload when the current
+    /// task's token has fired. Only meaningful on panic-isolating teams
+    /// (the task server), where the unwind is caught at the job boundary;
+    /// elsewhere it is a no-op so a stray token cannot poison a team.
+    #[inline]
+    pub fn check_cancel(&self) {
+        if !self.team.isolate_panics || std::thread::panicking() {
+            return;
+        }
+        if let Some(token) = self.cancel_token() {
+            if let Some(reason) = token.poll() {
+                raise_cancel(reason);
+            }
+        }
     }
 
     /// The team's NUMA-aware idle parker.
@@ -227,6 +279,7 @@ impl<'t> TaskCtx<'t> {
         let task = unsafe { self.task.as_ref() };
         if task.unfinished_children() == 0 {
             self.reraise_child_panic(task);
+            self.check_cancel();
             return;
         }
         let mut backoff = Backoff::new();
@@ -254,6 +307,10 @@ impl<'t> TaskCtx<'t> {
             team.log_span(w, EventKind::TaskWait, t0);
         }
         self.reraise_child_panic(task);
+        // Cancellation checkpoint at the taskwait boundary: children are
+        // quiescent (none left to leak), so this is a safe place for the
+        // cooperative unwind.
+        self.check_cancel();
     }
 
     /// Panic-isolating teams: a child that panicked left its payload on
@@ -291,6 +348,14 @@ impl<'t> TaskCtx<'t> {
         parent.add_child();
         // SAFETY: this thread owns worker slot `w`.
         let ptr = unsafe { team.alloc.alloc(w, Some(body), Some(self.task), priority) };
+        // Children inherit the parent's cancellation token, so a job's
+        // whole task tree answers to one flag.
+        // SAFETY: we execute the parent; the child is not yet published.
+        unsafe {
+            if let Some(token) = Task::cancel_token(self.task) {
+                Task::set_cancel(ptr, Some(token));
+            }
+        }
         WorkerStats::inc(&team.stats[w].tasks_created);
         let pushed = match target {
             Some(t) => team.sched.spawn_to(w, t, ptr),

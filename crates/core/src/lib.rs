@@ -51,6 +51,7 @@
 
 mod alloc;
 pub mod barrier;
+mod cancel;
 mod config;
 mod ctx;
 pub mod dlb;
@@ -63,6 +64,7 @@ mod util;
 
 pub use alloc::AllocKind;
 pub use barrier::BarrierKind;
+pub use cancel::{raise_cancel, CancelReason, CancelToken, CancelUnwind};
 pub use config::RuntimeConfig;
 pub use ctx::{Scope, TaskCtx};
 pub use dlb::{DlbConfig, DlbStrategy, DlbTuning, DEFAULT_REBALANCE_INTERVAL};

@@ -158,8 +158,14 @@ impl LoopError {
 /// What a completed [`TaskCtx::parallel_for`] reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoopReport {
-    /// Iterations executed (always the full range length).
+    /// Iterations executed (the full range length unless the job's
+    /// cancellation token fired mid-loop).
     pub iterations: u64,
+    /// Iterations abandoned *un-executed* because the job's cancellation
+    /// token fired mid-loop (drain tasks empty the remaining pools
+    /// without running them). `iterations + cancelled_iters` equals the
+    /// range length exactly — the cancellation conservation identity.
+    pub cancelled_iters: u64,
     /// Chunks the iteration space was claimed in.
     pub chunks: u64,
     /// Chunks claimed from the executing worker's own zone pools (the
@@ -189,6 +195,10 @@ const ADAPTIVE_SEED_CHUNK: u32 = 32;
 /// Hard ceiling on an adaptive chunk (keeps a mis-estimated cheap body
 /// from swallowing a whole pool in one claim).
 const ADAPTIVE_MAX_CHUNK: u32 = 1 << 16;
+/// Static blocks have no chunk boundaries, so they poll the job's
+/// cancellation token every this-many iterations instead (a power of
+/// two: the gate is one mask + branch per iteration).
+const STATIC_CANCEL_STRIDE: u32 = 256;
 
 /// Live per-iteration cost model of one `Adaptive` loop: a decade
 /// histogram updated once per chunk (weighted by the chunk's iteration
@@ -326,6 +336,7 @@ struct LoopShared<'b> {
     iters: AtomicU64,
     claimed_local: AtomicU64,
     range_steals: AtomicU64,
+    cancelled_iters: AtomicU64,
     body: &'b (dyn Fn(u64, &TaskCtx<'_>) + Sync),
 }
 
@@ -337,6 +348,7 @@ struct DriveStats {
     iters: u64,
     claimed_local: u64,
     range_steals: u64,
+    cancelled: u64,
 }
 
 impl<'b> LoopShared<'b> {
@@ -403,16 +415,26 @@ impl<'b> LoopShared<'b> {
     /// The dynamic-family drain loop one worker runs: claim zone-local
     /// (main, then inbox), steal-split remote (nearest-first) when dry,
     /// share stolen tails through the local pool — and, at every chunk
-    /// boundary, give the inter-socket balancer its probe chance.
+    /// boundary, give the inter-socket balancer its probe chance and the
+    /// job's cancellation token a checkpoint.
     fn drive(&self, ctx: &TaskCtx<'_>) {
         let zone = ctx.numa_zone();
         let my = *self.pool_of_zone.get(zone).unwrap_or(&0);
         let n_pools = self.core.pools.len();
         let balancer = &ctx.team.balancer;
         let my_stats = &ctx.team.stats[ctx.worker_id()];
+        let token = ctx.cancel_token();
         let mut acc = DriveStats::default();
         let mut backoff = Backoff::new();
         'outer: loop {
+            // Cancellation checkpoint, once per chunk claim: a fired
+            // token turns this drain task into an abandoner — it empties
+            // the remaining pools *without executing them*, conserving
+            // every abandoned iteration into `cancelled_iters`.
+            if token.as_ref().is_some_and(|t| t.poll().is_some()) {
+                self.abandon_pools(&mut acc);
+                break 'outer;
+            }
             // Coarse level: the probe gate is one clock read when the
             // interval has not elapsed (and a no-op when disabled).
             if balancer.maybe_probe(Some(my_stats)) {
@@ -463,6 +485,16 @@ impl<'b> LoopShared<'b> {
                 // to the (empty) local pool so zone peers share the
                 // spoils.
                 while lo < hi {
+                    // A stolen range can be half a pool — keep the
+                    // chunk-claim cancellation cadence inside it too.
+                    // The un-run remainder is ours alone (already out of
+                    // every pool), so it is counted here and the pools
+                    // are abandoned separately.
+                    if token.as_ref().is_some_and(|t| t.poll().is_some()) {
+                        acc.cancelled += u64::from(hi - lo);
+                        self.abandon_pools(&mut acc);
+                        break 'outer;
+                    }
                     let take = self.chunk_size(my).min(hi - lo);
                     let (clo, chi) = (lo, lo + take);
                     lo += take;
@@ -495,6 +527,31 @@ impl<'b> LoopShared<'b> {
         self.flush(ctx, acc);
     }
 
+    /// Cancellation drain: empties every pool without executing,
+    /// counting the abandoned iterations into `acc.cancelled`. The scan
+    /// is validated against the migration seqlock exactly like the
+    /// normal empty exit — a balancer migration in flight holds a range
+    /// in *neither* pool, and a blind drain would strand those
+    /// iterations and break the conservation identity. Concurrent
+    /// abandoners are fine: `RangePool::abandon` is one CAS, so every
+    /// iteration is counted by exactly one of them.
+    fn abandon_pools(&self, acc: &mut DriveStats) {
+        let mut backoff = Backoff::new();
+        loop {
+            for p in self.core.pools.iter() {
+                acc.cancelled += u64::from(p.0.main.abandon());
+                acc.cancelled += u64::from(p.0.inbox.abandon());
+            }
+            let e = self.core.epoch.load(Ordering::SeqCst);
+            let empty = e & 1 == 0 && self.core.all_empty();
+            std::sync::atomic::fence(Ordering::Acquire);
+            if empty && self.core.epoch.load(Ordering::SeqCst) == e {
+                return;
+            }
+            backoff.snooze();
+        }
+    }
+
     /// Flushes a drain task's accumulated counters into the worker's
     /// stats block and the loop totals.
     fn flush(&self, ctx: &TaskCtx<'_>, acc: DriveStats) {
@@ -503,12 +560,15 @@ impl<'b> LoopShared<'b> {
         WorkerStats::add(&stats.nloop_iters, acc.iters);
         WorkerStats::add(&stats.nloop_claim_local, acc.claimed_local);
         WorkerStats::add(&stats.nloop_range_steals, acc.range_steals);
+        WorkerStats::add(&stats.nloop_cancelled_iters, acc.cancelled);
         self.chunks.fetch_add(acc.chunks, Ordering::Relaxed);
         self.iters.fetch_add(acc.iters, Ordering::Relaxed);
         self.claimed_local
             .fetch_add(acc.claimed_local, Ordering::Relaxed);
         self.range_steals
             .fetch_add(acc.range_steals, Ordering::Relaxed);
+        self.cancelled_iters
+            .fetch_add(acc.cancelled, Ordering::Relaxed);
     }
 }
 
@@ -597,6 +657,7 @@ fn run_loop(
     if len == 0 {
         return LoopReport {
             iterations: 0,
+            cancelled_iters: 0,
             chunks: 0,
             claimed_local: 0,
             range_steals: 0,
@@ -668,6 +729,7 @@ fn run_loop(
         iters: AtomicU64::new(0),
         claimed_local: AtomicU64::new(0),
         range_steals: AtomicU64::new(0),
+        cancelled_iters: AtomicU64::new(0),
         body,
     };
 
@@ -688,6 +750,7 @@ fn run_loop(
 
     LoopReport {
         iterations: shared.iters.load(Ordering::Relaxed),
+        cancelled_iters: shared.cancelled_iters.load(Ordering::Relaxed),
         chunks: shared.chunks.load(Ordering::Relaxed),
         claimed_local: shared.claimed_local.load(Ordering::Relaxed),
         range_steals: shared.range_steals.load(Ordering::Relaxed),
@@ -710,9 +773,13 @@ fn run_static(
     let placement = ctx.placement();
     let chunks = AtomicU64::new(0);
     let claimed_local = AtomicU64::new(0);
+    let iters = AtomicU64::new(0);
+    let cancelled = AtomicU64::new(0);
     ctx.scope(|s| {
         let chunks = &chunks;
         let claimed_local = &claimed_local;
+        let iters = &iters;
+        let cancelled = &cancelled;
         let mut pos = 0u64;
         for &z in zones {
             for &tw in placement.workers_in_zone(z) {
@@ -722,26 +789,52 @@ fn run_static(
                     continue; // more workers than iterations
                 }
                 s.spawn_on(tw, move |tctx| {
-                    for off in lo..hi {
-                        body(base + off as u64, tctx);
+                    let token = tctx.cancel_token();
+                    let mut done = 0u32;
+                    while done < hi - lo {
+                        // Cancellation checkpoint every
+                        // `STATIC_CANCEL_STRIDE` iterations; the rest of
+                        // the block is abandoned (conserved below).
+                        if done & (STATIC_CANCEL_STRIDE - 1) == 0
+                            && token.as_ref().is_some_and(|t| t.poll().is_some())
+                        {
+                            break;
+                        }
+                        body(base + (lo + done) as u64, tctx);
+                        done += 1;
                     }
+                    let abandoned = (hi - lo - done) as u64;
                     let stats = &tctx.team.stats[tctx.worker_id()];
-                    WorkerStats::inc(&stats.nloop_chunks);
-                    WorkerStats::add(&stats.nloop_iters, (hi - lo) as u64);
-                    chunks.fetch_add(1, Ordering::Relaxed);
-                    // "Local" for a static block: it ran in its home
-                    // zone (DLB may have migrated the drain task).
-                    if tctx.numa_zone() == z {
-                        WorkerStats::inc(&stats.nloop_claim_local);
-                        claimed_local.fetch_add(1, Ordering::Relaxed);
+                    WorkerStats::add(&stats.nloop_iters, done as u64);
+                    WorkerStats::add(&stats.nloop_cancelled_iters, abandoned);
+                    iters.fetch_add(done as u64, Ordering::Relaxed);
+                    cancelled.fetch_add(abandoned, Ordering::Relaxed);
+                    // A block cancelled before its first iteration never
+                    // counts as a chunk (`nloop_iters >= nloop_chunks`
+                    // stays an invariant).
+                    if done > 0 {
+                        WorkerStats::inc(&stats.nloop_chunks);
+                        chunks.fetch_add(1, Ordering::Relaxed);
+                        // "Local" for a static block: it ran in its home
+                        // zone (DLB may have migrated the drain task).
+                        if tctx.numa_zone() == z {
+                            WorkerStats::inc(&stats.nloop_claim_local);
+                            claimed_local.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     tctx.taskwait();
                 });
             }
         }
     });
+    debug_assert_eq!(
+        iters.load(Ordering::Relaxed) + cancelled.load(Ordering::Relaxed),
+        len as u64,
+        "static blocks partition the range exactly"
+    );
     LoopReport {
-        iterations: len as u64,
+        iterations: iters.load(Ordering::Relaxed),
+        cancelled_iters: cancelled.load(Ordering::Relaxed),
         chunks: chunks.load(Ordering::Relaxed),
         claimed_local: claimed_local.load(Ordering::Relaxed),
         range_steals: 0,
@@ -793,6 +886,50 @@ mod tests {
             let total = out.stats.total();
             assert_eq!(total.nloop_iters, N as u64, "{}", sched.name());
             assert!(total.nloop_chunks > 0);
+        }
+    }
+
+    #[test]
+    fn cancelled_loops_conserve_iterations_on_every_schedule() {
+        // A token fired mid-loop makes drain tasks abandon the pooled
+        // remainder (static blocks break at their stride); every
+        // iteration is either executed once or counted as cancelled —
+        // never both, never lost. Plain (non-isolating) runtime: the
+        // checkpoints don't unwind, so the report surfaces directly.
+        use crate::cancel::CancelToken;
+        const N: u64 = 200_000;
+        for sched in schedules() {
+            let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+            let out = rt.parallel(move |ctx| {
+                let token = CancelToken::new();
+                ctx.set_cancel_token(token.clone());
+                let ran = AtomicU64::new(0);
+                let report = ctx.parallel_for(0..N, sched, |i, _| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if i == 10 {
+                        token.cancel();
+                    }
+                });
+                ctx.clear_cancel_token();
+                (report, ran.load(Ordering::Relaxed))
+            });
+            let (report, ran) = out.result;
+            assert_eq!(report.iterations, ran, "{}", sched.name());
+            assert_eq!(
+                report.iterations + report.cancelled_iters,
+                N,
+                "{}: conservation",
+                sched.name()
+            );
+            assert!(report.cancelled_iters > 0, "{}", sched.name());
+            out.stats.check_invariants().unwrap();
+            let total = out.stats.total();
+            assert_eq!(
+                total.nloop_iters + total.nloop_cancelled_iters,
+                N,
+                "{}: worker-stat conservation",
+                sched.name()
+            );
         }
     }
 

@@ -25,6 +25,7 @@ use std::cell::UnsafeCell;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
+use crate::cancel::CancelToken;
 use crate::ctx::TaskCtx;
 
 /// A task body: consumed exactly once when the task executes.
@@ -57,6 +58,12 @@ pub struct Task {
     /// Payload of the first child that panicked (panic-isolating teams;
     /// written under the claim, read by the executor after quiescence).
     child_panic: UnsafeCell<Option<PanicPayload>>,
+    /// Cancellation token, inherited by spawned children. Written by
+    /// the executing worker (job wrapper install) and read at spawn
+    /// time by the same worker — the single-executor discipline that
+    /// guards `body` covers it, and queue handoff publishes it to
+    /// whichever worker executes a child.
+    cancel: UnsafeCell<Option<CancelToken>>,
 }
 
 // SAFETY: bodies are `Send`; all shared mutable state is atomic or
@@ -83,6 +90,7 @@ impl Task {
             priority,
             child_panic_claimed: AtomicBool::new(false),
             child_panic: UnsafeCell::new(None),
+            cancel: UnsafeCell::new(None),
         }
     }
 
@@ -111,6 +119,31 @@ impl Task {
         t.priority = priority;
         *t.child_panic_claimed.get_mut() = false;
         *t.child_panic.get_mut() = None;
+        *t.cancel.get_mut() = None;
+    }
+
+    /// Installs (or clears) the cancellation token on this task.
+    ///
+    /// # Safety
+    ///
+    /// Only the executing worker may call this (single-executor
+    /// discipline), and not while a child spawn could be reading it.
+    #[inline]
+    pub(crate) unsafe fn set_cancel(this: NonNull<Task>, token: Option<CancelToken>) {
+        // SAFETY: single-executor discipline gives exclusive access.
+        unsafe { *(*this.as_ptr()).cancel.get() = token };
+    }
+
+    /// The task's cancellation token, if one is installed.
+    ///
+    /// # Safety
+    ///
+    /// Only the executing worker may call this (single-executor
+    /// discipline).
+    #[inline]
+    pub(crate) unsafe fn cancel_token(this: NonNull<Task>) -> Option<CancelToken> {
+        // SAFETY: single-executor discipline; clone leaves the slot set.
+        unsafe { (*(*this.as_ptr()).cancel.get()).clone() }
     }
 
     /// The worker that created this task.

@@ -105,6 +105,11 @@ counters! {
     /// migration that takes iterations from one pool must land all of
     /// them in another.
     nloop_migrated_out,
+    /// Loop iterations abandoned (never executed) because their loop was
+    /// cancelled while ranges were still pooled. Conservation for a
+    /// cancelled loop: `nloop_iters + nloop_cancelled_iters` accounts
+    /// for every iteration of the range exactly once.
+    nloop_cancelled_iters,
 }
 
 impl WorkerStats {

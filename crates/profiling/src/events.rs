@@ -59,6 +59,16 @@ pub enum EventKind {
     /// The adaptive controller (or `swap_tuning`) hot-swapped the DLB
     /// tuning (payload `b` = cumulative retune count).
     Retune = 16,
+    /// A job was cancelled cooperatively (instant; payload `a` = 0
+    /// explicit cancel / 1 deadline, `b` = job id).
+    Cancel = 17,
+    /// A queued job was shed before its body ever ran (instant; payload
+    /// `a` = 0 cancel / 1 deadline, `b` = job id).
+    Shed = 18,
+    /// A job's deadline expired (instant; payload `b` = job id,
+    /// `c` = deadline tick). Emitted whether the job is then shed
+    /// (still queued) or cancelled (already running).
+    DeadlineMiss = 19,
 }
 
 impl EventKind {
@@ -76,7 +86,7 @@ impl EventKind {
 
     /// Every kind, §V five first, then the flight-recorder kinds in
     /// discriminant order.
-    pub const FULL_SET: [EventKind; 17] = [
+    pub const FULL_SET: [EventKind; 20] = [
         EventKind::Task,
         EventKind::TaskCreate,
         EventKind::TaskWait,
@@ -94,6 +104,9 @@ impl EventKind {
         EventKind::GenOpen,
         EventKind::GenClose,
         EventKind::Retune,
+        EventKind::Cancel,
+        EventKind::Shed,
+        EventKind::DeadlineMiss,
     ];
 
     /// Decodes a stable discriminant (ring records store the `u8`).
@@ -121,6 +134,9 @@ impl EventKind {
             EventKind::GenOpen => "GEN_OPEN",
             EventKind::GenClose => "GEN_CLOSE",
             EventKind::Retune => "RETUNE",
+            EventKind::Cancel => "CANCEL",
+            EventKind::Shed => "SHED",
+            EventKind::DeadlineMiss => "DEADLINE_MISS",
         }
     }
 
@@ -144,6 +160,9 @@ impl EventKind {
             EventKind::GenOpen => '<',
             EventKind::GenClose => '>',
             EventKind::Retune => '~',
+            EventKind::Cancel => 'x',
+            EventKind::Shed => '/',
+            EventKind::DeadlineMiss => 'd',
         }
     }
 }
@@ -370,6 +389,18 @@ mod tests {
             assert_eq!(*k as usize, i);
         }
         assert_eq!(EventKind::from_u8(EventKind::FULL_SET.len() as u8), None);
+        // The pre-cancellation kinds are frozen at their PR 6 values…
+        assert_eq!(EventKind::JobStart as u8, 12);
+        assert_eq!(EventKind::JobEnd as u8, 13);
+        assert_eq!(EventKind::Retune as u8, 16);
+        // …and the serving-robustness kinds extend, never renumber.
+        assert_eq!(EventKind::Cancel as u8, 17);
+        assert_eq!(EventKind::Shed as u8, 18);
+        assert_eq!(EventKind::DeadlineMiss as u8, 19);
+        assert_eq!(
+            serde_json::to_string(&EventKind::DeadlineMiss).unwrap(),
+            "\"DeadlineMiss\""
+        );
     }
 
     #[test]

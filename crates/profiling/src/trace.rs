@@ -506,6 +506,48 @@ impl PromText {
         }
     }
 
+    /// One fixed-bucket histogram series under a single label pair.
+    /// `buckets` are the upper bounds (in ascending order) matching
+    /// `counts`, which hold *cumulative* observation counts per bucket
+    /// (`counts[i]` = observations ≤ `buckets[i]`); a `+Inf` bucket,
+    /// `_sum` and `_count` lines complete the series. Emit the
+    /// `# HELP`/`# TYPE` header once via [`histogram_header`]
+    /// (Self::histogram_header) before the first labeled series.
+    #[allow(clippy::too_many_arguments)]
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        label: &str,
+        label_value: &str,
+        buckets: &[f64],
+        counts: &[u64],
+        sum: f64,
+        count: u64,
+    ) {
+        debug_assert_eq!(buckets.len(), counts.len());
+        for (le, c) in buckets.iter().zip(counts) {
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{{label}=\"{label_value}\",le=\"{le}\"}} {c}"
+            );
+        }
+        let _ = writeln!(
+            self.out,
+            "{name}_bucket{{{label}=\"{label_value}\",le=\"+Inf\"}} {count}"
+        );
+        let _ = writeln!(self.out, "{name}_sum{{{label}=\"{label_value}\"}} {sum}");
+        let _ = writeln!(
+            self.out,
+            "{name}_count{{{label}=\"{label_value}\"}} {count}"
+        );
+    }
+
+    /// The `# HELP`/`# TYPE histogram` header for a histogram metric
+    /// (once per metric name, before its labeled series).
+    pub fn histogram_header(&mut self, name: &str, help: &str) {
+        self.header(name, help, "histogram");
+    }
+
     /// The accumulated exposition text.
     pub fn finish(self) -> String {
         self.out
@@ -593,5 +635,26 @@ mod tests {
         assert!(s.contains("xgomp_jobs_submitted_total 7"));
         assert!(s.contains("# TYPE xgomp_jobs_in_flight gauge"));
         assert!(s.contains("xgomp_loop_chunks_total{schedule=\"dynamic\"} 2"));
+    }
+
+    #[test]
+    fn prom_histogram_shape() {
+        let mut p = PromText::new();
+        p.histogram_header("xgomp_job_run_seconds", "Job run latency.");
+        p.histogram_series(
+            "xgomp_job_run_seconds",
+            "class",
+            "normal",
+            &[0.001, 0.01],
+            &[3, 5],
+            0.042,
+            6,
+        );
+        let s = p.finish();
+        assert!(s.contains("# TYPE xgomp_job_run_seconds histogram"));
+        assert!(s.contains("xgomp_job_run_seconds_bucket{class=\"normal\",le=\"0.001\"} 3"));
+        assert!(s.contains("xgomp_job_run_seconds_bucket{class=\"normal\",le=\"+Inf\"} 6"));
+        assert!(s.contains("xgomp_job_run_seconds_sum{class=\"normal\"} 0.042"));
+        assert!(s.contains("xgomp_job_run_seconds_count{class=\"normal\"} 6"));
     }
 }

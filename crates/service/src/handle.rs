@@ -1,9 +1,31 @@
 //! Futures-style job handles: completion state shared between the
 //! submitting thread and the worker that eventually runs the job.
+//!
+//! A handle resolves with `Result<R, JobError>`: the job's value, or a
+//! typed reason it never produced one — a panic caught at the job
+//! boundary, a cooperative [`cancel`](JobHandle::cancel), or an expired
+//! deadline. Jobs move through a tiny phase machine (`queued → running`,
+//! or `queued → shed` when a cancel/deadline resolves the handle before
+//! the body ever ran); the server's job wrapper is the only place that
+//! turns phases into counter accounting, so `completed + cancelled +
+//! shed == submitted` holds exactly no matter how racy the callers are.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
+
+use xgomp_core::CancelToken;
+
+/// Job phases (`JobState::phase`). `QUEUED → RUNNING` is claimed by the
+/// job wrapper when the body starts; `QUEUED → SHED_*` by whichever of
+/// `JobHandle::cancel` / the deadline sweep / the wrapper's own
+/// start-time check gets there first — exactly one transition out of
+/// `QUEUED` ever wins, which is what makes the shed/cancelled/completed
+/// partition exact.
+pub(crate) const PHASE_QUEUED: u32 = 0;
+pub(crate) const PHASE_RUNNING: u32 = 1;
+pub(crate) const PHASE_SHED_CANCEL: u32 = 2;
+pub(crate) const PHASE_SHED_DEADLINE: u32 = 3;
 
 /// Error returned by [`JobHandle::join`] when the job's body panicked.
 ///
@@ -16,7 +38,7 @@ pub struct JobPanic {
 }
 
 impl JobPanic {
-    pub(crate) fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+    pub(crate) fn from_payload(payload: &(dyn std::any::Any + Send)) -> Self {
         let message = if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
         } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -35,6 +57,96 @@ impl std::fmt::Display for JobPanic {
 }
 
 impl std::error::Error for JobPanic {}
+
+/// Why a job completed without a result.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// The body panicked (caught at the job boundary; the team and every
+    /// other job keep running).
+    Panicked(JobPanic),
+    /// [`JobHandle::cancel`] fired the job's token: a queued job resolves
+    /// immediately, a running one unwinds at its next cancellation
+    /// checkpoint (chunk claim, `taskwait`, static-block stride).
+    Cancelled,
+    /// The job's deadline passed: shed before starting, or cancelled
+    /// cooperatively mid-run (same checkpoints as
+    /// [`Cancelled`](Self::Cancelled)).
+    DeadlineExceeded,
+}
+
+impl JobError {
+    /// The caught panic, when that is what ended the job.
+    pub fn panic(&self) -> Option<&JobPanic> {
+        match self {
+            JobError::Panicked(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether the job ended by explicit cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, JobError::Cancelled)
+    }
+
+    /// Whether the job ended because its deadline passed.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, JobError::DeadlineExceeded)
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(p) => p.fmt(f),
+            JobError::Cancelled => write!(f, "job cancelled"),
+            JobError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Panicked(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl From<JobPanic> for JobError {
+    fn from(p: JobPanic) -> Self {
+        JobError::Panicked(p)
+    }
+}
+
+/// Typed timeout of a bounded join ([`JobHandle::join_timeout`] /
+/// [`JobHandle::join_within_timeout`]): the job is still pending and the
+/// handle comes back inside the error, so the caller can keep waiting,
+/// [`cancel`](JobHandle::cancel) it, or drop it.
+pub struct JoinTimeout<R> {
+    /// The still-pending handle.
+    pub handle: JobHandle<R>,
+}
+
+impl<R> std::fmt::Debug for JoinTimeout<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinTimeout")
+            .field("job_id", &self.handle.job_id())
+            .finish()
+    }
+}
+
+impl<R> std::fmt::Display for JoinTimeout<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "join timed out: job {} is still pending",
+            self.handle.job_id()
+        )
+    }
+}
+
+impl<R> std::error::Error for JoinTimeout<R> {}
 
 /// Per-job latency breakdown, in timestamp-counter **cycles** (the same
 /// clock the flight recorder stamps events with; convert via
@@ -60,8 +172,13 @@ pub struct JobReport {
 
 pub(crate) struct JobState<R> {
     done: AtomicBool,
-    slot: Mutex<Option<Result<R, JobPanic>>>,
+    slot: Mutex<Option<Result<R, JobError>>>,
     cv: Condvar,
+    /// Phase machine (see the `PHASE_*` constants).
+    pub(crate) phase: AtomicU32,
+    /// The job's cancellation token — installed on the job's root task
+    /// by the wrapper, inherited by everything the job spawns.
+    pub(crate) token: CancelToken,
     /// Server-unique id, assigned at admission (0 = untracked).
     pub(crate) id: u64,
     /// `clock::now()` at admission.
@@ -73,11 +190,13 @@ pub(crate) struct JobState<R> {
 }
 
 impl<R> JobState<R> {
-    pub(crate) fn new(id: u64, submitted: u64) -> Self {
+    pub(crate) fn new(id: u64, submitted: u64, token: CancelToken) -> Self {
         JobState {
             done: AtomicBool::new(false),
             slot: Mutex::new(None),
             cv: Condvar::new(),
+            phase: AtomicU32::new(PHASE_QUEUED),
+            token,
             id,
             submitted,
             started: AtomicU64::new(0),
@@ -85,13 +204,54 @@ impl<R> JobState<R> {
         }
     }
 
+    /// Whether the outcome has been published (lock-free probe).
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
     /// Publishes the job's outcome and wakes joiners. Called exactly once.
-    pub(crate) fn complete(&self, result: Result<R, JobPanic>) {
+    pub(crate) fn complete(&self, result: Result<R, JobError>) {
         let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
         debug_assert!(slot.is_none(), "job completed twice");
         *slot = Some(result);
         self.done.store(true, Ordering::Release);
         self.cv.notify_all();
+    }
+
+    /// Claims the `QUEUED → RUNNING` transition (the wrapper, right
+    /// before the body runs). `false` means a cancel/deadline shed the
+    /// job first.
+    pub(crate) fn try_start(&self) -> bool {
+        self.phase
+            .compare_exchange(
+                PHASE_QUEUED,
+                PHASE_RUNNING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Claims a `QUEUED → SHED_*` transition and resolves the handle
+    /// with `err` — the job's body will never run. `false` means the job
+    /// already started (or was already shed); the caller must not touch
+    /// the handle then.
+    pub(crate) fn try_shed(&self, err: JobError) -> bool {
+        let phase = match err {
+            JobError::DeadlineExceeded => PHASE_SHED_DEADLINE,
+            _ => PHASE_SHED_CANCEL,
+        };
+        if self
+            .phase
+            .compare_exchange(PHASE_QUEUED, phase, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        self.finished
+            .store(xgomp_core::clock::now(), Ordering::Release);
+        self.complete(Err(err));
+        true
     }
 }
 
@@ -101,7 +261,8 @@ impl<R> JobState<R> {
 /// job has executed, [`try_join`](Self::try_join) polls, and
 /// [`is_done`](Self::is_done) is a lock-free readiness probe — the same
 /// completion-observation triple a future offers, without an async
-/// runtime in the loop.
+/// runtime in the loop. [`cancel`](Self::cancel) requests cooperative
+/// cancellation (see there for the guarantees).
 ///
 /// Handles span server generations: a job admitted while the server is
 /// paused stays queued (its handle pending) until a `resume` opens the
@@ -124,8 +285,8 @@ impl<R> std::fmt::Debug for JobHandle<R> {
 }
 
 impl<R> JobHandle<R> {
-    pub(crate) fn new(id: u64, submitted: u64) -> (Self, Arc<JobState<R>>) {
-        let state = Arc::new(JobState::new(id, submitted));
+    pub(crate) fn new(id: u64, submitted: u64, token: CancelToken) -> (Self, Arc<JobState<R>>) {
+        let state = Arc::new(JobState::new(id, submitted, token));
         (
             JobHandle {
                 state: state.clone(),
@@ -143,6 +304,23 @@ impl<R> JobHandle<R> {
     /// `JobStart`/`JobEnd` async span on the same value.
     pub fn job_id(&self) -> u64 {
         self.state.id
+    }
+
+    /// Requests cooperative cancellation.
+    ///
+    /// A job that has not started resolves immediately with
+    /// [`JobError::Cancelled`] (and is *shed* — its body never runs,
+    /// even though it still occupies its ingress slot until the server
+    /// drains it). A running job keeps running until its next
+    /// cancellation checkpoint — a `parallel_for` chunk claim, a
+    /// `taskwait`, or a static-block stride — where it abandons its
+    /// remaining loop ranges (conserved into `cancelled_iters`) and
+    /// unwinds; the handle then resolves with [`JobError::Cancelled`].
+    /// A body that never reaches a checkpoint runs to completion — the
+    /// flag preempts nothing. Idempotent; a no-op on completed jobs.
+    pub fn cancel(&self) {
+        self.state.token.cancel();
+        self.state.try_shed(JobError::Cancelled);
     }
 
     /// The job's latency breakdown, once complete; `None` while pending.
@@ -165,7 +343,7 @@ impl<R> JobHandle<R> {
     }
 
     /// Takes the result if the job has completed; `None` while pending.
-    pub fn try_join(self) -> Result<Result<R, JobPanic>, Self> {
+    pub fn try_join(self) -> Result<Result<R, JobError>, Self> {
         if !self.is_done() {
             return Err(self);
         }
@@ -181,7 +359,7 @@ impl<R> JobHandle<R> {
     /// that landed there can never run. `join_within` keeps the worker
     /// at a scheduling point instead of parking it, so those tasks —
     /// including the joined job itself — keep flowing.
-    pub fn join_within(self, ctx: &xgomp_core::TaskCtx<'_>) -> Result<R, JobPanic> {
+    pub fn join_within(self, ctx: &xgomp_core::TaskCtx<'_>) -> Result<R, JobError> {
         let mut spins = 0u32;
         while !self.is_done() {
             // `help_pending`, not `run_pending`: when every worker is
@@ -202,13 +380,41 @@ impl<R> JobHandle<R> {
         self.take()
     }
 
+    /// Bounded [`join_within`](Self::join_within): helps execute pending
+    /// tasks for up to `timeout`, then returns the typed
+    /// [`JoinTimeout`] (handle inside) if the job is still pending.
+    pub fn join_within_timeout(
+        self,
+        ctx: &xgomp_core::TaskCtx<'_>,
+        timeout: Duration,
+    ) -> Result<Result<R, JobError>, JoinTimeout<R>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut spins = 0u32;
+        while !self.is_done() {
+            if std::time::Instant::now() >= deadline {
+                return Err(JoinTimeout { handle: self });
+            }
+            if ctx.help_pending(16) == 0 {
+                if spins < 64 {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            } else {
+                spins = 0;
+            }
+        }
+        Ok(self.take())
+    }
+
     /// Blocks until the job completes and returns its result (or the
-    /// panic that ended it).
+    /// typed error that ended it).
     ///
     /// Call this from threads **outside** the team only. From inside a
     /// job, use [`join_within`](Self::join_within) — parking a worker on
     /// another job's completion can deadlock the scheduler (see there).
-    pub fn join(self) -> Result<R, JobPanic> {
+    pub fn join(self) -> Result<R, JobError> {
         {
             let mut slot = self
                 .state
@@ -226,9 +432,10 @@ impl<R> JobHandle<R> {
         self.take()
     }
 
-    /// Waits up to `timeout` for completion; `Err(self)` on timeout so
-    /// the caller can keep waiting.
-    pub fn join_timeout(self, timeout: Duration) -> Result<Result<R, JobPanic>, Self> {
+    /// Waits up to `timeout` for completion; the typed [`JoinTimeout`]
+    /// (handle inside) comes back on timeout so the caller can keep
+    /// waiting, cancel, or walk away.
+    pub fn join_timeout(self, timeout: Duration) -> Result<Result<R, JobError>, JoinTimeout<R>> {
         {
             let deadline = std::time::Instant::now() + timeout;
             let mut slot = self
@@ -240,7 +447,7 @@ impl<R> JobHandle<R> {
                 let now = std::time::Instant::now();
                 if now >= deadline {
                     drop(slot);
-                    return Err(self);
+                    return Err(JoinTimeout { handle: self });
                 }
                 let (guard, _) = self
                     .state
@@ -253,7 +460,7 @@ impl<R> JobHandle<R> {
         Ok(self.take())
     }
 
-    fn take(self) -> Result<R, JobPanic> {
+    fn take(self) -> Result<R, JobError> {
         self.state
             .slot
             .lock()
@@ -267,9 +474,13 @@ impl<R> JobHandle<R> {
 mod tests {
     use super::*;
 
+    fn pending<R>(id: u64, submitted: u64) -> (JobHandle<R>, Arc<JobState<R>>) {
+        JobHandle::new(id, submitted, CancelToken::new())
+    }
+
     #[test]
     fn join_blocks_until_complete() {
-        let (handle, state) = JobHandle::<u32>::new(1, 0);
+        let (handle, state) = pending::<u32>(1, 0);
         assert!(!handle.is_done());
         let t = std::thread::spawn(move || handle.join());
         std::thread::sleep(Duration::from_millis(10));
@@ -279,23 +490,24 @@ mod tests {
 
     #[test]
     fn try_join_polls() {
-        let (handle, state) = JobHandle::<u32>::new(2, 0);
+        let (handle, state) = pending::<u32>(2, 0);
         let handle = match handle.try_join() {
             Err(h) => h,
             Ok(_) => panic!("job cannot be done yet"),
         };
         state.complete(Err(JobPanic {
             message: "boom".into(),
-        }));
+        }
+        .into()));
         match handle.try_join() {
-            Ok(Err(p)) => assert_eq!(p.message, "boom"),
+            Ok(Err(e)) => assert_eq!(e.panic().expect("panicked").message, "boom"),
             other => panic!("expected completed panic, got {:?}", other.is_ok()),
         }
     }
 
     #[test]
     fn report_breaks_down_latency() {
-        let (handle, state) = JobHandle::<u32>::new(42, 100);
+        let (handle, state) = pending::<u32>(42, 100);
         assert!(handle.report().is_none(), "pending job has no report yet");
         state.started.store(130, Ordering::Relaxed);
         state.finished.store(180, Ordering::Relaxed);
@@ -309,20 +521,47 @@ mod tests {
     }
 
     #[test]
-    fn join_timeout_returns_handle() {
-        let (handle, state) = JobHandle::<u32>::new(3, 0);
-        let handle = match handle.join_timeout(Duration::from_millis(5)) {
-            Err(h) => h,
+    fn join_timeout_returns_typed_error_with_handle() {
+        let (handle, state) = pending::<u32>(3, 0);
+        let timeout = match handle.join_timeout(Duration::from_millis(5)) {
+            Err(t) => t,
             Ok(_) => panic!("cannot complete"),
         };
+        assert!(timeout.to_string().contains("job 3"));
         state.complete(Ok(1));
         assert_eq!(
-            handle
+            timeout
+                .handle
                 .join_timeout(Duration::from_secs(5))
                 .ok()
                 .unwrap()
                 .unwrap(),
             1
         );
+    }
+
+    #[test]
+    fn cancel_of_a_queued_job_resolves_immediately_as_shed() {
+        let (handle, state) = pending::<u32>(4, 0);
+        handle.cancel();
+        assert!(handle.is_done(), "queued job resolves on the spot");
+        assert!(state.token.is_fired());
+        assert_eq!(state.phase.load(Ordering::Relaxed), PHASE_SHED_CANCEL);
+        assert!(matches!(handle.join(), Err(JobError::Cancelled)));
+    }
+
+    #[test]
+    fn cancel_of_a_started_job_only_fires_the_token() {
+        let (handle, state) = pending::<u32>(5, 0);
+        assert!(state.try_start(), "wrapper claims the start");
+        handle.cancel();
+        assert!(!handle.is_done(), "running job resolves at a checkpoint");
+        assert!(state.token.is_fired(), "checkpoints will observe the flag");
+        assert!(
+            !state.try_shed(JobError::Cancelled),
+            "start already claimed"
+        );
+        state.complete(Err(JobError::Cancelled));
+        assert!(handle.join().unwrap_err().is_cancelled());
     }
 }

@@ -62,6 +62,22 @@
 //! stale half-confirmed recommendation cannot override the swap). See
 //! the [server module](TaskServer) docs for the state-machine diagram.
 //!
+//! ## Serving robustness: QoS, cancellation, deadlines
+//!
+//! Every submission carries [`SubmitOptions`]: a [`QosClass`] shaping
+//! admission (latency-sensitive traffic keeps a reserved slice of the
+//! in-flight bound; background traffic is additionally class-capped)
+//! and an optional **deadline**. [`JobHandle::cancel`] requests
+//! *cooperative* cancellation — a queued job is shed on the spot, a
+//! running one unwinds at its next checkpoint (loop chunk claim,
+//! `taskwait`, static-block stride), abandoning its remaining loop
+//! ranges into the `cancelled_iters` conservation counter. Expired
+//! deadlines shed queued jobs from the serve loop's sweep and cancel
+//! running ones the same cooperative way. Handles resolve with
+//! `Result<R, `[`JobError`]`>`; `completed + cancelled + shed ==
+//! submitted` holds exactly. See the README's "Serving semantics"
+//! section for the full contract.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -131,11 +147,17 @@ mod ingress;
 mod server;
 
 pub use controller::AdaptiveController;
-pub use handle::{JobHandle, JobPanic, JobReport};
+pub use handle::{JobError, JobHandle, JobPanic, JobReport, JoinTimeout};
 pub use ingress::{IngressShard, ShardedIngress};
 pub use server::{
-    Lifecycle, LifecycleError, ServerReport, ServerStats, SubmitError, SubmitterHandle, TaskServer,
+    Lifecycle, LifecycleError, QosClassStats, ServerReport, ServerStats, SubmitError,
+    SubmitterHandle, TaskServer,
 };
+
+// Cancellation primitives a caller may want to inspect (the token's
+// reason enum shows up through `JobError`); defined in `xgomp-core`
+// because the checkpoints live in the scheduler.
+pub use xgomp_core::{CancelReason, CancelToken};
 
 // Loop-subsystem types a data-parallel client needs, re-exported so
 // `submit_for` is usable from this crate alone.
@@ -147,6 +169,112 @@ pub use xgomp_core::{LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTele
 pub use xgomp_core::{TraceEvent, TraceLevel, TraceSnapshot};
 
 use xgomp_core::{DlbConfig, DlbStrategy, RuntimeConfig};
+
+/// Quality-of-service class of a submitted job, set via
+/// [`SubmitOptions::qos`]. Classes shape **admission** (per-class quotas
+/// carved out of the in-flight bound) and **shedding order** (Background
+/// deadlines are the first capacity reclaimed under overload); they do
+/// not change how an admitted job is scheduled inside the team.
+///
+/// * [`LatencySensitive`](Self::LatencySensitive) may use the *entire*
+///   in-flight bound, including the slots
+///   ([`ServerConfig::ls_reserve`]) that the other classes are excluded
+///   from — so a flood of background work can never starve an
+///   interactive submitter of admission capacity.
+/// * [`Normal`](Self::Normal) (the default) admits while
+///   `in_flight < max_in_flight − ls_reserve`.
+/// * [`Background`](Self::Background) shares Normal's bound **and** is
+///   additionally capped at [`ServerConfig::background_cap`] jobs of its
+///   own class in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QosClass {
+    /// Interactive traffic: admitted up to the full in-flight bound.
+    LatencySensitive,
+    /// The default class: excluded from the latency-sensitive reserve.
+    #[default]
+    Normal,
+    /// Bulk/best-effort traffic: Normal's bound plus its own class cap;
+    /// first to be shed when deadlines expire under overload.
+    Background,
+}
+
+impl QosClass {
+    /// All classes, in admission-priority order.
+    pub const ALL: [QosClass; 3] = [
+        QosClass::LatencySensitive,
+        QosClass::Normal,
+        QosClass::Background,
+    ];
+
+    /// Dense index (0..3) for per-class counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            QosClass::LatencySensitive => 0,
+            QosClass::Normal => 1,
+            QosClass::Background => 2,
+        }
+    }
+
+    /// Stable label value used in metric exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::LatencySensitive => "latency_sensitive",
+            QosClass::Normal => "normal",
+            QosClass::Background => "background",
+        }
+    }
+}
+
+/// Per-submission options: QoS class and an optional deadline. Passed to
+/// [`TaskServer::submit_with`] and friends; the plain `submit` flavors
+/// are shorthand for `SubmitOptions::default()` (Normal class, no
+/// deadline).
+///
+/// ```
+/// use std::time::Duration;
+/// use xgomp_service::{QosClass, SubmitOptions};
+///
+/// let opts = SubmitOptions::new()
+///     .qos(QosClass::Background)
+///     .deadline(Duration::from_millis(50));
+/// assert_eq!(opts.qos, QosClass::Background);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Admission/shedding class (default [`QosClass::Normal`]).
+    pub qos: QosClass,
+    /// Relative deadline, measured from admission. A job whose deadline
+    /// passes while still queued is **shed** (its body never runs;
+    /// the handle resolves with `JobError::DeadlineExceeded`); a job
+    /// already running is cancelled cooperatively at its next
+    /// checkpoint. `None` (the default) = no deadline.
+    pub deadline: Option<std::time::Duration>,
+}
+
+impl SubmitOptions {
+    /// Normal class, no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the QoS class.
+    pub fn qos(mut self, qos: QosClass) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Sets the relative deadline (from admission).
+    pub fn deadline(mut self, d: std::time::Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+impl From<QosClass> for SubmitOptions {
+    fn from(qos: QosClass) -> Self {
+        SubmitOptions::new().qos(qos)
+    }
+}
 
 /// Configuration of a [`TaskServer`].
 #[derive(Debug, Clone)]
@@ -187,6 +315,17 @@ pub struct ServerConfig {
     /// regardless. The default honors the `XGOMP_TRACE_PATH` environment
     /// variable.
     pub trace_dump: Option<std::path::PathBuf>,
+    /// In-flight slots reserved for [`QosClass::LatencySensitive`]
+    /// submissions: Normal and Background jobs admit only while
+    /// `in_flight < max_in_flight − ls_reserve`. `None` defaults to a
+    /// quarter of the (effective) in-flight bound; the resolved value is
+    /// clamped so non-LS classes always keep at least one slot.
+    pub ls_reserve: Option<usize>,
+    /// Class cap for [`QosClass::Background`]: at most this many
+    /// background jobs in flight at once, independent of total capacity.
+    /// `None` defaults to half of the (effective) in-flight bound
+    /// (minimum 1).
+    pub background_cap: Option<usize>,
 }
 
 impl ServerConfig {
@@ -201,6 +340,8 @@ impl ServerConfig {
             adapt_every: 512,
             log_retunes: false,
             trace_dump: std::env::var_os("XGOMP_TRACE_PATH").map(std::path::PathBuf::from),
+            ls_reserve: None,
+            background_cap: None,
         }
     }
 
@@ -260,6 +401,20 @@ impl ServerConfig {
     /// [`trace_dump`](Self::trace_dump)).
     pub fn trace_dump(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.trace_dump = Some(dir.into());
+        self
+    }
+
+    /// Sets the latency-sensitive admission reserve (see
+    /// [`ls_reserve`](Self::ls_reserve); `0` disables the carve-out).
+    pub fn ls_reserve(mut self, n: usize) -> Self {
+        self.ls_reserve = Some(n);
+        self
+    }
+
+    /// Sets the background in-flight class cap (see
+    /// [`background_cap`](Self::background_cap); clamped to ≥ 1).
+    pub fn background_cap(mut self, n: usize) -> Self {
+        self.background_cap = Some(n);
         self
     }
 }

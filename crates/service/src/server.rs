@@ -56,20 +56,20 @@
 //! fully idle server occupies zero cores; the doorbell (or a lifecycle
 //! transition) brings it back.
 
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 use crate::controller::AdaptiveController;
-use crate::handle::{JobHandle, JobPanic};
+use crate::handle::{JobError, JobHandle, JobPanic, PHASE_SHED_DEADLINE};
 use crate::ingress::{JobBody, ShardedIngress};
-use crate::ServerConfig;
+use crate::{QosClass, ServerConfig, SubmitOptions};
 use xgomp_core::{
-    clock, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource, LiveTaskSampler,
-    LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTelemetry, LoopTelemetrySnapshot,
-    ParkerCell, PersistentTeam, PromText, RegionOutput, RuntimeConfig, TaskCtx, TaskSizeHistogram,
-    TraceLevel, TraceSnapshot, Tracer,
+    clock, CancelReason, CancelToken, CancelUnwind, DlbConfig, DlbStrategy, DlbTuning, EventKind,
+    IngressSource, LiveTaskSampler, LoopBalancer, LoopError, LoopReport, LoopSchedule,
+    LoopTelemetry, LoopTelemetrySnapshot, ParkerCell, PersistentTeam, PromText, RegionOutput,
+    RuntimeConfig, TaskCtx, TaskSizeHistogram, TraceLevel, TraceSnapshot, Tracer,
 };
 use xgomp_topology::Placement;
 use xgomp_xqueue::Backoff;
@@ -227,6 +227,133 @@ struct ControlPlane {
     resume: Option<Option<RuntimeConfig>>,
 }
 
+/// Fixed upper bounds (seconds) of the per-class job latency histograms
+/// (`xgomp_job_{queued,run}_seconds`). Log-spaced from 1 µs to 10 s and
+/// *stable*: dashboards key on these `le` edges.
+pub(crate) const LATENCY_BUCKETS_SECS: [f64; 12] = [
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+];
+
+/// One fixed-bucket latency histogram: lock-free recording in clock
+/// ticks, exposition in seconds. Buckets store *non*-cumulative counts;
+/// the render path cumulates (the exposition format wants cumulative
+/// `le` counts, but recording then would need N increments per sample).
+struct LatencyHist {
+    counts: [AtomicU64; LATENCY_BUCKETS_SECS.len()],
+    sum_ticks: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHist {
+    fn new() -> Self {
+        LatencyHist {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ticks: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn record_ticks(&self, ticks: u64) {
+        let secs = clock::ticks_to_secs(ticks);
+        if let Some(i) = LATENCY_BUCKETS_SECS.iter().position(|&b| secs <= b) {
+            self.counts[i].fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum_ticks.fetch_add(ticks, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// (cumulative bucket counts, sum in seconds, total observations).
+    fn render_parts(&self) -> (Vec<u64>, f64, u64) {
+        let mut acc = 0u64;
+        let cumulative = self
+            .counts
+            .iter()
+            .map(|c| {
+                acc += c.load(Ordering::Relaxed);
+                acc
+            })
+            .collect();
+        (
+            cumulative,
+            clock::ticks_to_secs(self.sum_ticks.load(Ordering::Relaxed)),
+            self.count.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Per-QoS-class counters and latency histograms (one slot per
+/// [`QosClass`], indexed by `QosClass::index`).
+struct ClassCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    shed: AtomicU64,
+    queued_hist: LatencyHist,
+    run_hist: LatencyHist,
+}
+
+impl ClassCounters {
+    fn new() -> Self {
+        ClassCounters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queued_hist: LatencyHist::new(),
+            run_hist: LatencyHist::new(),
+        }
+    }
+}
+
+/// Point-in-time per-class job counters ([`TaskServer::class_stats`]).
+/// The partition is exact once the class is quiescent:
+/// `submitted == completed + cancelled + shed` (+ still-in-flight jobs
+/// while serving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosClassStats {
+    /// The class these counters describe.
+    pub class: QosClass,
+    /// Jobs of this class accepted by admission control.
+    pub submitted: u64,
+    /// Jobs whose body ran to its own end (including panicked bodies).
+    pub completed: u64,
+    /// Jobs whose body started and was then terminated at a
+    /// cancellation checkpoint (explicit cancel or expired deadline).
+    pub cancelled: u64,
+    /// Jobs shed before their body ever ran (cancelled while queued, or
+    /// deadline expired while queued).
+    pub shed: u64,
+}
+
+/// One registered deadline, ordered earliest-first in the sweep heap.
+/// `fire` sheds the job when still queued / fires its token when
+/// running, returning whether this sweep was the first to act (so the
+/// serve loop emits exactly one `DeadlineMiss` event per missed job).
+struct DeadlineEntry {
+    tick: u64,
+    id: u64,
+    fire: Box<dyn FnOnce() -> bool + Send>,
+}
+
+impl PartialEq for DeadlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.id == other.id
+    }
+}
+impl Eq for DeadlineEntry {}
+impl PartialOrd for DeadlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeadlineEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, the sweep wants the
+        // earliest deadline on top.
+        other.tick.cmp(&self.tick).then(other.id.cmp(&self.id))
+    }
+}
+
 /// State shared between submitters, the drain hook, and the master loop.
 pub(crate) struct ServerShared {
     pub(crate) ingress: ShardedIngress,
@@ -252,9 +379,32 @@ pub(crate) struct ServerShared {
     /// quantity a pause drains to zero (ingress-queued jobs stay queued).
     in_team: AtomicUsize,
     max_in_flight: usize,
+    /// In-flight slots only [`QosClass::LatencySensitive`] may use:
+    /// Normal/Background admission stops at `max_in_flight − ls_reserve`.
+    ls_reserve: usize,
+    /// Class cap for [`QosClass::Background`] jobs in flight.
+    bg_cap: usize,
+    /// Background jobs currently in flight (admission + wrapper drain,
+    /// same discipline as `in_flight`).
+    bg_in_flight: AtomicUsize,
     submitted: AtomicU64,
     completed: AtomicU64,
+    /// Jobs whose body started and was then terminated at a cancellation
+    /// checkpoint. Disjoint from `completed` and `shed`.
+    cancelled: AtomicU64,
+    /// Jobs resolved without their body ever running (cancel/deadline
+    /// won the race out of `QUEUED`). Disjoint from the other two, so
+    /// `completed + cancelled + shed` drains to `submitted` exactly.
+    shed: AtomicU64,
     rejected: AtomicU64,
+    /// Per-class counters + latency histograms, indexed by
+    /// `QosClass::index()`.
+    class_stats: [ClassCounters; 3],
+    /// Pending deadlines, earliest on top; swept by the serve loop.
+    deadlines: Mutex<BinaryHeap<DeadlineEntry>>,
+    /// Cache of the heap top's tick (`u64::MAX` = empty): the serve
+    /// loop's sweep gate is one relaxed load + one clock read.
+    next_deadline: AtomicU64,
     /// Placement backstop for admitted jobs that find no ring slot while
     /// no drainer runs (paused server + full anonymous lanes): bounded by
     /// the admission clamp, drained before the ingress at every poll.
@@ -317,31 +467,56 @@ impl ServerShared {
         self.ctl.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Admission control: reserves one in-flight slot, or reports why it
-    /// could not (slot released, rejection counted).
-    fn try_admit(&self) -> Admit {
+    /// The class's admission bound on the shared `in_flight` counter:
+    /// only latency-sensitive traffic may use the reserved tail.
+    fn class_limit(&self, qos: QosClass) -> usize {
+        match qos {
+            QosClass::LatencySensitive => self.max_in_flight,
+            _ => self.max_in_flight - self.ls_reserve,
+        }
+    }
+
+    /// At-the-bound refusal flavor: a paused server frees nothing until
+    /// resume; everything else clears like ordinary backpressure.
+    fn refuse_full(&self) -> Admit {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        match self.state.load(Ordering::SeqCst) {
+            PAUSED => Admit::PausedFull,
+            _ => Admit::Busy,
+        }
+    }
+
+    /// Admission control: reserves one in-flight slot under `qos`'s
+    /// quota, or reports why it could not (slots released, rejection
+    /// counted).
+    fn try_admit(&self, qos: QosClass) -> Admit {
         if self.state.load(Ordering::SeqCst) == CLOSING {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Admit::Closed;
         }
-        if self.in_flight.fetch_add(1, Ordering::SeqCst) >= self.max_in_flight {
+        // Background first claims its class slot, then the shared one —
+        // both released on any refusal below.
+        if qos == QosClass::Background
+            && self.bg_in_flight.fetch_add(1, Ordering::SeqCst) >= self.bg_cap
+        {
+            self.bg_in_flight.fetch_sub(1, Ordering::SeqCst);
+            return self.refuse_full();
+        }
+        if self.in_flight.fetch_add(1, Ordering::SeqCst) >= self.class_limit(qos) {
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            // At the bound: distinguish "completions will free capacity"
-            // from "nothing frees until resume". A *draining* server is
-            // still completing jobs, so its bound clears like ordinary
-            // backpressure; only the fully paused state is hopeless to
-            // retry against.
-            return match self.state.load(Ordering::SeqCst) {
-                PAUSED => Admit::PausedFull,
-                _ => Admit::Busy,
-            };
+            if qos == QosClass::Background {
+                self.bg_in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            return self.refuse_full();
         }
         // Re-check after the admission increment: a shutdown that read
         // the counters before our increment rejects us here; one that
         // read after will wait for this job (see `shutdown`).
         if self.state.load(Ordering::SeqCst) == CLOSING {
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            if qos == QosClass::Background {
+                self.bg_in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Admit::Closed;
         }
@@ -350,53 +525,209 @@ impl ServerShared {
 
     /// Wraps a user closure into the queued job body (unwind-caught,
     /// completion-accounted, lifecycle-traced) and its result handle.
-    fn make_job<R, F>(self: &Arc<Self>, f: F) -> (JobHandle<R>, JobBody)
+    ///
+    /// The wrapper is the **single accounting site**: whether the body
+    /// ran, unwound at a cancellation checkpoint, or was shed before it
+    /// ever started, exactly one of `completed`/`cancelled`/`shed` moves
+    /// — and the drain-side decrements (`in_team`/`in_flight`/class cap)
+    /// always happen here, at drain time, so the shutdown invariant
+    /// "`in_flight == 0` ⇒ rings drained" survives cancellation.
+    /// `JobHandle::cancel` and the deadline sweep only resolve the
+    /// *handle* early; they never touch the counters.
+    fn make_job<R, F>(self: &Arc<Self>, opts: SubmitOptions, f: F) -> (JobHandle<R>, JobBody)
     where
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
         let id = self.job_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let (handle, state) = JobHandle::new(id, clock::now());
+        let qos = opts.qos;
+        let now = clock::now();
+        let deadline_tick = opts.deadline.map(|d| {
+            let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            now.saturating_add(clock::ns_to_ticks(ns))
+        });
+        let token = match deadline_tick {
+            Some(tick) => CancelToken::with_deadline_tick(tick),
+            None => CancelToken::new(),
+        };
+        let (handle, state) = JobHandle::new(id, now, token.clone());
+        self.class_stats[qos.index()]
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(tick) = deadline_tick {
+            let st = state.clone();
+            let tok = token.clone();
+            self.register_deadline(DeadlineEntry {
+                tick,
+                id,
+                fire: Box::new(move || {
+                    if st.is_done() {
+                        return false; // completed under its deadline
+                    }
+                    let first = !tok.is_fired();
+                    tok.expire();
+                    st.try_shed(JobError::DeadlineExceeded);
+                    first
+                }),
+            });
+        }
         let shared = self.clone();
         let body: JobBody = Box::new(move |ctx: &TaskCtx<'_>| {
-            // Lifecycle stamps feed both the flight recorder (one
-            // `JobStart`..`JobEnd` async span per job id) and the
-            // handle's `JobReport`; `state.complete`'s release store
-            // publishes the relaxed stamp stores to `report()` readers.
+            // Start-time gate: claim `QUEUED → RUNNING`, unless a cancel
+            // or the deadline got there first — then the body never
+            // runs and the job is *shed* (the handle may already be
+            // resolved; `try_shed` is a no-op in that case).
             let t_start = clock::now();
-            state.started.store(t_start, Ordering::Relaxed);
-            ctx.trace_emit(
-                TraceLevel::Lifecycle,
-                EventKind::JobStart,
-                0,
-                id,
-                state.submitted,
-            );
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)))
-                .map_err(JobPanic::from_payload);
-            let panicked = result.is_err();
-            state.finished.store(clock::now(), Ordering::Relaxed);
-            ctx.trace_emit(
-                TraceLevel::Lifecycle,
-                EventKind::JobEnd,
-                panicked as u32,
-                id,
-                t_start,
-            );
-            if panicked {
-                // Dump *before* completing: the joiner's `JobPanic` then
-                // implies the flight-recorder file already exists.
-                shared.dump_flight_recorder(&format!("panic-job-{id}.trace.json"));
+            let started = match token.poll() {
+                None => state.try_start(),
+                Some(reason) => {
+                    state.try_shed(match reason {
+                        CancelReason::Cancelled => JobError::Cancelled,
+                        CancelReason::DeadlineExceeded => JobError::DeadlineExceeded,
+                    });
+                    false
+                }
+            };
+            let cs = &shared.class_stats[qos.index()];
+            if started {
+                // Lifecycle stamps feed both the flight recorder (one
+                // `JobStart`..`JobEnd` async span per job id) and the
+                // handle's `JobReport`; `state.complete`'s release store
+                // publishes the relaxed stamp stores to `report()`
+                // readers.
+                state.started.store(t_start, Ordering::Relaxed);
+                ctx.trace_emit(
+                    TraceLevel::Lifecycle,
+                    EventKind::JobStart,
+                    0,
+                    id,
+                    state.submitted,
+                );
+                // The token rides the job's root task from here: every
+                // task the body spawns (loop drain tasks included)
+                // inherits a clone, and the checkpoints poll it.
+                ctx.set_cancel_token(token.clone());
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+                ctx.clear_cancel_token();
+                let result = caught.map_err(|payload| {
+                    // A checkpoint unwind is a *typed* outcome, not a
+                    // panic: no recorder dump, no JobPanic rendering.
+                    match payload.downcast::<CancelUnwind>() {
+                        Ok(cu) => match cu.0 {
+                            CancelReason::Cancelled => JobError::Cancelled,
+                            CancelReason::DeadlineExceeded => JobError::DeadlineExceeded,
+                        },
+                        Err(payload) => JobError::Panicked(JobPanic::from_payload(&*payload)),
+                    }
+                });
+                let t_end = clock::now();
+                state.finished.store(t_end, Ordering::Relaxed);
+                // JobEnd `a` is the outcome code: 0 clean, 1 panicked,
+                // 2 cancelled, 3 deadline-cancelled.
+                let code = match &result {
+                    Ok(_) => 0,
+                    Err(JobError::Panicked(_)) => 1,
+                    Err(JobError::Cancelled) => 2,
+                    Err(JobError::DeadlineExceeded) => 3,
+                };
+                ctx.trace_emit(TraceLevel::Lifecycle, EventKind::JobEnd, code, id, t_start);
+                cs.queued_hist
+                    .record_ticks(t_start.saturating_sub(state.submitted));
+                cs.run_hist.record_ticks(t_end.saturating_sub(t_start));
+                match code {
+                    2 | 3 => {
+                        ctx.trace_emit(TraceLevel::Lifecycle, EventKind::Cancel, code - 2, id, 0);
+                        cs.cancelled.fetch_add(1, Ordering::Relaxed);
+                        shared.cancelled.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => {
+                        if code == 1 {
+                            // Dump *before* completing: the joiner's
+                            // `JobPanic` then implies the flight-recorder
+                            // file already exists.
+                            shared.dump_flight_recorder(&format!("panic-job-{id}.trace.json"));
+                        }
+                        cs.completed.fetch_add(1, Ordering::Relaxed);
+                        shared.completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                // Completion order matters: the handle is observable
+                // before the drain accounting lets a shutdown (or
+                // pause) finish.
+                state.complete(result);
+            } else {
+                // Shed before starting: the handle resolved when the
+                // shed was claimed (cancel()/sweep/the try_shed above);
+                // only the drain accounting remains. `Shed.a`: 0 cancel,
+                // 1 deadline.
+                let by_deadline = state.phase.load(Ordering::Acquire) == PHASE_SHED_DEADLINE;
+                ctx.trace_emit(
+                    TraceLevel::Lifecycle,
+                    EventKind::Shed,
+                    by_deadline as u32,
+                    id,
+                    state.submitted,
+                );
+                cs.shed.fetch_add(1, Ordering::Relaxed);
+                shared.shed.fetch_add(1, Ordering::SeqCst);
             }
-            state.complete(result);
-            // Completion order matters: the handle is observable before
-            // the drain accounting lets a shutdown (or pause) finish.
-            shared.completed.fetch_add(1, Ordering::SeqCst);
             shared.in_team.fetch_sub(1, Ordering::SeqCst);
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            if qos == QosClass::Background {
+                shared.bg_in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
             shared.notify_capacity();
         });
         (handle, body)
+    }
+
+    /// Queues a deadline for the serve loop's sweep.
+    fn register_deadline(&self, entry: DeadlineEntry) {
+        self.next_deadline.fetch_min(entry.tick, Ordering::Relaxed);
+        self.deadlines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(entry);
+    }
+
+    /// The serve loop's deadline sweep: one relaxed load + one clock
+    /// read while nothing is due. Expired *queued* jobs are shed on the
+    /// spot (their handles resolve here, their ring slots drain
+    /// normally); expired *running* jobs get their token fired and
+    /// cancel cooperatively at the next checkpoint. Emits one
+    /// `DeadlineMiss` per job whose deadline this sweep was first to
+    /// act on.
+    fn sweep_deadlines(&self, ctx: &TaskCtx<'_>) {
+        let now = clock::now();
+        if now < self.next_deadline.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut due = Vec::new();
+        {
+            let mut heap = self
+                .deadlines
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while heap.peek().is_some_and(|e| e.tick <= now) {
+                due.push(heap.pop().expect("peeked entry"));
+            }
+            self.next_deadline
+                .store(heap.peek().map_or(u64::MAX, |e| e.tick), Ordering::Relaxed);
+        }
+        // Fire outside the lock: `fire` takes the job-state mutex when
+        // it sheds, and a joiner's callback must not serialize against
+        // deadline registration.
+        for e in due {
+            if (e.fire)() {
+                ctx.trace_emit(
+                    TraceLevel::Lifecycle,
+                    EventKind::DeadlineMiss,
+                    0,
+                    e.id,
+                    e.tick,
+                );
+            }
+        }
     }
 
     /// Best-effort automatic flight-recorder dump (job panic, shutdown):
@@ -557,18 +888,23 @@ impl ServerShared {
         self.bp_cv.notify_all();
     }
 
-    /// Parks the calling submitter until in-flight capacity may be free
-    /// (or the server closes). The SeqCst waiter registration pairs with
-    /// the completion path's SeqCst decrement (a Dekker handshake), so a
-    /// wake-up cannot be lost; the timeout is a defensive re-probe, not
-    /// a correctness requirement.
-    fn wait_capacity(&self) {
+    /// Whether `qos`'s admission quota is exhausted right now (racy
+    /// probe; the blocked-submit wait condition).
+    fn admission_full(&self, qos: QosClass) -> bool {
+        (qos == QosClass::Background && self.bg_in_flight.load(Ordering::SeqCst) >= self.bg_cap)
+            || self.in_flight.load(Ordering::SeqCst) >= self.class_limit(qos)
+    }
+
+    /// Parks the calling submitter until in-flight capacity under
+    /// `qos`'s quota may be free (or the server closes). The SeqCst
+    /// waiter registration pairs with the completion path's SeqCst
+    /// decrement (a Dekker handshake), so a wake-up cannot be lost; the
+    /// timeout is a defensive re-probe, not a correctness requirement.
+    fn wait_capacity(&self, qos: QosClass) {
         self.bp_waiters.fetch_add(1, Ordering::SeqCst);
         {
             let mut guard = self.bp_lock.lock().unwrap_or_else(PoisonError::into_inner);
-            while self.in_flight.load(Ordering::SeqCst) >= self.max_in_flight
-                && self.state.load(Ordering::SeqCst) != CLOSING
-            {
+            while self.admission_full(qos) && self.state.load(Ordering::SeqCst) != CLOSING {
                 let (g, _) = self
                     .bp_cv
                     .wait_timeout(guard, Duration::from_millis(1))
@@ -590,10 +926,11 @@ enum Admit {
 
 impl ServerShared {
     /// The admission gate shared by every submission flavor: reserves an
-    /// in-flight slot and hands `payload` back, or maps the refusal onto
-    /// the right [`SubmitError`] carrying the payload.
-    fn admit_or<F>(&self, payload: F) -> Result<F, SubmitError<F>> {
-        match self.try_admit() {
+    /// in-flight slot under `qos`'s quota and hands `payload` back, or
+    /// maps the refusal onto the right [`SubmitError`] carrying the
+    /// payload.
+    fn admit_or<F>(&self, qos: QosClass, payload: F) -> Result<F, SubmitError<F>> {
+        match self.try_admit(qos) {
             Admit::Ok => Ok(payload),
             Admit::Busy => Err(SubmitError::Backpressure(payload)),
             Admit::PausedFull => Err(SubmitError::Paused(payload)),
@@ -607,6 +944,7 @@ impl ServerShared {
 /// pause at the bound), failing only once the server is closed.
 fn submit_blocking<F, R>(
     shared: &ServerShared,
+    qos: QosClass,
     mut payload: F,
     mut try_fn: impl FnMut(F) -> Result<R, SubmitError<F>>,
 ) -> Result<R, SubmitError<F>> {
@@ -620,7 +958,7 @@ fn submit_blocking<F, R>(
             }
             Err(SubmitError::Backpressure(back)) | Err(SubmitError::Paused(back)) => {
                 payload = back;
-                shared.wait_capacity();
+                shared.wait_capacity(qos);
             }
         }
     }
@@ -688,8 +1026,16 @@ impl IngressSource for ServiceSource {
 pub struct ServerStats {
     /// Jobs accepted by admission control.
     pub submitted: u64,
-    /// Jobs whose handles have completed (including panicked jobs).
+    /// Jobs whose body ran to its own end (including panicked bodies).
+    /// Cancelled and shed jobs are counted separately; once drained,
+    /// `completed + cancelled + shed == submitted` exactly.
     pub completed: u64,
+    /// Jobs whose body started and was then terminated at a
+    /// cancellation checkpoint (explicit cancel or expired deadline).
+    pub cancelled: u64,
+    /// Jobs resolved without their body ever running: cancelled or
+    /// deadline-expired while still queued.
+    pub shed: u64,
     /// Submissions bounced by backpressure, pause-at-capacity or closure.
     pub rejected: u64,
     /// Jobs admitted but not yet completed.
@@ -742,6 +1088,8 @@ impl ServerStats {
         ServerStats {
             submitted: self.submitted.saturating_sub(earlier.submitted),
             completed: self.completed.saturating_sub(earlier.completed),
+            cancelled: self.cancelled.saturating_sub(earlier.cancelled),
+            shed: self.shed.saturating_sub(earlier.shed),
             rejected: self.rejected.saturating_sub(earlier.rejected),
             in_flight: self.in_flight,
             queued: self.queued,
@@ -776,8 +1124,18 @@ impl ServerStats {
         );
         p.counter(
             "xgomp_jobs_completed_total",
-            "Jobs completed (including panicked jobs)",
+            "Jobs whose body ran to its own end (including panicked bodies)",
             self.completed,
+        );
+        p.counter(
+            "xgomp_jobs_cancelled_total",
+            "Jobs cancelled cooperatively after their body started",
+            self.cancelled,
+        );
+        p.counter(
+            "xgomp_jobs_shed_total",
+            "Jobs shed before their body ran (cancel/deadline while queued)",
+            self.shed,
         );
         p.counter(
             "xgomp_jobs_rejected_total",
@@ -936,6 +1294,18 @@ impl TaskServer {
         // real ring capacity. The effective value is surfaced in
         // `ServerStats::max_in_flight`.
         let max_in_flight = cfg.max_in_flight.min(ingress.capacity());
+        // QoS quota resolution, against the *effective* bound. The
+        // reserve is clamped so Normal/Background always keep at least
+        // one slot; the background cap is at least one so the class is
+        // never configured out of existence.
+        let ls_reserve = cfg
+            .ls_reserve
+            .unwrap_or(max_in_flight / 4)
+            .min(max_in_flight.saturating_sub(1));
+        let bg_cap = cfg
+            .background_cap
+            .unwrap_or(max_in_flight / 2)
+            .clamp(1, max_in_flight);
 
         let initial_dlb = rt
             .dlb
@@ -958,9 +1328,17 @@ impl TaskServer {
             in_flight: AtomicUsize::new(0),
             in_team: AtomicUsize::new(0),
             max_in_flight,
+            ls_reserve,
+            bg_cap,
+            bg_in_flight: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            class_stats: std::array::from_fn(|_| ClassCounters::new()),
+            deadlines: Mutex::new(BinaryHeap::new()),
+            next_deadline: AtomicU64::new(u64::MAX),
             spill: Mutex::new(VecDeque::new()),
             spill_nonempty: std::sync::atomic::AtomicBool::new(false),
             ring_producers: AtomicUsize::new(0),
@@ -1013,14 +1391,33 @@ impl TaskServer {
     /// Non-blocking submission. The error tells the caller exactly why
     /// ([`SubmitError`]) and hands the closure back. While the server is
     /// paused, submissions below the in-flight bound are accepted and
-    /// queue for the next generation.
+    /// queue for the next generation. Shorthand for
+    /// [`try_submit_with`](Self::try_submit_with) with default options
+    /// (Normal class, no deadline).
     pub fn try_submit<R, F>(&self, f: F) -> Result<JobHandle<R>, SubmitError<F>>
     where
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let f = self.shared.admit_or(f)?;
-        let (handle, body) = self.shared.make_job(f);
+        self.try_submit_with(SubmitOptions::default(), f)
+    }
+
+    /// Non-blocking submission under explicit [`SubmitOptions`]: the
+    /// job admits under its [`QosClass`]'s quota, and an expired
+    /// deadline sheds it before start / cancels it cooperatively
+    /// mid-run (the handle then resolves with the matching
+    /// [`JobError`]).
+    pub fn try_submit_with<R, F>(
+        &self,
+        opts: SubmitOptions,
+        f: F,
+    ) -> Result<JobHandle<R>, SubmitError<F>>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let f = self.shared.admit_or(opts.qos, f)?;
+        let (handle, body) = self.shared.make_job(opts, f);
         let hint = submitter_shard_hint(self.shared.ingress.n_shards());
         self.shared.place_anonymous(hint, body);
         Ok(handle)
@@ -1034,7 +1431,22 @@ impl TaskServer {
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        submit_blocking(&self.shared, f, |f| self.try_submit(f))
+        self.submit_with(SubmitOptions::default(), f)
+    }
+
+    /// Blocking variant of [`try_submit_with`](Self::try_submit_with):
+    /// parks until the job's *class* quota frees (a Background submit
+    /// blocked on its class cap wakes on completions like any other).
+    pub fn submit_with<R, F>(
+        &self,
+        opts: SubmitOptions,
+        f: F,
+    ) -> Result<JobHandle<R>, SubmitError<F>>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        submit_blocking(&self.shared, opts.qos, f, |f| self.try_submit_with(opts, f))
     }
 
     /// Non-blocking submission of a **data-parallel job**: `body` runs
@@ -1059,13 +1471,32 @@ impl TaskServer {
     where
         F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
     {
+        self.try_submit_for_with(SubmitOptions::default(), range, schedule, body)
+    }
+
+    /// [`try_submit_for`](Self::try_submit_for) under explicit
+    /// [`SubmitOptions`]. A cancelled (or deadline-expired) loop job
+    /// abandons its remaining ranges at the next chunk-claim checkpoint;
+    /// the un-run iterations are conserved into the loop subsystem's
+    /// `cancelled_iters` counter and the handle resolves with the typed
+    /// [`JobError`].
+    pub fn try_submit_for_with<F>(
+        &self,
+        opts: SubmitOptions,
+        range: std::ops::Range<u64>,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> Result<JobHandle<LoopReport>, SubmitError<F>>
+    where
+        F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
+    {
         if let Err(e) = LoopError::check_range(&range) {
             return Err(SubmitError::InvalidLoop(body, e));
         }
-        let body = self.shared.admit_or(body)?;
+        let body = self.shared.admit_or(opts.qos, body)?;
         let (handle, job) = self
             .shared
-            .make_job(move |ctx| ctx.parallel_for(range, schedule, body));
+            .make_job(opts, move |ctx| ctx.parallel_for(range, schedule, body));
         let hint = submitter_shard_hint(self.shared.ingress.n_shards());
         self.shared.place_anonymous(hint, job);
         Ok(handle)
@@ -1083,8 +1514,23 @@ impl TaskServer {
     where
         F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
     {
-        submit_blocking(&self.shared, body, |body| {
-            self.try_submit_for(range.clone(), schedule, body)
+        self.submit_for_with(SubmitOptions::default(), range, schedule, body)
+    }
+
+    /// Blocking variant of
+    /// [`try_submit_for_with`](Self::try_submit_for_with).
+    pub fn submit_for_with<F>(
+        &self,
+        opts: SubmitOptions,
+        range: std::ops::Range<u64>,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> Result<JobHandle<LoopReport>, SubmitError<F>>
+    where
+        F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
+    {
+        submit_blocking(&self.shared, opts.qos, body, |body| {
+            self.try_submit_for_with(opts, range.clone(), schedule, body)
         })
     }
 
@@ -1313,6 +1759,8 @@ impl TaskServer {
         ServerStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             in_flight,
             queued: in_flight.saturating_sub(in_team),
@@ -1328,6 +1776,22 @@ impl TaskServer {
             loop_range_steals,
             loop_rebalances,
         }
+    }
+
+    /// Per-QoS-class job counters, indexed in [`QosClass::ALL`] order.
+    /// Same coherence caveats as [`stats`](Self::stats): once a class is
+    /// drained, `submitted == completed + cancelled + shed` exactly.
+    pub fn class_stats(&self) -> [QosClassStats; 3] {
+        std::array::from_fn(|i| {
+            let cs = &self.shared.class_stats[i];
+            QosClassStats {
+                class: QosClass::ALL[i],
+                submitted: cs.submitted.load(Ordering::Relaxed),
+                completed: cs.completed.load(Ordering::Relaxed),
+                cancelled: cs.cancelled.load(Ordering::Relaxed),
+                shed: cs.shed.load(Ordering::Relaxed),
+            }
+        })
     }
 
     /// Per-schedule loop telemetry (chunks, iterations, range steals and
@@ -1450,6 +1914,68 @@ impl TaskServer {
             "schedule",
             &chunks,
         );
+        // Per-QoS-class job counters + the fixed-bucket latency
+        // histograms (stable `le` edges — see `LATENCY_BUCKETS_SECS`).
+        let by_class = self.class_stats();
+        let entries = |pick: fn(&QosClassStats) -> u64| -> Vec<(&'static str, u64)> {
+            by_class.iter().map(|c| (c.class.name(), pick(c))).collect()
+        };
+        p.counter_vec(
+            "xgomp_jobs_submitted_by_class_total",
+            "Jobs accepted by admission control, by QoS class",
+            "class",
+            &entries(|c| c.submitted),
+        );
+        p.counter_vec(
+            "xgomp_jobs_completed_by_class_total",
+            "Jobs whose body ran to its own end, by QoS class",
+            "class",
+            &entries(|c| c.completed),
+        );
+        p.counter_vec(
+            "xgomp_jobs_cancelled_by_class_total",
+            "Jobs cancelled cooperatively mid-run, by QoS class",
+            "class",
+            &entries(|c| c.cancelled),
+        );
+        p.counter_vec(
+            "xgomp_jobs_shed_by_class_total",
+            "Jobs shed before their body ran, by QoS class",
+            "class",
+            &entries(|c| c.shed),
+        );
+        p.histogram_header(
+            "xgomp_job_queued_seconds",
+            "Admission-to-body-start latency of started jobs, by QoS class",
+        );
+        for (i, qos) in QosClass::ALL.iter().enumerate() {
+            let (counts, sum, count) = self.shared.class_stats[i].queued_hist.render_parts();
+            p.histogram_series(
+                "xgomp_job_queued_seconds",
+                "class",
+                qos.name(),
+                &LATENCY_BUCKETS_SECS,
+                &counts,
+                sum,
+                count,
+            );
+        }
+        p.histogram_header(
+            "xgomp_job_run_seconds",
+            "Body run time of started jobs, by QoS class",
+        );
+        for (i, qos) in QosClass::ALL.iter().enumerate() {
+            let (counts, sum, count) = self.shared.class_stats[i].run_hist.render_parts();
+            p.histogram_series(
+                "xgomp_job_run_seconds",
+                "class",
+                qos.name(),
+                &LATENCY_BUCKETS_SECS,
+                &counts,
+                sum,
+                count,
+            );
+        }
         p.counter(
             "xgomp_trace_events_emitted_total",
             "Flight-recorder events emitted (all rings, including overwritten)",
@@ -1730,6 +2256,7 @@ fn serve_loop(
             // the team is ending; don't spin on the drain conditions.
             break;
         }
+        shared.sweep_deadlines(ctx);
         let injected = source.poll(ctx);
         let ran = ctx.run_pending(run_batch);
         controller
@@ -1850,8 +2377,22 @@ impl SubmitterHandle {
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let f = self.shared.admit_or(f)?;
-        let (handle, body) = self.shared.make_job(f);
+        self.try_submit_with(SubmitOptions::default(), f)
+    }
+
+    /// [`SubmitterHandle::try_submit`] with explicit [`SubmitOptions`]
+    /// (QoS class + optional deadline).
+    pub fn try_submit_with<R, F>(
+        &mut self,
+        opts: SubmitOptions,
+        f: F,
+    ) -> Result<JobHandle<R>, SubmitError<F>>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let f = self.shared.admit_or(opts.qos, f)?;
+        let (handle, body) = self.shared.make_job(opts, f);
         match self.lane {
             Some(lane) => self.place_pinned(lane, body),
             None => self.shared.place_anonymous(self.shard, body),
@@ -1866,8 +2407,21 @@ impl SubmitterHandle {
         F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
         R: Send + 'static,
     {
+        self.submit_with(SubmitOptions::default(), f)
+    }
+
+    /// [`SubmitterHandle::submit`] with explicit [`SubmitOptions`].
+    pub fn submit_with<R, F>(
+        &mut self,
+        opts: SubmitOptions,
+        f: F,
+    ) -> Result<JobHandle<R>, SubmitError<F>>
+    where
+        F: FnOnce(&TaskCtx<'_>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
         let shared = self.shared.clone();
-        submit_blocking(&shared, f, |f| self.try_submit(f))
+        submit_blocking(&shared, opts.qos, f, |f| self.try_submit_with(opts, f))
     }
 
     /// Places an admitted job into the reserved lane, waiting out a full
@@ -2041,7 +2595,7 @@ mod tests {
             .unwrap()
             .join()
             .unwrap_err();
-        assert!(err.message.contains("exploded"));
+        assert!(err.panic().expect("panicked").message.contains("exploded"));
         // The server survives and keeps serving.
         let h = server.submit(|_| 5u32).unwrap();
         assert_eq!(h.join().unwrap(), 5);
@@ -2055,6 +2609,7 @@ mod tests {
         let server = TaskServer::start(
             ServerConfig::new(1)
                 .max_in_flight(4)
+                .ls_reserve(0)
                 .lanes_per_shard(1)
                 .lane_capacity(8),
         );
@@ -2303,6 +2858,14 @@ mod tests {
             "xgomp_ingress_claim_conflicts_total",
             "xgomp_ingress_occupancy",
             "xgomp_loop_chunks_by_schedule_total",
+            "xgomp_jobs_cancelled_total",
+            "xgomp_jobs_shed_total",
+            "xgomp_jobs_submitted_by_class_total",
+            "xgomp_jobs_completed_by_class_total",
+            "xgomp_jobs_cancelled_by_class_total",
+            "xgomp_jobs_shed_by_class_total",
+            "xgomp_job_queued_seconds",
+            "xgomp_job_run_seconds",
             "xgomp_trace_events_emitted_total",
             "xgomp_trace_events_dropped_total",
             "xgomp_trace_level",
@@ -2314,6 +2877,9 @@ mod tests {
         }
         assert!(text.contains("xgomp_jobs_submitted_total 10"));
         assert!(text.contains(r#"xgomp_loop_chunks_by_schedule_total{schedule="guided"}"#));
+        assert!(text.contains(r#"xgomp_jobs_submitted_by_class_total{class="normal"} 10"#));
+        assert!(text.contains(r#"xgomp_job_queued_seconds_bucket{class="normal",le="+Inf"} 10"#));
+        assert!(text.contains(r#"xgomp_job_run_seconds_count{class="normal"} 10"#));
         server.shutdown();
     }
 

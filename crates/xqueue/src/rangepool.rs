@@ -279,6 +279,32 @@ impl RangePool {
             }
         }
     }
+
+    /// Empties the pool in one CAS and returns how many iterations were
+    /// abandoned — the cancellation primitive. Unlike [`claim`](Self::claim)
+    /// the abandoned count stays out of the `claimed` counter, so the
+    /// rate EWMA keeps describing *executed* throughput only. Linearizable
+    /// against concurrent claims, steals and deposits: every abandoned
+    /// iteration is counted by exactly one abandoner and never also
+    /// handed out for execution.
+    pub fn abandon(&self) -> u32 {
+        let mut word = self.word.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(word);
+            if lo >= hi {
+                return 0;
+            }
+            match self.word.compare_exchange_weak(
+                word,
+                pack(hi, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return hi - lo,
+                Err(w) => word = w,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +331,18 @@ mod tests {
         assert_eq!(p.steal_half(), Some((1, 2)));
         assert_eq!(p.steal_half(), Some((0, 1)), "singleton stolen whole");
         assert_eq!(p.steal_half(), None);
+    }
+
+    #[test]
+    fn abandon_empties_and_counts_exactly_once() {
+        let p = RangePool::new(0, 10);
+        assert_eq!(p.claim(3), Some((0, 3)));
+        assert_eq!(p.abandon(), 7, "abandons everything still pooled");
+        assert!(p.is_empty());
+        assert_eq!(p.abandon(), 0, "second abandon finds nothing");
+        assert_eq!(p.claimed(), 3, "abandoned iters don't count as claimed");
+        assert!(p.deposit_if_empty(20, 25), "pool is reusable after abandon");
+        assert_eq!(p.abandon(), 5);
     }
 
     #[test]

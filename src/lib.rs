@@ -40,7 +40,9 @@ pub use xgomp_core::{
     Tracer,
 };
 pub use xgomp_service::{
-    JobHandle, JobPanic, JobReport, ServerConfig, ServerStats, SubmitterHandle, TaskServer,
+    CancelReason, CancelToken, JobError, JobHandle, JobPanic, JobReport, JoinTimeout, QosClass,
+    QosClassStats, ServerConfig, ServerStats, SubmitError, SubmitOptions, SubmitterHandle,
+    TaskServer,
 };
 
 /// The BOTS benchmark suite (`xgomp-bots`).

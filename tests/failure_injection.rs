@@ -205,7 +205,8 @@ fn panicking_loop_body_racing_a_rebalance_probe_is_isolated() {
         .unwrap();
 
     let err = doomed.join().unwrap_err();
-    assert!(err.message.contains("exploded"), "{}", err.message);
+    let panic = err.panic().expect("panicked job yields JobError::Panicked");
+    assert!(panic.message.contains("exploded"), "{}", panic.message);
     sibling.join().unwrap();
     assert_eq!(sum.load(Ordering::Relaxed), (1..=N).sum::<u64>());
 

@@ -73,10 +73,11 @@ fn job_panic_poisons_only_that_job() {
 
     assert_eq!(before.join().unwrap(), 1);
     let err = bomb.join().unwrap_err();
+    let panic = err.panic().expect("panicked job yields JobError::Panicked");
     assert!(
-        err.message.contains("job 1 exploded"),
+        panic.message.contains("job 1 exploded"),
         "panic payload lost: {}",
-        err.message
+        panic.message
     );
     // The runtime survived: every later job still completes correctly.
     for (i, h) in after.into_iter().enumerate() {
@@ -211,10 +212,11 @@ fn subtask_panic_fails_only_its_job() {
         })
         .unwrap();
     let err = bomb.join().unwrap_err();
+    let panic = err.panic().expect("panicked job yields JobError::Panicked");
     assert!(
-        err.message.contains("subtask exploded"),
+        panic.message.contains("subtask exploded"),
         "payload lost: {}",
-        err.message
+        panic.message
     );
     for (i, h) in backlog.into_iter().enumerate() {
         assert_eq!(h.join().unwrap(), i as u64);
@@ -242,10 +244,11 @@ fn second_subtask_panic_is_not_swallowed() {
         })
         .unwrap();
     let err = h.join().unwrap_err();
+    let panic = err.panic().expect("panicked job yields JobError::Panicked");
     assert!(
-        err.message.contains("second boom"),
+        panic.message.contains("second boom"),
         "second panic swallowed: {}",
-        err.message
+        panic.message
     );
     server.shutdown();
 }

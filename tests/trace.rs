@@ -114,7 +114,8 @@ fn dump_on_panic_writes_parseable_trace_with_the_jobs_span() {
         .unwrap();
     let id = h.job_id();
     let err = h.join().unwrap_err();
-    assert!(err.message.contains("recorded crash"));
+    let panic = err.panic().expect("panicked job yields JobError::Panicked");
+    assert!(panic.message.contains("recorded crash"));
 
     // The dump was written *before* the handle completed, so it is
     // already on disk here.
