@@ -21,6 +21,7 @@ use xgomp_bots::dataloops::{CostProfile, Kernel, Mandelbrot, SkewedSpmv, Triangu
 use xgomp_bots::Scale;
 use xgomp_core::{
     DlbConfig, DlbStrategy, LoopReport, LoopSchedule, MachineTopology, Runtime, RuntimeConfig,
+    TaskCtx,
 };
 
 fn schedules() -> [LoopSchedule; 4] {
@@ -57,6 +58,32 @@ fn run_one(
         let (sum, report) = out.result;
         assert_eq!(sum, expect, "{}/{} checksum", kernel.name(), sched.name());
         assert_eq!(report.iterations, kernel.len());
+        last = Some(report);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], last.unwrap())
+}
+
+/// Times one checksummed run of an arbitrary iteration-space shape:
+/// `run` drives whatever `parallel_for` flavour fits the shape and
+/// returns `(checksum, report)`; the median wall time and last report
+/// come back.
+fn run_space(
+    cfg: &RuntimeConfig,
+    reps: usize,
+    sched: LoopSchedule,
+    expect: u64,
+    run: impl Fn(&TaskCtx<'_>, LoopSchedule) -> (u64, LoopReport) + Sync,
+) -> (f64, LoopReport) {
+    let rt = Runtime::new(cfg.clone());
+    let mut times = Vec::with_capacity(reps.max(1));
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let out = rt.parallel(|ctx| run(ctx, sched));
+        times.push(t0.elapsed().as_secs_f64());
+        let (sum, report) = out.result;
+        assert_eq!(sum, expect, "space checksum under {}", sched.name());
         last = Some(report);
     }
     times.sort_by(f64::total_cmp);
@@ -155,6 +182,168 @@ fn main() {
     }
     t.print();
     t.write_csv(&ctx.out_dir, "loop_schedules").expect("csv");
+
+    // ---- first-class iteration spaces × schedules ----------------------
+    //
+    // The same kernels driven through their *natural* shapes: the
+    // Mandelbrot strip as a tiled 2-D rectangle (`parallel_for_2d`),
+    // the triangular nest as a first-class triangular space
+    // (`parallel_for_tri`) vs the legacy guarded square. Every cell is
+    // checksum-verified; the `sched pts` / `noops cut` columns show the
+    // guard iterations the triangular space never schedules.
+    let mut st = Table::new(
+        format!(
+            "iteration-space shapes ({threads} workers, 2 sockets, NA-WS; \
+             median of {} reps; checksum-verified)",
+            ctx.reps
+        ),
+        &[
+            "space",
+            "kernel",
+            "static",
+            "dynamic",
+            "guided",
+            "adaptive",
+            "iters",
+            "sched pts",
+            "noops cut",
+        ],
+    );
+
+    let mandel_k = Mandelbrot::new(mandel.0, mandel.1, mandel.2);
+    let mandel_expect = mandel_k.seq_checksum();
+    let (w, h) = (mandel.0, mandel.1);
+    let tri_k = Triangular::new(tri_n, CostProfile::Skewed, 11);
+    let tri_expect = tri_k.seq_checksum();
+    let tri_pts = tri_n * (tri_n + 1) / 2;
+
+    struct SpaceRow {
+        space: &'static str,
+        kernel: &'static str,
+        times: Vec<f64>,
+        report: LoopReport,
+        sched_pts: u64,
+        noops_cut: u64,
+    }
+    let mut rows: Vec<SpaceRow> = Vec::new();
+
+    // 2-D rectangle: one point per pixel, row-major tiles.
+    {
+        let (mut times, mut report) = (Vec::new(), None);
+        for sched in schedules() {
+            let (secs, r) = run_space(&cfg, ctx.reps, sched, mandel_expect, |ctx, sched| {
+                let acc = AtomicU64::new(0);
+                let r = ctx.parallel_for_2d(h, w, sched, |(row, col), _| {
+                    acc.fetch_add(mandel_k.value(row * w + col), Ordering::Relaxed);
+                });
+                (acc.load(Ordering::Relaxed), r)
+            });
+            times.push(secs);
+            report = Some(r);
+        }
+        rows.push(SpaceRow {
+            space: "rect2d",
+            kernel: "mandelbrot",
+            times,
+            report: report.unwrap(),
+            sched_pts: w * h,
+            noops_cut: 0,
+        });
+    }
+
+    // Legacy triangular shape: a square with a `c <= r` guard.
+    {
+        let (mut times, mut report) = (Vec::new(), None);
+        for sched in schedules() {
+            let (secs, r) = run_space(&cfg, ctx.reps, sched, tri_expect, |ctx, sched| {
+                let acc = AtomicU64::new(0);
+                let r = ctx.parallel_for_2d(tri_n, tri_n, sched, |(row, col), _| {
+                    if col <= row {
+                        acc.fetch_add(tri_k.pair_value(row, col), Ordering::Relaxed);
+                    }
+                });
+                (acc.load(Ordering::Relaxed), r)
+            });
+            times.push(secs);
+            report = Some(r);
+        }
+        rows.push(SpaceRow {
+            space: "square+guard",
+            kernel: "triangular",
+            times,
+            report: report.unwrap(),
+            sched_pts: tri_n * tri_n,
+            noops_cut: 0,
+        });
+    }
+
+    // First-class triangular space: only the valid pairs exist.
+    {
+        let (mut times, mut report) = (Vec::new(), None);
+        for sched in schedules() {
+            let (secs, r) = run_space(&cfg, ctx.reps, sched, tri_expect, |ctx, sched| {
+                let acc = AtomicU64::new(0);
+                let r = ctx.parallel_for_tri(tri_n, sched, |(row, col), _| {
+                    acc.fetch_add(tri_k.pair_value(row, col), Ordering::Relaxed);
+                });
+                (acc.load(Ordering::Relaxed), r)
+            });
+            times.push(secs);
+            assert_eq!(r.iterations, tri_pts, "triangular runs only valid pairs");
+            report = Some(r);
+        }
+        rows.push(SpaceRow {
+            space: "triangular",
+            kernel: "triangular",
+            times,
+            report: report.unwrap(),
+            sched_pts: tri_pts,
+            noops_cut: tri_k.eliminated_noops(),
+        });
+    }
+
+    for r in &rows {
+        st.row(vec![
+            r.space.to_string(),
+            r.kernel.to_string(),
+            fmt_secs(r.times[0]),
+            fmt_secs(r.times[1]),
+            fmt_secs(r.times[2]),
+            fmt_secs(r.times[3]),
+            r.report.iterations.to_string(),
+            r.sched_pts.to_string(),
+            r.noops_cut.to_string(),
+        ]);
+    }
+    st.print();
+    st.write_csv(&ctx.out_dir, "loop_spaces").expect("csv");
+
+    // ---- giant waved 1-D completion ------------------------------------
+    //
+    // A range past u32::MAX lowers onto panes and waves through the
+    // one-CAS-per-chunk pools; completion must conserve exactly in u64.
+    let giant = u32::MAX as u64 + 5;
+    let rt = Runtime::new(cfg.clone());
+    let t0 = Instant::now();
+    let out = rt.parallel(|ctx| {
+        ctx.parallel_for(0..giant, LoopSchedule::Dynamic(1 << 20), |i, _| {
+            std::hint::black_box(i);
+        })
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let report = out.result;
+    assert_eq!(
+        report.iterations, giant,
+        "giant waved loop conserves in u64"
+    );
+    println!();
+    println!(
+        "giant waved loop: {giant} iterations (u32::MAX + 5) completed in {} \
+         ({} chunks, {} range steals)",
+        fmt_secs(secs),
+        report.chunks,
+        report.range_steals,
+    );
 
     println!();
     if skewed_ok {

@@ -175,6 +175,28 @@ impl Triangular {
     pub fn new(n: u64, profile: CostProfile, seed: u64) -> Self {
         Triangular { n, profile, seed }
     }
+
+    /// Rows of the nest.
+    pub fn rows(&self) -> u64 {
+        self.n
+    }
+
+    /// The `(i, j)` pair's contribution. Under the `Skewed` profile the
+    /// inner loop is the true triangular nest (`j ∈ 0..=i`), and
+    /// `value(i)` is exactly `Σ_{j ≤ i} pair_value(i, j)` — so a run
+    /// over the first-class triangular *space* (`parallel_for_tri`,
+    /// one point per valid pair, no guard) must checksum identically to
+    /// the 1-D row loop.
+    pub fn pair_value(&self, i: u64, j: u64) -> u64 {
+        let head = if j == 0 { self.seed ^ i } else { 0 };
+        head.wrapping_add(mix64(i.wrapping_mul(0x9E37).wrapping_add(j)))
+    }
+
+    /// Guard no-ops a square `n × n` loop with a `j ≤ i` test burns
+    /// that the triangular space never even schedules.
+    pub fn eliminated_noops(&self) -> u64 {
+        self.n * self.n - self.n * (self.n + 1) / 2
+    }
 }
 
 impl Kernel for Triangular {
@@ -187,17 +209,14 @@ impl Kernel for Triangular {
     }
 
     fn value(&self, i: u64) -> u64 {
-        // The triangular structure itself is the skew for `Skewed`;
-        // other profiles re-shape the inner trip count.
+        // The triangular structure itself is the skew for `Skewed`
+        // (the real `j ≤ i` inner loop); other profiles re-shape the
+        // inner trip count.
         let trips = match self.profile {
-            CostProfile::Skewed => i / 4 + 1,
+            CostProfile::Skewed => i + 1,
             p => p.weight(i, self.n) * 4,
         };
-        let mut acc = self.seed ^ i;
-        for j in 0..trips {
-            acc = acc.wrapping_add(mix64(i.wrapping_mul(0x9E37).wrapping_add(j)));
-        }
-        acc
+        (0..trips).fold(0u64, |acc, j| acc.wrapping_add(self.pair_value(i, j)))
     }
 }
 
@@ -321,6 +340,40 @@ mod tests {
             });
             assert_eq!(out.result, expect, "{}", k.name());
         }
+    }
+
+    #[test]
+    fn triangular_space_checksums_identically_to_the_guarded_square() {
+        let n = 257u64;
+        let k = Triangular::new(n, CostProfile::Skewed, 11);
+        let expect = k.seq_checksum();
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+
+        // Legacy shape: the square with a `c <= r` guard — nearly half
+        // the scheduled points are no-ops.
+        let square = rt.parallel(|ctx| {
+            let acc = AtomicU64::new(0);
+            ctx.parallel_for_2d(n, n, LoopSchedule::Guided(4), |(r, c), _| {
+                if c <= r {
+                    acc.fetch_add(k.pair_value(r, c), Ordering::Relaxed);
+                }
+            });
+            acc.load(Ordering::Relaxed)
+        });
+        assert_eq!(square.result, expect, "guarded square reproduces");
+
+        // First-class triangular space: no guard, identical checksum,
+        // and the loop report counts exactly the valid pairs.
+        let tri = rt.parallel(|ctx| {
+            let acc = AtomicU64::new(0);
+            let report = ctx.parallel_for_tri(n, LoopSchedule::Dynamic(8), |(r, c), _| {
+                acc.fetch_add(k.pair_value(r, c), Ordering::Relaxed);
+            });
+            (acc.load(Ordering::Relaxed), report.iterations)
+        });
+        assert_eq!(tri.result.0, expect, "triangular space reproduces");
+        assert_eq!(tri.result.1, n * (n + 1) / 2, "only valid pairs run");
+        assert_eq!(k.eliminated_noops(), n * n - n * (n + 1) / 2);
     }
 
     #[test]

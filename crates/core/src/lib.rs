@@ -68,7 +68,12 @@ pub use cancel::{raise_cancel, CancelReason, CancelToken, CancelUnwind};
 pub use config::RuntimeConfig;
 pub use ctx::{Scope, TaskCtx};
 pub use dlb::{DlbConfig, DlbStrategy, DlbTuning, DEFAULT_REBALANCE_INTERVAL};
-pub use loops::{LoopBalancer, LoopError, LoopReport, LoopSchedule};
+#[doc(hidden)]
+pub use loops::force_small_panes_for_tests;
+pub use loops::{
+    IterSpace, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace, SpaceKind,
+    DEFAULT_TILE,
+};
 pub use sched::SchedulerKind;
 pub use team::{IngressSource, PersistentTeam, RegionOutput, Runtime};
 

@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use xgomp_profiling::{clock, WorkerStats};
-use xgomp_xqueue::RangePool;
+use xgomp_xqueue::PaneSet;
 
 use super::LoopCore;
 use crate::dlb::{DlbTuning, DEFAULT_REBALANCE_INTERVAL};
@@ -53,9 +53,9 @@ use crate::dlb::{DlbTuning, DEFAULT_REBALANCE_INTERVAL};
 /// ping-ponging ranges between near-balanced zones).
 const STARVE_RATIO: f64 = 2.0;
 
-/// A rich pool must still hold at least this many iterations for a
+/// A rich pool must still hold at least this many scheduling units for a
 /// back-half migration to be worth the two CASes.
-const MIN_MIGRATE: u32 = 16;
+const MIN_MIGRATE: u64 = 16;
 
 /// Per-team (or, under a task server, per-*server*) inter-socket loop
 /// rebalancer; see the [module docs](self).
@@ -185,13 +185,13 @@ impl LoopBalancer {
                 any = true;
                 self.rebalances.fetch_add(1, Ordering::Relaxed);
                 self.iterations_migrated
-                    .fetch_add(landed as u64, Ordering::Relaxed);
+                    .fetch_add(landed, Ordering::Relaxed);
             }
         }
         any
     }
 
-    /// Probes one loop; returns the migrated iteration count, if any.
+    /// Probes one loop; returns the migrated unit count, if any.
     ///
     /// Policy: per zone, estimate the time-to-drain
     /// `ETA = remaining / claim-rate` (`0` when already dry, `∞` while
@@ -201,7 +201,7 @@ impl LoopBalancer {
     /// half when the imbalance exceeds [`STARVE_RATIO`] — which includes
     /// the reactive dry case (`ETA = 0`) and fires *before* dryness once
     /// the rate samples make a small finite ETA visible.
-    fn rebalance_loop(core: &LoopCore, now: u64, stats: Option<&WorkerStats>) -> Option<u32> {
+    fn rebalance_loop(core: &LoopCore, now: u64, stats: Option<&WorkerStats>) -> Option<u64> {
         let n = core.pools.len();
         if n < 2 {
             return None;
@@ -242,26 +242,38 @@ impl LoopBalancer {
         landed
     }
 
-    /// Moves the back half of `src` into `dst` (the protocol of
-    /// [`RangePool::steal_half_into`](xgomp_xqueue::RangePool::steal_half_into)),
-    /// accounting each side **at its own linearization point**:
-    /// `migrated_out` at the steal CAS, `migrated_in` at the deposit
-    /// CAS, and the out-count reverted together with the range when a
-    /// racing foreign depositor forces the give-back path. A migration
-    /// path that loses a range therefore shows up as `out > in` and
-    /// fails the conservation invariant — the identity the tests assert
-    /// is falsifiable, not a double-count of one value.
+    /// Moves the back half of `src` into `dst`. A pane-set back-steal
+    /// prefers a run of whole pending panes, so what migrates from a
+    /// waved or tiled space is a contiguous run of panes/tiles — the
+    /// issue's "migrate tiles, not scalar ranges". Each side is
+    /// accounted **at its own linearization point** (in units):
+    /// `migrated_out` at the steal, `migrated_in` at the deposit, and
+    /// the out-count reverted together with the range when the give-back
+    /// path fires. A migration path that loses a range therefore shows
+    /// up as `out > in` and fails the conservation invariant — the
+    /// identity the tests assert is falsifiable, not a double-count of
+    /// one value.
+    ///
+    /// `dst` is the starved zone's inbox, and this prober is the *only*
+    /// writer of inboxes (single-prober gate), so the deposit can only
+    /// fail transiently (a claimer-side refill holding the seq word, or
+    /// a stale emptiness read). Unlike the flat-pool era there is no
+    /// `unsteal` — pane adjacency is ill-defined across panes — so the
+    /// fallback re-homes the range into whichever side empties first;
+    /// drain tasks keep claiming throughout, so one of the two deposits
+    /// lands in bounded time. The seqlock epoch is held odd by the
+    /// caller for the whole window.
     fn migrate(
         core: &LoopCore,
-        src: &RangePool,
-        dst: &RangePool,
+        src: &PaneSet,
+        dst: &PaneSet,
         stats: Option<&WorkerStats>,
-    ) -> Option<u32> {
+    ) -> Option<u64> {
         if !dst.is_empty() {
             return None;
         }
         let (lo, hi) = src.steal_half()?;
-        let n = (hi - lo) as u64;
+        let n = hi - lo;
         core.migrated_out.fetch_add(n, Ordering::Relaxed);
         if let Some(st) = stats {
             WorkerStats::add(&st.nloop_migrated_out, n);
@@ -274,12 +286,12 @@ impl LoopBalancer {
                     WorkerStats::add(&st.nloop_migrated_in, n);
                     WorkerStats::inc(&st.nloop_rebalances);
                 }
-                return Some(hi - lo);
+                return Some(n);
             }
-            // `dst` raced non-empty: hand the range back to `src`'s back
-            // edge (or park it in whichever pool empties first), and
-            // revert the out-count with it — nothing migrated.
-            if src.unsteal(lo, hi) || src.deposit_if_empty(lo, hi) {
+            // `dst` raced non-empty (stale scan / refill in flight):
+            // hand the range back to `src` once it drains, and revert
+            // the out-count with it — nothing migrated.
+            if src.deposit_if_empty(lo, hi) {
                 core.migrated_out.fetch_sub(n, Ordering::Relaxed);
                 if let Some(st) = stats {
                     let out = &st.nloop_migrated_out;

@@ -10,12 +10,15 @@
 //!
 //! ## Architecture
 //!
-//! * The iteration space is blocked across NUMA zones proportionally to
-//!   each zone's worker count, and each zone's block is seeded into the
-//!   `main` [`RangePool`] of its [`ZonePool`] (one packed atomic word —
-//!   claims and steals cost one CAS per *chunk*, never per iteration).
-//!   Each zone also carries an initially empty `inbox` pool, the landing
-//!   pad for balancer migrations.
+//! * The logical [`IterSpace`] (1D range, 2D rectangle, triangular —
+//!   see the [`space`] module) lowers to flat u64 *scheduling units*,
+//!   blocked across NUMA zones proportionally to each zone's worker
+//!   count; each zone's share is seeded into the `main`
+//!   [`PaneSet`](xgomp_xqueue::PaneSet) of its [`ZonePool`], which waves
+//!   it through ≤u32 panes drained by one packed atomic word — claims
+//!   and steals cost one CAS per *chunk*, never per iteration, plus one
+//!   CAS per pane refill. Each zone also carries an initially empty
+//!   `inbox` pane set, the landing pad for balancer migrations.
 //! * One *loop-drain task* per worker is spawned with zone-affine
 //!   placement ([`Scope::spawn_on`](crate::Scope::spawn_on) → the
 //!   scheduler's targeted push). Drain tasks are ordinary tasks: the DLB
@@ -55,10 +58,11 @@
 //! | [`Adaptive`](LoopSchedule::Adaptive) | chunk ≈ `TARGET_TICKS` ÷ live per-iteration cost estimate (decade histogram, LB4OMP-style), scaled down per zone by its relative drain rate | unknown or shifting cost |
 
 mod balancer;
+mod space;
 
 pub use balancer::LoopBalancer;
+pub use space::{IterSpace, LoopSpace, SpaceKind, DEFAULT_TILE};
 
-use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -66,7 +70,7 @@ use serde::{Deserialize, Serialize};
 use xgomp_profiling::{clock, decade_index, EventKind, TraceLevel, WorkerStats};
 // (`serde` is used by `LoopReport`; the shim derive cannot handle the
 // data-carrying variants of `LoopSchedule`, which stays plain.)
-use xgomp_xqueue::{Backoff, RangePool};
+use xgomp_xqueue::{Backoff, PaneSet, DEFAULT_PANE_UNITS};
 
 use crate::ctx::TaskCtx;
 use crate::util::CachePadded;
@@ -116,11 +120,14 @@ impl LoopSchedule {
 /// Why a loop could not be run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoopError {
-    /// The requested range is longer than `u32::MAX` iterations — the
-    /// pool word packs two 32-bit offsets, so one `parallel_for` call is
-    /// bounded there. Split such spaces into outer waves.
+    /// The space exceeds what the waving layer can schedule: more than
+    /// 2⁶² scheduling units ([`xgomp_xqueue::MAX_SHARE_UNITS`]), or an
+    /// element count that overflows u64. Ordinary giant spaces —
+    /// including >u32::MAX-iteration ranges — are *not* errors anymore;
+    /// they auto-wave through panes.
     RangeTooLarge {
-        /// The rejected range's length.
+        /// The rejected space's element count (saturated at `u64::MAX`
+        /// when the true count overflows).
         len: u64,
     },
 }
@@ -130,30 +137,14 @@ impl std::fmt::Display for LoopError {
         match self {
             LoopError::RangeTooLarge { len } => write!(
                 f,
-                "parallel_for ranges are bounded at u32::MAX iterations per call \
-                 (got {len}); run larger spaces as outer waves"
+                "iteration space exceeds the schedulable bound of 2^62 units \
+                 (got {len} elements); split it into multiple loops"
             ),
         }
     }
 }
 
 impl std::error::Error for LoopError {}
-
-impl LoopError {
-    /// Validates a `parallel_for` range against the pool-word bound,
-    /// returning its length as the 32-bit offset width. The single
-    /// definition of the rule — `try_parallel_for` and the service
-    /// layer's `submit_for` admission both call this, so a future
-    /// widening (auto-waved outer loops, 128-bit pool words) changes
-    /// one place.
-    pub fn check_range(range: &Range<u64>) -> Result<u32, LoopError> {
-        let len = range.end.saturating_sub(range.start);
-        if len > u32::MAX as u64 {
-            return Err(LoopError::RangeTooLarge { len });
-        }
-        Ok(len as u32)
-    }
-}
 
 /// What a completed [`TaskCtx::parallel_for`] reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -240,35 +231,67 @@ impl AdaptiveCost {
     }
 }
 
-/// One NUMA zone's iteration pools: the seeded `main` block plus the
-/// balancer-fed `inbox` (empty until a migration lands).
+/// Pane-size override for tests: forces waved pools on small spaces so
+/// the refill/steal/abandon machinery is exercised without giant loops.
+/// `0` = use [`DEFAULT_PANE_UNITS`]. Set-once and process-global (never
+/// reset): a consistent small pane size is correctness-neutral for every
+/// loop test.
+static TEST_PANE_UNITS: AtomicU64 = AtomicU64::new(0);
+
+/// Forces every subsequently seeded zone pool to wave in panes of 4096
+/// scheduling units. Test hook — not part of the public API.
+#[doc(hidden)]
+pub fn force_small_panes_for_tests() {
+    TEST_PANE_UNITS.store(4096, Ordering::Relaxed);
+}
+
+fn pane_units() -> u64 {
+    match TEST_PANE_UNITS.load(Ordering::Relaxed) {
+        0 => DEFAULT_PANE_UNITS,
+        p => p,
+    }
+}
+
+/// One NUMA zone's iteration pools: the seeded `main` share plus the
+/// balancer-fed `inbox` (empty until a migration lands). Both are
+/// [`PaneSet`]s — u64 unit shares waved through ≤u32 panes — so a zone's
+/// share of a giant space costs the same one CAS per chunk as before,
+/// plus one CAS per pane refill.
 #[derive(Debug)]
 pub(crate) struct ZonePool {
-    /// The zone's seeded share of the iteration space.
-    pub(crate) main: RangePool,
+    /// The zone's seeded share of the unit space.
+    pub(crate) main: PaneSet,
     /// Landing pad for inter-socket migrations. A separate pool — rather
     /// than depositing into `main` — is what makes the coarse level
-    /// *proactive*: a zone can receive work while its own block still
-    /// has iterations left (deposits only land in empty pools).
-    pub(crate) inbox: RangePool,
+    /// *proactive*: a zone can receive work while its own share still
+    /// has units left (deposits only land in empty pools).
+    pub(crate) inbox: PaneSet,
 }
 
 impl ZonePool {
-    fn new(lo: u32, hi: u32) -> Self {
+    fn new(lo: u64, hi: u64, pane: u64) -> Self {
         ZonePool {
-            main: RangePool::new(lo, hi),
-            inbox: RangePool::empty(),
+            main: PaneSet::with_pane_units(lo, hi, pane),
+            inbox: PaneSet::with_pane_units(0, 0, pane),
         }
     }
 
-    /// Racy total remaining across both pools.
-    pub(crate) fn remaining(&self) -> u32 {
+    /// Racy total remaining units across both pools — the zone's whole
+    /// *logical* share (all pending panes), not just the active pane.
+    pub(crate) fn remaining(&self) -> u64 {
         self.main.remaining().saturating_add(self.inbox.remaining())
     }
 
-    /// Racy zone claim-rate estimate (iterations per tick).
+    /// Racy zone claim-rate estimate (units per tick).
     fn claim_rate(&self) -> f64 {
         self.main.claim_rate() + self.inbox.claim_rate()
+    }
+
+    /// Seqlock-validated emptiness of both pane sets (a pane mid-refill
+    /// is in neither pool, so the racy `remaining() == 0` is not enough
+    /// for an exit decision).
+    fn definitely_empty(&self) -> bool {
+        self.main.is_definitely_empty() && self.inbox.is_definitely_empty()
     }
 }
 
@@ -296,9 +319,10 @@ pub(crate) struct LoopCore {
 }
 
 impl LoopCore {
-    /// Racy scan: every pool (mains and inboxes) looked empty.
+    /// Seqlock-validated scan: every pool (mains and inboxes) is empty
+    /// with no pane refill in flight anywhere.
     fn all_empty(&self) -> bool {
-        self.pools.iter().all(|p| p.0.remaining() == 0)
+        self.pools.iter().all(|p| p.0.definitely_empty())
     }
 
     /// Adaptive v2 zone scaling: shrink `base` by this zone's claim rate
@@ -318,11 +342,19 @@ impl LoopCore {
     }
 }
 
+/// The monomorphization boundary between the shared, unit-typed
+/// scheduling machinery and a specific space's point decode: runs units
+/// `[lo, hi)` through the user body on the given ctx, returning the
+/// *element* count executed. Built (generically, so the per-element loop
+/// inlines) by `try_parallel_for`.
+type UnitRunner<'b> = dyn Fn(u64, u64, &TaskCtx<'_>) -> u64 + Sync + 'b;
+
 /// Shared state of one running loop (lives on `parallel_for`'s frame;
 /// drain tasks borrow it through the scope).
 struct LoopShared<'b> {
-    /// First iteration index of the user range (`pools` hold offsets).
-    base: u64,
+    /// The logical space (`pools` hold its scheduling units; element
+    /// accounting converts through its O(1) prefix math).
+    space: &'b IterSpace,
     schedule: LoopSchedule,
     /// The registered, balancer-visible pool state.
     core: Arc<LoopCore>,
@@ -331,13 +363,15 @@ struct LoopShared<'b> {
     /// which the runtime never does mid-region).
     pool_of_zone: Box<[usize]>,
     cost: AdaptiveCost,
-    /// Loop-wide totals, flushed once per drain task.
+    /// Loop-wide totals, flushed once per drain task. Iteration counts
+    /// are *elements*; chunk/steal counts are claim events; the migrated
+    /// counters on [`LoopCore`] are units.
     chunks: AtomicU64,
     iters: AtomicU64,
     claimed_local: AtomicU64,
     range_steals: AtomicU64,
     cancelled_iters: AtomicU64,
-    body: &'b (dyn Fn(u64, &TaskCtx<'_>) + Sync),
+    runner: &'b UnitRunner<'b>,
 }
 
 /// Per-drain-task counter accumulator (flushed once, so the shared
@@ -352,9 +386,9 @@ struct DriveStats {
 }
 
 impl<'b> LoopShared<'b> {
-    /// Runs `[lo, hi)` (pool offsets) through the body on `ctx`.
-    fn run_chunk(&self, ctx: &TaskCtx<'_>, lo: u32, hi: u32, local: bool, acc: &mut DriveStats) {
-        let iters = (hi - lo) as u64;
+    /// Runs units `[lo, hi)` through the runner on `ctx`.
+    fn run_chunk(&self, ctx: &TaskCtx<'_>, lo: u64, hi: u64, local: bool, acc: &mut DriveStats) {
+        let units = hi - lo;
         let adaptive = matches!(self.schedule, LoopSchedule::Adaptive);
         let sampler = ctx.team.sampler.as_deref();
         // Chunk durations feed both the adaptive cost model and — when a
@@ -363,51 +397,54 @@ impl<'b> LoopShared<'b> {
         // their real chunk grain, not just from whole drain-task sizes.
         let timed = adaptive || sampler.is_some();
         let t0 = if timed { clock::now() } else { 0 };
-        for off in lo..hi {
-            (self.body)(self.base + off as u64, ctx);
-        }
+        acc.iters += (self.runner)(lo, hi, ctx);
         if timed {
             let dt = clock::now().saturating_sub(t0);
             if adaptive {
-                self.cost.record_chunk(iters, dt);
+                // The cost model is per *unit* (a tile for 2D/triangular
+                // spaces), matching the unit-typed chunk sizes below.
+                self.cost.record_chunk(units, dt);
             }
             if let Some(s) = sampler {
                 s.record(ctx.worker_id(), dt);
             }
         }
         acc.chunks += 1;
-        acc.iters += iters;
         if local {
             acc.claimed_local += 1;
         }
     }
 
-    /// Next chunk size for a claim from pool `pool` (see the schedule
-    /// table in the [module docs](self)).
+    /// Next chunk size (in units) for a claim from pool `pool` (see the
+    /// schedule table in the [module docs](self)).
     fn chunk_size(&self, pool: usize) -> u32 {
+        let zone_workers = u64::from(self.core.zone_workers[pool].max(1));
         match self.schedule {
             LoopSchedule::Static => unreachable!("static loops never claim from pools"),
             LoopSchedule::Dynamic(c) => c.max(1),
             LoopSchedule::Guided(min) => {
+                // `remaining` spans the zone's whole logical share (all
+                // pending panes), so guided decay follows the space, not
+                // the active pane.
                 let remaining = self.core.pools[pool].0.remaining();
-                (remaining / (2 * self.core.zone_workers[pool].max(1))).max(min.max(1))
+                (remaining / (2 * zone_workers)).clamp(u64::from(min.max(1)), u64::from(u32::MAX))
+                    as u32
             }
             LoopSchedule::Adaptive => {
                 let base = match self.cost.estimate() {
-                    Some(per_iter) => (ADAPTIVE_TARGET_TICKS / per_iter.max(1))
+                    Some(per_unit) => (ADAPTIVE_TARGET_TICKS / per_unit.max(1))
                         .clamp(1, ADAPTIVE_MAX_CHUNK as u64)
                         as u32,
                     None => ADAPTIVE_SEED_CHUNK,
                 };
                 // v2: per-zone scaling from the balancer's rate signal.
                 let base = self.core.zone_chunk_scale(pool, base);
-                // Tail cap: never claim more than an even share of what
-                // is left in the pool, so the last chunks stay small
-                // enough to balance.
-                let fair = (self.core.pools[pool].0.remaining()
-                    / self.core.zone_workers[pool].max(1))
-                .max(1);
-                base.min(fair)
+                // Tail cap against the *logical* remaining share — a
+                // giant waved loop keeps one continuous cost histogram
+                // and its chunks are capped by the space's true tail,
+                // never re-shrunk at each pane boundary.
+                let fair = (self.core.pools[pool].0.remaining() / zone_workers).max(1);
+                u64::from(base).min(fair) as u32
             }
         }
     }
@@ -451,19 +488,15 @@ impl<'b> LoopShared<'b> {
                 .claim(self.chunk_size(my))
                 .or_else(|| mine.inbox.claim(self.chunk_size(my)));
             if let Some((lo, hi)) = claimed {
-                ctx.trace_emit(
-                    TraceLevel::Full,
-                    EventKind::ChunkClaim,
-                    my as u32,
-                    u64::from(lo),
-                    u64::from(hi),
-                );
+                ctx.trace_emit(TraceLevel::Full, EventKind::ChunkClaim, my as u32, lo, hi);
                 self.run_chunk(ctx, lo, hi, true, &mut acc);
                 backoff.reset();
                 continue;
             }
             // Local pools dry: steal-split a remote zone, nearest-first
-            // rotation (the NA-RP victim order for iteration ranges).
+            // rotation (the NA-RP victim order for iteration ranges). A
+            // pane-set steal prefers whole pending panes, so a waved
+            // space migrates pane tails, not scalar slivers.
             let mut stolen = None;
             for d in 1..n_pools {
                 let p = &self.core.pools[(my + d) % n_pools].0;
@@ -474,13 +507,7 @@ impl<'b> LoopShared<'b> {
             }
             if let Some((mut lo, hi)) = stolen {
                 acc.range_steals += 1;
-                ctx.trace_emit(
-                    TraceLevel::Full,
-                    EventKind::RangeSteal,
-                    my as u32,
-                    u64::from(lo),
-                    u64::from(hi),
-                );
+                ctx.trace_emit(TraceLevel::Full, EventKind::RangeSteal, my as u32, lo, hi);
                 // Drain the stolen range: keep one chunk, hand the tail
                 // to the (empty) local pool so zone peers share the
                 // spoils.
@@ -488,14 +515,15 @@ impl<'b> LoopShared<'b> {
                     // A stolen range can be half a pool — keep the
                     // chunk-claim cancellation cadence inside it too.
                     // The un-run remainder is ours alone (already out of
-                    // every pool), so it is counted here and the pools
-                    // are abandoned separately.
+                    // every pool), so its *elements* are counted here
+                    // (O(1) prefix math) and the pools are abandoned
+                    // separately.
                     if token.as_ref().is_some_and(|t| t.poll().is_some()) {
-                        acc.cancelled += u64::from(hi - lo);
+                        acc.cancelled += self.space.elems_in(lo, hi);
                         self.abandon_pools(&mut acc);
                         break 'outer;
                     }
-                    let take = self.chunk_size(my).min(hi - lo);
+                    let take = u64::from(self.chunk_size(my)).min(hi - lo);
                     let (clo, chi) = (lo, lo + take);
                     lo += take;
                     if lo < hi && mine.main.deposit_if_empty(lo, hi) {
@@ -528,19 +556,24 @@ impl<'b> LoopShared<'b> {
     }
 
     /// Cancellation drain: empties every pool without executing,
-    /// counting the abandoned iterations into `acc.cancelled`. The scan
-    /// is validated against the migration seqlock exactly like the
-    /// normal empty exit — a balancer migration in flight holds a range
-    /// in *neither* pool, and a blind drain would strand those
-    /// iterations and break the conservation identity. Concurrent
-    /// abandoners are fine: `RangePool::abandon` is one CAS, so every
-    /// iteration is counted by exactly one of them.
+    /// counting the abandoned **elements** into `acc.cancelled` — each
+    /// drained unit range converts through the space's O(1) prefix math,
+    /// so abandoning billions of units never iterates them. The scan is
+    /// validated against the migration seqlock exactly like the normal
+    /// empty exit — a balancer migration in flight holds a range in
+    /// *neither* pool, and a blind drain would strand those units and
+    /// break the conservation identity. Concurrent abandoners are fine:
+    /// a pane-set drain hands every unit to exactly one drainer.
     fn abandon_pools(&self, acc: &mut DriveStats) {
         let mut backoff = Backoff::new();
         loop {
             for p in self.core.pools.iter() {
-                acc.cancelled += u64::from(p.0.main.abandon());
-                acc.cancelled += u64::from(p.0.inbox.abandon());
+                let mut cancelled = 0u64;
+                p.0.main
+                    .drain_all_with(|lo, hi| cancelled += self.space.elems_in(lo, hi));
+                p.0.inbox
+                    .drain_all_with(|lo, hi| cancelled += self.space.elems_in(lo, hi));
+                acc.cancelled += cancelled;
             }
             let e = self.core.epoch.load(Ordering::SeqCst);
             let empty = e & 1 == 0 && self.core.all_empty();
@@ -586,54 +619,70 @@ impl Drop for Registration {
 }
 
 impl<'t> TaskCtx<'t> {
-    /// Executes `body` for every index in `range`, in parallel, under
+    /// Executes `body` for every point of `space`, in parallel, under
     /// the given [`LoopSchedule`] — the data-parallel counterpart of
     /// [`scope`](Self::scope).
     ///
-    /// The iteration space is NUMA-blocked across the team's zones and
-    /// drained through per-zone range pools by one loop-drain task per
-    /// worker (zone-affinely placed; see the [module docs](self) for the
-    /// two balancing levels). The call returns only when every iteration
+    /// `space` is anything implementing [`LoopSpace`]: a plain integer
+    /// range (`Point = u64`; ranges beyond `u32::MAX` iterations
+    /// auto-wave through panes) or an explicit [`IterSpace`]
+    /// (`Point = (row, col)` for 2D/triangular shapes — see
+    /// [`parallel_for_2d`](Self::parallel_for_2d) and
+    /// [`parallel_for_tri`](Self::parallel_for_tri)).
+    ///
+    /// The space is NUMA-blocked across the team's zones and drained
+    /// through per-zone pane sets by one loop-drain task per worker
+    /// (zone-affinely placed; see the [module docs](self) for the two
+    /// balancing levels). The call returns only when every iteration
     /// *and every task spawned by the body* has completed, so `body` may
     /// borrow from the enclosing frame, exactly like
     /// [`Scope::spawn`](crate::Scope::spawn).
     ///
-    /// `body` runs on arbitrary workers; it receives the iteration index
-    /// and the executing worker's [`TaskCtx`] (for nested spawns and
-    /// topology queries).
+    /// `body` runs on arbitrary workers; it receives the point and the
+    /// executing worker's [`TaskCtx`] (for nested spawns and topology
+    /// queries).
     ///
     /// # Panics
     ///
-    /// Panics on an invalid range ([`LoopError`]: longer than `u32::MAX`
-    /// iterations — the pool word packs two 32-bit offsets); use
+    /// Panics on an invalid space ([`LoopError`]: beyond 2⁶² scheduling
+    /// units, or an element count overflowing u64); use
     /// [`try_parallel_for`](Self::try_parallel_for) to handle that as a
     /// value instead. Panics from `body` propagate like task panics
     /// (isolated per job under a serving team, poisoning otherwise).
-    pub fn parallel_for<F>(&self, range: Range<u64>, schedule: LoopSchedule, body: F) -> LoopReport
+    pub fn parallel_for<S, F>(&self, space: S, schedule: LoopSchedule, body: F) -> LoopReport
     where
-        F: Fn(u64, &TaskCtx<'_>) + Sync,
+        S: LoopSpace,
+        F: Fn(S::Point, &TaskCtx<'_>) + Sync,
     {
-        self.try_parallel_for(range, schedule, body)
+        self.try_parallel_for(space, schedule, body)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible [`parallel_for`](Self::parallel_for): an oversized range
+    /// Fallible [`parallel_for`](Self::parallel_for): an invalid space
     /// comes back as [`LoopError::RangeTooLarge`] instead of a panic,
     /// with the body untouched (zero iterations run).
-    pub fn try_parallel_for<F>(
+    pub fn try_parallel_for<S, F>(
         &self,
-        range: Range<u64>,
+        space: S,
         schedule: LoopSchedule,
         body: F,
     ) -> Result<LoopReport, LoopError>
     where
-        F: Fn(u64, &TaskCtx<'_>) + Sync,
+        S: LoopSpace,
+        F: Fn(S::Point, &TaskCtx<'_>) + Sync,
     {
-        let len = LoopError::check_range(&range)?;
-        let report = run_loop(self, range.start, len, schedule, &body);
+        let desc = space.to_space();
+        desc.validate()?;
+        // The monomorphization boundary: the per-element decode loop
+        // inlines the body here; everything below `run_loop` is shared,
+        // unit-typed machinery behind one dyn call per chunk.
+        let runner =
+            |lo: u64, hi: u64, ctx: &TaskCtx<'_>| S::run_units(&desc, lo, hi, |p| body(p, ctx));
+        let report = run_loop(self, &desc, schedule, &runner);
         if let Some(lt) = &self.team.loop_stats {
             lt.record_loop(
                 schedule.index(),
+                desc.kind().index(),
                 report.chunks,
                 report.iterations,
                 report.range_steals,
@@ -642,19 +691,50 @@ impl<'t> TaskCtx<'t> {
         }
         Ok(report)
     }
+
+    /// collapse(2): executes `body` for every `(row, col)` of the
+    /// `rows × cols` rectangle, scheduled as [`DEFAULT_TILE`]² tiles
+    /// (use [`IterSpace::rect_tiled`] with
+    /// [`parallel_for`](Self::parallel_for) for explicit tiling).
+    pub fn parallel_for_2d<F>(
+        &self,
+        rows: u64,
+        cols: u64,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> LoopReport
+    where
+        F: Fn((u64, u64), &TaskCtx<'_>) + Sync,
+    {
+        self.parallel_for(IterSpace::rect(rows, cols), schedule, body)
+    }
+
+    /// Triangular loop: executes `body` for every `(row, col)` with
+    /// `col ≤ row < n` — the natural space of pairwise kernels —
+    /// scheduled as tiles of the lower-triangular tile grid, with zero
+    /// wasted (guard-skipped) iterations (use
+    /// [`IterSpace::triangular_tiled`] with
+    /// [`parallel_for`](Self::parallel_for) for explicit tiling).
+    pub fn parallel_for_tri<F>(&self, n: u64, schedule: LoopSchedule, body: F) -> LoopReport
+    where
+        F: Fn((u64, u64), &TaskCtx<'_>) + Sync,
+    {
+        self.parallel_for(IterSpace::triangular(n), schedule, body)
+    }
 }
 
 /// Builds the zone layout, seeds the pools, registers with the balancer,
 /// spawns the drain tasks and waits the loop (and everything the body
-/// spawned) out.
+/// spawned) out. Operates purely on the space's scheduling units; the
+/// runner owns the unit → point decode.
 fn run_loop(
     ctx: &TaskCtx<'_>,
-    base: u64,
-    len: u32,
+    space: &IterSpace,
     schedule: LoopSchedule,
-    body: &(dyn Fn(u64, &TaskCtx<'_>) + Sync),
+    runner: &UnitRunner<'_>,
 ) -> LoopReport {
-    if len == 0 {
+    let units = space.units();
+    if units == 0 {
         return LoopReport {
             iterations: 0,
             cancelled_iters: 0,
@@ -672,8 +752,11 @@ fn run_loop(
 
     // Zone-major worker order: zones (ascending) that actually host
     // workers, each zone's workers ascending. Position k of this order
-    // owns the static block [len·k/n, len·(k+1)/n) — contiguous blocks
-    // whose per-zone unions are exactly the zone blocks the pools seed.
+    // owns the static block [units·k/n, units·(k+1)/n) — contiguous unit
+    // blocks whose per-zone unions are exactly the zone shares the pools
+    // seed. Unit order is row-major (tile) order, so a zone's share is a
+    // contiguous band of tile rows — the NUMA-aware zone blocking for
+    // 2D/triangular spaces. u128 intermediate: units can reach 2⁶².
     let zones: Vec<usize> = (0..placement.topology().zones())
         .filter(|&z| !placement.workers_in_zone(z).is_empty())
         .collect();
@@ -681,19 +764,20 @@ fn run_loop(
     for (rank, &z) in zones.iter().enumerate() {
         pool_of_zone[z] = rank;
     }
-    let block = |k: u64| ((len as u64) * k / n) as u32;
+    let block = |k: u64| (units as u128 * k as u128 / n as u128) as u64;
 
     if matches!(schedule, LoopSchedule::Static) {
-        return run_static(ctx, base, len, &zones, block, body);
+        return run_static(ctx, space, &zones, block, runner);
     }
 
-    // Seed one pool pair per zone with the zone's contiguous block.
+    // Seed one pool pair per zone with the zone's contiguous unit share.
+    let pane = pane_units();
     let mut pools = Vec::with_capacity(zones.len());
     let mut zone_workers = Vec::with_capacity(zones.len());
     let mut pos = 0u64;
     for &z in &zones {
         let w = placement.workers_in_zone(z).len() as u64;
-        pools.push(CachePadded(ZonePool::new(block(pos), block(pos + w))));
+        pools.push(CachePadded(ZonePool::new(block(pos), block(pos + w), pane)));
         zone_workers.push(w as u32);
         pos += w;
     }
@@ -720,7 +804,7 @@ fn run_loop(
     });
 
     let shared = LoopShared {
-        base,
+        space,
         schedule,
         core: core.clone(),
         pool_of_zone: pool_of_zone.into_boxed_slice(),
@@ -730,7 +814,7 @@ fn run_loop(
         claimed_local: AtomicU64::new(0),
         range_steals: AtomicU64::new(0),
         cancelled_iters: AtomicU64::new(0),
-        body,
+        runner,
     };
 
     ctx.scope(|s| {
@@ -748,7 +832,7 @@ fn run_loop(
         }
     });
 
-    LoopReport {
+    let report = LoopReport {
         iterations: shared.iters.load(Ordering::Relaxed),
         cancelled_iters: shared.cancelled_iters.load(Ordering::Relaxed),
         chunks: shared.chunks.load(Ordering::Relaxed),
@@ -757,18 +841,23 @@ fn run_loop(
         rebalances: core.rebalances.load(Ordering::Relaxed),
         migrated_in: core.migrated_in.load(Ordering::Relaxed),
         migrated_out: core.migrated_out.load(Ordering::Relaxed),
-    }
+    };
+    debug_assert_eq!(
+        report.iterations + report.cancelled_iters,
+        space.len(),
+        "executed + cancelled covers the space exactly"
+    );
+    report
 }
 
-/// The static schedule: one contiguous NUMA-blocked range per worker,
-/// executed by its zone-affinely placed drain task; no pools.
+/// The static schedule: one contiguous NUMA-blocked unit block per
+/// worker, executed by its zone-affinely placed drain task; no pools.
 fn run_static(
     ctx: &TaskCtx<'_>,
-    base: u64,
-    len: u32,
+    space: &IterSpace,
     zones: &[usize],
-    block: impl Fn(u64) -> u32,
-    body: &(dyn Fn(u64, &TaskCtx<'_>) + Sync),
+    block: impl Fn(u64) -> u64,
+    runner: &UnitRunner<'_>,
 ) -> LoopReport {
     let placement = ctx.placement();
     let chunks = AtomicU64::new(0);
@@ -786,28 +875,35 @@ fn run_static(
                 let (lo, hi) = (block(pos), block(pos + 1));
                 pos += 1;
                 if lo >= hi {
-                    continue; // more workers than iterations
+                    continue; // more workers than units
                 }
                 s.spawn_on(tw, move |tctx| {
                     let token = tctx.cancel_token();
-                    let mut done = 0u32;
-                    while done < hi - lo {
+                    let mut done = 0u64;
+                    let mut next = lo;
+                    while next < hi {
                         // Cancellation checkpoint every
-                        // `STATIC_CANCEL_STRIDE` iterations; the rest of
-                        // the block is abandoned (conserved below).
-                        if done & (STATIC_CANCEL_STRIDE - 1) == 0
-                            && token.as_ref().is_some_and(|t| t.poll().is_some())
-                        {
+                        // `STATIC_CANCEL_STRIDE` units (a unit is one
+                        // iteration for 1D spaces, one tile otherwise);
+                        // the rest of the block is abandoned, its
+                        // element count conserved in O(1) below. With no
+                        // token the whole block is one runner call.
+                        if token.as_ref().is_some_and(|t| t.poll().is_some()) {
                             break;
                         }
-                        body(base + (lo + done) as u64, tctx);
-                        done += 1;
+                        let stride = if token.is_some() {
+                            u64::from(STATIC_CANCEL_STRIDE).min(hi - next)
+                        } else {
+                            hi - next
+                        };
+                        done += runner(next, next + stride, tctx);
+                        next += stride;
                     }
-                    let abandoned = (hi - lo - done) as u64;
+                    let abandoned = space.elems_in(next, hi);
                     let stats = &tctx.team.stats[tctx.worker_id()];
-                    WorkerStats::add(&stats.nloop_iters, done as u64);
+                    WorkerStats::add(&stats.nloop_iters, done);
                     WorkerStats::add(&stats.nloop_cancelled_iters, abandoned);
-                    iters.fetch_add(done as u64, Ordering::Relaxed);
+                    iters.fetch_add(done, Ordering::Relaxed);
                     cancelled.fetch_add(abandoned, Ordering::Relaxed);
                     // A block cancelled before its first iteration never
                     // counts as a chunk (`nloop_iters >= nloop_chunks`
@@ -829,8 +925,8 @@ fn run_static(
     });
     debug_assert_eq!(
         iters.load(Ordering::Relaxed) + cancelled.load(Ordering::Relaxed),
-        len as u64,
-        "static blocks partition the range exactly"
+        space.len(),
+        "static blocks partition the space exactly"
     );
     LoopReport {
         iterations: iters.load(Ordering::Relaxed),
@@ -938,7 +1034,7 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::xgomptb(3));
         let out = rt.parallel(|ctx| {
             let sum = AtomicU64::new(0);
-            let r = ctx.parallel_for(1_000..1_100, LoopSchedule::Dynamic(7), |i, _| {
+            let r = ctx.parallel_for(1_000u64..1_100, LoopSchedule::Dynamic(7), |i, _| {
                 sum.fetch_add(i, Ordering::Relaxed);
             });
             assert_eq!(r.iterations, 100);
@@ -956,7 +1052,7 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::xgomptb(1));
         let out = rt.parallel(|ctx| {
             let sum = AtomicU64::new(0);
-            ctx.parallel_for(0..1_000, LoopSchedule::Guided(8), |i, _| {
+            ctx.parallel_for(0u64..1_000, LoopSchedule::Guided(8), |i, _| {
                 sum.fetch_add(i + 1, Ordering::Relaxed);
             });
             sum.load(Ordering::Relaxed)
@@ -1083,8 +1179,8 @@ mod tests {
         // whose zone pools have iterations claims locally; the remote
         // pools are untouched until the local ones are dry.
         let pools: Box<[CachePadded<ZonePool>]> = vec![
-            CachePadded(ZonePool::new(0, 100)),
-            CachePadded(ZonePool::new(100, 200)),
+            CachePadded(ZonePool::new(0, 100, DEFAULT_PANE_UNITS)),
+            CachePadded(ZonePool::new(100, 200, DEFAULT_PANE_UNITS)),
         ]
         .into_boxed_slice();
         let core = LoopCore {
@@ -1122,7 +1218,7 @@ mod tests {
             let rt = Runtime::new(cfg);
             let out = rt.parallel(|ctx| {
                 let sum = AtomicU64::new(0);
-                ctx.parallel_for(0..5_000, LoopSchedule::Dynamic(32), |i, _| {
+                ctx.parallel_for(0u64..5_000, LoopSchedule::Dynamic(32), |i, _| {
                     sum.fetch_add(i + 1, Ordering::Relaxed);
                 });
                 sum.load(Ordering::Relaxed)
@@ -1147,8 +1243,8 @@ mod tests {
     fn adaptive_v2_scales_chunks_by_zone_rate() {
         let core = LoopCore {
             pools: vec![
-                CachePadded(ZonePool::new(0, 100)),
-                CachePadded(ZonePool::new(100, 200)),
+                CachePadded(ZonePool::new(0, 100, DEFAULT_PANE_UNITS)),
+                CachePadded(ZonePool::new(100, 200, DEFAULT_PANE_UNITS)),
             ]
             .into_boxed_slice(),
             zone_workers: vec![1, 1].into_boxed_slice(),
@@ -1172,21 +1268,22 @@ mod tests {
     }
 
     #[test]
-    fn oversized_ranges_return_a_typed_error() {
+    fn oversized_spaces_return_a_typed_error() {
+        use xgomp_xqueue::MAX_SHARE_UNITS;
         let rt = Runtime::new(RuntimeConfig::xgomptb(1));
         let out = rt.parallel(|ctx| {
             let err = ctx
-                .try_parallel_for(0..(u32::MAX as u64 + 2), LoopSchedule::Static, |_, _| {
-                    panic!("body must not run on a rejected range")
+                .try_parallel_for(0..MAX_SHARE_UNITS + 1, LoopSchedule::Static, |_, _| {
+                    panic!("body must not run on a rejected space")
                 })
                 .unwrap_err();
             assert_eq!(
                 err,
                 LoopError::RangeTooLarge {
-                    len: u32::MAX as u64 + 2
+                    len: MAX_SHARE_UNITS + 1
                 }
             );
-            assert!(err.to_string().contains("u32::MAX"));
+            assert!(err.to_string().contains("2^62"));
             // The context stays fully usable after the rejection.
             ctx.parallel_for(0..10, LoopSchedule::Dynamic(2), |_, _| {})
                 .iterations
@@ -1195,11 +1292,167 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bounded at u32::MAX")]
-    fn parallel_for_still_panics_loudly_on_oversized_ranges() {
+    #[should_panic(expected = "2^62 units")]
+    fn parallel_for_still_panics_loudly_on_oversized_spaces() {
         let rt = Runtime::new(RuntimeConfig::xgomptb(1));
         rt.parallel(|ctx| {
-            ctx.parallel_for(0..(u32::MAX as u64 + 2), LoopSchedule::Static, |_, _| {});
+            ctx.parallel_for(
+                IterSpace::rect(1 << 40, 1 << 40),
+                LoopSchedule::Static,
+                |_, _| {},
+            );
         });
+    }
+
+    #[test]
+    fn rect2d_loops_cover_every_cell_exactly_once() {
+        use std::sync::atomic::AtomicU8;
+        const R: u64 = 130;
+        const C: u64 = 75;
+        for sched in schedules() {
+            let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+            let out = rt.parallel(|ctx| {
+                let hits: Vec<AtomicU8> = (0..R * C).map(|_| AtomicU8::new(0)).collect();
+                let space = IterSpace::rect_tiled(R, C, 16, 16);
+                let report = ctx.parallel_for(space, sched, |(r, c), _| {
+                    hits[(r * C + c) as usize].fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(report.iterations, R * C, "{}", sched.name());
+                assert_eq!(report.cancelled_iters, 0, "{}", sched.name());
+                assert_eq!(report.migrated_in, report.migrated_out, "{}", sched.name());
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1)
+            });
+            assert!(
+                out.result,
+                "{}: some cell not hit exactly once",
+                sched.name()
+            );
+            out.stats.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn triangular_static_loops_waste_zero_iterations() {
+        // The acceptance shape: a static triangular loop visits exactly
+        // the n(n+1)/2 lower-triangle points — no guard-skipped no-ops.
+        use std::sync::atomic::AtomicU8;
+        const N: u64 = 101;
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        let out = rt.parallel(|ctx| {
+            let hits: Vec<AtomicU8> = (0..N * N).map(|_| AtomicU8::new(0)).collect();
+            let visits = AtomicU64::new(0);
+            let report = ctx.parallel_for(
+                IterSpace::triangular_tiled(N, 16),
+                LoopSchedule::Static,
+                |(r, c), _| {
+                    assert!(c <= r && r < N, "({r},{c}) outside the triangle");
+                    hits[(r * N + c) as usize].fetch_add(1, Ordering::Relaxed);
+                    visits.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(report.iterations, N * (N + 1) / 2);
+            assert_eq!(visits.load(Ordering::Relaxed), N * (N + 1) / 2);
+            (0..N * N).all(|i| {
+                let (r, c) = (i / N, i % N);
+                hits[i as usize].load(Ordering::Relaxed) == u8::from(c <= r)
+            })
+        });
+        assert!(out.result, "triangle coverage is exact — zero waste");
+    }
+
+    #[test]
+    fn parallel_for_tri_balances_tiles_with_conserved_migration() {
+        // Two zones, skewed tile cost, aggressive probing: the balancer
+        // must migrate triangular *tiles* (pane tails) between zones and
+        // the per-loop conservation identity must hold for 2D spaces.
+        let topo = MachineTopology::new(2, 2, 1);
+        let rt = Runtime::new(
+            RuntimeConfig::xgomptb(4)
+                .topology(topo)
+                .dlb(DlbConfig::new(DlbStrategy::WorkSteal).rebalance_interval(256)),
+        );
+        let out = rt.parallel(|ctx| {
+            ctx.parallel_for(
+                IterSpace::triangular_tiled(256, 8),
+                LoopSchedule::Dynamic(2),
+                |(r, _), _| {
+                    if r >= 128 {
+                        for _ in 0..500 {
+                            std::hint::spin_loop();
+                        }
+                    }
+                },
+            )
+        });
+        let report = out.result;
+        assert_eq!(report.iterations, 256 * 257 / 2);
+        assert_eq!(report.migrated_in, report.migrated_out, "conservation");
+        out.stats.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn waved_loops_conserve_across_pane_refills() {
+        // Small panes force the wave layer on a modest space: many
+        // refills, pane-run steals and pane-tail migrations race the
+        // claims, and every index is still hit exactly once.
+        use std::sync::atomic::AtomicU8;
+        force_small_panes_for_tests();
+        const N: usize = 60_000;
+        for sched in [LoopSchedule::Dynamic(64), LoopSchedule::Adaptive] {
+            let topo = MachineTopology::new(2, 2, 1);
+            let rt = Runtime::new(
+                RuntimeConfig::xgomptb(4)
+                    .topology(topo)
+                    .dlb(DlbConfig::new(DlbStrategy::WorkSteal).rebalance_interval(256)),
+            );
+            let out = rt.parallel(|ctx| {
+                let hits: Vec<AtomicU8> = (0..N).map(|_| AtomicU8::new(0)).collect();
+                let report = ctx.parallel_for(0..N as u64, sched, |i, _| {
+                    hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(report.iterations, N as u64, "{}", sched.name());
+                assert_eq!(report.migrated_in, report.migrated_out, "{}", sched.name());
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1)
+            });
+            assert!(
+                out.result,
+                "{}: waved loop lost or repeated an index",
+                sched.name()
+            );
+            out.stats.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn cancelled_tiled_loops_conserve_elements() {
+        use crate::cancel::CancelToken;
+        const N: u64 = 600; // 180_300 elements in 8×8 tiles
+        let rt = Runtime::new(RuntimeConfig::xgomptb(4));
+        let out = rt.parallel(move |ctx| {
+            let token = CancelToken::new();
+            ctx.set_cancel_token(token.clone());
+            let ran = AtomicU64::new(0);
+            let report = ctx.parallel_for(
+                IterSpace::triangular_tiled(N, 8),
+                LoopSchedule::Dynamic(4),
+                |(r, c), _| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if r == 10 && c == 10 {
+                        token.cancel();
+                    }
+                },
+            );
+            ctx.clear_cancel_token();
+            (report, ran.load(Ordering::Relaxed))
+        });
+        let (report, ran) = out.result;
+        assert_eq!(report.iterations, ran);
+        assert_eq!(
+            report.iterations + report.cancelled_iters,
+            N * (N + 1) / 2,
+            "element conservation under cancellation of a tiled space"
+        );
+        assert!(report.cancelled_iters > 0);
+        out.stats.check_invariants().unwrap();
     }
 }

@@ -37,7 +37,8 @@ pub use events::{EventKind, EventRecord, PerfLog, ProfileDump};
 pub use histogram::{decade_index, TaskSizeHistogram};
 pub use live::LiveTaskSampler;
 pub use loopstats::{
-    LoopTelemetry, LoopTelemetrySnapshot, ScheduleSnapshot, LOOP_SCHEDULES, LOOP_SCHEDULE_NAMES,
+    LoopTelemetry, LoopTelemetrySnapshot, ScheduleSnapshot, SpaceKindSnapshot, LOOP_SCHEDULES,
+    LOOP_SCHEDULE_NAMES, LOOP_SPACE_KINDS, LOOP_SPACE_KIND_NAMES,
 };
 pub use timeline::{render_task_counts, render_timeline, state_summary, StateSummaryRow};
 pub use trace::{PromText, TraceEvent, TraceLevel, TraceSnapshot, Tracer};

@@ -101,22 +101,24 @@
 //! ## Data-parallel jobs
 //!
 //! [`TaskServer::submit_for`] serves whole *loops* as jobs: the body
-//! runs once per index, scheduled by a [`LoopSchedule`] over NUMA-zone
-//! range pools with zone-local-first range stealing (see
-//! `xgomp_core::loops`). Admission, panic isolation and pause/resume
-//! treat the loop exactly like any other job; the handle completes with
-//! the loop's [`LoopReport`].
+//! runs once per point of any [`LoopSpace`] — a plain integer range or
+//! an [`IterSpace`] 2-D/triangular shape — scheduled by a
+//! [`LoopSchedule`] over NUMA-zone pane sets with zone-local-first
+//! stealing (see `xgomp_core::loops`; spaces beyond `u32::MAX`
+//! elements wave automatically). Admission, panic isolation and
+//! pause/resume treat the loop exactly like any other job; the handle
+//! completes with the loop's [`LoopReport`].
 //!
 //! ```
 //! use std::sync::atomic::{AtomicU64, Ordering};
 //! use std::sync::Arc;
-//! use xgomp_service::{LoopSchedule, ServerConfig, TaskServer};
+//! use xgomp_service::{IterSpace, LoopSchedule, ServerConfig, TaskServer};
 //!
 //! let server = TaskServer::start(ServerConfig::new(2));
 //! let sum = Arc::new(AtomicU64::new(0));
 //! let s = sum.clone();
 //! let report = server
-//!     .submit_for(0..1_000, LoopSchedule::Guided(16), move |i, _ctx| {
+//!     .submit_for(0..1_000u64, LoopSchedule::Guided(16), move |i, _ctx| {
 //!         s.fetch_add(i, Ordering::Relaxed);
 //!     })
 //!     .expect("server is open")
@@ -124,6 +126,22 @@
 //!     .unwrap();
 //! assert_eq!(report.iterations, 1_000);
 //! assert_eq!(sum.load(Ordering::Relaxed), (0..1_000u64).sum());
+//!
+//! // A 2-D tiled space serves the same way: one point per cell.
+//! let cells = Arc::new(AtomicU64::new(0));
+//! let c = cells.clone();
+//! let report = server
+//!     .submit_for(
+//!         IterSpace::rect(40, 25),
+//!         LoopSchedule::Dynamic(4),
+//!         move |(_row, _col), _ctx| {
+//!             c.fetch_add(1, Ordering::Relaxed);
+//!         },
+//!     )
+//!     .expect("server is open")
+//!     .join()
+//!     .unwrap();
+//! assert_eq!(report.iterations, 40 * 25);
 //! server.shutdown();
 //! ```
 //!
@@ -161,7 +179,10 @@ pub use xgomp_core::{CancelReason, CancelToken};
 
 // Loop-subsystem types a data-parallel client needs, re-exported so
 // `submit_for` is usable from this crate alone.
-pub use xgomp_core::{LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTelemetrySnapshot};
+pub use xgomp_core::{
+    IterSpace, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace, LoopTelemetrySnapshot,
+    SpaceKind,
+};
 
 // Flight-recorder types surfaced by the server's observability API
 // (`trace_snapshot` / `dump_trace` / `set_trace_level`), re-exported for

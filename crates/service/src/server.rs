@@ -67,7 +67,7 @@ use crate::ingress::{JobBody, ShardedIngress};
 use crate::{QosClass, ServerConfig, SubmitOptions};
 use xgomp_core::{
     clock, CancelReason, CancelToken, CancelUnwind, DlbConfig, DlbStrategy, DlbTuning, EventKind,
-    IngressSource, LiveTaskSampler, LoopBalancer, LoopError, LoopReport, LoopSchedule,
+    IngressSource, LiveTaskSampler, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace,
     LoopTelemetry, LoopTelemetrySnapshot, ParkerCell, PersistentTeam, PromText, RegionOutput,
     RuntimeConfig, TaskCtx, TaskSizeHistogram, TraceLevel, TraceSnapshot, Tracer,
 };
@@ -136,10 +136,10 @@ impl std::error::Error for LifecycleError {}
 ///   paused; no capacity frees until [`TaskServer::resume`], so retrying
 ///   in a loop is futile.
 /// * [`Closed`](Self::Closed) — the server is shut down; give up.
-/// * [`InvalidLoop`](Self::InvalidLoop) — a `submit_for` range failed
-///   loop validation ([`LoopError`], e.g. longer than `u32::MAX`
-///   iterations); the job was never admitted and retrying the same range
-///   can never succeed.
+/// * [`InvalidLoop`](Self::InvalidLoop) — a `submit_for` iteration space
+///   failed loop validation ([`LoopError`], e.g. wider than 2⁶²
+///   scheduling units); the job was never admitted and retrying the same
+///   space can never succeed.
 pub enum SubmitError<F> {
     /// In-flight bound reached while serving; retry after completions.
     Backpressure(F),
@@ -147,8 +147,8 @@ pub enum SubmitError<F> {
     Paused(F),
     /// The server is closed; the job can never be accepted.
     Closed(F),
-    /// A `submit_for` range was rejected by loop validation (terminal
-    /// for this range; the carried [`LoopError`] says why).
+    /// A `submit_for` iteration space was rejected by loop validation
+    /// (terminal for this space; the carried [`LoopError`] says why).
     InvalidLoop(F, LoopError),
 }
 
@@ -178,7 +178,8 @@ impl<F> SubmitError<F> {
         matches!(self, SubmitError::Closed(_))
     }
 
-    /// Whether a `submit_for` range failed loop validation, and why.
+    /// Whether a `submit_for` iteration space failed loop validation,
+    /// and why.
     pub fn loop_error(&self) -> Option<LoopError> {
         match self {
             SubmitError::InvalidLoop(_, e) => Some(*e),
@@ -1450,28 +1451,31 @@ impl TaskServer {
     }
 
     /// Non-blocking submission of a **data-parallel job**: `body` runs
-    /// once per index of `range`, scheduled across the team by
-    /// `schedule` (see [`LoopSchedule`]) through
-    /// `TaskCtx::parallel_for` — NUMA-blocked zone pools, zone-local
-    /// claims first, cross-zone range stealing when a zone runs dry.
+    /// once per point of `space` — any [`LoopSpace`]: a plain integer
+    /// range, or an [`IterSpace`] 2D/triangular shape — scheduled
+    /// across the team by `schedule` (see [`LoopSchedule`]) through
+    /// `TaskCtx::parallel_for` — NUMA-blocked zone pane sets (u64
+    /// spaces auto-wave), zone-local claims first, cross-zone pane
+    /// stealing when a zone runs dry.
     ///
     /// The loop is one *job*: admission control, panic isolation,
     /// pause/resume draining and per-generation telemetry all treat it
     /// exactly like a task job, and the returned handle completes with
     /// the loop's [`LoopReport`]. Rejections hand `body` back — an
-    /// invalid range (longer than `u32::MAX` iterations) comes back as
+    /// invalid space (beyond 2⁶² scheduling units) comes back as
     /// [`SubmitError::InvalidLoop`] *before* admission, so it costs no
     /// in-flight slot and never reaches a worker.
-    pub fn try_submit_for<F>(
+    pub fn try_submit_for<S, F>(
         &self,
-        range: std::ops::Range<u64>,
+        space: S,
         schedule: LoopSchedule,
         body: F,
     ) -> Result<JobHandle<LoopReport>, SubmitError<F>>
     where
-        F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
+        S: LoopSpace + Send + 'static,
+        F: Fn(S::Point, &TaskCtx<'_>) + Send + Sync + 'static,
     {
-        self.try_submit_for_with(SubmitOptions::default(), range, schedule, body)
+        self.try_submit_for_with(SubmitOptions::default(), space, schedule, body)
     }
 
     /// [`try_submit_for`](Self::try_submit_for) under explicit
@@ -1480,23 +1484,24 @@ impl TaskServer {
     /// the un-run iterations are conserved into the loop subsystem's
     /// `cancelled_iters` counter and the handle resolves with the typed
     /// [`JobError`].
-    pub fn try_submit_for_with<F>(
+    pub fn try_submit_for_with<S, F>(
         &self,
         opts: SubmitOptions,
-        range: std::ops::Range<u64>,
+        space: S,
         schedule: LoopSchedule,
         body: F,
     ) -> Result<JobHandle<LoopReport>, SubmitError<F>>
     where
-        F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
+        S: LoopSpace + Send + 'static,
+        F: Fn(S::Point, &TaskCtx<'_>) + Send + Sync + 'static,
     {
-        if let Err(e) = LoopError::check_range(&range) {
+        if let Err(e) = space.to_space().validate() {
             return Err(SubmitError::InvalidLoop(body, e));
         }
         let body = self.shared.admit_or(opts.qos, body)?;
         let (handle, job) = self
             .shared
-            .make_job(opts, move |ctx| ctx.parallel_for(range, schedule, body));
+            .make_job(opts, move |ctx| ctx.parallel_for(space, schedule, body));
         let hint = submitter_shard_hint(self.shared.ingress.n_shards());
         self.shared.place_anonymous(hint, job);
         Ok(handle)
@@ -1505,32 +1510,34 @@ impl TaskServer {
     /// Blocking variant of [`try_submit_for`](Self::try_submit_for):
     /// parks on the capacity condvar through backpressure (and through a
     /// pause at the bound), failing only once the server is closed.
-    pub fn submit_for<F>(
+    pub fn submit_for<S, F>(
         &self,
-        range: std::ops::Range<u64>,
+        space: S,
         schedule: LoopSchedule,
         body: F,
     ) -> Result<JobHandle<LoopReport>, SubmitError<F>>
     where
-        F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
+        S: LoopSpace + Clone + Send + 'static,
+        F: Fn(S::Point, &TaskCtx<'_>) + Send + Sync + 'static,
     {
-        self.submit_for_with(SubmitOptions::default(), range, schedule, body)
+        self.submit_for_with(SubmitOptions::default(), space, schedule, body)
     }
 
     /// Blocking variant of
     /// [`try_submit_for_with`](Self::try_submit_for_with).
-    pub fn submit_for_with<F>(
+    pub fn submit_for_with<S, F>(
         &self,
         opts: SubmitOptions,
-        range: std::ops::Range<u64>,
+        space: S,
         schedule: LoopSchedule,
         body: F,
     ) -> Result<JobHandle<LoopReport>, SubmitError<F>>
     where
-        F: Fn(u64, &TaskCtx<'_>) + Send + Sync + 'static,
+        S: LoopSpace + Clone + Send + 'static,
+        F: Fn(S::Point, &TaskCtx<'_>) + Send + Sync + 'static,
     {
         submit_blocking(&self.shared, opts.qos, body, |body| {
-            self.try_submit_for_with(opts, range.clone(), schedule, body)
+            self.try_submit_for_with(opts, space.clone(), schedule, body)
         })
     }
 
@@ -1913,6 +1920,22 @@ impl TaskServer {
             "Loop chunks executed, by schedule family",
             "schedule",
             &chunks,
+        );
+        let space_loops: Vec<(&str, u64)> =
+            lt.per_space.iter().map(|k| (k.space, k.loops)).collect();
+        p.counter_vec(
+            "xgomp_loops_by_space_total",
+            "Data-parallel loops completed, by iteration-space shape",
+            "space",
+            &space_loops,
+        );
+        let space_iters: Vec<(&str, u64)> =
+            lt.per_space.iter().map(|k| (k.space, k.iters)).collect();
+        p.counter_vec(
+            "xgomp_loop_iters_by_space_total",
+            "Loop elements executed, by iteration-space shape",
+            "space",
+            &space_iters,
         );
         // Per-QoS-class job counters + the fixed-bucket latency
         // histograms (stable `le` edges — see `LATENCY_BUCKETS_SECS`).
@@ -2552,7 +2575,7 @@ mod tests {
         let sum = Arc::new(AtomicU64::new(0));
         let s = sum.clone();
         let report = server
-            .submit_for(0..10_000, LoopSchedule::Dynamic(64), move |i, _| {
+            .submit_for(0..10_000u64, LoopSchedule::Dynamic(64), move |i, _| {
                 s.fetch_add(i + 1, Ordering::Relaxed);
             })
             .unwrap()

@@ -63,6 +63,7 @@ mod backoff;
 mod bqueue;
 pub mod eventring;
 mod lattice;
+pub mod panes;
 pub mod parker;
 pub mod rangepool;
 pub mod spsc;
@@ -71,5 +72,6 @@ pub use backoff::Backoff;
 pub use bqueue::{BQueue, DEFAULT_CAPACITY};
 pub use eventring::{EventRing, RawEvent, RingCursor, DEFAULT_EVENT_CAPACITY};
 pub use lattice::{LatticeStats, PushCursor, XQueueLattice};
+pub use panes::{PaneSet, DEFAULT_PANE_UNITS, MAX_SHARE_UNITS};
 pub use parker::{Parker, ParkerCell};
 pub use rangepool::{IterRange, RangePool};

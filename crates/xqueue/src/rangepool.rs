@@ -13,10 +13,11 @@
 //! once per *chunk* (tens to tens of thousands of iterations), never per
 //! iteration, so the amortized cost is noise next to the loop body.
 //!
-//! Offsets are `u32` so the whole pool state fits one atomic word —
-//! a single `parallel_for` is therefore bounded at `u32::MAX`
-//! (≈ 4.3 · 10⁹) iterations, surfaced as a typed error by the loop
-//! layer.
+//! Offsets are `u32` so the whole pool state fits one atomic word — one
+//! pool is therefore bounded at `u32::MAX` (≈ 4.3 · 10⁹) scheduling
+//! units. Larger logical spaces are *waved* through panes of ≤ u32::MAX
+//! units by the [`panes`](crate::panes) layer, which chains pools
+//! without giving up the one-CAS-per-chunk property.
 //!
 //! ## Rate telemetry
 //!
@@ -96,6 +97,14 @@ impl RangePool {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
+    }
+
+    /// Racy `(lo, hi)` snapshot of the pool word (scheduling heuristics
+    /// and diagnostics only — the pair may be stale by the time the
+    /// caller looks at it).
+    #[inline]
+    pub fn snapshot(&self) -> IterRange {
+        unpack(self.word.load(Ordering::Relaxed))
     }
 
     /// Claims up to `max` iterations from the *front* of the pool.
@@ -280,19 +289,21 @@ impl RangePool {
         }
     }
 
-    /// Empties the pool in one CAS and returns how many iterations were
-    /// abandoned — the cancellation primitive. Unlike [`claim`](Self::claim)
-    /// the abandoned count stays out of the `claimed` counter, so the
-    /// rate EWMA keeps describing *executed* throughput only. Linearizable
-    /// against concurrent claims, steals and deposits: every abandoned
-    /// iteration is counted by exactly one abandoner and never also
-    /// handed out for execution.
-    pub fn abandon(&self) -> u32 {
+    /// Empties the pool in one CAS and returns the drained range — the
+    /// cancellation primitive, range-returning form (callers that map
+    /// pool offsets back into a larger logical space need the bounds,
+    /// not just the count). Unlike [`claim`](Self::claim) the drained
+    /// iterations stay out of the `claimed` counter, so the rate EWMA
+    /// keeps describing *executed* throughput only. Linearizable against
+    /// concurrent claims, steals and deposits: every drained iteration
+    /// is taken by exactly one drainer and never also handed out for
+    /// execution.
+    pub fn drain_all(&self) -> Option<IterRange> {
         let mut word = self.word.load(Ordering::Acquire);
         loop {
             let (lo, hi) = unpack(word);
             if lo >= hi {
-                return 0;
+                return None;
             }
             match self.word.compare_exchange_weak(
                 word,
@@ -300,10 +311,16 @@ impl RangePool {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return hi - lo,
+                Ok(_) => return Some((lo, hi)),
                 Err(w) => word = w,
             }
         }
+    }
+
+    /// [`drain_all`](Self::drain_all), counting form: empties the pool
+    /// in one CAS and returns how many iterations were abandoned.
+    pub fn abandon(&self) -> u32 {
+        self.drain_all().map_or(0, |(lo, hi)| hi - lo)
     }
 }
 

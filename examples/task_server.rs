@@ -176,7 +176,7 @@ fn main() {
         .map(|_| {
             let ls = loop_sum.clone();
             server
-                .submit_for(0..200_000, xgomp::LoopSchedule::Adaptive, move |i, _| {
+                .submit_for(0..200_000u64, xgomp::LoopSchedule::Adaptive, move |i, _| {
                     if i >= 150_000 {
                         // Skewed tail: the second zone's block is rich.
                         for _ in 0..60 {

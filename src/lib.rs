@@ -30,14 +30,16 @@
 
 #![warn(missing_docs)]
 
+#[doc(hidden)]
+pub use xgomp_core::force_small_panes_for_tests;
 pub use xgomp_core::{
     clock, guidelines, render_task_counts, render_timeline, state_summary, Affinity, AllocKind,
-    BarrierKind, CostModel, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource,
-    LiveTaskSampler, Locality, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopTelemetry,
-    LoopTelemetrySnapshot, MachineTopology, Parker, PerfLog, PersistentTeam, Placement,
-    ProfileDump, PromText, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope,
-    StatsSnapshot, TaskCtx, TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel, TraceSnapshot,
-    Tracer,
+    BarrierKind, CostModel, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource, IterSpace,
+    LiveTaskSampler, Locality, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace,
+    LoopTelemetry, LoopTelemetrySnapshot, MachineTopology, Parker, PerfLog, PersistentTeam,
+    Placement, ProfileDump, PromText, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope,
+    SpaceKind, StatsSnapshot, TaskCtx, TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel,
+    TraceSnapshot, Tracer, DEFAULT_TILE,
 };
 pub use xgomp_service::{
     CancelReason, CancelToken, JobError, JobHandle, JobPanic, JobReport, JoinTimeout, QosClass,

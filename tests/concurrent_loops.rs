@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use xgomp::service::{ServerConfig, SubmitError, TaskServer};
-use xgomp::{DlbConfig, DlbStrategy, LoopSchedule, MachineTopology, RuntimeConfig};
+use xgomp::{DlbConfig, DlbStrategy, IterSpace, LoopSchedule, MachineTopology, RuntimeConfig};
 
 const SCHEDULES: [LoopSchedule; 4] = [
     LoopSchedule::Static,
@@ -368,27 +368,29 @@ fn swap_tuning_retunes_rebalance_cadence_mid_loop() {
     server.shutdown();
 }
 
-/// (g) `submit_for` range validation: an oversized range comes back as
-/// a typed, terminal `SubmitError::InvalidLoop` — before admission, so
-/// it costs no in-flight slot — from both the blocking and non-blocking
-/// paths, with the body handed back.
+/// (g) `submit_for` space validation: an iteration space wider than the
+/// 2^62-unit schedulable bound comes back as a typed, terminal
+/// `SubmitError::InvalidLoop` — before admission, so it costs no
+/// in-flight slot — from both the blocking and non-blocking paths, with
+/// the body handed back. (Ranges past u32::MAX are *valid* now — they
+/// wave through panes — so the only rejection left is the 2^62 bound.)
 #[test]
 fn oversized_submit_for_returns_typed_error() {
     let server = two_zone_server(2, 0);
-    let huge = 0..(u32::MAX as u64 + 2);
+    // A 2^41 x 2^41 rectangle: 2^82 elements, far past the bound, but
+    // cheap to name — validation is O(1) closed-form math.
+    let huge = xgomp::IterSpace::rect(1u64 << 41, 1u64 << 41);
 
     let err = server
-        .try_submit_for(huge.clone(), LoopSchedule::Dynamic(64), |_, _| {})
+        .try_submit_for(huge, LoopSchedule::Dynamic(64), |_, _| {})
         .unwrap_err();
     assert!(matches!(err, SubmitError::InvalidLoop(..)), "{err:?}");
     let loop_err = err.loop_error().expect("carries the loop error");
-    assert_eq!(
+    assert!(matches!(
         loop_err,
-        xgomp::LoopError::RangeTooLarge {
-            len: u32::MAX as u64 + 2
-        }
-    );
-    assert!(err.to_string().contains("u32::MAX"));
+        xgomp::LoopError::RangeTooLarge { len: u64::MAX }
+    ));
+    assert!(err.to_string().contains("2^62"));
     let _body = err.into_inner(); // the closure comes back
 
     // The blocking path is terminal too (must not park forever).
@@ -487,5 +489,116 @@ proptest! {
         let report = server.shutdown();
         let region = report.region.expect("clean serve");
         prop_assert!(region.stats.check_invariants().is_ok());
+    }
+
+    /// Random concurrent loops over **mixed iteration-space shapes**
+    /// (1-D / 2-D tiled / triangular) racing on one server: each job's
+    /// linear-id checksum matches the closed form (the point → id map is
+    /// a bijection onto `0..len`, so the sum proves exactly-once), some
+    /// jobs are cancelled mid-flight and must conserve
+    /// `executed + cancelled == len` instead, and per-loop migration
+    /// accounting balances on every shape.
+    #[test]
+    fn random_concurrent_spaces_conserve(
+        n_loops in 1usize..5,
+        seed in 0u64..1_000_000,
+        chunk in 1u32..128,
+        threads in 1usize..6,
+        sockets in 1usize..3,
+        interval_pick in 0u8..3,
+        cancel_mask in 0u8..8,
+    ) {
+        let mix = |x: u64| {
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let interval = [0u64, 256, 4_096][interval_pick as usize];
+        let topo = MachineTopology::new(sockets, threads.div_ceil(sockets).max(1), 1);
+        let rt = RuntimeConfig::xgomptb(threads)
+            .topology(topo)
+            .dlb(
+                DlbConfig::new(DlbStrategy::WorkSteal)
+                    .t_interval(32)
+                    .rebalance_interval(interval),
+            );
+        let server = TaskServer::start(
+            ServerConfig::new(threads).runtime(rt).adapt_every(0),
+        );
+
+        let handles: Vec<_> = (0..n_loops)
+            .map(|j| {
+                let r = mix(seed.wrapping_add(j as u64));
+                let sched = match r % 4 {
+                    0 => LoopSchedule::Static,
+                    1 => LoopSchedule::Dynamic(chunk),
+                    2 => LoopSchedule::Guided(chunk),
+                    _ => LoopSchedule::Adaptive,
+                };
+                let tile = ((r >> 8) % 18 + 1) as u32;
+                let (a, b) = ((r >> 13) % 90 + 1, (r >> 21) % 45 + 1);
+                // Linear element id per shape: a bijection onto 0..len.
+                type Lin = fn(u64, u64, u64) -> u64;
+                let (space, lin): (IterSpace, Lin) = match (r >> 2) % 3 {
+                    0 => (IterSpace::range(0..a * b), |i, _, _| i),
+                    1 => (
+                        IterSpace::rect_tiled(a, b, tile, (tile / 2).max(1)),
+                        |r, c, cols| r * cols + c,
+                    ),
+                    _ => (
+                        IterSpace::triangular_tiled(a, tile),
+                        |r, c, _| r * (r + 1) / 2 + c,
+                    ),
+                };
+                let len = space.len();
+                let sum = Arc::new(AtomicU64::new(0));
+                let count = Arc::new(AtomicU64::new(0));
+                let (s, n) = (sum.clone(), count.clone());
+                let h = server
+                    .submit_for(space, sched, move |(p, q), _| {
+                        s.fetch_add(lin(p, q, b), Ordering::Relaxed);
+                        n.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .unwrap();
+                let cancel = j < 3 && cancel_mask & (1 << j) != 0;
+                if cancel {
+                    h.cancel();
+                }
+                (h, sum, count, len, cancel)
+            })
+            .collect();
+
+        let mut executed_total = 0u64;
+        for (h, sum, count, len, cancel) in handles {
+            match h.join() {
+                Ok(report) => {
+                    prop_assert_eq!(report.iterations, len);
+                    prop_assert_eq!(report.migrated_in, report.migrated_out);
+                    // Linear-id sum over exactly-once coverage.
+                    prop_assert_eq!(
+                        sum.load(Ordering::Relaxed),
+                        len * len.saturating_sub(1) / 2
+                    );
+                    prop_assert_eq!(count.load(Ordering::Relaxed), len);
+                }
+                Err(e) => {
+                    // Only an explicitly cancelled job may resolve with
+                    // an error — shed (never ran) or cancelled mid-run;
+                    // either way no element runs twice.
+                    prop_assert!(cancel, "uncancelled job failed: {:?}", e);
+                    prop_assert!(e.is_cancelled());
+                    prop_assert!(count.load(Ordering::Relaxed) <= len);
+                }
+            }
+            executed_total += count.load(Ordering::Relaxed);
+        }
+        let report = server.shutdown();
+        let region = report.region.expect("clean serve");
+        prop_assert!(region.stats.check_invariants().is_ok());
+        // Team-level conservation: the §V counters saw exactly the
+        // elements the bodies executed — completed, cancelled and shed
+        // jobs included.
+        prop_assert_eq!(region.stats.total().nloop_iters, executed_total);
     }
 }

@@ -12,7 +12,10 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use xgomp::service::{ServerConfig, TaskServer};
-use xgomp::{DlbConfig, DlbStrategy, LoopSchedule, MachineTopology, RuntimeConfig};
+use xgomp::{
+    CancelToken, DlbConfig, DlbStrategy, IterSpace, LoopSchedule, MachineTopology, Runtime,
+    RuntimeConfig,
+};
 
 const SCHEDULES: [LoopSchedule; 4] = [
     LoopSchedule::Static,
@@ -236,6 +239,44 @@ fn ingress_lane_counters_survive_resume_with_zone_remap() {
     server.shutdown();
 }
 
+/// Giant waved spaces (one element either side of the old u32::MAX
+/// ceiling) conserve **in u64** under cancellation: a brief executed
+/// slice, then the remainder is abandoned through the O(1) closed-form
+/// accounting — `executed + cancelled == len` exactly. (Full completion
+/// of a >u32::MAX space is exercised in release by the `loop_schedules`
+/// bench bin; here the body only runs a sliver, so debug builds stay
+/// fast.)
+#[test]
+fn giant_waved_loops_conserve_under_cancellation() {
+    for len in [u32::MAX as u64 - 1, u32::MAX as u64 + 1] {
+        let rt = Runtime::new(
+            RuntimeConfig::xgomptb(4)
+                .topology(MachineTopology::new(2, 2, 1))
+                .dlb(DlbConfig::new(DlbStrategy::WorkSteal).t_interval(64)),
+        );
+        let out = rt.parallel(move |ctx| {
+            let token = CancelToken::new();
+            ctx.set_cancel_token(token.clone());
+            let count = AtomicU64::new(0);
+            let report = ctx.parallel_for(0..len, LoopSchedule::Dynamic(512), |_, _| {
+                if count.fetch_add(1, Ordering::Relaxed) == 20_000 {
+                    token.cancel();
+                }
+            });
+            ctx.clear_cancel_token();
+            (count.load(Ordering::Relaxed), report)
+        });
+        let (executed, report) = out.result;
+        assert_eq!(
+            report.iterations + report.cancelled_iters,
+            len,
+            "u64 conservation at len = {len}"
+        );
+        assert_eq!(report.iterations, executed, "every executed body counted");
+        assert!(report.cancelled_iters > 0, "the tail was abandoned");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 16, // each case runs a real thread team
@@ -288,5 +329,77 @@ proptest! {
         prop_assert_eq!(got_sum, expect_sum);
         prop_assert_eq!(got_count, len);
         prop_assert_eq!(report.iterations, len);
+    }
+
+    /// Random (space kind, dims, tile, schedule, workers, sockets,
+    /// rebalance interval) is **exactly-once over every element** of the
+    /// space — a per-element hit array, not just a checksum — and the
+    /// balancer's per-loop migration accounting stays conserved on 2-D
+    /// and triangular shapes.
+    #[test]
+    fn random_spaces_are_exactly_once(
+        kind in 0u8..3,
+        dim_a in 1u64..120,
+        dim_b in 1u64..60,
+        tile in 1u32..20,
+        chunk in 1u32..64,
+        sched_pick in 0u8..4,
+        threads in 1usize..6,
+        sockets in 1usize..3,
+        interval_pick in 0u8..3,
+    ) {
+        let sched = match sched_pick {
+            0 => LoopSchedule::Static,
+            1 => LoopSchedule::Dynamic(chunk),
+            2 => LoopSchedule::Guided(chunk),
+            _ => LoopSchedule::Adaptive,
+        };
+        // The linear element id of a point, per shape — a bijection onto
+        // 0..len, so hit-counting proves exactly-once coverage.
+        let (space, lin): (IterSpace, Box<dyn Fn(u64, u64) -> u64 + Sync>) = match kind {
+            0 => (
+                IterSpace::range(0..dim_a * dim_b),
+                Box::new(|i, _| i),
+            ),
+            1 => (
+                IterSpace::rect_tiled(dim_a, dim_b, tile, (tile / 2).max(1)),
+                Box::new(move |r, c| r * dim_b + c),
+            ),
+            _ => (
+                IterSpace::triangular_tiled(dim_a, tile),
+                Box::new(|r, c| r * (r + 1) / 2 + c),
+            ),
+        };
+        let len = space.len();
+        let interval = [0u64, 128, 2_048][interval_pick as usize];
+        let topo = MachineTopology::new(sockets, threads.div_ceil(sockets).max(1), 1);
+        let rt = Runtime::new(
+            RuntimeConfig::xgomptb(threads)
+                .topology(topo)
+                .dlb(
+                    DlbConfig::new(DlbStrategy::WorkSteal)
+                        .t_interval(32)
+                        .rebalance_interval(interval),
+                ),
+        );
+        let hits: Vec<AtomicU8> = (0..len).map(|_| AtomicU8::new(0)).collect();
+        let report = {
+            let hits = &hits;
+            let lin = &lin;
+            rt.parallel(move |ctx| {
+                ctx.parallel_for(space, sched, |(a, b), _| {
+                    hits[lin(a, b) as usize].fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .result
+        };
+        prop_assert_eq!(report.iterations, len);
+        prop_assert_eq!(report.migrated_in, report.migrated_out);
+        if interval == 0 {
+            prop_assert_eq!(report.rebalances, 0);
+        }
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "element {} of {:?}", i, space.kind());
+        }
     }
 }
