@@ -18,13 +18,14 @@
 //! `DIR/trace.json` (Chrome-tracing / Perfetto) and `DIR/metrics.prom`
 //! (Prometheus text) — the single-command observability artifact flow.
 
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use xgomp_bench::harness::fmt_count;
 use xgomp_bench::Table;
-use xgomp_core::{LoopSchedule, RuntimeConfig, TraceLevel};
-use xgomp_service::{ServerConfig, TaskServer};
+use xgomp_core::{chrome_json_from_dir, LoopSchedule, RuntimeConfig, TraceLevel};
+use xgomp_service::{ServerConfig, TaskServer, STABLE_METRIC_FAMILIES};
 
 struct Opts {
     scale: String,
@@ -173,6 +174,184 @@ fn run_leg(
     }
 }
 
+/// One plain-text HTTP/1.1 GET against the in-process listener; returns
+/// the response body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "expected 200 from {path}, got: {head}"
+    );
+    body.to_string()
+}
+
+/// First `"key":<number>` occurrence in a JSONL line (the stream's drain
+/// summaries put the cumulative totals before the per-worker rows).
+fn json_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat).map(|i| i + pat.len()).unwrap_or(0);
+    line[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// The streaming-drain leg: the same workload at `Lifecycle`, with the
+/// continuous pipeline on — collector tailing the rings into small
+/// rolling segments (forcing rotations) and the `/metrics` listener
+/// scraped mid-load. Asserts the pipeline's CI contract: zero
+/// collector drops, ≥ 3 rotations, exact conservation in the final
+/// on-disk summary, every stable metric family in the live scrape.
+#[allow(clippy::too_many_arguments)]
+fn run_stream_leg(
+    threads: usize,
+    jobs: usize,
+    loops: usize,
+    loop_len: u64,
+    reps: usize,
+    artifacts: Option<&Path>,
+) -> Leg {
+    let dir = artifacts.map(|d| d.join("stream")).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("xgomp-trace-stream-{}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let rt = RuntimeConfig::xgomptb(threads).trace(TraceLevel::Lifecycle);
+    let server = TaskServer::start(
+        ServerConfig::new(threads)
+            .runtime(rt)
+            .adapt_every(0)
+            .trace_stream(&dir, 256 * 1024, 64)
+            .trace_stream_interval(Duration::from_micros(500))
+            .metrics_addr("127.0.0.1:0"),
+    );
+    let addr = server
+        .metrics_local_addr()
+        .expect("metrics listener bound on an ephemeral port");
+
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let mut handles = Vec::with_capacity(jobs);
+        for j in 0..jobs {
+            let grain = if j % 8 == 0 { 32_768 } else { 2_048 };
+            handles.push(server.submit(move |_| spin(grain)).expect("submit"));
+        }
+        let mut loop_handles = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            loop_handles.push(
+                server
+                    .submit_for(0..loop_len, LoopSchedule::Guided(16), |i, _| {
+                        spin(64 + (i & 63));
+                    })
+                    .expect("submit loop"),
+            );
+        }
+        for h in handles {
+            h.join().expect("job");
+        }
+        for h in loop_handles {
+            h.join().expect("loop job");
+        }
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    let median_secs = times[times.len() / 2];
+
+    // Live scrape under load: a parseable exposition carrying every
+    // stable family, and a healthy serve state.
+    let scraped = http_get(addr, "/metrics");
+    for name in STABLE_METRIC_FAMILIES {
+        assert!(
+            scraped.contains(&format!("# TYPE {name} ")),
+            "live /metrics scrape is missing family {name}"
+        );
+    }
+    assert!(scrape(&scraped, "xgomp_metrics_scrapes_total") >= 1);
+    let health = http_get(addr, "/healthz");
+    assert!(
+        health.contains("\"state\":\"serving\""),
+        "loaded server must report serving, got: {health}"
+    );
+
+    let prom = server.render_prometheus();
+    let events = scrape(&prom, "xgomp_trace_events_emitted_total");
+    let live = server.trace_stream_stats().expect("stream configured");
+    server.shutdown();
+
+    // The files carry the contract. Final summary = the *last* drain
+    // line of the newest segment (cumulative totals + per-worker rows).
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("stream dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    segments.sort();
+    let newest = std::fs::read_to_string(segments.last().expect("segments exist")).expect("read");
+    let summary = newest
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("{\"drain\""))
+        .expect("final drain summary");
+    let drained = json_u64(summary, "drained");
+    let dropped = json_u64(summary, "dropped");
+    let rotations = json_u64(summary, "rotations");
+    let emitted_sum: u64 = summary
+        .match_indices("\"emitted\":")
+        .map(|(i, _)| json_u64(&summary[i..], "emitted"))
+        .sum();
+    assert_eq!(
+        dropped, 0,
+        "collector must keep up with the rings at Lifecycle load"
+    );
+    assert!(
+        rotations >= 3,
+        "small segments under load must rotate ≥ 3 times, saw {rotations}"
+    );
+    assert_eq!(
+        drained + dropped,
+        emitted_sum,
+        "conservation must hold exactly across every rotation"
+    );
+    assert!(
+        live.drained <= drained,
+        "live counters never exceed the final accounting"
+    );
+    // And the retained concatenation still converts to Chrome JSON.
+    let chrome = chrome_json_from_dir(&dir).expect("trace2chrome over rolled segments");
+    assert!(chrome.starts_with('{'), "chrome trace is a JSON object");
+    println!(
+        "stream: {} records drained across {} segments ({rotations} rotations), 0 dropped; \
+         chrome conversion {} bytes",
+        fmt_count(drained),
+        segments.len(),
+        fmt_count(chrome.len() as u64)
+    );
+    if artifacts.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Leg {
+        name: "stream",
+        median_secs,
+        events,
+        dropped,
+    }
+}
+
 fn main() {
     let opts = parse_opts();
     let (jobs, loops, loop_len) = match opts.scale.as_str() {
@@ -239,6 +418,14 @@ fn main() {
         reps,
         opts.artifacts.as_deref(),
     );
+    let stream = run_stream_leg(
+        threads,
+        jobs,
+        loops,
+        loop_len,
+        reps,
+        opts.artifacts.as_deref(),
+    );
 
     let mut t = Table::new(
         format!(
@@ -247,7 +434,7 @@ fn main() {
         ),
         &["leg", "median", "vs off", "events", "dropped", "cost/event"],
     );
-    for leg in [&baseline, &off, &lifecycle, &full] {
+    for leg in [&baseline, &off, &lifecycle, &full, &stream] {
         let rel = leg.median_secs / off.median_secs.max(1e-12);
         let cost = if leg.events > 0 {
             let delta = leg.median_secs - off.median_secs;

@@ -88,6 +88,19 @@ impl<'t> TaskCtx<'t> {
         self.spawn_impl(body, 0);
     }
 
+    /// Spawns an already-boxed body into the *calling worker's own*
+    /// queue, bypassing the round-robin cursor. This is the placement
+    /// externally injected jobs need: a cross-pushed task lands in one
+    /// peer's SPSC queue and is unreachable by anyone else until that
+    /// peer next visits the scheduler — if the peer is stalled inside a
+    /// long-running task body, the job is stranded even while other
+    /// workers idle. A self-spawned task is popped by the very next
+    /// scheduler visit of the worker that chose to take it.
+    #[inline]
+    pub fn spawn_boxed_local(&self, body: Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>) {
+        self.spawn_impl_placed(body, 0, Some(self.worker));
+    }
+
     /// Like [`run_pending`](Self::run_pending), but when the scheduler
     /// is empty it also polls the team's ingress source (if any) and
     /// runs whatever that injected. This is the helping step a job must

@@ -79,9 +79,10 @@ pub use team::{IngressSource, PersistentTeam, RegionOutput, Runtime};
 
 // Re-exports so downstream crates need only depend on xgomp-core.
 pub use xgomp_profiling::{
-    clock, render_task_counts, render_timeline, state_summary, EventKind, LiveTaskSampler,
-    LoopTelemetry, LoopTelemetrySnapshot, PerfLog, ProfileDump, PromText, StatsSnapshot,
-    TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel, TraceSnapshot, Tracer,
+    chrome_json_from_dir, chrome_json_from_jsonl, clock, render_task_counts, render_timeline,
+    state_summary, EventKind, LiveTaskSampler, LoopTelemetry, LoopTelemetrySnapshot, PerfLog,
+    ProfileDump, PromText, StatsSnapshot, TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel,
+    TraceSnapshot, TraceStream, TraceStreamConfig, TraceStreamStats, Tracer,
 };
 pub use xgomp_topology::{Affinity, CostModel, Locality, MachineTopology, Placement};
 pub use xgomp_xqueue::{Parker, ParkerCell};

@@ -69,6 +69,13 @@ pub enum EventKind {
     /// `c` = deadline tick). Emitted whether the job is then shed
     /// (still queued) or cancelled (already running).
     DeadlineMiss = 19,
+    /// One streaming-drain collector cycle completed (instant; payload
+    /// `a` = file rotations so far, `b` = records drained this cycle,
+    /// `c` = cumulative records the stream's cursors lost to ring
+    /// overwrite). Synthetic: written by the rolling trace sink into
+    /// the on-disk stream only — the collector thread never emits into
+    /// a worker's SPSC ring.
+    DrainCycle = 20,
 }
 
 impl EventKind {
@@ -86,7 +93,7 @@ impl EventKind {
 
     /// Every kind, §V five first, then the flight-recorder kinds in
     /// discriminant order.
-    pub const FULL_SET: [EventKind; 20] = [
+    pub const FULL_SET: [EventKind; 21] = [
         EventKind::Task,
         EventKind::TaskCreate,
         EventKind::TaskWait,
@@ -107,6 +114,7 @@ impl EventKind {
         EventKind::Cancel,
         EventKind::Shed,
         EventKind::DeadlineMiss,
+        EventKind::DrainCycle,
     ];
 
     /// Decodes a stable discriminant (ring records store the `u8`).
@@ -137,6 +145,7 @@ impl EventKind {
             EventKind::Cancel => "CANCEL",
             EventKind::Shed => "SHED",
             EventKind::DeadlineMiss => "DEADLINE_MISS",
+            EventKind::DrainCycle => "DRAIN_CYCLE",
         }
     }
 
@@ -163,6 +172,7 @@ impl EventKind {
             EventKind::Cancel => 'x',
             EventKind::Shed => '/',
             EventKind::DeadlineMiss => 'd',
+            EventKind::DrainCycle => 'D',
         }
     }
 }
@@ -397,6 +407,8 @@ mod tests {
         assert_eq!(EventKind::Cancel as u8, 17);
         assert_eq!(EventKind::Shed as u8, 18);
         assert_eq!(EventKind::DeadlineMiss as u8, 19);
+        // …as does the streaming-drain collector kind.
+        assert_eq!(EventKind::DrainCycle as u8, 20);
         assert_eq!(
             serde_json::to_string(&EventKind::DeadlineMiss).unwrap(),
             "\"DeadlineMiss\""

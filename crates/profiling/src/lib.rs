@@ -29,6 +29,7 @@ mod events;
 mod histogram;
 mod live;
 mod loopstats;
+pub mod stream;
 mod timeline;
 pub mod trace;
 
@@ -39,6 +40,9 @@ pub use live::LiveTaskSampler;
 pub use loopstats::{
     LoopTelemetry, LoopTelemetrySnapshot, ScheduleSnapshot, SpaceKindSnapshot, LOOP_SCHEDULES,
     LOOP_SCHEDULE_NAMES, LOOP_SPACE_KINDS, LOOP_SPACE_KIND_NAMES,
+};
+pub use stream::{
+    chrome_json_from_dir, chrome_json_from_jsonl, TraceStream, TraceStreamConfig, TraceStreamStats,
 };
 pub use timeline::{render_task_counts, render_timeline, state_summary, StateSummaryRow};
 pub use trace::{PromText, TraceEvent, TraceLevel, TraceSnapshot, Tracer};

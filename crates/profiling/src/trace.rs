@@ -169,6 +169,22 @@ impl Tracer {
         self.rings.lock().unwrap().len()
     }
 
+    /// Clones of every materialized ring `Arc`, in worker order. An
+    /// external reader (the streaming drain collector) keeps its *own*
+    /// [`RingCursor`](xgomp_xqueue::RingCursor) per ring and drains
+    /// through these handles without holding the tracer's lock during
+    /// I/O — independent cursors each see the retained window, so the
+    /// stream and [`snapshot`](Self::snapshot) never steal each other's
+    /// events.
+    pub fn ring_handles(&self) -> Vec<Arc<EventRing>> {
+        self.rings
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.ring.clone())
+            .collect()
+    }
+
     /// Emits one record into `worker`'s ring from *outside* that
     /// worker's thread, stamped with [`clock::now`]. Only safe while
     /// the worker is not running (the rings are SPSC) — used for

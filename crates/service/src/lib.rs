@@ -162,6 +162,7 @@
 mod controller;
 mod handle;
 mod ingress;
+mod metrics;
 mod server;
 
 pub use controller::AdaptiveController;
@@ -169,7 +170,7 @@ pub use handle::{JobError, JobHandle, JobPanic, JobReport, JoinTimeout};
 pub use ingress::{IngressShard, ShardedIngress};
 pub use server::{
     Lifecycle, LifecycleError, QosClassStats, ServerReport, ServerStats, SubmitError,
-    SubmitterHandle, TaskServer,
+    SubmitterHandle, TaskServer, STABLE_METRIC_FAMILIES,
 };
 
 // Cancellation primitives a caller may want to inspect (the token's
@@ -188,6 +189,11 @@ pub use xgomp_core::{
 // (`trace_snapshot` / `dump_trace` / `set_trace_level`), re-exported for
 // the same reason.
 pub use xgomp_core::{TraceEvent, TraceLevel, TraceSnapshot};
+
+// Continuous-pipeline types: the rolling on-disk stream the collector
+// thread drives (`ServerConfig::trace_stream`) and its counters
+// (`TaskServer::trace_stream_stats`).
+pub use xgomp_core::{TraceStreamConfig, TraceStreamStats};
 
 use xgomp_core::{DlbConfig, DlbStrategy, RuntimeConfig};
 
@@ -347,6 +353,28 @@ pub struct ServerConfig {
     /// `None` defaults to half of the (effective) in-flight bound
     /// (minimum 1).
     pub background_cap: Option<usize>,
+    /// Continuous trace pipeline: when set, the server runs a collector
+    /// thread that tails every worker's event ring on a cadence
+    /// ([`trace_stream_interval`](Self::trace_stream_interval)) into a
+    /// rolling on-disk JSONL stream (size/age rotation plus a retention
+    /// cap — see [`TraceStreamConfig`]). The default honors the
+    /// `XGOMP_TRACE_STREAM` environment variable as a directory with
+    /// default rotation settings. Records reach disk only while the
+    /// trace level is above [`TraceLevel::Off`], like every other
+    /// flight-recorder surface.
+    pub trace_stream: Option<TraceStreamConfig>,
+    /// Collector cadence: how often the streaming drain tails the
+    /// rings. Shorter keeps up with hotter event rates (a cycle must
+    /// run before a ring wraps); longer costs less. Clamped to ≥ 100 µs.
+    pub trace_stream_interval: std::time::Duration,
+    /// In-process metrics endpoint: when set, the server binds a tiny
+    /// blocking HTTP/1.1 listener on this address (e.g.
+    /// `"127.0.0.1:9184"`; port `0` picks an ephemeral port, surfaced
+    /// by [`TaskServer::metrics_local_addr`]) serving the full
+    /// Prometheus exposition on `GET /metrics` and a JSON liveness
+    /// probe on `GET /healthz`. The default honors the
+    /// `XGOMP_METRICS_ADDR` environment variable.
+    pub metrics_addr: Option<String>,
 }
 
 impl ServerConfig {
@@ -363,6 +391,10 @@ impl ServerConfig {
             trace_dump: std::env::var_os("XGOMP_TRACE_PATH").map(std::path::PathBuf::from),
             ls_reserve: None,
             background_cap: None,
+            trace_stream: std::env::var_os("XGOMP_TRACE_STREAM")
+                .map(|dir| TraceStreamConfig::new(std::path::PathBuf::from(dir))),
+            trace_stream_interval: std::time::Duration::from_millis(2),
+            metrics_addr: std::env::var("XGOMP_METRICS_ADDR").ok(),
         }
     }
 
@@ -436,6 +468,45 @@ impl ServerConfig {
     /// [`background_cap`](Self::background_cap); clamped to ≥ 1).
     pub fn background_cap(mut self, n: usize) -> Self {
         self.background_cap = Some(n);
+        self
+    }
+
+    /// Enables the continuous trace pipeline: rolling JSONL segments
+    /// under `dir`, rotated past `rotate_bytes`, keeping the newest
+    /// `keep` segments (see [`trace_stream`](Self::trace_stream)). Use
+    /// [`trace_stream_config`](Self::trace_stream_config) for full
+    /// control (age rotation, etc.).
+    pub fn trace_stream(
+        self,
+        dir: impl Into<std::path::PathBuf>,
+        rotate_bytes: u64,
+        keep: usize,
+    ) -> Self {
+        self.trace_stream_config(
+            TraceStreamConfig::new(dir.into())
+                .rotate_bytes(rotate_bytes)
+                .keep(keep),
+        )
+    }
+
+    /// Enables the continuous trace pipeline with an explicit stream
+    /// configuration.
+    pub fn trace_stream_config(mut self, cfg: TraceStreamConfig) -> Self {
+        self.trace_stream = Some(cfg);
+        self
+    }
+
+    /// Sets the collector cadence (see
+    /// [`trace_stream_interval`](Self::trace_stream_interval)).
+    pub fn trace_stream_interval(mut self, d: std::time::Duration) -> Self {
+        self.trace_stream_interval = d.max(std::time::Duration::from_micros(100));
+        self
+    }
+
+    /// Enables the in-process `/metrics` + `/healthz` endpoint on
+    /// `addr` (see [`metrics_addr`](Self::metrics_addr)).
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
         self
     }
 }

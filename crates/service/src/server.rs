@@ -64,12 +64,14 @@ use std::time::Duration;
 use crate::controller::AdaptiveController;
 use crate::handle::{JobError, JobHandle, JobPanic, PHASE_SHED_DEADLINE};
 use crate::ingress::{JobBody, ShardedIngress};
+use crate::metrics::{MetricsHooks, MetricsListener};
 use crate::{QosClass, ServerConfig, SubmitOptions};
 use xgomp_core::{
     clock, CancelReason, CancelToken, CancelUnwind, DlbConfig, DlbStrategy, DlbTuning, EventKind,
     IngressSource, LiveTaskSampler, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace,
     LoopTelemetry, LoopTelemetrySnapshot, ParkerCell, PersistentTeam, PromText, RegionOutput,
-    RuntimeConfig, TaskCtx, TaskSizeHistogram, TraceLevel, TraceSnapshot, Tracer,
+    RuntimeConfig, TaskCtx, TaskSizeHistogram, TraceLevel, TraceSnapshot, TraceStream,
+    TraceStreamStats, Tracer,
 };
 use xgomp_topology::Placement;
 use xgomp_xqueue::Backoff;
@@ -461,6 +463,436 @@ pub(crate) struct ServerShared {
     /// Directory for automatic flight-recorder dumps (job panic,
     /// shutdown); `None` disables automatic dumps.
     trace_dump: Option<std::path::PathBuf>,
+    /// Continuous-pipeline counters (streaming collector + `/metrics`
+    /// endpoint). Always present and always rendered — zero when the
+    /// corresponding feature is unconfigured — so the stable metric
+    /// family set does not depend on configuration.
+    obs: ObsCounters,
+}
+
+/// Counters of the continuous observability pipeline, published by the
+/// collector thread and the metrics listener (see [`ServerShared::obs`]).
+#[derive(Default)]
+struct ObsCounters {
+    /// Records written to the rolling on-disk stream.
+    trace_drained: AtomicU64,
+    /// Records the streaming collector lost to ring overwrite (its own
+    /// cursors' accounting, not the tracer's aggregate).
+    trace_dropped: AtomicU64,
+    /// Stream segment rotations.
+    trace_rotations: AtomicU64,
+    /// Stream segments opened.
+    trace_segments: AtomicU64,
+    /// Collector drain cycles run.
+    trace_cycles: AtomicU64,
+    /// `GET /metrics` requests served.
+    metrics_scrapes: AtomicU64,
+}
+
+impl ObsCounters {
+    /// Publishes the collector's cumulative stream counters (stores —
+    /// the stream's own totals are the source of truth).
+    fn publish_stream(&self, s: TraceStreamStats) {
+        self.trace_drained.store(s.drained, Ordering::Relaxed);
+        self.trace_dropped.store(s.dropped, Ordering::Relaxed);
+        self.trace_rotations.store(s.rotations, Ordering::Relaxed);
+        self.trace_segments.store(s.segments, Ordering::Relaxed);
+        self.trace_cycles.store(s.cycles, Ordering::Relaxed);
+    }
+
+    fn stream_stats(&self) -> TraceStreamStats {
+        TraceStreamStats {
+            cycles: self.trace_cycles.load(Ordering::Relaxed),
+            drained: self.trace_drained.load(Ordering::Relaxed),
+            dropped: self.trace_dropped.load(Ordering::Relaxed),
+            rotations: self.trace_rotations.load(Ordering::Relaxed),
+            segments: self.trace_segments.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---- streaming trace collector -----------------------------------------
+
+/// Control word shared with the collector thread: stop flag plus a
+/// flush barrier (`pause` requests a flush and waits for its ack).
+struct CollectorCtl {
+    inner: Mutex<CollectorState>,
+    cv: Condvar,
+}
+
+struct CollectorState {
+    stop: bool,
+    /// Flush barrier tickets issued; the collector acknowledges by
+    /// advancing `flushes_done` after a drain + file flush.
+    flush_requests: u64,
+    flushes_done: u64,
+}
+
+/// Handle of the running collector thread (owned by [`TaskServer`]).
+struct TraceCollector {
+    ctl: Arc<CollectorCtl>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TraceCollector {
+    fn spawn(shared: Arc<ServerShared>, stream: TraceStream, interval: Duration) -> Self {
+        let ctl = Arc::new(CollectorCtl {
+            inner: Mutex::new(CollectorState {
+                stop: false,
+                flush_requests: 0,
+                flushes_done: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        let thread = {
+            let ctl = ctl.clone();
+            std::thread::Builder::new()
+                .name("xgomp-trace-collector".into())
+                .spawn(move || collector_loop(shared, stream, interval, ctl))
+                .expect("spawn trace collector")
+        };
+        TraceCollector {
+            ctl,
+            thread: Some(thread),
+        }
+    }
+
+    /// Flush barrier: every record emitted before this call is drained
+    /// to disk and flushed when it returns (bounded wait).
+    fn flush_barrier(&self, timeout: Duration) {
+        let ticket = {
+            let mut g = self
+                .ctl
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            g.flush_requests += 1;
+            let t = g.flush_requests;
+            self.ctl.cv.notify_all();
+            t
+        };
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self
+            .ctl
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while g.flushes_done < ticket && !g.stop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .ctl
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
+        }
+    }
+
+    /// Stops the collector and joins it; the thread runs one final
+    /// exact drain ([`TraceStream::finish`]) on the way out.
+    fn stop(mut self) {
+        {
+            let mut g = self
+                .ctl
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            g.stop = true;
+            self.ctl.cv.notify_all();
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The collector thread: tail every ring on the cadence, acknowledge
+/// flush barriers, and finish with one last exact drain + summary when
+/// stopped.
+fn collector_loop(
+    shared: Arc<ServerShared>,
+    mut stream: TraceStream,
+    interval: Duration,
+    ctl: Arc<CollectorCtl>,
+) {
+    let mut acked_flush = 0u64;
+    let mut reported_io_error = false;
+    loop {
+        let (stop, flush_target) = {
+            let g = ctl.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            (g.stop, g.flush_requests)
+        };
+        if stop {
+            break;
+        }
+        // Drain first, flush second: a barrier requested before this
+        // read covers every record emitted before the request.
+        if let Err(e) = stream.drain_cycle(&shared.tracer) {
+            if !reported_io_error {
+                reported_io_error = true;
+                eprintln!("xgomp-service: trace stream write failed: {e}");
+            }
+        }
+        shared.obs.publish_stream(stream.stats());
+        if flush_target > acked_flush {
+            let _ = stream.flush();
+            acked_flush = flush_target;
+            let mut g = ctl.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            g.flushes_done = acked_flush;
+            ctl.cv.notify_all();
+        }
+        let g = ctl.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.stop || g.flush_requests > acked_flush {
+            continue;
+        }
+        let _ = ctl
+            .cv
+            .wait_timeout(g, interval)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    match stream.finish(&shared.tracer) {
+        Ok(stats) => shared.obs.publish_stream(stats),
+        Err(e) => {
+            if !reported_io_error {
+                eprintln!("xgomp-service: trace stream finish failed: {e}");
+            }
+        }
+    }
+    // Wake anyone still blocked on a flush barrier: the finish drain
+    // above subsumes every outstanding ticket.
+    let mut g = ctl.inner.lock().unwrap_or_else(PoisonError::into_inner);
+    g.flushes_done = g.flush_requests;
+    ctl.cv.notify_all();
+}
+
+// ---- metrics rendering (shared, so the listener thread can serve it) ---
+
+impl ServerShared {
+    /// Workers currently parked (see [`TaskServer::parked_workers`]).
+    fn parked_workers_now(&self) -> usize {
+        if self.state.load(Ordering::SeqCst) == PAUSED {
+            return self.current_threads.load(Ordering::Relaxed);
+        }
+        self.doorbell
+            .with_current(|p| p.currently_parked())
+            .unwrap_or(0)
+    }
+
+    /// Counter snapshot (see [`TaskServer::stats`] for the coherence
+    /// contract); `tuning` supplies the retune counter.
+    fn stats_with(&self, tuning: &DlbTuning) -> ServerStats {
+        let in_flight = self.in_flight.load(Ordering::SeqCst);
+        let in_team = self.in_team.load(Ordering::SeqCst);
+        let (loops, loop_chunks, loop_iters, loop_range_steals, loop_rebalances) =
+            self.loop_stats.snapshot().totals();
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            in_flight,
+            queued: in_flight.saturating_sub(in_team),
+            max_in_flight: self.max_in_flight,
+            generations: self.generation.load(Ordering::Relaxed),
+            retunes: tuning.retunes(),
+            shards: self.ingress.n_shards(),
+            parked_workers: self.parked_workers_now(),
+            parks: self.doorbell.parks(),
+            loops,
+            loop_chunks,
+            loop_iters,
+            loop_range_steals,
+            loop_rebalances,
+        }
+    }
+
+    /// Per-class counter snapshot (see [`TaskServer::class_stats`]).
+    fn class_stats_now(&self) -> [QosClassStats; 3] {
+        std::array::from_fn(|i| {
+            let cs = &self.class_stats[i];
+            QosClassStats {
+                class: QosClass::ALL[i],
+                submitted: cs.submitted.load(Ordering::Relaxed),
+                completed: cs.completed.load(Ordering::Relaxed),
+                cancelled: cs.cancelled.load(Ordering::Relaxed),
+                shed: cs.shed.load(Ordering::Relaxed),
+            }
+        })
+    }
+
+    /// Body of `GET /healthz`: the serve state plus a few liveness
+    /// gauges, as a one-line JSON document.
+    fn health_json(&self) -> String {
+        let state = match self.state.load(Ordering::SeqCst) {
+            SERVING => "serving",
+            DRAINING => "draining",
+            PAUSED => "paused",
+            _ => "closing",
+        };
+        format!(
+            "{{\"state\":\"{state}\",\"generation\":{},\"in_flight\":{},\"workers_parked\":{}}}\n",
+            self.generation.load(Ordering::Relaxed),
+            self.in_flight.load(Ordering::SeqCst),
+            self.parked_workers_now(),
+        )
+    }
+
+    /// The full Prometheus exposition (see
+    /// [`TaskServer::render_prometheus`], which delegates here — this
+    /// lives on the shared state so the `/metrics` listener thread can
+    /// render without the server handle).
+    fn render_prometheus_with(&self, tuning: &DlbTuning) -> String {
+        let mut out = self.stats_with(tuning).render_prometheus();
+        let mut p = PromText::new();
+        p.counter(
+            "xgomp_wake_events_total",
+            "Wake-ups delivered across all generations (doorbells, pushes, teardown)",
+            self.doorbell.wakes(),
+        );
+        p.counter(
+            "xgomp_ingress_claim_conflicts_total",
+            "Lost lane-claim races on the anonymous ingress path",
+            self.ingress.claim_conflicts(),
+        );
+        p.gauge(
+            "xgomp_ingress_occupancy",
+            "Jobs currently sitting in ingress ring slots",
+            self.ingress.occupancy() as u64,
+        );
+        let lt = self.loop_stats.snapshot();
+        let chunks: Vec<(&str, u64)> = lt
+            .per_schedule
+            .iter()
+            .map(|s| (s.schedule, s.chunks))
+            .collect();
+        p.counter_vec(
+            "xgomp_loop_chunks_by_schedule_total",
+            "Loop chunks executed, by schedule family",
+            "schedule",
+            &chunks,
+        );
+        let space_loops: Vec<(&str, u64)> =
+            lt.per_space.iter().map(|k| (k.space, k.loops)).collect();
+        p.counter_vec(
+            "xgomp_loops_by_space_total",
+            "Data-parallel loops completed, by iteration-space shape",
+            "space",
+            &space_loops,
+        );
+        let space_iters: Vec<(&str, u64)> =
+            lt.per_space.iter().map(|k| (k.space, k.iters)).collect();
+        p.counter_vec(
+            "xgomp_loop_iters_by_space_total",
+            "Loop elements executed, by iteration-space shape",
+            "space",
+            &space_iters,
+        );
+        // Per-QoS-class job counters + the fixed-bucket latency
+        // histograms (stable `le` edges — see `LATENCY_BUCKETS_SECS`).
+        let by_class = self.class_stats_now();
+        let entries = |pick: fn(&QosClassStats) -> u64| -> Vec<(&'static str, u64)> {
+            by_class.iter().map(|c| (c.class.name(), pick(c))).collect()
+        };
+        p.counter_vec(
+            "xgomp_jobs_submitted_by_class_total",
+            "Jobs accepted by admission control, by QoS class",
+            "class",
+            &entries(|c| c.submitted),
+        );
+        p.counter_vec(
+            "xgomp_jobs_completed_by_class_total",
+            "Jobs whose body ran to its own end, by QoS class",
+            "class",
+            &entries(|c| c.completed),
+        );
+        p.counter_vec(
+            "xgomp_jobs_cancelled_by_class_total",
+            "Jobs cancelled cooperatively mid-run, by QoS class",
+            "class",
+            &entries(|c| c.cancelled),
+        );
+        p.counter_vec(
+            "xgomp_jobs_shed_by_class_total",
+            "Jobs shed before their body ran, by QoS class",
+            "class",
+            &entries(|c| c.shed),
+        );
+        p.histogram_header(
+            "xgomp_job_queued_seconds",
+            "Admission-to-body-start latency of started jobs, by QoS class",
+        );
+        for (i, qos) in QosClass::ALL.iter().enumerate() {
+            let (counts, sum, count) = self.class_stats[i].queued_hist.render_parts();
+            p.histogram_series(
+                "xgomp_job_queued_seconds",
+                "class",
+                qos.name(),
+                &LATENCY_BUCKETS_SECS,
+                &counts,
+                sum,
+                count,
+            );
+        }
+        p.histogram_header(
+            "xgomp_job_run_seconds",
+            "Body run time of started jobs, by QoS class",
+        );
+        for (i, qos) in QosClass::ALL.iter().enumerate() {
+            let (counts, sum, count) = self.class_stats[i].run_hist.render_parts();
+            p.histogram_series(
+                "xgomp_job_run_seconds",
+                "class",
+                qos.name(),
+                &LATENCY_BUCKETS_SECS,
+                &counts,
+                sum,
+                count,
+            );
+        }
+        p.counter(
+            "xgomp_trace_events_emitted_total",
+            "Flight-recorder events emitted (all rings, including overwritten)",
+            self.tracer.emitted(),
+        );
+        p.counter(
+            "xgomp_trace_events_dropped_total",
+            "Flight-recorder events overwritten before a drain read them",
+            self.tracer.dropped(),
+        );
+        p.gauge(
+            "xgomp_trace_level",
+            "Active trace level (0=off, 1=lifecycle, 2=full)",
+            self.tracer.level() as u64,
+        );
+        // Continuous-pipeline families: always rendered (zero when the
+        // stream/listener is unconfigured) so the stable set holds.
+        p.counter(
+            "xgomp_trace_drained_total",
+            "Flight-recorder records written to the rolling on-disk stream",
+            self.obs.trace_drained.load(Ordering::Relaxed),
+        );
+        p.counter(
+            "xgomp_trace_dropped_total",
+            "Records the streaming collector lost to ring overwrite",
+            self.obs.trace_dropped.load(Ordering::Relaxed),
+        );
+        p.counter(
+            "xgomp_trace_rotations_total",
+            "Rolling trace segment rotations",
+            self.obs.trace_rotations.load(Ordering::Relaxed),
+        );
+        p.counter(
+            "xgomp_metrics_scrapes_total",
+            "GET /metrics requests served by the in-process endpoint",
+            self.obs.metrics_scrapes.load(Ordering::Relaxed),
+        );
+        out.push_str(&p.finish());
+        out
+    }
 }
 
 impl ServerShared {
@@ -841,6 +1273,12 @@ impl ServerShared {
 
     /// Moves up to `max` spilled jobs into the team. Runs before the
     /// ingress drain so spilled jobs cannot be starved by fresh pushes.
+    ///
+    /// Like the ingress drain, spilled jobs are spawned into the
+    /// *draining worker's own* queue: a job cross-pushed into a peer's
+    /// SPSC queue is stranded if that peer is stalled inside another
+    /// job's body, even while this worker idles (see
+    /// [`ServiceSource::poll`]).
     fn drain_spill(&self, max: usize, ctx: &TaskCtx<'_>) -> usize {
         if !self.spill_nonempty.load(Ordering::SeqCst) {
             return 0;
@@ -857,7 +1295,7 @@ impl ServerShared {
         let n = batch.len();
         for job in batch {
             self.in_team.fetch_add(1, Ordering::SeqCst);
-            ctx.spawn_boxed(job);
+            ctx.spawn_boxed_local(job);
         }
         n
     }
@@ -973,7 +1411,6 @@ pub(crate) struct ServiceSource {
     shared: Arc<ServerShared>,
     /// worker → ingress shard for this generation.
     shard_of_worker: Vec<usize>,
-    drain_batch: usize,
 }
 
 impl IngressSource for ServiceSource {
@@ -991,19 +1428,29 @@ impl IngressSource for ServiceSource {
         let shared = &self.shared;
         let mut n = 0;
         if st != DRAINING {
-            n += shared.drain_spill(self.drain_batch, ctx);
+            n += shared.drain_spill(1, ctx);
         }
         let hint = self
             .shard_of_worker
             .get(ctx.worker_id())
             .copied()
             .unwrap_or(0);
-        n += shared
-            .ingress
-            .drain_into(hint, self.drain_batch, &mut |job| {
-                shared.in_team.fetch_add(1, Ordering::SeqCst);
-                ctx.spawn_boxed(job)
-            });
+        // Take ONE job and spawn it into this worker's own queue: it is
+        // popped by this worker's very next scheduler visit. Batched
+        // cross-pushed drains (the previous design) could strand a job
+        // in a stalled peer's SPSC queue — or, batched-to-self, behind
+        // an earlier job of the same batch that blocks indefinitely —
+        // while other workers idle. One-at-a-time self-service keeps
+        // every not-yet-claimed job in the shared MPSC ingress, where
+        // any idle worker can claim it: an admitted job can only wait
+        // on a *running* job, never on a stalled queue. The poll sits
+        // in the serve/idle loops, which re-poll immediately while
+        // injections succeed, so throughput is a claim per job, not a
+        // drain cycle per job.
+        n += shared.ingress.drain_into(hint, 1, &mut |job| {
+            shared.in_team.fetch_add(1, Ordering::SeqCst);
+            ctx.spawn_boxed_local(job)
+        });
         n
     }
 
@@ -1021,6 +1468,52 @@ impl IngressSource for ServiceSource {
         }
     }
 }
+
+/// Every metric family the full Prometheus exposition
+/// ([`TaskServer::render_prometheus`]) emits — each exactly once, with
+/// its `# HELP`/`# TYPE` header — in order of appearance. This is the
+/// server's **stable scrape schema**: the unit tests pin it, the CI
+/// scrape checks it, and dashboards may rely on it. Extend it when
+/// adding a family; never rename or drop an entry.
+pub const STABLE_METRIC_FAMILIES: &[&str] = &[
+    "xgomp_jobs_submitted_total",
+    "xgomp_jobs_completed_total",
+    "xgomp_jobs_cancelled_total",
+    "xgomp_jobs_shed_total",
+    "xgomp_jobs_rejected_total",
+    "xgomp_jobs_in_flight",
+    "xgomp_jobs_queued",
+    "xgomp_max_in_flight",
+    "xgomp_generations_total",
+    "xgomp_retunes_total",
+    "xgomp_ingress_shards",
+    "xgomp_workers_parked",
+    "xgomp_park_events_total",
+    "xgomp_loops_total",
+    "xgomp_loop_chunks_total",
+    "xgomp_loop_iters_total",
+    "xgomp_loop_range_steals_total",
+    "xgomp_loop_rebalances_total",
+    "xgomp_wake_events_total",
+    "xgomp_ingress_claim_conflicts_total",
+    "xgomp_ingress_occupancy",
+    "xgomp_loop_chunks_by_schedule_total",
+    "xgomp_loops_by_space_total",
+    "xgomp_loop_iters_by_space_total",
+    "xgomp_jobs_submitted_by_class_total",
+    "xgomp_jobs_completed_by_class_total",
+    "xgomp_jobs_cancelled_by_class_total",
+    "xgomp_jobs_shed_by_class_total",
+    "xgomp_job_queued_seconds",
+    "xgomp_job_run_seconds",
+    "xgomp_trace_events_emitted_total",
+    "xgomp_trace_events_dropped_total",
+    "xgomp_trace_level",
+    "xgomp_trace_drained_total",
+    "xgomp_trace_dropped_total",
+    "xgomp_trace_rotations_total",
+    "xgomp_metrics_scrapes_total",
+];
 
 /// Point-in-time server counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1239,6 +1732,12 @@ pub struct TaskServer {
     shared: Arc<ServerShared>,
     tuning: Arc<DlbTuning>,
     master: Option<std::thread::JoinHandle<Vec<RegionOutput<()>>>>,
+    /// Streaming trace collector (`ServerConfig::trace_stream`): stopped
+    /// with one final exact drain after the master joins at shutdown.
+    collector: Option<TraceCollector>,
+    /// In-process `/metrics` + `/healthz` endpoint
+    /// (`ServerConfig::metrics_addr`): torn down last at shutdown.
+    listener: Option<MetricsListener>,
 }
 
 /// Per-worker NUMA zones and the sorted distinct zone list of `rt`'s
@@ -1356,6 +1855,48 @@ impl TaskServer {
             tracer,
             job_seq: AtomicU64::new(0),
             trace_dump: cfg.trace_dump.clone(),
+            obs: ObsCounters::default(),
+        });
+
+        // Continuous pipeline, both halves optional and independent: a
+        // setup failure disables the feature with a stderr note rather
+        // than failing the server.
+        let collector = cfg
+            .trace_stream
+            .clone()
+            .and_then(|sc| match TraceStream::create(sc) {
+                Ok(stream) => Some(TraceCollector::spawn(
+                    shared.clone(),
+                    stream,
+                    cfg.trace_stream_interval.max(Duration::from_micros(100)),
+                )),
+                Err(e) => {
+                    eprintln!("xgomp-service: trace stream disabled ({e})");
+                    None
+                }
+            });
+        let listener = cfg.metrics_addr.as_deref().and_then(|addr| {
+            let hooks = MetricsHooks {
+                render: {
+                    let shared = shared.clone();
+                    let tuning = tuning.clone();
+                    Box::new(move || {
+                        shared.obs.metrics_scrapes.fetch_add(1, Ordering::Relaxed);
+                        shared.render_prometheus_with(&tuning)
+                    })
+                },
+                health: {
+                    let shared = shared.clone();
+                    Box::new(move || shared.health_json())
+                },
+            };
+            match MetricsListener::bind(addr, hooks) {
+                Ok(l) => Some(l),
+                Err(e) => {
+                    eprintln!("xgomp-service: metrics listener disabled ({addr}: {e})");
+                    None
+                }
+            }
         });
 
         let master = {
@@ -1386,6 +1927,8 @@ impl TaskServer {
             shared,
             tuning,
             master: Some(master),
+            collector,
+            listener,
         }
     }
 
@@ -1598,6 +2141,14 @@ impl TaskServer {
                 }
                 PAUSED => {
                     if ctl.resume.is_none() {
+                        drop(ctl);
+                        // Quiescent barrier for the continuous pipeline
+                        // too: every event emitted before the pause is
+                        // drained and flushed to the rolling stream
+                        // before we report the server paused.
+                        if let Some(c) = &self.collector {
+                            c.flush_barrier(Duration::from_secs(5));
+                        }
                         return Ok(());
                     }
                     // A resume is in flight: wait for the generation to
@@ -1720,13 +2271,7 @@ impl TaskServer {
     /// announcements (master included); while paused, the whole team is
     /// parked on its start gate and is reported as such.
     pub fn parked_workers(&self) -> usize {
-        if self.shared.state.load(Ordering::SeqCst) == PAUSED {
-            return self.shared.current_threads.load(Ordering::Relaxed);
-        }
-        self.shared
-            .doorbell
-            .with_current(|p| p.currently_parked())
-            .unwrap_or(0)
+        self.shared.parked_workers_now()
     }
 
     /// Cumulative committed parks across all generations. A fully idle
@@ -1759,46 +2304,14 @@ impl TaskServer {
     /// `in_flight` increment is visible, so derived quantities can be
     /// transiently off by the number of in-progress submissions.
     pub fn stats(&self) -> ServerStats {
-        let in_flight = self.shared.in_flight.load(Ordering::SeqCst);
-        let in_team = self.shared.in_team.load(Ordering::SeqCst);
-        let (loops, loop_chunks, loop_iters, loop_range_steals, loop_rebalances) =
-            self.shared.loop_stats.snapshot().totals();
-        ServerStats {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            in_flight,
-            queued: in_flight.saturating_sub(in_team),
-            max_in_flight: self.shared.max_in_flight,
-            generations: self.generation(),
-            retunes: self.tuning.retunes(),
-            shards: self.shared.ingress.n_shards(),
-            parked_workers: self.parked_workers(),
-            parks: self.park_events(),
-            loops,
-            loop_chunks,
-            loop_iters,
-            loop_range_steals,
-            loop_rebalances,
-        }
+        self.shared.stats_with(&self.tuning)
     }
 
     /// Per-QoS-class job counters, indexed in [`QosClass::ALL`] order.
     /// Same coherence caveats as [`stats`](Self::stats): once a class is
     /// drained, `submitted == completed + cancelled + shed` exactly.
     pub fn class_stats(&self) -> [QosClassStats; 3] {
-        std::array::from_fn(|i| {
-            let cs = &self.shared.class_stats[i];
-            QosClassStats {
-                class: QosClass::ALL[i],
-                submitted: cs.submitted.load(Ordering::Relaxed),
-                completed: cs.completed.load(Ordering::Relaxed),
-                cancelled: cs.cancelled.load(Ordering::Relaxed),
-                shed: cs.shed.load(Ordering::Relaxed),
-            }
-        })
+        self.shared.class_stats_now()
     }
 
     /// Per-schedule loop telemetry (chunks, iterations, range steals and
@@ -1892,130 +2405,26 @@ impl TaskServer {
     /// volume series. Serve the returned string as
     /// `text/plain; version=0.0.4` from any scrape endpoint.
     pub fn render_prometheus(&self) -> String {
-        let mut out = self.stats().render_prometheus();
-        let mut p = PromText::new();
-        p.counter(
-            "xgomp_wake_events_total",
-            "Wake-ups delivered across all generations (doorbells, pushes, teardown)",
-            self.wake_events(),
-        );
-        p.counter(
-            "xgomp_ingress_claim_conflicts_total",
-            "Lost lane-claim races on the anonymous ingress path",
-            self.shared.ingress.claim_conflicts(),
-        );
-        p.gauge(
-            "xgomp_ingress_occupancy",
-            "Jobs currently sitting in ingress ring slots",
-            self.shared.ingress.occupancy() as u64,
-        );
-        let lt = self.loop_telemetry();
-        let chunks: Vec<(&str, u64)> = lt
-            .per_schedule
-            .iter()
-            .map(|s| (s.schedule, s.chunks))
-            .collect();
-        p.counter_vec(
-            "xgomp_loop_chunks_by_schedule_total",
-            "Loop chunks executed, by schedule family",
-            "schedule",
-            &chunks,
-        );
-        let space_loops: Vec<(&str, u64)> =
-            lt.per_space.iter().map(|k| (k.space, k.loops)).collect();
-        p.counter_vec(
-            "xgomp_loops_by_space_total",
-            "Data-parallel loops completed, by iteration-space shape",
-            "space",
-            &space_loops,
-        );
-        let space_iters: Vec<(&str, u64)> =
-            lt.per_space.iter().map(|k| (k.space, k.iters)).collect();
-        p.counter_vec(
-            "xgomp_loop_iters_by_space_total",
-            "Loop elements executed, by iteration-space shape",
-            "space",
-            &space_iters,
-        );
-        // Per-QoS-class job counters + the fixed-bucket latency
-        // histograms (stable `le` edges — see `LATENCY_BUCKETS_SECS`).
-        let by_class = self.class_stats();
-        let entries = |pick: fn(&QosClassStats) -> u64| -> Vec<(&'static str, u64)> {
-            by_class.iter().map(|c| (c.class.name(), pick(c))).collect()
-        };
-        p.counter_vec(
-            "xgomp_jobs_submitted_by_class_total",
-            "Jobs accepted by admission control, by QoS class",
-            "class",
-            &entries(|c| c.submitted),
-        );
-        p.counter_vec(
-            "xgomp_jobs_completed_by_class_total",
-            "Jobs whose body ran to its own end, by QoS class",
-            "class",
-            &entries(|c| c.completed),
-        );
-        p.counter_vec(
-            "xgomp_jobs_cancelled_by_class_total",
-            "Jobs cancelled cooperatively mid-run, by QoS class",
-            "class",
-            &entries(|c| c.cancelled),
-        );
-        p.counter_vec(
-            "xgomp_jobs_shed_by_class_total",
-            "Jobs shed before their body ran, by QoS class",
-            "class",
-            &entries(|c| c.shed),
-        );
-        p.histogram_header(
-            "xgomp_job_queued_seconds",
-            "Admission-to-body-start latency of started jobs, by QoS class",
-        );
-        for (i, qos) in QosClass::ALL.iter().enumerate() {
-            let (counts, sum, count) = self.shared.class_stats[i].queued_hist.render_parts();
-            p.histogram_series(
-                "xgomp_job_queued_seconds",
-                "class",
-                qos.name(),
-                &LATENCY_BUCKETS_SECS,
-                &counts,
-                sum,
-                count,
-            );
-        }
-        p.histogram_header(
-            "xgomp_job_run_seconds",
-            "Body run time of started jobs, by QoS class",
-        );
-        for (i, qos) in QosClass::ALL.iter().enumerate() {
-            let (counts, sum, count) = self.shared.class_stats[i].run_hist.render_parts();
-            p.histogram_series(
-                "xgomp_job_run_seconds",
-                "class",
-                qos.name(),
-                &LATENCY_BUCKETS_SECS,
-                &counts,
-                sum,
-                count,
-            );
-        }
-        p.counter(
-            "xgomp_trace_events_emitted_total",
-            "Flight-recorder events emitted (all rings, including overwritten)",
-            self.shared.tracer.emitted(),
-        );
-        p.counter(
-            "xgomp_trace_events_dropped_total",
-            "Flight-recorder events overwritten before a drain read them",
-            self.shared.tracer.dropped(),
-        );
-        p.gauge(
-            "xgomp_trace_level",
-            "Active trace level (0=off, 1=lifecycle, 2=full)",
-            self.shared.tracer.level() as u64,
-        );
-        out.push_str(&p.finish());
-        out
+        self.shared.render_prometheus_with(&self.tuning)
+    }
+
+    /// The address the in-process metrics endpoint actually bound
+    /// (resolves a configured port `0` to the ephemeral port picked by
+    /// the OS); `None` when [`ServerConfig::metrics_addr`] is unset or
+    /// the bind failed at startup.
+    pub fn metrics_local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.listener.as_ref().map(|l| l.local_addr())
+    }
+
+    /// Live counters of the streaming trace collector; `None` when
+    /// [`ServerConfig::trace_stream`] is unset or the stream failed to
+    /// open. Racy like every other observability read — the exact
+    /// end-of-run accounting lives in the stream's final on-disk
+    /// summary line.
+    pub fn trace_stream_stats(&self) -> Option<TraceStreamStats> {
+        self.collector
+            .as_ref()
+            .map(|_| self.shared.obs.stream_stats())
     }
 
     /// Closes admission, waits for every admitted job — queued ones
@@ -2054,9 +2463,19 @@ impl TaskServer {
         // started — it re-reads the state before it ever parks.)
         self.shared.doorbell.with_current(|p| p.unpark_all());
         let joined = master.join();
-        // After the join every ring is quiet, so the shutdown dump is a
-        // complete record of whatever the flight recorder still holds.
+        // After the join every ring is quiet: stop the collector first —
+        // its final drain + summary states the conservation identity
+        // exactly — then take the shutdown snapshot (the dump's cursors
+        // are independent of the stream's, so both see the retained
+        // window), and tear the scrape endpoint down last so a scraper
+        // can watch the server all the way through `closing`.
+        if let Some(c) = self.collector.take() {
+            c.stop();
+        }
         self.shared.dump_flight_recorder("shutdown.trace.json");
+        if let Some(mut l) = self.listener.take() {
+            l.shutdown();
+        }
         Some(joined)
     }
 }
@@ -2125,7 +2544,6 @@ fn master_loop(
         let source = Arc::new(ServiceSource {
             shared: shared.clone(),
             shard_of_worker,
-            drain_batch,
         });
         let serve = {
             let shared = shared.clone();
@@ -2860,45 +3278,33 @@ mod tests {
             h.join().unwrap();
         }
         let text = server.render_prometheus();
-        for name in [
-            "xgomp_jobs_submitted_total",
-            "xgomp_jobs_completed_total",
-            "xgomp_jobs_rejected_total",
-            "xgomp_jobs_in_flight",
-            "xgomp_jobs_queued",
-            "xgomp_max_in_flight",
-            "xgomp_generations_total",
-            "xgomp_retunes_total",
-            "xgomp_ingress_shards",
-            "xgomp_workers_parked",
-            "xgomp_park_events_total",
-            "xgomp_loops_total",
-            "xgomp_loop_chunks_total",
-            "xgomp_loop_iters_total",
-            "xgomp_loop_range_steals_total",
-            "xgomp_loop_rebalances_total",
-            "xgomp_wake_events_total",
-            "xgomp_ingress_claim_conflicts_total",
-            "xgomp_ingress_occupancy",
-            "xgomp_loop_chunks_by_schedule_total",
-            "xgomp_jobs_cancelled_total",
-            "xgomp_jobs_shed_total",
-            "xgomp_jobs_submitted_by_class_total",
-            "xgomp_jobs_completed_by_class_total",
-            "xgomp_jobs_cancelled_by_class_total",
-            "xgomp_jobs_shed_by_class_total",
-            "xgomp_job_queued_seconds",
-            "xgomp_job_run_seconds",
-            "xgomp_trace_events_emitted_total",
-            "xgomp_trace_events_dropped_total",
-            "xgomp_trace_level",
-        ] {
+        // The stable schema: every family present with HELP and TYPE,
+        // each exactly once (a duplicated header is an invalid
+        // exposition a strict scraper rejects).
+        for name in STABLE_METRIC_FAMILIES {
+            for header in ["HELP", "TYPE"] {
+                let line = format!("# {header} {name} ");
+                assert_eq!(
+                    text.matches(&line).count(),
+                    1,
+                    "family {name}: {header} line must appear exactly once"
+                );
+            }
+        }
+        // And no family outside the stable set: every HELP line's name
+        // is listed.
+        for line in text.lines().filter(|l| l.starts_with("# HELP ")) {
+            let name = line.split_whitespace().nth(2).unwrap();
             assert!(
-                text.contains(&format!("# TYPE {name} ")),
-                "missing TYPE line for {name}"
+                STABLE_METRIC_FAMILIES.contains(&name),
+                "unlisted metric family {name}: extend STABLE_METRIC_FAMILIES"
             );
         }
         assert!(text.contains("xgomp_jobs_submitted_total 10"));
+        // Continuous-pipeline families render (at zero) even with the
+        // stream and listener unconfigured.
+        assert!(text.contains("xgomp_trace_drained_total 0"));
+        assert!(text.contains("xgomp_metrics_scrapes_total 0"));
         assert!(text.contains(r#"xgomp_loop_chunks_by_schedule_total{schedule="guided"}"#));
         assert!(text.contains(r#"xgomp_jobs_submitted_by_class_total{class="normal"} 10"#));
         assert!(text.contains(r#"xgomp_job_queued_seconds_bucket{class="normal",le="+Inf"} 10"#));

@@ -103,6 +103,14 @@ impl RingCursor {
     pub fn position(&self) -> u64 {
         self.next
     }
+
+    /// Records this cursor has actually surfaced to its reader
+    /// (`position − dropped`) — the "drained" leg of the conservation
+    /// identity `drained + dropped == emitted`, which holds per cursor
+    /// once the writer quiesces.
+    pub fn drained(&self) -> u64 {
+        self.next - self.dropped
+    }
 }
 
 /// Bounded overwrite-oldest SPSC event ring (see the [module

@@ -33,18 +33,19 @@
 #[doc(hidden)]
 pub use xgomp_core::force_small_panes_for_tests;
 pub use xgomp_core::{
-    clock, guidelines, render_task_counts, render_timeline, state_summary, Affinity, AllocKind,
-    BarrierKind, CostModel, DlbConfig, DlbStrategy, DlbTuning, EventKind, IngressSource, IterSpace,
-    LiveTaskSampler, Locality, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace,
-    LoopTelemetry, LoopTelemetrySnapshot, MachineTopology, Parker, PerfLog, PersistentTeam,
-    Placement, ProfileDump, PromText, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope,
-    SpaceKind, StatsSnapshot, TaskCtx, TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel,
-    TraceSnapshot, Tracer, DEFAULT_TILE,
+    chrome_json_from_dir, chrome_json_from_jsonl, clock, guidelines, render_task_counts,
+    render_timeline, state_summary, Affinity, AllocKind, BarrierKind, CostModel, DlbConfig,
+    DlbStrategy, DlbTuning, EventKind, IngressSource, IterSpace, LiveTaskSampler, Locality,
+    LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace, LoopTelemetry,
+    LoopTelemetrySnapshot, MachineTopology, Parker, PerfLog, PersistentTeam, Placement,
+    ProfileDump, PromText, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope, SpaceKind,
+    StatsSnapshot, TaskCtx, TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel, TraceSnapshot,
+    TraceStream, TraceStreamConfig, TraceStreamStats, Tracer, DEFAULT_TILE,
 };
 pub use xgomp_service::{
     CancelReason, CancelToken, JobError, JobHandle, JobPanic, JobReport, JoinTimeout, QosClass,
     QosClassStats, ServerConfig, ServerStats, SubmitError, SubmitOptions, SubmitterHandle,
-    TaskServer,
+    TaskServer, STABLE_METRIC_FAMILIES,
 };
 
 /// The BOTS benchmark suite (`xgomp-bots`).

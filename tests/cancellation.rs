@@ -311,6 +311,49 @@ fn join_timeout_returns_the_live_handle() {
     server.shutdown();
 }
 
+/// Regression stress for the gated-sibling stranding hang: with batched
+/// round-robin injection, a drained job could be spawned into the SPSC
+/// queue of a worker that was spinning inside another job's body — where
+/// no one else could ever pop it, even with every other worker idle. The
+/// observed shape (~20% of runs of the test above, parked leg): the
+/// master futex-parked, one worker spinning in the gated `slow` body,
+/// and `waiter` — the only job that would release the gate — stranded in
+/// the spinner's queue. Injection now self-targets one job at a time, so
+/// an unclaimed job always stays in the shared MPSC ingress where any
+/// idle worker can take it. Hammer that exact dependency shape; a hang
+/// (CI timeout) is the failure mode.
+#[test]
+fn gated_sibling_pairs_never_strand() {
+    let server = two_zone_server(2, 0);
+    for round in 0..200 {
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let slow = server
+            .submit(move |_| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                round
+            })
+            .unwrap();
+        let waiter = server
+            .submit(move |ctx| {
+                // Waiting in-team with a tiny timeout keeps this worker
+                // helping (it may even run `slow`'s sibling jobs), then
+                // releases the gate the sibling spins on.
+                let timeout = slow
+                    .join_within_timeout(ctx, Duration::from_micros(100))
+                    .expect_err("sibling is gated until we release it");
+                gate.store(true, Ordering::Release);
+                timeout.handle.join_within(ctx).unwrap()
+            })
+            .unwrap();
+        assert_eq!(waiter.join().unwrap(), round);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.stats.completed, 400);
+}
+
 #[test]
 fn cancel_before_start_sheds_without_running_the_body() {
     // Paused server: the job can never start, so cancel() must resolve
