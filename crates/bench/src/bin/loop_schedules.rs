@@ -24,14 +24,37 @@ use xgomp_core::{
     TaskCtx,
 };
 
-fn schedules() -> [LoopSchedule; 4] {
+fn schedules() -> [LoopSchedule; 9] {
     [
         LoopSchedule::Static,
         LoopSchedule::Dynamic(64),
         LoopSchedule::Guided(16),
         LoopSchedule::Adaptive,
+        LoopSchedule::Tss {
+            first: 1024,
+            last: 32,
+        },
+        LoopSchedule::Factoring,
+        LoopSchedule::WeightedFactoring,
+        LoopSchedule::Awf,
+        // Falls back to a fixed concrete member on a plain Runtime (no
+        // server selector) — the column shows the fallback's cost.
+        LoopSchedule::Auto,
     ]
 }
+
+/// Column headers matching [`schedules`], in order.
+const SCHEDULE_COLS: [&str; 9] = [
+    "static",
+    "dynamic",
+    "guided",
+    "adaptive",
+    "tss",
+    "factoring",
+    "wf",
+    "awf",
+    "auto",
+];
 
 /// Runs `kernel` under `sched`, verifying the checksum; returns the
 /// median wall time and the last run's loop report.
@@ -128,24 +151,16 @@ fn main() {
         ),
     ];
 
+    let mut headers = vec!["kernel", "profile"];
+    headers.extend_from_slice(&SCHEDULE_COLS);
+    headers.extend_from_slice(&["best/static", "chunks", "local", "steals"]);
     let mut t = Table::new(
         format!(
             "parallel_for schedule comparison ({threads} workers, 2 sockets, NA-WS; \
              median of {} reps; checksum-verified)",
             ctx.reps
         ),
-        &[
-            "kernel",
-            "profile",
-            "static",
-            "dynamic",
-            "guided",
-            "adaptive",
-            "best/static",
-            "chunks",
-            "local",
-            "steals",
-        ],
+        &headers,
     );
 
     let mut skewed_ok = true;
@@ -160,25 +175,23 @@ fn main() {
                 best_report = Some(report);
             }
         }
-        let (t_static, t_dynamic, t_guided, t_adaptive) = (times[0], times[1], times[2], times[3]);
-        let best_dyn = t_guided.min(t_adaptive);
+        let t_static = times[0];
+        // Every dynamic-family member competes against the static wall.
+        let best_dyn = times[1..].iter().copied().fold(f64::INFINITY, f64::min);
         let speedup = t_static / best_dyn;
         if matches!(profile, CostProfile::Skewed) && best_dyn >= t_static {
             skewed_ok = false;
         }
         let r = best_report.unwrap();
-        t.row(vec![
-            kernel.name().to_string(),
-            profile.name().to_string(),
-            fmt_secs(t_static),
-            fmt_secs(t_dynamic),
-            fmt_secs(t_guided),
-            fmt_secs(t_adaptive),
+        let mut row = vec![kernel.name().to_string(), profile.name().to_string()];
+        row.extend(times.iter().map(|&s| fmt_secs(s)));
+        row.extend([
             format!("{speedup:.2}x"),
             r.chunks.to_string(),
             r.claimed_local.to_string(),
             r.range_steals.to_string(),
         ]);
+        t.row(row);
     }
     t.print();
     t.write_csv(&ctx.out_dir, "loop_schedules").expect("csv");
@@ -191,23 +204,16 @@ fn main() {
     // (`parallel_for_tri`) vs the legacy guarded square. Every cell is
     // checksum-verified; the `sched pts` / `noops cut` columns show the
     // guard iterations the triangular space never schedules.
+    let mut sheaders = vec!["space", "kernel"];
+    sheaders.extend_from_slice(&SCHEDULE_COLS);
+    sheaders.extend_from_slice(&["iters", "sched pts", "noops cut"]);
     let mut st = Table::new(
         format!(
             "iteration-space shapes ({threads} workers, 2 sockets, NA-WS; \
              median of {} reps; checksum-verified)",
             ctx.reps
         ),
-        &[
-            "space",
-            "kernel",
-            "static",
-            "dynamic",
-            "guided",
-            "adaptive",
-            "iters",
-            "sched pts",
-            "noops cut",
-        ],
+        &sheaders,
     );
 
     let mandel_k = Mandelbrot::new(mandel.0, mandel.1, mandel.2);
@@ -303,17 +309,14 @@ fn main() {
     }
 
     for r in &rows {
-        st.row(vec![
-            r.space.to_string(),
-            r.kernel.to_string(),
-            fmt_secs(r.times[0]),
-            fmt_secs(r.times[1]),
-            fmt_secs(r.times[2]),
-            fmt_secs(r.times[3]),
+        let mut row = vec![r.space.to_string(), r.kernel.to_string()];
+        row.extend(r.times.iter().map(|&s| fmt_secs(s)));
+        row.extend([
             r.report.iterations.to_string(),
             r.sched_pts.to_string(),
             r.noops_cut.to_string(),
         ]);
+        st.row(row);
     }
     st.print();
     st.write_csv(&ctx.out_dir, "loop_spaces").expect("csv");

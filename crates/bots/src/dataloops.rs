@@ -328,17 +328,31 @@ mod tests {
 
     #[test]
     fn parallel_for_reproduces_the_sequential_checksum() {
+        // The classic family plus the LB4OMP portfolio: every schedule
+        // must reproduce the sequential checksum on every kernel.
+        let schedules = [
+            LoopSchedule::Guided(8),
+            LoopSchedule::Tss {
+                first: 128,
+                last: 4,
+            },
+            LoopSchedule::Factoring,
+            LoopSchedule::WeightedFactoring,
+            LoopSchedule::Awf,
+        ];
         for k in kernels() {
             let expect = k.seq_checksum();
             let rt = Runtime::new(RuntimeConfig::xgomptb(4));
-            let out = rt.parallel(|ctx| {
-                let acc = AtomicU64::new(0);
-                ctx.parallel_for(0..k.len(), LoopSchedule::Guided(8), |i, _| {
-                    acc.fetch_add(k.value(i), Ordering::Relaxed);
+            for sched in schedules {
+                let out = rt.parallel(|ctx| {
+                    let acc = AtomicU64::new(0);
+                    ctx.parallel_for(0..k.len(), sched, |i, _| {
+                        acc.fetch_add(k.value(i), Ordering::Relaxed);
+                    });
+                    acc.load(Ordering::Relaxed)
                 });
-                acc.load(Ordering::Relaxed)
-            });
-            assert_eq!(out.result, expect, "{}", k.name());
+                assert_eq!(out.result, expect, "{}/{}", k.name(), sched.name());
+            }
         }
     }
 

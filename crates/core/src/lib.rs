@@ -71,8 +71,9 @@ pub use dlb::{DlbConfig, DlbStrategy, DlbTuning, DEFAULT_REBALANCE_INTERVAL};
 #[doc(hidden)]
 pub use loops::force_small_panes_for_tests;
 pub use loops::{
-    IterSpace, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace, SpaceKind,
-    DEFAULT_TILE,
+    auto_portfolio_member, AutoPick, AutoSelector, AutoSiteStatus, ChunkPolicy, IterSpace,
+    LoopBalancer, LoopError, LoopId, LoopReport, LoopSchedule, LoopSpace, SpaceKind,
+    AUTO_CONFIRM_WINDOWS, AUTO_FALLBACK, AUTO_PORTFOLIO_LEN, AUTO_TRIALS_PER_MEMBER, DEFAULT_TILE,
 };
 pub use sched::SchedulerKind;
 pub use team::{IngressSource, PersistentTeam, RegionOutput, Runtime};
@@ -82,7 +83,8 @@ pub use xgomp_profiling::{
     chrome_json_from_dir, chrome_json_from_jsonl, clock, render_task_counts, render_timeline,
     state_summary, EventKind, LiveTaskSampler, LoopTelemetry, LoopTelemetrySnapshot, PerfLog,
     ProfileDump, PromText, StatsSnapshot, TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel,
-    TraceSnapshot, TraceStream, TraceStreamConfig, TraceStreamStats, Tracer,
+    TraceSnapshot, TraceStream, TraceStreamConfig, TraceStreamStats, Tracer, LOOP_SCHEDULES,
+    LOOP_SCHEDULE_NAMES,
 };
 pub use xgomp_topology::{Affinity, CostModel, Locality, MachineTopology, Placement};
 pub use xgomp_xqueue::{Parker, ParkerCell};

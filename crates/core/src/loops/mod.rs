@@ -56,11 +56,25 @@
 //! | [`Dynamic(c)`](LoopSchedule::Dynamic) | fixed chunks of `c` from the zone pools | known-irregular cost, small loops |
 //! | [`Guided(m)`](LoopSchedule::Guided) | `remaining / (2 · zone workers)`, floored at `m` | irregular cost, decreasing tail |
 //! | [`Adaptive`](LoopSchedule::Adaptive) | chunk ≈ `TARGET_TICKS` ÷ live per-iteration cost estimate (decade histogram, LB4OMP-style), scaled down per zone by its relative drain rate | unknown or shifting cost |
+//! | [`Tss { first, last }`](LoopSchedule::Tss) | trapezoid: linear decrement from `first` to `last` over `⌈2N/(first+last)⌉` chunks | mildly decreasing cost, low scheduling overhead |
+//! | [`Factoring`](LoopSchedule::Factoring) | batched halving: `⌈N/(P·2^(b+1))⌉` per chunk of batch `b` (P chunks per batch) | high-variance cost |
+//! | [`WeightedFactoring`](LoopSchedule::WeightedFactoring) | factoring × per-zone weight from the balancer's claim-rate EWMAs | high variance on asymmetric sockets |
+//! | [`Awf`](LoopSchedule::Awf) | factoring × per-zone weight from *measured* chunk execution rates | variance + unknown machine asymmetry |
+//! | [`Auto`](LoopSchedule::Auto) | online per-loop-site selection over the portfolio (server-owned [`AutoSelector`]) | repeated loop sites with unknown best schedule |
+//!
+//! The TSS/Factoring/WF/AWF family is a pure *chunk-size policy layer*
+//! ([`portfolio`] module) over the same pane-set claim path — see its
+//! docs for the closed-form series and the `Auto` selection policy.
 
 mod balancer;
+mod portfolio;
 mod space;
 
 pub use balancer::LoopBalancer;
+pub use portfolio::{
+    auto_portfolio_member, AutoPick, AutoSelector, AutoSiteStatus, ChunkPolicy, LoopId,
+    AUTO_CONFIRM_WINDOWS, AUTO_FALLBACK, AUTO_PORTFOLIO_LEN, AUTO_TRIALS_PER_MEMBER,
+};
 pub use space::{IterSpace, LoopSpace, SpaceKind, DEFAULT_TILE};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -97,6 +111,39 @@ pub enum LoopSchedule {
     /// fastest one (slow remote memory, fewer effective workers) claims
     /// proportionally smaller chunks, so its tail stays balanceable.
     Adaptive,
+    /// Trapezoid self-scheduling (Tzen–Ni): chunk sizes decrease
+    /// *linearly* from `first` to `last` over `⌈2N/(first+last)⌉`
+    /// chunks — guided's decreasing tail with a bounded, predictable
+    /// series. `first`/`last` are clamped into `1 ≤ last ≤ first`.
+    Tss {
+        /// First chunk's size (a common choice is `N / (2·P)`).
+        first: u32,
+        /// Smallest chunk the series decays to (commonly `1`).
+        last: u32,
+    },
+    /// Factoring (Hummel–Schonberg–Flynn, exact-halving variant): each
+    /// *batch* of `P` chunks hands out half the remaining work, so a
+    /// chunk of batch `b` has `⌈N/(P·2^(b+1))⌉` units — more tail
+    /// chunks than guided, robust to high iteration-cost variance.
+    Factoring,
+    /// [`Factoring`](Self::Factoring) with each zone's chunks scaled by
+    /// its claim-rate weight (the balancer's EWMA signal): fast zones
+    /// take proportionally bigger chunks, slow zones keep their tail
+    /// balanceable.
+    WeightedFactoring,
+    /// Adaptive weighted factoring: like
+    /// [`WeightedFactoring`](Self::WeightedFactoring), but the weights
+    /// come from *measured* per-chunk execution rates (the same chunk
+    /// timing that feeds the live sampler), so they track observed
+    /// speed rather than the claim-rate proxy.
+    Awf,
+    /// Online per-loop-site auto-selection: the serving team's
+    /// [`AutoSelector`] trials the portfolio across repeated instances
+    /// of the same loop site (keyed by [`LoopId`] or space shape),
+    /// scores by measured makespan and converges on the fastest with
+    /// two-window hysteresis. Outside a server (no selector attached)
+    /// it falls back to [`AUTO_FALLBACK`].
+    Auto,
 }
 
 impl LoopSchedule {
@@ -108,6 +155,11 @@ impl LoopSchedule {
             LoopSchedule::Dynamic(_) => 1,
             LoopSchedule::Guided(_) => 2,
             LoopSchedule::Adaptive => 3,
+            LoopSchedule::Tss { .. } => 4,
+            LoopSchedule::Factoring => 5,
+            LoopSchedule::WeightedFactoring => 6,
+            LoopSchedule::Awf => 7,
+            LoopSchedule::Auto => 8,
         }
     }
 
@@ -340,6 +392,29 @@ impl LoopCore {
         let scale = (mine / best).clamp(0.25, 1.0);
         (((f64::from(base)) * scale) as u32).max(1)
     }
+
+    /// Weighted-factoring weight of `pool`: its per-worker claim rate
+    /// relative to the *mean* across sampled zones, clamped to `[¼, 4]`
+    /// (1.0 while this zone — or every zone — is unsampled). Unlike
+    /// [`zone_chunk_scale`](Self::zone_chunk_scale) this is symmetric:
+    /// fast zones scale *up* past 1, which is what lets WF hand them
+    /// proportionally bigger factoring chunks.
+    fn zone_weight(&self, pool: usize) -> f64 {
+        let per_worker =
+            |i: usize| self.pools[i].0.claim_rate() / f64::from(self.zone_workers[i].max(1));
+        let mine = per_worker(pool);
+        if mine <= f64::EPSILON {
+            return 1.0;
+        }
+        let (sum, n) = (0..self.pools.len())
+            .map(per_worker)
+            .filter(|r| *r > f64::EPSILON)
+            .fold((0.0f64, 0u32), |(s, n), r| (s + r, n + 1));
+        if n == 0 {
+            return 1.0;
+        }
+        (mine / (sum / f64::from(n))).clamp(0.25, 4.0)
+    }
 }
 
 /// The monomorphization boundary between the shared, unit-typed
@@ -363,6 +438,9 @@ struct LoopShared<'b> {
     /// which the runtime never does mid-region).
     pool_of_zone: Box<[usize]>,
     cost: AdaptiveCost,
+    /// Per-loop state of the TSS/Factoring/WF/AWF chunk-size policy
+    /// layer (`None` for the classic schedules).
+    portfolio: Option<ChunkPolicy>,
     /// Loop-wide totals, flushed once per drain task. Iteration counts
     /// are *elements*; chunk/steal counts are claim events; the migrated
     /// counters on [`LoopCore`] are units.
@@ -386,16 +464,27 @@ struct DriveStats {
 }
 
 impl<'b> LoopShared<'b> {
-    /// Runs units `[lo, hi)` through the runner on `ctx`.
-    fn run_chunk(&self, ctx: &TaskCtx<'_>, lo: u64, hi: u64, local: bool, acc: &mut DriveStats) {
+    /// Runs units `[lo, hi)` through the runner on `ctx`; `pool` is the
+    /// zone pool the chunk is accounted to (AWF rate measurement).
+    fn run_chunk(
+        &self,
+        ctx: &TaskCtx<'_>,
+        lo: u64,
+        hi: u64,
+        pool: usize,
+        local: bool,
+        acc: &mut DriveStats,
+    ) {
         let units = hi - lo;
         let adaptive = matches!(self.schedule, LoopSchedule::Adaptive);
+        let awf = matches!(self.schedule, LoopSchedule::Awf);
         let sampler = ctx.team.sampler.as_deref();
-        // Chunk durations feed both the adaptive cost model and — when a
-        // live sampler is wired (task server) — the Table-IV adaptive
-        // controller, so loop-heavy workloads retune the DLB engine from
-        // their real chunk grain, not just from whole drain-task sizes.
-        let timed = adaptive || sampler.is_some();
+        // Chunk durations feed the adaptive cost model, the AWF weight
+        // accumulators and — when a live sampler is wired (task server)
+        // — the Table-IV adaptive controller, so loop-heavy workloads
+        // retune the DLB engine from their real chunk grain, not just
+        // from whole drain-task sizes.
+        let timed = adaptive || awf || sampler.is_some();
         let t0 = if timed { clock::now() } else { 0 };
         acc.iters += (self.runner)(lo, hi, ctx);
         if timed {
@@ -405,6 +494,11 @@ impl<'b> LoopShared<'b> {
                 // spaces), matching the unit-typed chunk sizes below.
                 self.cost.record_chunk(units, dt);
             }
+            if awf {
+                if let Some(p) = &self.portfolio {
+                    p.record_pool(pool, units, dt);
+                }
+            }
             if let Some(s) = sampler {
                 s.record(ctx.worker_id(), dt);
             }
@@ -412,6 +506,15 @@ impl<'b> LoopShared<'b> {
         acc.chunks += 1;
         if local {
             acc.claimed_local += 1;
+        }
+    }
+
+    /// Consumes one scheduling step of the portfolio policy (no-op for
+    /// the classic schedules). Called once per *successful* claim, so a
+    /// dry-pool probe never skips a series entry.
+    fn note_claimed(&self) {
+        if let Some(p) = &self.portfolio {
+            p.advance();
         }
     }
 
@@ -445,6 +548,32 @@ impl<'b> LoopShared<'b> {
                 // never re-shrunk at each pane boundary.
                 let fair = (self.core.pools[pool].0.remaining() / zone_workers).max(1);
                 u64::from(base).min(fair) as u32
+            }
+            // The portfolio policies: size from the loop-global series
+            // (peeked — the step advances on claim success), weighted
+            // per zone for WF (claim-rate EWMAs) and AWF (measured
+            // execution rates).
+            LoopSchedule::Tss { .. } | LoopSchedule::Factoring => self
+                .portfolio
+                .as_ref()
+                .expect("portfolio schedules build a ChunkPolicy")
+                .peek(1.0),
+            LoopSchedule::WeightedFactoring => {
+                let p = self
+                    .portfolio
+                    .as_ref()
+                    .expect("portfolio schedules build a ChunkPolicy");
+                p.peek(self.core.zone_weight(pool))
+            }
+            LoopSchedule::Awf => {
+                let p = self
+                    .portfolio
+                    .as_ref()
+                    .expect("portfolio schedules build a ChunkPolicy");
+                p.peek(p.pool_weight(pool))
+            }
+            LoopSchedule::Auto => {
+                unreachable!("Auto resolves to a concrete schedule before run_loop")
             }
         }
     }
@@ -483,13 +612,12 @@ impl<'b> LoopShared<'b> {
             // iterations in the zone whose block they belong to. The
             // inbox holds balancer migrations — zone property too.
             let mine = &self.core.pools[my].0;
-            let claimed = mine
-                .main
-                .claim(self.chunk_size(my))
-                .or_else(|| mine.inbox.claim(self.chunk_size(my)));
+            let want = self.chunk_size(my);
+            let claimed = mine.main.claim(want).or_else(|| mine.inbox.claim(want));
             if let Some((lo, hi)) = claimed {
+                self.note_claimed();
                 ctx.trace_emit(TraceLevel::Full, EventKind::ChunkClaim, my as u32, lo, hi);
-                self.run_chunk(ctx, lo, hi, true, &mut acc);
+                self.run_chunk(ctx, lo, hi, my, true, &mut acc);
                 backoff.reset();
                 continue;
             }
@@ -524,12 +652,13 @@ impl<'b> LoopShared<'b> {
                         break 'outer;
                     }
                     let take = u64::from(self.chunk_size(my)).min(hi - lo);
+                    self.note_claimed();
                     let (clo, chi) = (lo, lo + take);
                     lo += take;
                     if lo < hi && mine.main.deposit_if_empty(lo, hi) {
                         lo = hi;
                     }
-                    self.run_chunk(ctx, clo, chi, false, &mut acc);
+                    self.run_chunk(ctx, clo, chi, my, false, &mut acc);
                 }
                 backoff.reset();
                 continue;
@@ -671,14 +800,91 @@ impl<'t> TaskCtx<'t> {
         S: LoopSpace,
         F: Fn(S::Point, &TaskCtx<'_>) + Sync,
     {
+        self.try_parallel_for_impl(None, space, schedule, body)
+    }
+
+    /// [`parallel_for`](Self::parallel_for) with an explicit loop-site
+    /// identity: [`LoopSchedule::Auto`] keys its per-site selection
+    /// state by `site` instead of the space's shape, so distinct loops
+    /// over same-shaped spaces converge independently (and one loop
+    /// whose shape varies run-to-run still shares one site).
+    ///
+    /// # Panics
+    ///
+    /// As [`parallel_for`](Self::parallel_for).
+    pub fn parallel_for_at<S, F>(
+        &self,
+        site: LoopId,
+        space: S,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> LoopReport
+    where
+        S: LoopSpace,
+        F: Fn(S::Point, &TaskCtx<'_>) + Sync,
+    {
+        self.try_parallel_for_at(site, space, schedule, body)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`parallel_for_at`](Self::parallel_for_at).
+    pub fn try_parallel_for_at<S, F>(
+        &self,
+        site: LoopId,
+        space: S,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> Result<LoopReport, LoopError>
+    where
+        S: LoopSpace,
+        F: Fn(S::Point, &TaskCtx<'_>) + Sync,
+    {
+        self.try_parallel_for_impl(Some(site), space, schedule, body)
+    }
+
+    fn try_parallel_for_impl<S, F>(
+        &self,
+        site: Option<LoopId>,
+        space: S,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> Result<LoopReport, LoopError>
+    where
+        S: LoopSpace,
+        F: Fn(S::Point, &TaskCtx<'_>) + Sync,
+    {
         let desc = space.to_space();
         desc.validate()?;
+        // `Auto` resolution: consult the team's server-owned selector
+        // (keyed by the caller's `LoopId`, or the space's shape), run
+        // under the concrete pick and report the measured makespan back.
+        // Teams without a selector (plain `Runtime` regions) fall back
+        // to a fixed member. Telemetry records under the *requested*
+        // schedule, so auto-dispatched loops land in the `auto` family.
+        let mut auto: Option<(&Arc<AutoSelector>, u64, AutoPick)> = None;
+        let effective = if matches!(schedule, LoopSchedule::Auto) {
+            match &self.team.auto_select {
+                Some(sel) => {
+                    let key = site.map_or_else(|| portfolio::space_site_key(&desc), |id| id.0);
+                    let pick = sel.pick(key, desc.units(), self.n_workers() as u32);
+                    auto = Some((sel, key, pick));
+                    pick.schedule
+                }
+                None => AUTO_FALLBACK,
+            }
+        } else {
+            schedule
+        };
         // The monomorphization boundary: the per-element decode loop
         // inlines the body here; everything below `run_loop` is shared,
         // unit-typed machinery behind one dyn call per chunk.
         let runner =
             |lo: u64, hi: u64, ctx: &TaskCtx<'_>| S::run_units(&desc, lo, hi, |p| body(p, ctx));
-        let report = run_loop(self, &desc, schedule, &runner);
+        let t0 = if auto.is_some() { clock::now() } else { 0 };
+        let report = run_loop(self, &desc, effective, &runner);
+        if let Some((sel, key, pick)) = auto {
+            sel.report(key, pick, clock::now().saturating_sub(t0).max(1));
+        }
         if let Some(lt) = &self.team.loop_stats {
             lt.record_loop(
                 schedule.index(),
@@ -806,6 +1012,7 @@ fn run_loop(
     let shared = LoopShared {
         space,
         schedule,
+        portfolio: ChunkPolicy::for_schedule(schedule, units, n as u32, core.pools.len()),
         core: core.clone(),
         pool_of_zone: pool_of_zone.into_boxed_slice(),
         cost: AdaptiveCost::new(),
@@ -949,12 +1156,19 @@ mod tests {
     use std::sync::atomic::AtomicU8;
     use xgomp_topology::MachineTopology;
 
-    fn schedules() -> [LoopSchedule; 4] {
+    fn schedules() -> [LoopSchedule; 8] {
         [
             LoopSchedule::Static,
             LoopSchedule::Dynamic(64),
             LoopSchedule::Guided(16),
             LoopSchedule::Adaptive,
+            LoopSchedule::Tss {
+                first: 512,
+                last: 8,
+            },
+            LoopSchedule::Factoring,
+            LoopSchedule::WeightedFactoring,
+            LoopSchedule::Awf,
         ]
     }
 

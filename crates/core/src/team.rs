@@ -36,7 +36,7 @@ use crate::barrier::TeamBarrier;
 use crate::config::RuntimeConfig;
 use crate::ctx::TaskCtx;
 use crate::dlb::DlbTuning;
-use crate::loops::LoopBalancer;
+use crate::loops::{AutoSelector, LoopBalancer};
 use crate::sched::Scheduler;
 use crate::task::Task;
 use crate::util::PerWorker;
@@ -89,6 +89,10 @@ pub(crate) struct TeamExtras {
     /// server owns one for its whole life so live loops keep their
     /// registry across pause/resume); `None` builds a per-region one.
     pub balancer: Option<Arc<LoopBalancer>>,
+    /// `Schedule::Auto` per-loop-site selector, server-owned so
+    /// selection state (trial windows, converged picks) survives
+    /// pause/resume; `None` makes `Auto` fall back to a fixed member.
+    pub auto_select: Option<Arc<AutoSelector>>,
     /// Catch task-body panics instead of poisoning the team: the payload
     /// is carried to the parent's next `taskwait`, which re-raises it
     /// (per-job isolation in `xgomp-service`).
@@ -132,6 +136,8 @@ pub(crate) struct TeamShared {
     /// Inter-socket loop balancer (coarse level of two-level loop
     /// balancing); probed by loop-drain tasks and the DLB idle hook.
     pub balancer: Arc<LoopBalancer>,
+    /// `Schedule::Auto` selector (see [`TeamExtras::auto_select`]).
+    pub auto_select: Option<Arc<AutoSelector>>,
     /// The region's implicit task, published by the master so idle
     /// workers can parent injected tasks to it; null outside a region.
     pub root: AtomicPtr<Task>,
@@ -200,6 +206,7 @@ fn build_team(cfg: &RuntimeConfig, extras: TeamExtras) -> TeamShared {
         sampler: extras.sampler,
         loop_stats: extras.loop_stats,
         balancer,
+        auto_select: extras.auto_select,
         root: AtomicPtr::new(std::ptr::null_mut()),
         isolate_panics: extras.isolate_panics,
         parker,
@@ -834,6 +841,7 @@ impl PersistentTeam {
         tuning: Option<Arc<DlbTuning>>,
         loop_stats: Option<Arc<LoopTelemetry>>,
         balancer: Option<Arc<LoopBalancer>>,
+        auto_select: Option<Arc<AutoSelector>>,
         tracer: Option<Arc<Tracer>>,
         f: impl FnOnce(&TaskCtx<'_>) -> R,
     ) -> RegionOutput<R> {
@@ -853,6 +861,7 @@ impl PersistentTeam {
                 tuning,
                 loop_stats,
                 balancer,
+                auto_select,
                 isolate_panics: true,
                 tracer,
             },
@@ -1310,6 +1319,7 @@ mod tests {
         let out = team.run_serving(
             source,
             Some(sampler.clone()),
+            None,
             None,
             None,
             None,

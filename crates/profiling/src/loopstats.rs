@@ -11,11 +11,26 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of loop-schedule families tracked (Static / Dynamic / Guided /
-/// Adaptive, in that index order — see `xgomp_core::loops::LoopSchedule`).
-pub const LOOP_SCHEDULES: usize = 4;
+/// Adaptive / the LB4OMP portfolio TSS / Factoring / WeightedFactoring /
+/// AWF, plus the `Auto` selector — in that index order; see
+/// `xgomp_core::loops::LoopSchedule`).
+pub const LOOP_SCHEDULES: usize = 9;
 
-/// Canonical schedule names, index-aligned with the counters.
-pub const LOOP_SCHEDULE_NAMES: [&str; LOOP_SCHEDULES] = ["static", "dynamic", "guided", "adaptive"];
+/// Canonical schedule names, index-aligned with the counters. Loops
+/// submitted as `Auto` are recorded under `"auto"` (their chunks ran
+/// under whichever concrete member the selector picked — that breakdown
+/// is the selector's own `selected_counts`).
+pub const LOOP_SCHEDULE_NAMES: [&str; LOOP_SCHEDULES] = [
+    "static",
+    "dynamic",
+    "guided",
+    "adaptive",
+    "tss",
+    "factoring",
+    "weighted_factoring",
+    "awf",
+    "auto",
+];
 
 /// Number of iteration-space shape families tracked (1D range / 2D
 /// rectangle / triangular, in that index order — see
@@ -108,8 +123,7 @@ impl LoopTelemetry {
 /// Snapshot of one schedule family's counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduleSnapshot {
-    /// Schedule family name (`"static"` / `"dynamic"` / `"guided"` /
-    /// `"adaptive"`).
+    /// Schedule family name ([`LOOP_SCHEDULE_NAMES`] entry).
     pub schedule: &'static str,
     /// Completed `parallel_for` regions.
     pub loops: u64,

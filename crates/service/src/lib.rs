@@ -181,8 +181,9 @@ pub use xgomp_core::{CancelReason, CancelToken};
 // Loop-subsystem types a data-parallel client needs, re-exported so
 // `submit_for` is usable from this crate alone.
 pub use xgomp_core::{
-    IterSpace, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace, LoopTelemetrySnapshot,
-    SpaceKind,
+    auto_portfolio_member, AutoSiteStatus, IterSpace, LoopBalancer, LoopError, LoopId, LoopReport,
+    LoopSchedule, LoopSpace, LoopTelemetrySnapshot, SpaceKind, AUTO_CONFIRM_WINDOWS, AUTO_FALLBACK,
+    AUTO_PORTFOLIO_LEN, AUTO_TRIALS_PER_MEMBER,
 };
 
 // Flight-recorder types surfaced by the server's observability API
@@ -276,6 +277,13 @@ pub struct SubmitOptions {
     /// already running is cancelled cooperatively at its next
     /// checkpoint. `None` (the default) = no deadline.
     pub deadline: Option<std::time::Duration>,
+    /// Loop-site identity for `submit_for` under
+    /// [`LoopSchedule::Auto`]: instances sharing a [`LoopId`] share one
+    /// online-selection state, so the selector's learning accumulates
+    /// across submissions of the same logical loop. `None` (the
+    /// default) keys Auto state by iteration-space shape instead.
+    /// Ignored by non-loop submissions and non-Auto schedules.
+    pub loop_site: Option<LoopId>,
 }
 
 impl SubmitOptions {
@@ -293,6 +301,13 @@ impl SubmitOptions {
     /// Sets the relative deadline (from admission).
     pub fn deadline(mut self, d: std::time::Duration) -> Self {
         self.deadline = Some(d);
+        self
+    }
+
+    /// Names the loop site for `Schedule::Auto` state sharing (see
+    /// [`loop_site`](Self::loop_site)).
+    pub fn site(mut self, id: LoopId) -> Self {
+        self.loop_site = Some(id);
         self
     }
 }

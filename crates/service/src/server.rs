@@ -67,11 +67,11 @@ use crate::ingress::{JobBody, ShardedIngress};
 use crate::metrics::{MetricsHooks, MetricsListener};
 use crate::{QosClass, ServerConfig, SubmitOptions};
 use xgomp_core::{
-    clock, CancelReason, CancelToken, CancelUnwind, DlbConfig, DlbStrategy, DlbTuning, EventKind,
-    IngressSource, LiveTaskSampler, LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace,
-    LoopTelemetry, LoopTelemetrySnapshot, ParkerCell, PersistentTeam, PromText, RegionOutput,
-    RuntimeConfig, TaskCtx, TaskSizeHistogram, TraceLevel, TraceSnapshot, TraceStream,
-    TraceStreamStats, Tracer,
+    clock, AutoSelector, AutoSiteStatus, CancelReason, CancelToken, CancelUnwind, DlbConfig,
+    DlbStrategy, DlbTuning, EventKind, IngressSource, LiveTaskSampler, LoopBalancer, LoopError,
+    LoopId, LoopReport, LoopSchedule, LoopSpace, LoopTelemetry, LoopTelemetrySnapshot, ParkerCell,
+    PersistentTeam, PromText, RegionOutput, RuntimeConfig, TaskCtx, TaskSizeHistogram, TraceLevel,
+    TraceSnapshot, TraceStream, TraceStreamStats, Tracer,
 };
 use xgomp_topology::Placement;
 use xgomp_xqueue::Backoff;
@@ -449,6 +449,13 @@ pub(crate) struct ServerShared {
     /// cadence knob lives in the shared `DlbTuning`, so `swap_tuning`
     /// and the adaptive controller re-tune it live.
     loop_balancer: Arc<LoopBalancer>,
+    /// The `Schedule::Auto` online selector, server-owned like the loop
+    /// telemetry and balancer: per-site trial state and convergence ride
+    /// across generations, so a loop site submitted before a pause keeps
+    /// its learned schedule after `resume`. Watches `swap_epoch` — a
+    /// `swap_tuning` (or `resume_with`) bump sends every site back to
+    /// exploration, mirroring the adaptive controller's hysteresis reset.
+    auto_select: Arc<AutoSelector>,
     /// The flight recorder: one lock-free event ring per worker, shared
     /// with every generation's team (the same `Arc` is handed to
     /// `run_serving`, so `ctx.trace_emit` in job bodies and the server's
@@ -774,6 +781,18 @@ impl ServerShared {
             "Loop chunks executed, by schedule family",
             "schedule",
             &chunks,
+        );
+        let auto_counts = self.auto_select.selected_counts();
+        let auto_selected: Vec<(&str, u64)> = xgomp_core::LOOP_SCHEDULE_NAMES
+            .iter()
+            .zip(auto_counts.iter())
+            .map(|(&name, &n)| (name, n))
+            .collect();
+        p.counter_vec(
+            "xgomp_loop_auto_selected_total",
+            "Schedule::Auto loop instances run, by the concrete schedule the selector picked",
+            "schedule",
+            &auto_selected,
         );
         let space_loops: Vec<(&str, u64)> =
             lt.per_space.iter().map(|k| (k.space, k.loops)).collect();
@@ -1498,6 +1517,7 @@ pub const STABLE_METRIC_FAMILIES: &[&str] = &[
     "xgomp_ingress_claim_conflicts_total",
     "xgomp_ingress_occupancy",
     "xgomp_loop_chunks_by_schedule_total",
+    "xgomp_loop_auto_selected_total",
     "xgomp_loops_by_space_total",
     "xgomp_loop_iters_by_space_total",
     "xgomp_jobs_submitted_by_class_total",
@@ -1814,6 +1834,11 @@ impl TaskServer {
         let sampler = Arc::new(LiveTaskSampler::new(rt.threads));
         let loop_balancer = Arc::new(LoopBalancer::new());
         loop_balancer.bind_tuning(&tuning);
+        // `Schedule::Auto` selector: watches the swap epoch so a tuning
+        // swap re-opens exploration at every converged loop site.
+        let swap_epoch = Arc::new(AtomicU64::new(0));
+        let auto_select = Arc::new(AutoSelector::new());
+        auto_select.watch_swaps(swap_epoch.clone());
         // Server-owned so it spans generations (the same rings are handed
         // to every generation's team) and stays drainable after shutdown.
         let tracer = Arc::new(Tracer::new(rt.trace));
@@ -1849,9 +1874,10 @@ impl TaskServer {
             ctl_cv: Condvar::new(),
             sampler: Mutex::new(sampler.clone()),
             retired_hist: Mutex::new(TaskSizeHistogram::default()),
-            swap_epoch: Arc::new(AtomicU64::new(0)),
+            swap_epoch,
             loop_stats: Arc::new(LoopTelemetry::new()),
             loop_balancer,
+            auto_select,
             tracer,
             job_seq: AtomicU64::new(0),
             trace_dump: cfg.trace_dump.clone(),
@@ -2042,9 +2068,11 @@ impl TaskServer {
             return Err(SubmitError::InvalidLoop(body, e));
         }
         let body = self.shared.admit_or(opts.qos, body)?;
-        let (handle, job) = self
-            .shared
-            .make_job(opts, move |ctx| ctx.parallel_for(space, schedule, body));
+        let site = opts.loop_site;
+        let (handle, job) = self.shared.make_job(opts, move |ctx| match site {
+            Some(id) => ctx.parallel_for_at(id, space, schedule, body),
+            None => ctx.parallel_for(space, schedule, body),
+        });
         let hint = submitter_shard_hint(self.shared.ingress.n_shards());
         self.shared.place_anonymous(hint, job);
         Ok(handle)
@@ -2328,6 +2356,24 @@ impl TaskServer {
         &self.shared.loop_balancer
     }
 
+    /// Convergence status of one `Schedule::Auto` loop site (`None`
+    /// until the site has run at least one Auto instance). Sites are
+    /// keyed by the [`LoopId`] passed via
+    /// [`SubmitOptions::site`](crate::SubmitOptions::site); anonymous
+    /// Auto submissions key by iteration-space shape instead and are
+    /// not addressable here.
+    pub fn auto_site_status(&self, site: LoopId) -> Option<AutoSiteStatus> {
+        self.shared.auto_select.site_status(site.0)
+    }
+
+    /// How many Auto loop instances ran under each concrete schedule
+    /// (index-aligned with `LOOP_SCHEDULE_NAMES`; the `"auto"` slot is
+    /// always zero). This is the `xgomp_loop_auto_selected_total`
+    /// Prometheus family.
+    pub fn auto_selected_counts(&self) -> [u64; xgomp_core::LOOP_SCHEDULES] {
+        self.shared.auto_select.selected_counts()
+    }
+
     /// The ingress tier (lane counters, claim-conflict statistics).
     pub fn ingress(&self) -> &ShardedIngress {
         &self.shared.ingress
@@ -2567,6 +2613,7 @@ fn master_loop(
             Some(tuning.clone()),
             Some(shared.loop_stats.clone()),
             Some(shared.loop_balancer.clone()),
+            Some(shared.auto_select.clone()),
             Some(shared.tracer.clone()),
             serve,
         ));

@@ -33,14 +33,16 @@
 #[doc(hidden)]
 pub use xgomp_core::force_small_panes_for_tests;
 pub use xgomp_core::{
-    chrome_json_from_dir, chrome_json_from_jsonl, clock, guidelines, render_task_counts,
-    render_timeline, state_summary, Affinity, AllocKind, BarrierKind, CostModel, DlbConfig,
-    DlbStrategy, DlbTuning, EventKind, IngressSource, IterSpace, LiveTaskSampler, Locality,
-    LoopBalancer, LoopError, LoopReport, LoopSchedule, LoopSpace, LoopTelemetry,
-    LoopTelemetrySnapshot, MachineTopology, Parker, PerfLog, PersistentTeam, Placement,
-    ProfileDump, PromText, RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope, SpaceKind,
-    StatsSnapshot, TaskCtx, TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel, TraceSnapshot,
-    TraceStream, TraceStreamConfig, TraceStreamStats, Tracer, DEFAULT_TILE,
+    auto_portfolio_member, chrome_json_from_dir, chrome_json_from_jsonl, clock, guidelines,
+    render_task_counts, render_timeline, state_summary, Affinity, AllocKind, AutoPick,
+    AutoSelector, AutoSiteStatus, BarrierKind, ChunkPolicy, CostModel, DlbConfig, DlbStrategy,
+    DlbTuning, EventKind, IngressSource, IterSpace, LiveTaskSampler, Locality, LoopBalancer,
+    LoopError, LoopId, LoopReport, LoopSchedule, LoopSpace, LoopTelemetry, LoopTelemetrySnapshot,
+    MachineTopology, Parker, PerfLog, PersistentTeam, Placement, ProfileDump, PromText,
+    RegionOutput, Runtime, RuntimeConfig, SchedulerKind, Scope, SpaceKind, StatsSnapshot, TaskCtx,
+    TaskSizeHistogram, TeamStats, TraceEvent, TraceLevel, TraceSnapshot, TraceStream,
+    TraceStreamConfig, TraceStreamStats, Tracer, AUTO_CONFIRM_WINDOWS, AUTO_FALLBACK,
+    AUTO_PORTFOLIO_LEN, AUTO_TRIALS_PER_MEMBER, DEFAULT_TILE,
 };
 pub use xgomp_service::{
     CancelReason, CancelToken, JobError, JobHandle, JobPanic, JobReport, JoinTimeout, QosClass,

@@ -25,12 +25,39 @@ use proptest::prelude::*;
 use xgomp::service::{ServerConfig, SubmitError, TaskServer};
 use xgomp::{DlbConfig, DlbStrategy, IterSpace, LoopSchedule, MachineTopology, RuntimeConfig};
 
-const SCHEDULES: [LoopSchedule; 4] = [
+const SCHEDULES: [LoopSchedule; 8] = [
     LoopSchedule::Static,
     LoopSchedule::Dynamic(128),
     LoopSchedule::Guided(32),
     LoopSchedule::Adaptive,
+    LoopSchedule::Tss {
+        first: 256,
+        last: 8,
+    },
+    LoopSchedule::Factoring,
+    LoopSchedule::WeightedFactoring,
+    LoopSchedule::Awf,
 ];
+
+/// Schedule from a random pick: the classic four, the LB4OMP portfolio,
+/// and `Auto` (resolved by the server's online selector — concurrent
+/// Auto loops over different shapes exercise distinct selection sites).
+fn pick_schedule(pick: u64, chunk: u32) -> LoopSchedule {
+    match pick % 9 {
+        0 => LoopSchedule::Static,
+        1 => LoopSchedule::Dynamic(chunk),
+        2 => LoopSchedule::Guided(chunk),
+        3 => LoopSchedule::Adaptive,
+        4 => LoopSchedule::Tss {
+            first: chunk.max(1).saturating_mul(4),
+            last: (chunk / 8).max(1),
+        },
+        5 => LoopSchedule::Factoring,
+        6 => LoopSchedule::WeightedFactoring,
+        7 => LoopSchedule::Awf,
+        _ => LoopSchedule::Auto,
+    }
+}
 
 /// A two-zone server with an aggressive rebalance cadence (`interval`
 /// ticks; 0 disables the balancer).
@@ -458,12 +485,7 @@ proptest! {
         let handles: Vec<_> = (0..n_loops)
             .map(|j| {
                 let r = mix(seed.wrapping_add(j as u64));
-                let sched = match r % 4 {
-                    0 => LoopSchedule::Static,
-                    1 => LoopSchedule::Dynamic(chunk),
-                    2 => LoopSchedule::Guided(chunk),
-                    _ => LoopSchedule::Adaptive,
-                };
+                let sched = pick_schedule(r, chunk);
                 let (start, len) = ((r >> 2) % 1_000, (r >> 12) % 20_000);
                 let sum = Arc::new(AtomicU64::new(0));
                 let s = sum.clone();
@@ -530,12 +552,7 @@ proptest! {
         let handles: Vec<_> = (0..n_loops)
             .map(|j| {
                 let r = mix(seed.wrapping_add(j as u64));
-                let sched = match r % 4 {
-                    0 => LoopSchedule::Static,
-                    1 => LoopSchedule::Dynamic(chunk),
-                    2 => LoopSchedule::Guided(chunk),
-                    _ => LoopSchedule::Adaptive,
-                };
+                let sched = pick_schedule(r, chunk);
                 let tile = ((r >> 8) % 18 + 1) as u32;
                 let (a, b) = ((r >> 13) % 90 + 1, (r >> 21) % 45 + 1);
                 // Linear element id per shape: a bijection onto 0..len.

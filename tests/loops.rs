@@ -17,12 +17,40 @@ use xgomp::{
     RuntimeConfig,
 };
 
-const SCHEDULES: [LoopSchedule; 4] = [
+const SCHEDULES: [LoopSchedule; 8] = [
     LoopSchedule::Static,
     LoopSchedule::Dynamic(128),
     LoopSchedule::Guided(32),
     LoopSchedule::Adaptive,
+    LoopSchedule::Tss {
+        first: 256,
+        last: 8,
+    },
+    LoopSchedule::Factoring,
+    LoopSchedule::WeightedFactoring,
+    LoopSchedule::Awf,
 ];
+
+/// The proptest schedule generator: the classic four (with a random
+/// chunk), the LB4OMP portfolio, and `Auto` (which resolves through the
+/// selector on a server, or to the fallback on a plain runtime — either
+/// way the conservation contract is identical).
+fn pick_schedule(pick: u8, chunk: u32) -> LoopSchedule {
+    match pick % 9 {
+        0 => LoopSchedule::Static,
+        1 => LoopSchedule::Dynamic(chunk),
+        2 => LoopSchedule::Guided(chunk),
+        3 => LoopSchedule::Adaptive,
+        4 => LoopSchedule::Tss {
+            first: chunk.max(1),
+            last: (chunk / 16).max(1),
+        },
+        5 => LoopSchedule::Factoring,
+        6 => LoopSchedule::WeightedFactoring,
+        7 => LoopSchedule::Awf,
+        _ => LoopSchedule::Auto,
+    }
+}
 
 fn two_zone_server(threads: usize) -> TaskServer {
     let rt = RuntimeConfig::xgomptb(threads)
@@ -291,16 +319,11 @@ proptest! {
         start in 0u64..1_000,
         len in 0u64..40_000,
         chunk in 0u32..512,
-        sched_pick in 0u8..4,
+        sched_pick in 0u8..9,
         threads in 1usize..6,
         sockets in 1usize..3,
     ) {
-        let sched = match sched_pick {
-            0 => LoopSchedule::Static,
-            1 => LoopSchedule::Dynamic(chunk),
-            2 => LoopSchedule::Guided(chunk),
-            _ => LoopSchedule::Adaptive,
-        };
+        let sched = pick_schedule(sched_pick, chunk);
         let topo = MachineTopology::new(sockets, threads.div_ceil(sockets).max(1), 1);
         let rt = xgomp::Runtime::new(
             RuntimeConfig::xgomptb(threads)
@@ -343,17 +366,12 @@ proptest! {
         dim_b in 1u64..60,
         tile in 1u32..20,
         chunk in 1u32..64,
-        sched_pick in 0u8..4,
+        sched_pick in 0u8..9,
         threads in 1usize..6,
         sockets in 1usize..3,
         interval_pick in 0u8..3,
     ) {
-        let sched = match sched_pick {
-            0 => LoopSchedule::Static,
-            1 => LoopSchedule::Dynamic(chunk),
-            2 => LoopSchedule::Guided(chunk),
-            _ => LoopSchedule::Adaptive,
-        };
+        let sched = pick_schedule(sched_pick, chunk);
         // The linear element id of a point, per shape — a bijection onto
         // 0..len, so hit-counting proves exactly-once coverage.
         let (space, lin): (IterSpace, Box<dyn Fn(u64, u64) -> u64 + Sync>) = match kind {
